@@ -1,0 +1,43 @@
+//! E9 — the CONGEST constructions: distributed Baswana–Sen (Theorem 14) and
+//! the fault-tolerant two-phase construction (Theorem 15).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftspan::SpannerParams;
+use ftspan_bench::{gnp_workload, rng};
+use ftspan_distributed::{congest_baswana_sen, congest_ft_spanner};
+
+fn bench_congest(c: &mut Criterion) {
+    let g = gnp_workload(120, 8.0, 9);
+    let mut group = c.benchmark_group("congest");
+    for &k in &[2u32, 3] {
+        group.bench_with_input(BenchmarkId::new("baswana_sen", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut r = rng(k as u64);
+                congest_baswana_sen(&g, k, &mut r)
+            });
+        });
+    }
+    group.bench_function("ft_spanner_f1", |b| {
+        b.iter(|| {
+            let mut r = rng(99);
+            congest_ft_spanner(&g, SpannerParams::vertex(2, 1), &mut r)
+        });
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_congest
+}
+criterion_main!(benches);

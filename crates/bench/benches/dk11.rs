@@ -1,0 +1,39 @@
+//! E7 — the Dinitz–Krauthgamer [DK11] construction (Theorem 13) against the
+//! modified greedy at the same parameters.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftspan::{dk, poly_greedy_spanner, SpannerParams};
+use ftspan_bench::{gnp_workload, rng};
+
+fn bench_dk11(c: &mut Criterion) {
+    let g = gnp_workload(150, 12.0, 7);
+    let mut group = c.benchmark_group("dk11_vs_greedy");
+    for &f in &[1u32, 2] {
+        group.bench_with_input(BenchmarkId::new("dk11", f), &f, |b, &f| {
+            b.iter(|| {
+                let mut r = rng(f as u64);
+                dk::dk_spanner(&g, 2, f, &mut r)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("poly_greedy", f), &f, |b, &f| {
+            b.iter(|| poly_greedy_spanner(&g, SpannerParams::vertex(2, f)));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_dk11
+}
+criterion_main!(benches);

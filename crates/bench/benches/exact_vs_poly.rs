@@ -1,0 +1,37 @@
+//! E5 — exponential-time exact greedy [BP19] vs the paper's polynomial-time
+//! modified greedy on instances small enough for both.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftspan::{exact_greedy_spanner, poly_greedy_spanner, SpannerParams};
+use ftspan_bench::gnp_workload;
+
+fn bench_exact_vs_poly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_vs_poly");
+    for &n in &[20usize, 35] {
+        let g = gnp_workload(n, 8.0, 5);
+        let params = SpannerParams::vertex(2, 1);
+        group.bench_with_input(BenchmarkId::new("exact", n), &g, |b, g| {
+            b.iter(|| exact_greedy_spanner(g, params).expect("within budget"));
+        });
+        group.bench_with_input(BenchmarkId::new("poly", n), &g, |b, g| {
+            b.iter(|| poly_greedy_spanner(g, params));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_exact_vs_poly
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E1 — cost of one `LBC(t, α)` decision (Theorem 4: `O((m + n)·α)`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftspan::lbc::decide_vertex_lbc;
+use ftspan_bench::gnp_workload;
+use ftspan_graph::vid;
+
+fn bench_lbc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lbc_decision");
+    for &n in &[200usize, 400, 800] {
+        let g = gnp_workload(n, 10.0, 1);
+        for &alpha in &[1u32, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), format!("alpha{alpha}")),
+                &alpha,
+                |b, &alpha| {
+                    b.iter(|| decide_vertex_lbc(&g, vid(0), vid(n - 1), 3, alpha));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_lbc
+}
+criterion_main!(benches);

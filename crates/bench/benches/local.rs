@@ -1,0 +1,37 @@
+//! E8 — the LOCAL-model construction (Theorem 12): decomposition flood plus
+//! per-cluster greedy.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftspan::SpannerParams;
+use ftspan_bench::{gnp_workload, rng};
+use ftspan_distributed::local_ft_spanner;
+
+fn bench_local(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_ft_spanner");
+    for &n in &[100usize, 200] {
+        let g = gnp_workload(n, 8.0, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let mut r = rng(n as u64);
+                local_ft_spanner(g, SpannerParams::vertex(2, 1), &mut r)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_local
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E4 — running time as a function of edge density (Theorem 9 predicts the
+//! total time is linear in m for fixed n, k, f).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftspan::{poly_greedy_spanner, SpannerParams};
+use ftspan_bench::gnp_workload;
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poly_greedy_vs_density");
+    for &deg in &[6.0f64, 12.0, 24.0] {
+        let g = gnp_workload(200, deg, 4);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{}", g.edge_count())),
+            &g,
+            |b, g| {
+                b.iter(|| poly_greedy_spanner(g, SpannerParams::vertex(2, 2)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_runtime
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E3 — modified greedy construction cost as the fault budget f grows.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftspan::{poly_greedy_spanner, SpannerParams};
+use ftspan_bench::gnp_workload;
+
+fn bench_size_vs_f(c: &mut Criterion) {
+    let g = gnp_workload(200, 16.0, 3);
+    let mut group = c.benchmark_group("poly_greedy_vs_f");
+    for &f in &[1u32, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(f), &f, |b, &f| {
+            b.iter(|| poly_greedy_spanner(&g, SpannerParams::vertex(2, f)));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_size_vs_f
+}
+criterion_main!(benches);

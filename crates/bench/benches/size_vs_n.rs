@@ -1,0 +1,32 @@
+//! E2 — modified greedy construction over growing n (Theorems 5, 8).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftspan::{poly_greedy_spanner, SpannerParams};
+use ftspan_bench::gnp_workload;
+
+fn bench_size_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poly_greedy_vs_n");
+    for &n in &[100usize, 200, 400] {
+        let g = gnp_workload(n, 10.0, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| poly_greedy_spanner(g, SpannerParams::vertex(2, 1)));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_size_vs_n
+}
+criterion_main!(benches);

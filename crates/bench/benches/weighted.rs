@@ -1,0 +1,39 @@
+//! E6 — the weighted modified greedy (Algorithm 4 / Theorem 10) on geometric
+//! workloads.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftspan::{poly_greedy_spanner, SpannerParams};
+use ftspan_bench::geometric_workload;
+
+fn bench_weighted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted_greedy");
+    for &n in &[100usize, 200] {
+        let g = geometric_workload(n, 0.2, 6);
+        for &f in &[1u32, 2] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), format!("f{f}")),
+                &f,
+                |b, &f| {
+                    b.iter(|| poly_greedy_spanner(&g, SpannerParams::vertex(2, f)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_weighted
+}
+criterion_main!(benches);

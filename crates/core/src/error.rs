@@ -1,0 +1,76 @@
+//! Error types for spanner construction.
+
+use core::fmt;
+
+/// Errors produced by the spanner construction APIs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpannerError {
+    /// The stretch parameter `k` must be at least 1.
+    InvalidStretchParameter {
+        /// The rejected value.
+        k: u32,
+    },
+    /// The exact greedy algorithm was asked to enumerate more fault sets than
+    /// its configured budget allows; use the polynomial-time algorithm (or
+    /// raise the budget) instead.
+    ExactSearchBudgetExceeded {
+        /// Number of candidate fault sets that would need to be enumerated.
+        required: u128,
+        /// The configured enumeration budget.
+        budget: u128,
+    },
+    /// The requested construction needs a weighted graph but received a
+    /// unit-weighted one, or vice versa. Currently only produced by
+    /// constructions that explicitly demand unweighted input.
+    UnsupportedWeights {
+        /// Human-readable explanation.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for SpannerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpannerError::InvalidStretchParameter { k } => {
+                write!(f, "invalid stretch parameter k = {k}: k must be at least 1")
+            }
+            SpannerError::ExactSearchBudgetExceeded { required, budget } => write!(
+                f,
+                "exact greedy would enumerate {required} fault sets, exceeding the budget of {budget}"
+            ),
+            SpannerError::UnsupportedWeights { reason } => {
+                write!(f, "unsupported edge weights: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpannerError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SpannerError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_offending_values() {
+        let e = SpannerError::InvalidStretchParameter { k: 0 };
+        assert!(e.to_string().contains("k = 0"));
+        let e = SpannerError::ExactSearchBudgetExceeded {
+            required: 1_000_000,
+            budget: 10,
+        };
+        assert!(e.to_string().contains("1000000"));
+        assert!(e.to_string().contains("10"));
+        let e = SpannerError::UnsupportedWeights { reason: "why" };
+        assert!(e.to_string().contains("why"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn check<E: std::error::Error + Send + Sync + 'static>() {}
+        check::<SpannerError>();
+    }
+}

@@ -1,0 +1,330 @@
+//! The Length-Bounded Cut gap decision `LBC(t, α)` — Algorithm 2 of the paper.
+//!
+//! Given terminals `u, v`, a hop bound `t`, and a budget `α`, the decision
+//! problem asks:
+//!
+//! * if there is a set `F` of at most `α` vertices (resp. edges), avoiding the
+//!   terminals, whose removal leaves no `u`–`v` path of at most `t` hops, the
+//!   answer must be **YES**;
+//! * if every such cut needs more than `α · t` vertices (resp. edges), the
+//!   answer must be **NO**;
+//! * anything may be answered in between.
+//!
+//! Exact Length-Bounded Cut is NP-hard [Baier et al. 2006], but this gap
+//! version is decided by the classical "frequency" heuristic for Hitting Set:
+//! repeatedly find a path of at most `t` hops and delete all of it. If `α + 1`
+//! rounds still find a path, answer NO (Theorem 4 of the paper shows this is
+//! correct and runs in `O((m + n) · α)` time).
+
+use ftspan_graph::bfs::shortest_hop_path_within;
+use ftspan_graph::{FaultView, Graph, VertexId};
+
+use crate::{FaultModel, FaultSet};
+
+/// Outcome of the `LBC(t, α)` gap decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LbcDecision {
+    /// There is no `u`–`v` path of at most `t` hops once the returned fault
+    /// set is removed. The set has at most `α · (t − 1)` vertices (or `α · t`
+    /// edges in the edge variant) and certifies that a small length-bounded
+    /// cut exists — this is the certificate `F_e` used in Lemma 6.
+    Yes(FaultSet),
+    /// After `α + 1` path-deletion rounds a short path still survives, so
+    /// every length-`t` cut has more than `α` elements (in fact the instance
+    /// cannot have a cut of size ≤ α, by Theorem 4's argument).
+    No,
+}
+
+impl LbcDecision {
+    /// Returns `true` for the YES outcome.
+    #[must_use]
+    pub fn is_yes(&self) -> bool {
+        matches!(self, LbcDecision::Yes(_))
+    }
+
+    /// Returns the certificate cut of a YES outcome.
+    #[must_use]
+    pub fn certificate(&self) -> Option<&FaultSet> {
+        match self {
+            LbcDecision::Yes(cut) => Some(cut),
+            LbcDecision::No => None,
+        }
+    }
+}
+
+/// Counters describing one LBC decision run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LbcStats {
+    /// Number of hop-bounded BFS searches executed (at most `α + 1`).
+    pub bfs_runs: usize,
+    /// Total number of vertices (or edges) added to the working fault set.
+    pub cut_size: usize,
+}
+
+/// Decides `LBC(t, α)` between `u` and `v` on `graph`, deleting **vertices**.
+///
+/// This is Algorithm 2 as written in the paper. The graph is treated as
+/// unweighted: only hop counts matter, which is exactly how the modified
+/// greedy algorithm (Algorithms 3 and 4) invokes it.
+///
+/// # Panics
+///
+/// Panics if `u` or `v` is out of range for `graph`.
+#[must_use]
+pub fn decide_vertex_lbc(
+    graph: &Graph,
+    u: VertexId,
+    v: VertexId,
+    t: u32,
+    alpha: u32,
+) -> (LbcDecision, LbcStats) {
+    let mut view = FaultView::new(graph);
+    let mut cut: Vec<VertexId> = Vec::new();
+    let mut stats = LbcStats::default();
+    for _ in 0..=alpha {
+        stats.bfs_runs += 1;
+        match shortest_hop_path_within(&view, u, v, t) {
+            None => return (LbcDecision::Yes(FaultSet::vertices(cut)), stats),
+            Some(path) => {
+                for &x in path.interior_vertices() {
+                    if view.block_vertex(x) {
+                        cut.push(x);
+                        stats.cut_size += 1;
+                    }
+                }
+                // A direct edge {u, v} has no interior vertices and can never
+                // be cut by vertex faults; further iterations cannot help.
+                if path.hop_count() <= 1 {
+                    return (LbcDecision::No, stats);
+                }
+            }
+        }
+    }
+    (LbcDecision::No, stats)
+}
+
+/// Decides `LBC(t, α)` between `u` and `v` on `graph`, deleting **edges**.
+///
+/// Identical to [`decide_vertex_lbc`] except that whole paths of edges are
+/// added to the fault set, matching the edge-fault-tolerant variant described
+/// at the end of Section 3.1 of the paper.
+///
+/// # Panics
+///
+/// Panics if `u` or `v` is out of range for `graph`.
+#[must_use]
+pub fn decide_edge_lbc(
+    graph: &Graph,
+    u: VertexId,
+    v: VertexId,
+    t: u32,
+    alpha: u32,
+) -> (LbcDecision, LbcStats) {
+    let mut view = FaultView::new(graph);
+    let mut cut = Vec::new();
+    let mut stats = LbcStats::default();
+    for _ in 0..=alpha {
+        stats.bfs_runs += 1;
+        match shortest_hop_path_within(&view, u, v, t) {
+            None => return (LbcDecision::Yes(FaultSet::edges(cut)), stats),
+            Some(path) => {
+                for &e in &path.edges {
+                    if view.block_edge(e) {
+                        cut.push(e);
+                        stats.cut_size += 1;
+                    }
+                }
+            }
+        }
+    }
+    (LbcDecision::No, stats)
+}
+
+/// Decides `LBC(t, α)` for either fault model.
+///
+/// # Panics
+///
+/// Panics if `u` or `v` is out of range for `graph`.
+#[must_use]
+pub fn decide_lbc(
+    graph: &Graph,
+    model: FaultModel,
+    u: VertexId,
+    v: VertexId,
+    t: u32,
+    alpha: u32,
+) -> (LbcDecision, LbcStats) {
+    match model {
+        FaultModel::Vertex => decide_vertex_lbc(graph, u, v, t, alpha),
+        FaultModel::Edge => decide_edge_lbc(graph, u, v, t, alpha),
+    }
+}
+
+/// Checks whether a fault set really is a length-`t` cut for `(u, v)`:
+/// after removing it, no `u`–`v` path of at most `t` hops remains.
+///
+/// Used in tests and by the verifier to validate YES certificates.
+#[must_use]
+pub fn is_length_bounded_cut(
+    graph: &Graph,
+    cut: &FaultSet,
+    u: VertexId,
+    v: VertexId,
+    t: u32,
+) -> bool {
+    if cut.contains_vertex(u) || cut.contains_vertex(v) {
+        return false;
+    }
+    let view = cut.apply(graph);
+    shortest_hop_path_within(&view, u, v, t).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftspan_graph::{generators, vid, GraphBuilder};
+
+    /// Two internally-disjoint u-v paths of length 2, plus one of length 4.
+    fn theta_graph() -> Graph {
+        //      1       2
+        //    /   \   /   \
+        //  0       (through 1 and 2 separately)       5
+        //    \ 3 - 4 - (long path) /
+        GraphBuilder::new()
+            .unit_edges([
+                (0, 1),
+                (1, 5),
+                (0, 2),
+                (2, 5),
+                (0, 3),
+                (3, 4),
+                (4, 6),
+                (6, 5),
+            ])
+            .build()
+    }
+
+    #[test]
+    fn yes_when_no_short_path_exists_at_all() {
+        let g = generators::path(6); // 0-1-2-3-4-5: the only 0-5 path has 5 hops
+        let (d, stats) = decide_vertex_lbc(&g, vid(0), vid(5), 3, 2);
+        match d {
+            LbcDecision::Yes(cut) => assert!(cut.is_empty()),
+            LbcDecision::No => panic!("expected YES"),
+        }
+        assert_eq!(stats.bfs_runs, 1);
+    }
+
+    #[test]
+    fn yes_certificate_is_a_real_cut() {
+        let g = theta_graph();
+        // Two 2-hop paths (through 1 and through 2); with alpha = 2 the
+        // algorithm can delete both midpoints and certify a cut for t = 2.
+        let (d, _) = decide_vertex_lbc(&g, vid(0), vid(5), 2, 2);
+        let cut = d.certificate().expect("expected YES").clone();
+        assert!(cut.len() <= 2 * 2);
+        assert!(is_length_bounded_cut(&g, &cut, vid(0), vid(5), 2));
+    }
+
+    #[test]
+    fn no_when_terminals_are_adjacent_in_vertex_model() {
+        let mut g = generators::path(3);
+        g.add_unit_edge(0, 2);
+        // Direct edge {0,2} cannot be hit by vertex faults.
+        let (d, _) = decide_vertex_lbc(&g, vid(0), vid(2), 3, 5);
+        assert_eq!(d, LbcDecision::No);
+    }
+
+    #[test]
+    fn edge_model_can_cut_a_direct_edge() {
+        let mut g = generators::path(3);
+        g.add_unit_edge(0, 2);
+        // Edge faults can remove both the direct edge and the 2-hop path.
+        let (d, _) = decide_edge_lbc(&g, vid(0), vid(2), 2, 2);
+        let cut = d.certificate().expect("expected YES");
+        assert!(cut.len() <= 4);
+        assert!(is_length_bounded_cut(&g, cut, vid(0), vid(2), 2));
+    }
+
+    #[test]
+    fn no_when_many_disjoint_short_paths_exist() {
+        // Complete bipartite-ish: u and v joined by 6 disjoint 2-hop paths.
+        let mut builder = GraphBuilder::new().vertices(8);
+        for mid in 2..8 {
+            builder = builder.unit_edge(0, mid).unit_edge(mid, 1);
+        }
+        let g = builder.build();
+        // alpha = 2: after deleting 3 midpoints (one per round), a short path
+        // remains, so the answer must be NO (soundness direction of Thm 4:
+        // there IS a cut of size 6 but none of size <= 2).
+        let (d, stats) = decide_vertex_lbc(&g, vid(0), vid(1), 2, 2);
+        assert_eq!(d, LbcDecision::No);
+        assert_eq!(stats.bfs_runs, 3);
+    }
+
+    #[test]
+    fn yes_promise_is_honoured() {
+        // Theorem 4 (completeness): whenever a cut of size <= alpha exists the
+        // algorithm must answer YES. Exercise it on graphs where the optimal
+        // cut is known by construction.
+        for paths in 1..5u32 {
+            // `paths` disjoint 3-hop u-v paths: optimal vertex cut = paths.
+            let mut builder = GraphBuilder::new();
+            let u = 0usize;
+            let v = 1usize;
+            let mut next = 2usize;
+            for _ in 0..paths {
+                builder = builder
+                    .unit_edge(u, next)
+                    .unit_edge(next, next + 1)
+                    .unit_edge(next + 1, v);
+                next += 2;
+            }
+            let g = builder.build();
+            let (d, _) = decide_vertex_lbc(&g, vid(0), vid(1), 3, paths);
+            assert!(d.is_yes(), "expected YES with alpha = {paths}");
+            let cut = d.certificate().unwrap();
+            assert!(is_length_bounded_cut(&g, cut, vid(0), vid(1), 3));
+        }
+    }
+
+    #[test]
+    fn bfs_budget_respects_alpha_plus_one() {
+        let g = generators::complete(20);
+        let (_, stats) = decide_vertex_lbc(&g, vid(0), vid(1), 3, 7);
+        assert!(stats.bfs_runs <= 8);
+    }
+
+    #[test]
+    fn cut_size_bound_matches_theorem_4() {
+        // The YES certificate has at most alpha * (t - 1) interior vertices.
+        let g = generators::grid(6, 6);
+        for t in [3u32, 5] {
+            for alpha in [1u32, 2, 3] {
+                let (d, stats) = decide_vertex_lbc(&g, vid(0), vid(35), t, alpha);
+                if let LbcDecision::Yes(cut) = d {
+                    assert!(cut.len() <= (alpha * (t - 1)) as usize);
+                    assert_eq!(cut.len(), stats.cut_size);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_by_model() {
+        let g = theta_graph();
+        let (dv, _) = decide_lbc(&g, FaultModel::Vertex, vid(0), vid(5), 2, 2);
+        let (de, _) = decide_lbc(&g, FaultModel::Edge, vid(0), vid(5), 2, 2);
+        assert!(dv.is_yes());
+        assert!(de.is_yes());
+        assert_eq!(dv.certificate().unwrap().model(), FaultModel::Vertex);
+        assert_eq!(de.certificate().unwrap().model(), FaultModel::Edge);
+    }
+
+    #[test]
+    fn cut_containing_a_terminal_is_not_valid() {
+        let g = generators::path(3);
+        let cut = FaultSet::vertices([vid(0)]);
+        assert!(!is_length_bounded_cut(&g, &cut, vid(0), vid(2), 1));
+    }
+}

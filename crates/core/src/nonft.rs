@@ -1,0 +1,180 @@
+//! The classical non-fault-tolerant greedy `(2k − 1)`-spanner of
+//! Althöfer et al. [ADD+93] (Theorem 1 of the paper).
+//!
+//! This is both the `f = 0` specialization that all fault-tolerant
+//! constructions generalize and the inner spanner algorithm plugged into the
+//! Dinitz–Krauthgamer framework ([`crate::dk`]) in the centralized setting.
+
+use std::time::Instant;
+
+use ftspan_graph::dijkstra::dijkstra_distances;
+use ftspan_graph::Graph;
+
+use crate::stats::{SpannerResult, SpannerStats};
+use crate::SpannerParams;
+
+/// Builds the classical greedy `(2k − 1)`-spanner: consider edges in
+/// nondecreasing weight order and keep an edge only if the current spanner
+/// does not already connect its endpoints within `(2k − 1)` times its weight.
+///
+/// The output has at most `O(n^{1+1/k})` edges and is simultaneously a
+/// `(2k − 1)`-spanner for every edge weight function consistent with the
+/// ordering used.
+///
+/// # Examples
+///
+/// ```
+/// use ftspan::nonft::greedy_spanner;
+/// use ftspan_graph::generators;
+///
+/// let g = generators::complete(20);
+/// let result = greedy_spanner(&g, 2);
+/// assert!(result.spanner.edge_count() < g.edge_count());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn greedy_spanner(graph: &Graph, k: u32) -> SpannerResult {
+    assert!(k >= 1, "stretch parameter k must be at least 1");
+    let start = Instant::now();
+    let params = SpannerParams::vertex(k, 0);
+    let threshold_factor = f64::from(params.stretch());
+    let mut spanner = Graph::empty_like(graph);
+    let mut stats = SpannerStats {
+        algorithm: "classic-greedy",
+        input_vertices: graph.vertex_count(),
+        input_edges: graph.edge_count(),
+        ..SpannerStats::default()
+    };
+    for edge_id in graph.edge_ids_by_weight() {
+        let edge = graph.edge(edge_id);
+        let (u, v) = edge.endpoints();
+        let d = dijkstra_distances(&spanner, u)[v.index()];
+        if !(d <= threshold_factor * edge.weight() + 1e-9) {
+            spanner.add_edge(u.index(), v.index(), edge.weight());
+        }
+    }
+    stats.spanner_edges = spanner.edge_count();
+    stats.elapsed = start.elapsed();
+    SpannerResult {
+        spanner,
+        params,
+        stats,
+        certificates: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use crate::verify::{fault_free_stretch, verify_spanner, VerificationMode};
+    use ftspan_graph::girth::girth_exceeds;
+    use ftspan_graph::traversal::is_connected;
+    use ftspan_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_is_a_valid_spanner() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let g = generators::connected_gnp(25, 0.3, &mut rng);
+        let result = greedy_spanner(&g, 2);
+        let report = verify_spanner(
+            &g,
+            &result.spanner,
+            SpannerParams::vertex(2, 0),
+            VerificationMode::Exhaustive,
+        );
+        assert!(report.is_valid());
+        assert!(fault_free_stretch(&g, &result.spanner) <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn unweighted_output_has_girth_greater_than_2k() {
+        // The classical analysis: the greedy spanner of an unweighted graph
+        // has girth > 2k, which is what forces the O(n^{1+1/k}) size.
+        let mut rng = StdRng::seed_from_u64(21);
+        for k in [2u32, 3] {
+            let g = generators::connected_gnp(40, 0.3, &mut rng);
+            let result = greedy_spanner(&g, k);
+            assert!(
+                girth_exceeds(&result.spanner, 2 * k),
+                "k = {k}: girth should exceed {}",
+                2 * k
+            );
+        }
+    }
+
+    #[test]
+    fn size_respects_the_moore_bound() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = generators::connected_gnp(60, 0.5, &mut rng);
+        for k in [2u32, 3, 4] {
+            let result = greedy_spanner(&g, k);
+            assert!(
+                (result.spanner.edge_count() as f64) <= bounds::girth_size_bound(60, k),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn connected_input_gives_connected_spanner() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = generators::connected_gnp(30, 0.2, &mut rng);
+        let result = greedy_spanner(&g, 3);
+        assert!(is_connected(&result.spanner));
+    }
+
+    #[test]
+    fn k_equal_one_keeps_every_edge_of_a_unit_graph() {
+        // Stretch 1 on a unit-weighted graph: an edge can only be dropped if
+        // a parallel connection of weight <= 1 exists, which simple graphs
+        // don't have.
+        let g = generators::complete(8);
+        let result = greedy_spanner(&g, 1);
+        assert_eq!(result.spanner.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn weighted_triangle_drops_the_heavy_edge_only_when_stretch_allows() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(0, 2, 2.0);
+        // k=1 (stretch 1): path 0-1-2 has weight 2 <= 1 * 2, so the heavy
+        // edge is dropped even at stretch 1.
+        let r = greedy_spanner(&g, 1);
+        assert_eq!(r.spanner.edge_count(), 2);
+        // Heavier edge that genuinely needs stretch >= 1.5 to drop:
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(0, 2, 1.2);
+        let r = greedy_spanner(&g, 1);
+        assert_eq!(r.spanner.edge_count(), 3);
+        let r = greedy_spanner(&g, 2);
+        assert_eq!(r.spanner.edge_count(), 2);
+    }
+
+    #[test]
+    fn larger_k_never_gives_a_larger_spanner() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let g = generators::connected_gnp(40, 0.4, &mut rng);
+        let mut previous = usize::MAX;
+        for k in 1..5 {
+            let size = greedy_spanner(&g, k).spanner.edge_count();
+            assert!(size <= previous, "k = {k}");
+            previous = size;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_k_panics() {
+        let _ = greedy_spanner(&generators::path(3), 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Round, message, and congestion accounting for simulated distributed runs.
+
+use core::fmt;
+
+/// Counters describing one simulated distributed execution.
+///
+/// The quantities mirror exactly what the paper's distributed theorems bound:
+/// the number of synchronous rounds, the number of messages, the total
+/// traffic in `O(log n)`-bit words, and the worst per-edge-per-round load
+/// (which is what forces the congestion scheduling of Theorem 15).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Number of synchronous communication rounds executed.
+    pub rounds: usize,
+    /// Total number of point-to-point messages delivered.
+    pub messages: usize,
+    /// Total traffic, measured in words (one word ≈ one node id / weight,
+    /// i.e. `O(log n)` bits).
+    pub words: usize,
+    /// The largest number of words any single edge carried in any single
+    /// round (per direction). In the CONGEST model this must stay `O(1)`.
+    pub max_words_per_edge_round: usize,
+}
+
+impl RoundStats {
+    /// Merges another run executed *after* this one (rounds add up).
+    #[must_use]
+    pub fn sequential(self, later: RoundStats) -> RoundStats {
+        RoundStats {
+            rounds: self.rounds + later.rounds,
+            messages: self.messages + later.messages,
+            words: self.words + later.words,
+            max_words_per_edge_round: self
+                .max_words_per_edge_round
+                .max(later.max_words_per_edge_round),
+        }
+    }
+
+    /// Merges another run executed *in parallel* with this one (rounds take
+    /// the maximum, traffic adds up).
+    #[must_use]
+    pub fn parallel(self, other: RoundStats) -> RoundStats {
+        RoundStats {
+            rounds: self.rounds.max(other.rounds),
+            messages: self.messages + other.messages,
+            words: self.words + other.words,
+            max_words_per_edge_round: self
+                .max_words_per_edge_round
+                .max(other.max_words_per_edge_round),
+        }
+    }
+}
+
+impl fmt::Display for RoundStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} messages, {} words, max {} words/edge/round",
+            self.rounds, self.messages, self.words, self.max_words_per_edge_round
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_composition_adds_rounds() {
+        let a = RoundStats {
+            rounds: 3,
+            messages: 10,
+            words: 20,
+            max_words_per_edge_round: 2,
+        };
+        let b = RoundStats {
+            rounds: 4,
+            messages: 5,
+            words: 9,
+            max_words_per_edge_round: 5,
+        };
+        let c = a.sequential(b);
+        assert_eq!(c.rounds, 7);
+        assert_eq!(c.messages, 15);
+        assert_eq!(c.words, 29);
+        assert_eq!(c.max_words_per_edge_round, 5);
+    }
+
+    #[test]
+    fn parallel_composition_takes_max_rounds() {
+        let a = RoundStats {
+            rounds: 3,
+            messages: 10,
+            words: 20,
+            max_words_per_edge_round: 2,
+        };
+        let b = RoundStats {
+            rounds: 7,
+            messages: 1,
+            words: 1,
+            max_words_per_edge_round: 1,
+        };
+        let c = a.parallel(b);
+        assert_eq!(c.rounds, 7);
+        assert_eq!(c.messages, 11);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = RoundStats::default().to_string();
+        assert!(s.contains("rounds"));
+    }
+}

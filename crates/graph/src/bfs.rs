@@ -1,0 +1,377 @@
+//! Breadth-first search on graph views: hop distances and hop-bounded paths.
+//!
+//! BFS is the workhorse of the paper's polynomial-time algorithm: the
+//! Length-Bounded Cut approximation (Algorithm 2) repeatedly asks for a path
+//! of at most `t` hops between two terminals in the current spanner with a
+//! growing fault set applied, which is exactly [`shortest_hop_path_within`].
+
+use std::collections::VecDeque;
+
+use crate::{EdgeId, GraphView, VertexId};
+
+/// A simple (vertex- and edge-listing) path found by BFS.
+///
+/// `vertices` always starts at the source and ends at the target;
+/// `edges[i]` connects `vertices[i]` and `vertices[i + 1]`, so
+/// `edges.len() == vertices.len() - 1` and the hop length of the path is
+/// `edges.len()`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HopPath {
+    /// Vertices along the path, source first, target last.
+    pub vertices: Vec<VertexId>,
+    /// Edges along the path, in order.
+    pub edges: Vec<EdgeId>,
+}
+
+impl HopPath {
+    /// Number of edges (hops) on the path.
+    #[must_use]
+    pub fn hop_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Interior vertices of the path (everything except the two endpoints).
+    ///
+    /// These are exactly the vertices that the Length-Bounded Cut
+    /// approximation adds to its growing fault set.
+    #[must_use]
+    pub fn interior_vertices(&self) -> &[VertexId] {
+        if self.vertices.len() <= 2 {
+            &[]
+        } else {
+            &self.vertices[1..self.vertices.len() - 1]
+        }
+    }
+
+    /// Total weight of the path under the given view.
+    #[must_use]
+    pub fn total_weight<V: GraphView>(&self, view: &V) -> f64 {
+        self.edges.iter().map(|&e| view.edge_weight(e)).sum()
+    }
+}
+
+/// Computes hop (unweighted) distances from `source` to every vertex.
+///
+/// Returns a vector indexed by vertex id; unreachable or faulted vertices map
+/// to `None`. If `source` itself is faulted every entry is `None`.
+///
+/// # Examples
+///
+/// ```
+/// use ftspan_graph::{bfs::bfs_hop_distances, vid, Graph};
+///
+/// let mut g = Graph::new(4);
+/// g.add_unit_edge(0, 1);
+/// g.add_unit_edge(1, 2);
+/// let dist = bfs_hop_distances(&g, vid(0));
+/// assert_eq!(dist[2], Some(2));
+/// assert_eq!(dist[3], None);
+/// ```
+#[must_use]
+pub fn bfs_hop_distances<V: GraphView>(view: &V, source: VertexId) -> Vec<Option<u32>> {
+    let n = view.vertex_count();
+    let mut dist = vec![None; n];
+    if !view.contains_vertex(source) {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[source.index()] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued vertex must have a distance");
+        for (v, _) in view.neighbors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Hop distance between `source` and `target`, or `None` if disconnected (or
+/// either endpoint is faulted).
+#[must_use]
+pub fn hop_distance<V: GraphView>(view: &V, source: VertexId, target: VertexId) -> Option<u32> {
+    if !view.contains_vertex(source) || !view.contains_vertex(target) {
+        return None;
+    }
+    if source == target {
+        return Some(0);
+    }
+    // Early-exit BFS.
+    let n = view.vertex_count();
+    let mut dist: Vec<Option<u32>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued vertex must have a distance");
+        for (v, _) in view.neighbors(u) {
+            if dist[v.index()].is_none() {
+                if v == target {
+                    return Some(du + 1);
+                }
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// Finds a shortest (by hop count) path from `source` to `target`, or `None`
+/// if no path exists in the view.
+#[must_use]
+pub fn shortest_hop_path<V: GraphView>(
+    view: &V,
+    source: VertexId,
+    target: VertexId,
+) -> Option<HopPath> {
+    shortest_hop_path_within(view, source, target, u32::MAX)
+}
+
+/// Finds a shortest hop path of at most `max_hops` edges from `source` to
+/// `target`, or `None` if every path needs more than `max_hops` hops (or the
+/// endpoints are disconnected / faulted).
+///
+/// The search stops expanding once the BFS frontier exceeds `max_hops`, so the
+/// running time is `O(m + n)` in the worst case but typically much less for
+/// small `max_hops` — this is the primitive called `O(α)` times per edge by
+/// the paper's Algorithm 2.
+#[must_use]
+pub fn shortest_hop_path_within<V: GraphView>(
+    view: &V,
+    source: VertexId,
+    target: VertexId,
+    max_hops: u32,
+) -> Option<HopPath> {
+    if !view.contains_vertex(source) || !view.contains_vertex(target) {
+        return None;
+    }
+    if source == target {
+        return Some(HopPath {
+            vertices: vec![source],
+            edges: Vec::new(),
+        });
+    }
+    if max_hops == 0 {
+        return None;
+    }
+    let n = view.vertex_count();
+    // parent[v] = (previous vertex, edge used to reach v)
+    let mut parent: Vec<Option<(VertexId, EdgeId)>> = vec![None; n];
+    let mut dist: Vec<Option<u32>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = Some(0);
+    queue.push_back(source);
+    'search: while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued vertex must have a distance");
+        if du >= max_hops {
+            // Every vertex reached from here would exceed the hop budget.
+            continue;
+        }
+        for (v, e) in view.neighbors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                parent[v.index()] = Some((u, e));
+                if v == target {
+                    break 'search;
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    dist[target.index()]?;
+    // Reconstruct.
+    let mut vertices = vec![target];
+    let mut edges = Vec::new();
+    let mut cur = target;
+    while cur != source {
+        let (prev, e) = parent[cur.index()].expect("path reconstruction must reach the source");
+        edges.push(e);
+        vertices.push(prev);
+        cur = prev;
+    }
+    vertices.reverse();
+    edges.reverse();
+    debug_assert_eq!(vertices.len(), edges.len() + 1);
+    if edges.len() as u64 > u64::from(max_hops) {
+        return None;
+    }
+    Some(HopPath { vertices, edges })
+}
+
+/// Computes the eccentricity (maximum hop distance to any reachable vertex)
+/// of `source`, ignoring unreachable vertices. Returns `None` if `source` is
+/// faulted.
+#[must_use]
+pub fn eccentricity<V: GraphView>(view: &V, source: VertexId) -> Option<u32> {
+    if !view.contains_vertex(source) {
+        return None;
+    }
+    Some(
+        bfs_hop_distances(view, source)
+            .into_iter()
+            .flatten()
+            .max()
+            .unwrap_or(0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{vid, FaultView, Graph};
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n - 1 {
+            g.add_unit_edge(i, i + 1);
+        }
+        g
+    }
+
+    fn grid3x3() -> Graph {
+        // 0 1 2
+        // 3 4 5
+        // 6 7 8
+        let mut g = Graph::new(9);
+        for r in 0..3 {
+            for c in 0..3 {
+                let i = r * 3 + c;
+                if c + 1 < 3 {
+                    g.add_unit_edge(i, i + 1);
+                }
+                if r + 1 < 3 {
+                    g.add_unit_edge(i, i + 3);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn distances_on_a_path() {
+        let g = path_graph(5);
+        let dist = bfs_hop_distances(&g, vid(0));
+        assert_eq!(dist, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn unreachable_vertices_have_no_distance() {
+        let mut g = Graph::new(4);
+        g.add_unit_edge(0, 1);
+        let dist = bfs_hop_distances(&g, vid(0));
+        assert_eq!(dist[2], None);
+        assert_eq!(dist[3], None);
+    }
+
+    #[test]
+    fn faulted_source_yields_all_none() {
+        let g = path_graph(3);
+        let mut view = FaultView::new(&g);
+        view.block_vertex(vid(0));
+        let dist = bfs_hop_distances(&view, vid(0));
+        assert!(dist.iter().all(Option::is_none));
+        assert_eq!(hop_distance(&view, vid(0), vid(2)), None);
+        assert_eq!(eccentricity(&view, vid(0)), None);
+    }
+
+    #[test]
+    fn hop_distance_matches_full_bfs() {
+        let g = grid3x3();
+        for s in 0..9 {
+            let dist = bfs_hop_distances(&g, vid(s));
+            for t in 0..9 {
+                assert_eq!(hop_distance(&g, vid(s), vid(t)), dist[t]);
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let g = grid3x3();
+        let p = shortest_hop_path(&g, vid(0), vid(8)).unwrap();
+        assert_eq!(p.hop_count(), 4);
+        assert_eq!(p.vertices.first(), Some(&vid(0)));
+        assert_eq!(p.vertices.last(), Some(&vid(8)));
+        // Consecutive vertices are connected by the listed edges.
+        for (i, &e) in p.edges.iter().enumerate() {
+            let (a, b) = g.edge(e).endpoints();
+            let (x, y) = (p.vertices[i], p.vertices[i + 1]);
+            assert!((a, b) == (x, y) || (a, b) == (y, x));
+        }
+    }
+
+    #[test]
+    fn trivial_path_when_source_equals_target() {
+        let g = path_graph(3);
+        let p = shortest_hop_path(&g, vid(1), vid(1)).unwrap();
+        assert_eq!(p.hop_count(), 0);
+        assert_eq!(p.vertices, vec![vid(1)]);
+        assert!(p.interior_vertices().is_empty());
+    }
+
+    #[test]
+    fn hop_bound_excludes_long_paths() {
+        let g = path_graph(6);
+        assert!(shortest_hop_path_within(&g, vid(0), vid(5), 5).is_some());
+        assert!(shortest_hop_path_within(&g, vid(0), vid(5), 4).is_none());
+        assert!(shortest_hop_path_within(&g, vid(0), vid(5), 0).is_none());
+        assert!(shortest_hop_path_within(&g, vid(0), vid(0), 0).is_some());
+    }
+
+    #[test]
+    fn hop_bound_finds_detour_only_if_within_budget() {
+        // Square 0-1-2-3-0 plus a chord 0-2: removing the chord forces 2 hops.
+        let mut g = Graph::new(4);
+        g.add_unit_edge(0, 1);
+        g.add_unit_edge(1, 2);
+        g.add_unit_edge(2, 3);
+        g.add_unit_edge(3, 0);
+        let chord = g.add_unit_edge(0, 2);
+        let mut view = FaultView::new(&g);
+        view.block_edge(chord);
+        let p = shortest_hop_path_within(&view, vid(0), vid(2), 2).unwrap();
+        assert_eq!(p.hop_count(), 2);
+        assert!(shortest_hop_path_within(&view, vid(0), vid(2), 1).is_none());
+    }
+
+    #[test]
+    fn interior_vertices_excludes_endpoints() {
+        let g = path_graph(4);
+        let p = shortest_hop_path(&g, vid(0), vid(3)).unwrap();
+        assert_eq!(p.interior_vertices(), &[vid(1), vid(2)]);
+        let p = shortest_hop_path(&g, vid(0), vid(1)).unwrap();
+        assert!(p.interior_vertices().is_empty());
+    }
+
+    #[test]
+    fn path_respects_vertex_faults() {
+        let g = grid3x3();
+        let mut view = FaultView::new(&g);
+        // Block the middle column.
+        view.block_vertex(vid(1));
+        view.block_vertex(vid(4));
+        view.block_vertex(vid(7));
+        assert!(shortest_hop_path(&view, vid(0), vid(2)).is_none());
+        assert_eq!(hop_distance(&view, vid(0), vid(6)), Some(2));
+    }
+
+    #[test]
+    fn path_total_weight_uses_view_weights() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 2.0);
+        g.add_edge(1, 2, 3.0);
+        let p = shortest_hop_path(&g, vid(0), vid(2)).unwrap();
+        assert!((p.total_weight(&g) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eccentricity_of_path_endpoints() {
+        let g = path_graph(5);
+        assert_eq!(eccentricity(&g, vid(0)), Some(4));
+        assert_eq!(eccentricity(&g, vid(2)), Some(2));
+    }
+}

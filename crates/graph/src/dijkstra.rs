@@ -1,0 +1,265 @@
+//! Weighted shortest paths (Dijkstra) on graph views.
+//!
+//! The spanner *verifier* needs true weighted distances in `G \ F` and in
+//! `H \ F` to check the stretch condition of Definition 1; the construction
+//! algorithms themselves only ever use BFS (see [`crate::bfs`]).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{GraphView, VertexId};
+
+/// Entry in the Dijkstra priority queue (min-heap by distance).
+#[derive(Copy, Clone, Debug, PartialEq)]
+struct HeapEntry {
+    distance: f64,
+    vertex: VertexId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert the distance comparison to pop the
+        // smallest tentative distance first. Ties break on vertex id so the
+        // ordering is total even with equal distances.
+        other
+            .distance
+            .total_cmp(&self.distance)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Computes weighted shortest-path distances from `source` to every vertex.
+///
+/// Returns a vector indexed by vertex id with `f64::INFINITY` for vertices
+/// that are unreachable or faulted. Edge weights must be non-negative, which
+/// the [`Graph`](crate::Graph) constructors enforce.
+///
+/// # Examples
+///
+/// ```
+/// use ftspan_graph::{dijkstra::dijkstra_distances, vid, Graph};
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1, 2.0);
+/// g.add_edge(1, 2, 3.0);
+/// g.add_edge(0, 2, 10.0);
+/// let dist = dijkstra_distances(&g, vid(0));
+/// assert_eq!(dist[2], 5.0);
+/// ```
+#[must_use]
+pub fn dijkstra_distances<V: GraphView>(view: &V, source: VertexId) -> Vec<f64> {
+    let n = view.vertex_count();
+    let mut dist = vec![f64::INFINITY; n];
+    if !view.contains_vertex(source) {
+        return dist;
+    }
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry {
+        distance: 0.0,
+        vertex: source,
+    });
+    while let Some(HeapEntry { distance, vertex }) = heap.pop() {
+        if settled[vertex.index()] {
+            continue;
+        }
+        settled[vertex.index()] = true;
+        for (nbr, e) in view.neighbors(vertex) {
+            let cand = distance + view.edge_weight(e);
+            if cand < dist[nbr.index()] {
+                dist[nbr.index()] = cand;
+                heap.push(HeapEntry {
+                    distance: cand,
+                    vertex: nbr,
+                });
+            }
+        }
+    }
+    dist
+}
+
+/// Weighted distance between two vertices, or `None` if disconnected (or an
+/// endpoint is faulted).
+#[must_use]
+pub fn weighted_distance<V: GraphView>(
+    view: &V,
+    source: VertexId,
+    target: VertexId,
+) -> Option<f64> {
+    if !view.contains_vertex(source) || !view.contains_vertex(target) {
+        return None;
+    }
+    let d = dijkstra_distances(view, source)[target.index()];
+    d.is_finite().then_some(d)
+}
+
+/// Computes a shortest weighted path, returning `(total weight, vertices)`.
+///
+/// Returns `None` if the target is unreachable or either endpoint is faulted.
+#[must_use]
+pub fn shortest_weighted_path<V: GraphView>(
+    view: &V,
+    source: VertexId,
+    target: VertexId,
+) -> Option<(f64, Vec<VertexId>)> {
+    if !view.contains_vertex(source) || !view.contains_vertex(target) {
+        return None;
+    }
+    let n = view.vertex_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<VertexId>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry {
+        distance: 0.0,
+        vertex: source,
+    });
+    while let Some(HeapEntry { distance, vertex }) = heap.pop() {
+        if settled[vertex.index()] {
+            continue;
+        }
+        settled[vertex.index()] = true;
+        if vertex == target {
+            break;
+        }
+        for (nbr, e) in view.neighbors(vertex) {
+            let cand = distance + view.edge_weight(e);
+            if cand < dist[nbr.index()] {
+                dist[nbr.index()] = cand;
+                parent[nbr.index()] = Some(vertex);
+                heap.push(HeapEntry {
+                    distance: cand,
+                    vertex: nbr,
+                });
+            }
+        }
+    }
+    if !dist[target.index()].is_finite() {
+        return None;
+    }
+    let mut path = vec![target];
+    let mut cur = target;
+    while cur != source {
+        cur = parent[cur.index()].expect("path reconstruction must reach the source");
+        path.push(cur);
+    }
+    path.reverse();
+    Some((dist[target.index()], path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{vid, FaultView, Graph};
+
+    fn weighted_square() -> Graph {
+        // 0 --1.0-- 1
+        // |         |
+        // 4.0      1.0
+        // |         |
+        // 3 --1.0-- 2
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 0, 4.0);
+        g
+    }
+
+    #[test]
+    fn distances_prefer_lower_weight_route() {
+        let g = weighted_square();
+        let dist = dijkstra_distances(&g, vid(0));
+        assert_eq!(dist[0], 0.0);
+        assert_eq!(dist[1], 1.0);
+        assert_eq!(dist[2], 2.0);
+        assert_eq!(dist[3], 3.0); // via 1-2-3, not the weight-4 edge
+    }
+
+    #[test]
+    fn unreachable_is_infinite_and_none() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        let dist = dijkstra_distances(&g, vid(0));
+        assert!(dist[2].is_infinite());
+        assert_eq!(weighted_distance(&g, vid(0), vid(2)), None);
+    }
+
+    #[test]
+    fn faulted_endpoint_yields_none() {
+        let g = weighted_square();
+        let mut view = FaultView::new(&g);
+        view.block_vertex(vid(1));
+        assert_eq!(weighted_distance(&view, vid(0), vid(1)), None);
+        // Distance 0 -> 2 must now go around through 3.
+        assert_eq!(weighted_distance(&view, vid(0), vid(2)), Some(5.0));
+    }
+
+    #[test]
+    fn path_reconstruction_matches_distance() {
+        let g = weighted_square();
+        let (w, path) = shortest_weighted_path(&g, vid(0), vid(3)).unwrap();
+        assert_eq!(w, 3.0);
+        assert_eq!(path, vec![vid(0), vid(1), vid(2), vid(3)]);
+    }
+
+    #[test]
+    fn path_to_self_is_trivial() {
+        let g = weighted_square();
+        let (w, path) = shortest_weighted_path(&g, vid(2), vid(2)).unwrap();
+        assert_eq!(w, 0.0);
+        assert_eq!(path, vec![vid(2)]);
+    }
+
+    #[test]
+    fn dijkstra_agrees_with_bfs_on_unit_weights() {
+        let mut g = Graph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)] {
+            g.add_unit_edge(u, v);
+        }
+        let bfs = crate::bfs::bfs_hop_distances(&g, vid(0));
+        let dij = dijkstra_distances(&g, vid(0));
+        for v in 0..6 {
+            assert_eq!(bfs[v].map(f64::from), Some(dij[v]));
+        }
+    }
+
+    #[test]
+    fn zero_weight_edges_are_allowed() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 0.0);
+        g.add_edge(1, 2, 0.0);
+        let dist = dijkstra_distances(&g, vid(0));
+        assert_eq!(dist[2], 0.0);
+    }
+
+    #[test]
+    fn heap_entry_ordering_is_a_min_heap() {
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry {
+            distance: 3.0,
+            vertex: vid(0),
+        });
+        heap.push(HeapEntry {
+            distance: 1.0,
+            vertex: vid(1),
+        });
+        heap.push(HeapEntry {
+            distance: 2.0,
+            vertex: vid(2),
+        });
+        assert_eq!(heap.pop().unwrap().distance, 1.0);
+        assert_eq!(heap.pop().unwrap().distance, 2.0);
+        assert_eq!(heap.pop().unwrap().distance, 3.0);
+    }
+}

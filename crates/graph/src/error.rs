@@ -1,0 +1,137 @@
+//! Error types for graph construction and parsing.
+
+use core::fmt;
+
+use crate::{EdgeId, VertexId};
+
+/// Errors produced by graph construction, mutation, and text parsing.
+///
+/// # Examples
+///
+/// ```
+/// use ftspan_graph::{Graph, GraphError};
+///
+/// let mut g = Graph::new(2);
+/// let err = g.try_add_edge(0, 5, 1.0).unwrap_err();
+/// assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A vertex index was at least the number of vertices in the graph.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: usize,
+        /// The number of vertices in the graph.
+        vertex_count: usize,
+    },
+    /// An edge identifier was at least the number of edges in the graph.
+    EdgeOutOfRange {
+        /// The offending edge identifier.
+        edge: EdgeId,
+        /// The number of edges in the graph.
+        edge_count: usize,
+    },
+    /// A self-loop `{u, u}` was rejected; spanner constructions operate on
+    /// simple graphs.
+    SelfLoop {
+        /// The vertex at both endpoints of the rejected edge.
+        vertex: VertexId,
+    },
+    /// A parallel edge `{u, v}` was rejected because the graph already
+    /// contains that pair and was configured to be simple.
+    ParallelEdge {
+        /// One endpoint of the duplicate edge.
+        u: VertexId,
+        /// The other endpoint of the duplicate edge.
+        v: VertexId,
+    },
+    /// An edge weight was negative, NaN, or infinite.
+    InvalidWeight {
+        /// The offending weight value.
+        weight: f64,
+    },
+    /// A line of an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                vertex_count,
+            } => write!(
+                f,
+                "vertex index {vertex} out of range for graph with {vertex_count} vertices"
+            ),
+            GraphError::EdgeOutOfRange { edge, edge_count } => write!(
+                f,
+                "edge {edge} out of range for graph with {edge_count} edges"
+            ),
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop at {vertex} rejected: graphs must be simple")
+            }
+            GraphError::ParallelEdge { u, v } => {
+                write!(f, "parallel edge {{{u}, {v}}} rejected: graphs must be simple")
+            }
+            GraphError::InvalidWeight { weight } => {
+                write!(f, "invalid edge weight {weight}: must be finite and non-negative")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vid;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            vertex_count: 4,
+        };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("4"));
+
+        let e = GraphError::SelfLoop { vertex: vid(3) };
+        assert!(e.to_string().contains("v3"));
+
+        let e = GraphError::ParallelEdge {
+            u: vid(1),
+            v: vid(2),
+        };
+        assert!(e.to_string().contains("v1"));
+        assert!(e.to_string().contains("v2"));
+
+        let e = GraphError::InvalidWeight { weight: -1.5 };
+        assert!(e.to_string().contains("-1.5"));
+
+        let e = GraphError::Parse {
+            line: 17,
+            message: "expected two integers".to_owned(),
+        };
+        assert!(e.to_string().contains("17"));
+        assert!(e.to_string().contains("two integers"));
+    }
+
+    #[test]
+    fn error_is_send_sync_and_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<GraphError>();
+    }
+}

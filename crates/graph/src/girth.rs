@@ -1,0 +1,179 @@
+//! Unweighted girth computation.
+//!
+//! The size analysis of the modified greedy algorithm (Lemma 7 / Theorem 8 of
+//! the paper) rests on the Moore bound: a graph with girth greater than `2k`
+//! has at most `O(n^{1+1/k})` edges. The girth routine here lets tests check
+//! the structural claims directly on the subgraphs the algorithms produce.
+
+use std::collections::VecDeque;
+
+use crate::{GraphView, VertexId};
+
+/// Computes the (unweighted) girth of the view: the number of edges on a
+/// shortest cycle. Returns `None` for acyclic views (forests).
+///
+/// Runs one truncated BFS per vertex, for `O(n·(m + n))` total time, which is
+/// fine at the scales used by the test-suite and experiment harness.
+///
+/// # Examples
+///
+/// ```
+/// use ftspan_graph::{girth::girth, Graph};
+///
+/// let mut g = Graph::new(5);
+/// for i in 0..5 {
+///     g.add_unit_edge(i, (i + 1) % 5);
+/// }
+/// assert_eq!(girth(&g), Some(5));
+/// ```
+#[must_use]
+pub fn girth<V: GraphView>(view: &V) -> Option<u32> {
+    let n = view.vertex_count();
+    let mut best: Option<u32> = None;
+    let mut dist: Vec<Option<u32>> = vec![None; n];
+    let mut parent_edge: Vec<Option<usize>> = vec![None; n];
+    for start in 0..n {
+        let start_v = VertexId::new(start);
+        if !view.contains_vertex(start_v) {
+            continue;
+        }
+        dist.fill(None);
+        parent_edge.fill(None);
+        dist[start] = Some(0);
+        let mut queue = VecDeque::new();
+        queue.push_back(start_v);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()].expect("queued vertex has distance");
+            // Stop expanding once the frontier cannot improve the best cycle.
+            if let Some(b) = best {
+                if 2 * du + 1 >= b {
+                    continue;
+                }
+            }
+            for (v, e) in view.neighbors(u) {
+                if Some(e.index()) == parent_edge[u.index()] {
+                    continue;
+                }
+                match dist[v.index()] {
+                    None => {
+                        dist[v.index()] = Some(du + 1);
+                        parent_edge[v.index()] = Some(e.index());
+                        queue.push_back(v);
+                    }
+                    Some(dv) => {
+                        // Found a cycle through the BFS tree rooted at start:
+                        // its length is du + dv + 1. This overestimates only
+                        // when the cycle does not pass through `start`, and
+                        // the minimum over all start vertices is exact.
+                        let cycle = du + dv + 1;
+                        best = Some(best.map_or(cycle, |b| b.min(cycle)));
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Returns `true` if the view contains no cycle of length at most `bound`.
+///
+/// Equivalent to `girth(view).map_or(true, |g| g > bound)` but exits early.
+#[must_use]
+pub fn girth_exceeds<V: GraphView>(view: &V, bound: u32) -> bool {
+    girth(view).map_or(true, |g| g > bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{vid, FaultView, Graph};
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_unit_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    #[test]
+    fn forest_has_no_girth() {
+        let mut g = Graph::new(5);
+        g.add_unit_edge(0, 1);
+        g.add_unit_edge(1, 2);
+        g.add_unit_edge(3, 4);
+        assert_eq!(girth(&g), None);
+        assert!(girth_exceeds(&g, 1_000));
+    }
+
+    #[test]
+    fn cycle_girth_is_its_length() {
+        for n in 3..10 {
+            assert_eq!(girth(&cycle(n)), Some(n as u32), "cycle of length {n}");
+        }
+    }
+
+    #[test]
+    fn chord_shortens_girth() {
+        let mut g = cycle(6);
+        g.add_unit_edge(0, 3); // creates two 4-cycles
+        assert_eq!(girth(&g), Some(4));
+        g.add_unit_edge(0, 2); // creates a triangle
+        assert_eq!(girth(&g), Some(3));
+    }
+
+    #[test]
+    fn complete_graph_has_triangles() {
+        let mut g = Graph::new(5);
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                g.add_unit_edge(u, v);
+            }
+        }
+        assert_eq!(girth(&g), Some(3));
+    }
+
+    #[test]
+    fn petersen_graph_has_girth_five() {
+        // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -> i+5.
+        let mut g = Graph::new(10);
+        for i in 0..5 {
+            g.add_unit_edge(i, (i + 1) % 5);
+            g.add_unit_edge(5 + i, 5 + (i + 2) % 5);
+            g.add_unit_edge(i, i + 5);
+        }
+        assert_eq!(girth(&g), Some(5));
+    }
+
+    #[test]
+    fn girth_respects_faults() {
+        let mut g = cycle(4);
+        g.add_unit_edge(0, 2);
+        assert_eq!(girth(&g), Some(3));
+        let mut view = FaultView::new(&g);
+        view.block_edge(g.edge_between(vid(0), vid(2)).unwrap());
+        assert_eq!(girth(&view), Some(4));
+        view.block_vertex(vid(3));
+        assert_eq!(girth(&view), None);
+    }
+
+    #[test]
+    fn girth_exceeds_threshold_checks() {
+        let g = cycle(7);
+        assert!(girth_exceeds(&g, 6));
+        assert!(!girth_exceeds(&g, 7));
+        assert!(!girth_exceeds(&g, 8));
+    }
+
+    #[test]
+    fn two_disjoint_cycles_take_the_minimum() {
+        let mut g = Graph::new(9);
+        for i in 0..5 {
+            g.add_unit_edge(i, (i + 1) % 5);
+        }
+        for i in 0..4 {
+            g.add_unit_edge(5 + i, 5 + (i + 1) % 4);
+        }
+        assert_eq!(girth(&g), Some(4));
+    }
+}

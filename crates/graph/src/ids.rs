@@ -1,0 +1,253 @@
+//! Strongly-typed identifiers for vertices and edges.
+//!
+//! Using newtypes instead of bare `usize` values prevents an entire class of
+//! bugs where a vertex index is accidentally used to index the edge table (or
+//! vice versa), which matters in this workspace because the spanner algorithms
+//! juggle both kinds of indices inside tight loops.
+
+use core::fmt;
+
+/// Identifier of a vertex inside a [`Graph`](crate::Graph).
+///
+/// Vertex identifiers are dense: a graph with `n` vertices uses exactly the
+/// identifiers `0..n`. They are created either by
+/// [`VertexId::new`] or by the graph construction APIs.
+///
+/// # Examples
+///
+/// ```
+/// use ftspan_graph::VertexId;
+///
+/// let v = VertexId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(format!("{v}"), "v3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VertexId(u32);
+
+impl VertexId {
+    /// Creates a vertex identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in a `u32`. Graphs of more than
+    /// 2^32 − 1 vertices are outside the supported range of this crate.
+    #[inline]
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        Self(u32::try_from(index).expect("vertex index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this vertex.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` representation.
+    #[inline]
+    #[must_use]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline]
+    fn from(value: u32) -> Self {
+        Self(value)
+    }
+}
+
+impl From<VertexId> for u32 {
+    #[inline]
+    fn from(value: VertexId) -> Self {
+        value.0
+    }
+}
+
+impl From<VertexId> for usize {
+    #[inline]
+    fn from(value: VertexId) -> Self {
+        value.index()
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of an edge inside a [`Graph`](crate::Graph).
+///
+/// Edge identifiers are dense: a graph with `m` edges uses exactly the
+/// identifiers `0..m`, in insertion order.
+///
+/// # Examples
+///
+/// ```
+/// use ftspan_graph::EdgeId;
+///
+/// let e = EdgeId::new(7);
+/// assert_eq!(e.index(), 7);
+/// assert_eq!(format!("{e}"), "e7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in a `u32`.
+    #[inline]
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        Self(u32::try_from(index).expect("edge index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this edge.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` representation.
+    #[inline]
+    #[must_use]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for EdgeId {
+    #[inline]
+    fn from(value: u32) -> Self {
+        Self(value)
+    }
+}
+
+impl From<EdgeId> for u32 {
+    #[inline]
+    fn from(value: EdgeId) -> Self {
+        value.0
+    }
+}
+
+impl From<EdgeId> for usize {
+    #[inline]
+    fn from(value: EdgeId) -> Self {
+        value.index()
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Convenience constructor used pervasively in tests and examples.
+///
+/// # Examples
+///
+/// ```
+/// use ftspan_graph::{vid, VertexId};
+/// assert_eq!(vid(2), VertexId::new(2));
+/// ```
+#[inline]
+#[must_use]
+pub fn vid(index: usize) -> VertexId {
+    VertexId::new(index)
+}
+
+/// Convenience constructor for [`EdgeId`] used in tests and examples.
+///
+/// # Examples
+///
+/// ```
+/// use ftspan_graph::{eid, EdgeId};
+/// assert_eq!(eid(2), EdgeId::new(2));
+/// ```
+#[inline]
+#[must_use]
+pub fn eid(index: usize) -> EdgeId {
+    EdgeId::new(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn vertex_id_round_trips_through_index() {
+        for i in [0usize, 1, 5, 1000, 1 << 20] {
+            assert_eq!(VertexId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn edge_id_round_trips_through_index() {
+        for i in [0usize, 1, 5, 1000, 1 << 20] {
+            assert_eq!(EdgeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn vertex_id_ordering_matches_index_ordering() {
+        assert!(VertexId::new(1) < VertexId::new(2));
+        assert!(VertexId::new(100) > VertexId::new(99));
+        assert_eq!(VertexId::new(7), VertexId::new(7));
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty_and_distinctive() {
+        assert_eq!(format!("{}", vid(12)), "v12");
+        assert_eq!(format!("{:?}", vid(12)), "v12");
+        assert_eq!(format!("{}", eid(3)), "e3");
+        assert_eq!(format!("{:?}", eid(3)), "e3");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let set: HashSet<VertexId> = (0..100).map(VertexId::new).collect();
+        assert_eq!(set.len(), 100);
+        let eset: HashSet<EdgeId> = (0..100).map(EdgeId::new).collect();
+        assert_eq!(eset.len(), 100);
+    }
+
+    #[test]
+    fn conversions_to_and_from_u32() {
+        let v: VertexId = 9u32.into();
+        assert_eq!(u32::from(v), 9);
+        assert_eq!(usize::from(v), 9);
+        let e: EdgeId = 11u32.into();
+        assert_eq!(u32::from(e), 11);
+        assert_eq!(usize::from(e), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex index exceeds u32::MAX")]
+    fn vertex_id_overflow_panics() {
+        let _ = VertexId::new(usize::try_from(u64::from(u32::MAX) + 1).unwrap());
+    }
+}

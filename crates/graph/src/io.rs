@@ -1,0 +1,182 @@
+//! Plain-text edge-list serialization.
+//!
+//! The format is a line-oriented edge list compatible with the usual
+//! `u v [weight]` convention used by SNAP/DIMACS-style datasets:
+//!
+//! ```text
+//! # comment lines start with '#' or '%'
+//! p 5 4          (optional header: vertex count, edge count)
+//! 0 1
+//! 1 2 2.5
+//! ```
+//!
+//! Lines without a weight default to weight 1.
+
+use std::fmt::Write as _;
+
+use crate::error::{GraphError, Result};
+use crate::{Graph, GraphBuilder};
+
+/// Serializes a graph to the edge-list text format, including a `p n m`
+/// header so that isolated vertices survive a round trip.
+///
+/// # Examples
+///
+/// ```
+/// use ftspan_graph::{io, Graph};
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1, 2.0);
+/// let text = io::to_edge_list(&g);
+/// let back = io::from_edge_list(&text).unwrap();
+/// assert_eq!(back.vertex_count(), 3);
+/// assert_eq!(back.edge_count(), 1);
+/// ```
+#[must_use]
+pub fn to_edge_list(graph: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p {} {}", graph.vertex_count(), graph.edge_count());
+    for (_, e) in graph.edges() {
+        let (u, v) = e.endpoints();
+        if (e.weight() - 1.0).abs() < f64::EPSILON {
+            let _ = writeln!(out, "{} {}", u.index(), v.index());
+        } else {
+            let _ = writeln!(out, "{} {} {}", u.index(), v.index(), e.weight());
+        }
+    }
+    out
+}
+
+/// Parses a graph from the edge-list text format.
+///
+/// Vertices referenced by edges are created automatically; a `p n m` header
+/// (if present) fixes the minimum vertex count. Comment lines beginning with
+/// `#` or `%` and blank lines are ignored.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed lines, and the usual
+/// construction errors for self-loops, duplicate edges, or invalid weights.
+pub fn from_edge_list(text: &str) -> Result<Graph> {
+    let mut builder = GraphBuilder::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let first = tokens.next().expect("non-empty line has a first token");
+        if first == "p" {
+            let n: usize = parse_token(tokens.next(), lineno + 1, "vertex count")?;
+            // The edge count token is optional and only used as a sanity hint.
+            let _ = tokens.next();
+            builder = builder.vertices(n);
+            continue;
+        }
+        let u: usize = parse_str(first, lineno + 1, "source vertex")?;
+        let v: usize = parse_token(tokens.next(), lineno + 1, "target vertex")?;
+        let w: f64 = match tokens.next() {
+            None => 1.0,
+            Some(tok) => tok.parse().map_err(|_| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("invalid weight '{tok}'"),
+            })?,
+        };
+        if tokens.next().is_some() {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                message: "too many fields on edge line".to_owned(),
+            });
+        }
+        builder = builder.edge(u, v, w);
+    }
+    builder.try_build()
+}
+
+fn parse_token<T: std::str::FromStr>(
+    token: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T> {
+    match token {
+        Some(tok) => parse_str(tok, line, what),
+        None => Err(GraphError::Parse {
+            line,
+            message: format!("missing {what}"),
+        }),
+    }
+}
+
+fn parse_str<T: std::str::FromStr>(token: &str, line: usize, what: &str) -> Result<T> {
+    token.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid {what} '{token}'"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_structure_and_weights() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.5);
+        g.add_edge(3, 4, 0.25);
+        let text = to_edge_list(&g);
+        let back = from_edge_list(&text).unwrap();
+        assert_eq!(back.vertex_count(), 5);
+        assert_eq!(back.edge_count(), 3);
+        for (_, e) in g.edges() {
+            let (u, v) = e.endpoints();
+            let id = back.edge_between(u, v).expect("edge must survive round trip");
+            assert!((back.weight(id) - e.weight()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn header_preserves_isolated_vertices() {
+        let g = Graph::new(7);
+        let text = to_edge_list(&g);
+        let back = from_edge_list(&text).unwrap();
+        assert_eq!(back.vertex_count(), 7);
+        assert_eq!(back.edge_count(), 0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# a comment\n\n% another comment\n0 1\n1 2 3.0\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.vertex_count(), 3);
+        assert!(!g.is_unit_weighted());
+    }
+
+    #[test]
+    fn missing_weight_defaults_to_one() {
+        let g = from_edge_list("0 1\n").unwrap();
+        assert!(g.is_unit_weighted());
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_numbers() {
+        let err = from_edge_list("0 1\nx y\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = from_edge_list("0\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = from_edge_list("0 1 2.0 extra\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = from_edge_list("0 1 notaweight\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn construction_errors_propagate() {
+        assert!(from_edge_list("3 3\n").is_err());
+        assert!(from_edge_list("0 1\n1 0\n").is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Summary statistics for graphs: density, degree distribution, diameter.
+
+use crate::bfs::bfs_hop_distances;
+use crate::{GraphView, VertexId};
+
+/// A compact statistical summary of a graph view, used by the experiment
+/// harness to describe workloads and outputs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphSummary {
+    /// Number of live vertices.
+    pub vertices: usize,
+    /// Number of live edges.
+    pub edges: usize,
+    /// Minimum degree over live vertices (0 for an empty graph).
+    pub min_degree: usize,
+    /// Maximum degree over live vertices (0 for an empty graph).
+    pub max_degree: usize,
+    /// Average degree `2m / n` (0 for an empty graph).
+    pub average_degree: f64,
+    /// Edge density `m / C(n, 2)` (0 when `n < 2`).
+    pub density: f64,
+}
+
+/// Computes a [`GraphSummary`] for any view.
+#[must_use]
+pub fn summarize<V: GraphView>(view: &V) -> GraphSummary {
+    let n = view.live_vertex_count();
+    let mut degrees = Vec::with_capacity(n);
+    let mut edges2 = 0usize;
+    for i in 0..view.vertex_count() {
+        let v = VertexId::new(i);
+        if !view.contains_vertex(v) {
+            continue;
+        }
+        let d = view.neighbors(v).count();
+        edges2 += d;
+        degrees.push(d);
+    }
+    let edges = edges2 / 2;
+    let possible = if n >= 2 { n * (n - 1) / 2 } else { 0 };
+    GraphSummary {
+        vertices: n,
+        edges,
+        min_degree: degrees.iter().copied().min().unwrap_or(0),
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        average_degree: if n == 0 { 0.0 } else { 2.0 * edges as f64 / n as f64 },
+        density: if possible == 0 {
+            0.0
+        } else {
+            edges as f64 / possible as f64
+        },
+    }
+}
+
+/// Exact hop diameter of the view: the maximum hop distance over all pairs of
+/// live vertices in the same component. Returns `None` when there are no live
+/// vertices. Disconnected pairs are ignored.
+///
+/// Runs a BFS from every vertex (`O(n(m + n))`), fine for experiment-scale
+/// graphs; use [`estimate_diameter`] for large inputs.
+#[must_use]
+pub fn hop_diameter<V: GraphView>(view: &V) -> Option<u32> {
+    let mut best: Option<u32> = None;
+    for i in 0..view.vertex_count() {
+        let v = VertexId::new(i);
+        if !view.contains_vertex(v) {
+            continue;
+        }
+        let ecc = bfs_hop_distances(view, v).into_iter().flatten().max().unwrap_or(0);
+        best = Some(best.map_or(ecc, |b| b.max(ecc)));
+    }
+    best
+}
+
+/// Lower-bound estimate of the hop diameter via a double BFS sweep: BFS from
+/// `start`, then BFS from the farthest vertex found. Exact on trees and a
+/// 2-approximation in general.
+#[must_use]
+pub fn estimate_diameter<V: GraphView>(view: &V, start: VertexId) -> Option<u32> {
+    if !view.contains_vertex(start) {
+        return None;
+    }
+    let d1 = bfs_hop_distances(view, start);
+    let farthest = d1
+        .iter()
+        .enumerate()
+        .filter_map(|(i, d)| d.map(|d| (i, d)))
+        .max_by_key(|&(_, d)| d)
+        .map(|(i, _)| VertexId::new(i))?;
+    bfs_hop_distances(view, farthest).into_iter().flatten().max()
+}
+
+/// Degree histogram: entry `i` counts live vertices with degree exactly `i`.
+#[must_use]
+pub fn degree_histogram<V: GraphView>(view: &V) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for i in 0..view.vertex_count() {
+        let v = VertexId::new(i);
+        if !view.contains_vertex(v) {
+            continue;
+        }
+        let d = view.neighbors(v).count();
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::{vid, FaultView};
+
+    #[test]
+    fn summary_of_complete_graph() {
+        let g = generators::complete(5);
+        let s = summarize(&g);
+        assert_eq!(s.vertices, 5);
+        assert_eq!(s.edges, 10);
+        assert_eq!(s.min_degree, 4);
+        assert_eq!(s.max_degree, 4);
+        assert!((s.average_degree - 4.0).abs() < 1e-12);
+        assert!((s.density - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_respects_faults() {
+        let g = generators::complete(5);
+        let mut view = FaultView::new(&g);
+        view.block_vertex(vid(0));
+        let s = summarize(&view);
+        assert_eq!(s.vertices, 4);
+        assert_eq!(s.edges, 6);
+        assert_eq!(s.max_degree, 3);
+    }
+
+    #[test]
+    fn summary_of_empty_graph() {
+        let g = crate::Graph::new(0);
+        let s = summarize(&g);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.density, 0.0);
+        assert_eq!(s.average_degree, 0.0);
+    }
+
+    #[test]
+    fn diameter_of_path_and_star() {
+        let p = generators::path(6);
+        assert_eq!(hop_diameter(&p), Some(5));
+        assert_eq!(estimate_diameter(&p, vid(2)), Some(5));
+        let s = generators::star(6);
+        assert_eq!(hop_diameter(&s), Some(2));
+    }
+
+    #[test]
+    fn diameter_of_disconnected_graph_ignores_cross_pairs() {
+        let mut g = crate::Graph::new(4);
+        g.add_unit_edge(0, 1);
+        g.add_unit_edge(2, 3);
+        assert_eq!(hop_diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn diameter_estimate_is_a_lower_bound() {
+        let g = generators::grid(5, 5);
+        let exact = hop_diameter(&g).unwrap();
+        let est = estimate_diameter(&g, vid(12)).unwrap();
+        assert!(est <= exact);
+        assert!(est >= exact / 2);
+    }
+
+    #[test]
+    fn degree_histogram_counts_each_vertex_once() {
+        let g = generators::star(5);
+        let hist = degree_histogram(&g);
+        // One hub of degree 4, four leaves of degree 1.
+        assert_eq!(hist, vec![0, 4, 0, 0, 1]);
+        assert_eq!(hist.iter().sum::<usize>(), 5);
+    }
+}

@@ -1,0 +1,483 @@
+//! Zero-copy views of a graph with a set of vertices and/or edges removed.
+//!
+//! Fault-tolerant spanner algorithms constantly ask questions about `G \ F`
+//! for many different fault sets `F`. Copying the graph for each query would
+//! dominate the running time, so instead the traversal algorithms in this
+//! crate are generic over [`GraphView`], and [`FaultView`] implements that
+//! trait by filtering a borrowed [`Graph`] through cheap membership bitmaps.
+
+use crate::{EdgeId, Graph, VertexId};
+
+/// Read-only access to an undirected graph, possibly with faults applied.
+///
+/// All traversal algorithms ([`bfs`](crate::bfs), [`dijkstra`](crate::dijkstra),
+/// connectivity, girth) are generic over this trait so that they can run on a
+/// full [`Graph`] or on a [`FaultView`] without copying.
+pub trait GraphView {
+    /// Total size of the vertex identifier space (including faulted vertices).
+    fn vertex_count(&self) -> usize;
+
+    /// Returns `true` if vertex `v` is present (not faulted).
+    fn contains_vertex(&self, v: VertexId) -> bool;
+
+    /// Returns `true` if edge `e` is present: not faulted itself and neither
+    /// endpoint faulted.
+    fn contains_edge(&self, e: EdgeId) -> bool;
+
+    /// Iterates over the live `(neighbor, edge)` pairs of `v`.
+    ///
+    /// If `v` itself is faulted the iterator is empty.
+    fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_;
+
+    /// Weight of edge `e` in the underlying graph.
+    fn edge_weight(&self, e: EdgeId) -> f64;
+
+    /// Endpoints of edge `e` in the underlying graph.
+    fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId);
+
+    /// Number of live vertices.
+    fn live_vertex_count(&self) -> usize {
+        (0..self.vertex_count())
+            .filter(|&i| self.contains_vertex(VertexId::new(i)))
+            .count()
+    }
+}
+
+impl GraphView for Graph {
+    #[inline]
+    fn vertex_count(&self) -> usize {
+        Graph::vertex_count(self)
+    }
+
+    #[inline]
+    fn contains_vertex(&self, v: VertexId) -> bool {
+        v.index() < Graph::vertex_count(self)
+    }
+
+    #[inline]
+    fn contains_edge(&self, e: EdgeId) -> bool {
+        e.index() < self.edge_count()
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        Graph::neighbors(self, v)
+    }
+
+    #[inline]
+    fn edge_weight(&self, e: EdgeId) -> f64 {
+        self.weight(e)
+    }
+
+    #[inline]
+    fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.edge(e).endpoints()
+    }
+
+    #[inline]
+    fn live_vertex_count(&self) -> usize {
+        Graph::vertex_count(self)
+    }
+}
+
+impl<T: GraphView + ?Sized> GraphView for &T {
+    #[inline]
+    fn vertex_count(&self) -> usize {
+        (**self).vertex_count()
+    }
+
+    #[inline]
+    fn contains_vertex(&self, v: VertexId) -> bool {
+        (**self).contains_vertex(v)
+    }
+
+    #[inline]
+    fn contains_edge(&self, e: EdgeId) -> bool {
+        (**self).contains_edge(e)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        (**self).neighbors(v)
+    }
+
+    #[inline]
+    fn edge_weight(&self, e: EdgeId) -> f64 {
+        (**self).edge_weight(e)
+    }
+
+    #[inline]
+    fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        (**self).edge_endpoints(e)
+    }
+
+    #[inline]
+    fn live_vertex_count(&self) -> usize {
+        (**self).live_vertex_count()
+    }
+}
+
+/// A view of `G \ F` for a mutable fault set `F` of vertices and/or edges.
+///
+/// The view borrows the underlying graph and maintains two bitmaps, so
+/// blocking or unblocking an element is `O(1)` and the view itself costs
+/// `O(n + m)` bits to create. The fault set can be grown incrementally, which
+/// is exactly the access pattern of the Length-Bounded Cut approximation
+/// (Algorithm 2 of the paper): repeatedly find a short path, block all its
+/// interior vertices, repeat.
+///
+/// # Examples
+///
+/// ```
+/// use ftspan_graph::{vid, FaultView, Graph, GraphView};
+///
+/// let mut g = Graph::new(4);
+/// g.add_unit_edge(0, 1);
+/// g.add_unit_edge(1, 2);
+/// g.add_unit_edge(2, 3);
+/// let mut view = FaultView::new(&g);
+/// assert!(view.contains_vertex(vid(1)));
+/// view.block_vertex(vid(1));
+/// assert!(!view.contains_vertex(vid(1)));
+/// // Edge {0,1} is gone because an endpoint is faulted.
+/// assert_eq!(view.neighbors(vid(0)).count(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultView<'g> {
+    graph: &'g Graph,
+    vertex_blocked: Vec<bool>,
+    edge_blocked: Vec<bool>,
+    blocked_vertex_count: usize,
+    blocked_edge_count: usize,
+}
+
+impl<'g> FaultView<'g> {
+    /// Creates a view with an empty fault set.
+    #[must_use]
+    pub fn new(graph: &'g Graph) -> Self {
+        Self {
+            graph,
+            vertex_blocked: vec![false; graph.vertex_count()],
+            edge_blocked: vec![false; graph.edge_count()],
+            blocked_vertex_count: 0,
+            blocked_edge_count: 0,
+        }
+    }
+
+    /// Creates a view with the given vertices already blocked.
+    #[must_use]
+    pub fn with_blocked_vertices<I>(graph: &'g Graph, vertices: I) -> Self
+    where
+        I: IntoIterator<Item = VertexId>,
+    {
+        let mut view = Self::new(graph);
+        for v in vertices {
+            view.block_vertex(v);
+        }
+        view
+    }
+
+    /// Creates a view with the given edges already blocked.
+    #[must_use]
+    pub fn with_blocked_edges<I>(graph: &'g Graph, edges: I) -> Self
+    where
+        I: IntoIterator<Item = EdgeId>,
+    {
+        let mut view = Self::new(graph);
+        for e in edges {
+            view.block_edge(e);
+        }
+        view
+    }
+
+    /// The underlying graph.
+    #[inline]
+    #[must_use]
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Blocks (removes) vertex `v`. Blocking an already-blocked vertex is a
+    /// no-op. Returns `true` if the vertex was newly blocked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for the underlying graph.
+    pub fn block_vertex(&mut self, v: VertexId) -> bool {
+        let slot = &mut self.vertex_blocked[v.index()];
+        if *slot {
+            false
+        } else {
+            *slot = true;
+            self.blocked_vertex_count += 1;
+            true
+        }
+    }
+
+    /// Unblocks vertex `v`. Returns `true` if the vertex had been blocked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for the underlying graph.
+    pub fn unblock_vertex(&mut self, v: VertexId) -> bool {
+        let slot = &mut self.vertex_blocked[v.index()];
+        if *slot {
+            *slot = false;
+            self.blocked_vertex_count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Blocks (removes) edge `e`. Returns `true` if the edge was newly blocked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range for the underlying graph.
+    pub fn block_edge(&mut self, e: EdgeId) -> bool {
+        let slot = &mut self.edge_blocked[e.index()];
+        if *slot {
+            false
+        } else {
+            *slot = true;
+            self.blocked_edge_count += 1;
+            true
+        }
+    }
+
+    /// Unblocks edge `e`. Returns `true` if the edge had been blocked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range for the underlying graph.
+    pub fn unblock_edge(&mut self, e: EdgeId) -> bool {
+        let slot = &mut self.edge_blocked[e.index()];
+        if *slot {
+            *slot = false;
+            self.blocked_edge_count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes all faults, restoring the full graph.
+    pub fn clear(&mut self) {
+        self.vertex_blocked.fill(false);
+        self.edge_blocked.fill(false);
+        self.blocked_vertex_count = 0;
+        self.blocked_edge_count = 0;
+    }
+
+    /// Number of currently blocked vertices.
+    #[inline]
+    #[must_use]
+    pub fn blocked_vertex_count(&self) -> usize {
+        self.blocked_vertex_count
+    }
+
+    /// Number of currently blocked edges.
+    #[inline]
+    #[must_use]
+    pub fn blocked_edge_count(&self) -> usize {
+        self.blocked_edge_count
+    }
+
+    /// Returns `true` if vertex `v` is blocked.
+    #[inline]
+    #[must_use]
+    pub fn is_vertex_blocked(&self, v: VertexId) -> bool {
+        self.vertex_blocked[v.index()]
+    }
+
+    /// Returns `true` if edge `e` is blocked (directly, not via endpoints).
+    #[inline]
+    #[must_use]
+    pub fn is_edge_blocked(&self, e: EdgeId) -> bool {
+        self.edge_blocked[e.index()]
+    }
+
+    /// Iterates over the currently blocked vertices.
+    pub fn blocked_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertex_blocked
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then(|| VertexId::new(i)))
+    }
+
+    /// Iterates over the currently blocked edges.
+    pub fn blocked_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edge_blocked
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then(|| EdgeId::new(i)))
+    }
+}
+
+impl GraphView for FaultView<'_> {
+    #[inline]
+    fn vertex_count(&self) -> usize {
+        self.graph.vertex_count()
+    }
+
+    #[inline]
+    fn contains_vertex(&self, v: VertexId) -> bool {
+        v.index() < self.graph.vertex_count() && !self.vertex_blocked[v.index()]
+    }
+
+    #[inline]
+    fn contains_edge(&self, e: EdgeId) -> bool {
+        if e.index() >= self.graph.edge_count() || self.edge_blocked[e.index()] {
+            return false;
+        }
+        let (u, v) = self.graph.edge(e).endpoints();
+        !self.vertex_blocked[u.index()] && !self.vertex_blocked[v.index()]
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        let blocked_self = self.vertex_blocked[v.index()];
+        self.graph
+            .neighbors(v)
+            .filter(move |&(nbr, e)| {
+                !blocked_self && !self.vertex_blocked[nbr.index()] && !self.edge_blocked[e.index()]
+            })
+    }
+
+    #[inline]
+    fn edge_weight(&self, e: EdgeId) -> f64 {
+        self.graph.weight(e)
+    }
+
+    #[inline]
+    fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.graph.edge(e).endpoints()
+    }
+
+    #[inline]
+    fn live_vertex_count(&self) -> usize {
+        self.graph.vertex_count() - self.blocked_vertex_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vid;
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_unit_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    #[test]
+    fn graph_implements_view_faithfully() {
+        let g = cycle(5);
+        assert_eq!(GraphView::vertex_count(&g), 5);
+        assert_eq!(g.live_vertex_count(), 5);
+        assert!(g.contains_vertex(vid(4)));
+        assert!(!g.contains_vertex(vid(5)));
+        assert_eq!(GraphView::neighbors(&g, vid(0)).count(), 2);
+    }
+
+    #[test]
+    fn blocking_vertex_hides_incident_edges() {
+        let g = cycle(4);
+        let mut view = FaultView::new(&g);
+        assert_eq!(view.neighbors(vid(0)).count(), 2);
+        view.block_vertex(vid(1));
+        let nbrs: Vec<_> = view.neighbors(vid(0)).map(|(v, _)| v).collect();
+        assert_eq!(nbrs, vec![vid(3)]);
+        assert_eq!(view.live_vertex_count(), 3);
+        assert!(!view.contains_vertex(vid(1)));
+        // Neighbors of a blocked vertex are empty.
+        assert_eq!(view.neighbors(vid(1)).count(), 0);
+    }
+
+    #[test]
+    fn blocking_edge_hides_only_that_edge() {
+        let g = cycle(4);
+        let e01 = g.edge_between(vid(0), vid(1)).unwrap();
+        let mut view = FaultView::new(&g);
+        view.block_edge(e01);
+        assert!(!view.contains_edge(e01));
+        let nbrs: Vec<_> = view.neighbors(vid(0)).map(|(v, _)| v).collect();
+        assert_eq!(nbrs, vec![vid(3)]);
+        // Vertex 1 is still live and sees vertex 2.
+        assert!(view.contains_vertex(vid(1)));
+        let nbrs: Vec<_> = view.neighbors(vid(1)).map(|(v, _)| v).collect();
+        assert_eq!(nbrs, vec![vid(2)]);
+    }
+
+    #[test]
+    fn block_and_unblock_round_trip() {
+        let g = cycle(4);
+        let mut view = FaultView::new(&g);
+        assert!(view.block_vertex(vid(2)));
+        assert!(!view.block_vertex(vid(2)));
+        assert_eq!(view.blocked_vertex_count(), 1);
+        assert!(view.unblock_vertex(vid(2)));
+        assert!(!view.unblock_vertex(vid(2)));
+        assert_eq!(view.blocked_vertex_count(), 0);
+        assert_eq!(view.neighbors(vid(1)).count(), 2);
+
+        let e = g.edge_between(vid(0), vid(1)).unwrap();
+        assert!(view.block_edge(e));
+        assert!(!view.block_edge(e));
+        assert_eq!(view.blocked_edge_count(), 1);
+        assert!(view.unblock_edge(e));
+        assert_eq!(view.blocked_edge_count(), 0);
+    }
+
+    #[test]
+    fn clear_restores_full_graph() {
+        let g = cycle(6);
+        let mut view = FaultView::with_blocked_vertices(&g, [vid(0), vid(3)]);
+        view.block_edge(g.edge_between(vid(1), vid(2)).unwrap());
+        assert_eq!(view.live_vertex_count(), 4);
+        view.clear();
+        assert_eq!(view.live_vertex_count(), 6);
+        assert_eq!(view.blocked_edge_count(), 0);
+        assert_eq!(view.neighbors(vid(1)).count(), 2);
+    }
+
+    #[test]
+    fn constructors_with_initial_faults() {
+        let g = cycle(5);
+        let view = FaultView::with_blocked_vertices(&g, [vid(1), vid(2)]);
+        assert_eq!(view.blocked_vertex_count(), 2);
+        let blocked: Vec<_> = view.blocked_vertices().collect();
+        assert_eq!(blocked, vec![vid(1), vid(2)]);
+
+        let e0 = g.edge_between(vid(0), vid(1)).unwrap();
+        let view = FaultView::with_blocked_edges(&g, [e0]);
+        assert_eq!(view.blocked_edge_count(), 1);
+        let blocked: Vec<_> = view.blocked_edges().collect();
+        assert_eq!(blocked, vec![e0]);
+    }
+
+    #[test]
+    fn contains_edge_accounts_for_blocked_endpoints() {
+        let g = cycle(4);
+        let e01 = g.edge_between(vid(0), vid(1)).unwrap();
+        let mut view = FaultView::new(&g);
+        assert!(view.contains_edge(e01));
+        view.block_vertex(vid(0));
+        assert!(!view.contains_edge(e01));
+    }
+
+    #[test]
+    fn view_through_reference_also_works() {
+        fn count_neighbors<V: GraphView>(view: V, v: VertexId) -> usize {
+            view.neighbors(v).count()
+        }
+        let g = cycle(4);
+        let view = FaultView::new(&g);
+        assert_eq!(count_neighbors(&view, vid(0)), 2);
+        assert_eq!(count_neighbors(&g, vid(0)), 2);
+    }
+}

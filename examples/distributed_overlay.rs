@@ -1,0 +1,76 @@
+//! Building a fault-tolerant overlay with the LOCAL and CONGEST algorithms.
+//!
+//! Simulates the two distributed constructions of Section 5 of the paper on
+//! the same network and reports rounds, message sizes, and output size next
+//! to the centralized construction — the trade-off the paper's Section 5
+//! is about.
+//!
+//! Run with `cargo run -p ftspan-examples --bin distributed_overlay`.
+
+use ftspan::{bounds, poly_greedy_spanner, SpannerParams};
+use ftspan_distributed::{congest_baswana_sen, congest_ft_spanner, local_ft_spanner};
+use ftspan_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let n = 120;
+    let graph = generators::connected_gnp(n, 0.06, &mut rng);
+    let params = SpannerParams::vertex(2, 1);
+    println!(
+        "overlay network: {} nodes, {} links; target: {params}",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+    println!();
+
+    // Centralized reference.
+    let central = poly_greedy_spanner(&graph, params);
+    println!(
+        "centralized modified greedy : {:4} edges (no communication)",
+        central.spanner.edge_count()
+    );
+
+    // LOCAL model (Theorem 12).
+    let local = local_ft_spanner(&graph, params, &mut rng);
+    println!(
+        "LOCAL construction          : {:4} edges | {:4} rounds (bound O(log n) ~ {:.0}), {} partitions",
+        local.spanner.edge_count(),
+        local.rounds.rounds,
+        bounds::local_round_bound(n),
+        local.partitions,
+    );
+
+    // CONGEST building block: distributed Baswana-Sen (Theorem 14).
+    let bs = congest_baswana_sen(&graph, params.k(), &mut rng);
+    println!(
+        "CONGEST Baswana-Sen (f = 0) : {:4} edges | {:4} rounds (bound O(k^2) = {:.0}), max {} words/edge/round",
+        bs.spanner.edge_count(),
+        bs.rounds.rounds,
+        bounds::baswana_sen_round_bound(params.k()),
+        bs.rounds.max_words_per_edge_round,
+    );
+
+    // CONGEST fault-tolerant construction (Theorem 15).
+    let congest = congest_ft_spanner(&graph, params, &mut rng);
+    println!(
+        "CONGEST FT construction     : {:4} edges | {:4} rounds ({} phase-1 + {} phase-2), {} DK iterations, congestion factor {}",
+        congest.result.spanner.edge_count(),
+        congest.result.rounds.rounds,
+        congest.phase1_rounds,
+        congest.phase2_rounds,
+        congest.iterations,
+        congest.max_edge_multiplicity,
+    );
+    println!(
+        "                              round bound O(f^2(log f + loglog n) + k^2 f log n) ~ {:.0}",
+        bounds::congest_round_bound(n, params.k(), params.f())
+    );
+    println!();
+    println!(
+        "LOCAL matches the centralized size up to a log factor in O(log n) rounds;\n\
+         CONGEST keeps messages at O(1) words but pays a larger spanner\n\
+         (the f^2 dependence of [DK11]) and more rounds — the exact trade-off of Theorem 15."
+    );
+}

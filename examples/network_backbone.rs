@@ -1,0 +1,60 @@
+//! Fault-tolerant backbone design for a data-center-style topology.
+//!
+//! The scenario the paper's introduction motivates: a distributed system is
+//! modelled as a graph, and we want a sparse backbone (a spanner) that keeps
+//! routes short even when a few switches fail. The workload is a
+//! ring-of-cliques topology (racks joined by aggregation links) — a shape
+//! with small cuts, which is exactly where naive sparsification breaks.
+//!
+//! The example compares four constructions on the same topology:
+//! the non-fault-tolerant greedy, the paper's modified greedy, the exact
+//! greedy baseline, and Dinitz–Krauthgamer.
+//!
+//! Run with `cargo run -p ftspan-examples --bin network_backbone`.
+
+use ftspan::verify::{verify_spanner, VerificationMode};
+use ftspan::{Algorithm, SpannerBuilder, SpannerParams};
+use ftspan_graph::generators;
+
+fn main() {
+    // 8 racks of 6 servers each, fully meshed inside a rack, one uplink
+    // between consecutive racks.
+    let graph = generators::ring_of_cliques(8, 6);
+    println!(
+        "topology: ring of 8 cliques x 6 = {} vertices, {} edges",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+
+    let params = SpannerParams::vertex(2, 1);
+    let verification = VerificationMode::Sampled {
+        samples: 200,
+        seed: 11,
+    };
+
+    for (label, algorithm) in [
+        ("classic greedy (no fault tolerance)", Algorithm::ClassicGreedy),
+        ("modified greedy (this paper)", Algorithm::PolyGreedy),
+        ("exact greedy [BDPW18/BP19]", Algorithm::ExactGreedy),
+        ("Dinitz-Krauthgamer [DK11]", Algorithm::DinitzKrauthgamer),
+    ] {
+        let result = SpannerBuilder::from_params(params)
+            .algorithm(algorithm)
+            .seed(3)
+            .build(&graph)
+            .expect("construction must succeed on this small topology");
+        let report = verify_spanner(&graph, &result.spanner, params, verification.clone());
+        println!(
+            "{label:40} {:4} edges | 1-fault-tolerant 3-spanner: {}",
+            result.spanner.edge_count(),
+            if report.is_valid() { "yes" } else { "NO" },
+        );
+    }
+
+    println!();
+    println!(
+        "The classic greedy is the sparsest but fails under a single switch fault;\n\
+         the fault-tolerant constructions pay a modest number of extra edges for\n\
+         guaranteed 3-stretch routing around any one failure."
+    );
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build a fault-tolerant spanner of a random network, verify it,
+//! and compare its size against the paper's bound.
+//!
+//! Run with `cargo run -p ftspan-examples --bin quickstart`.
+
+use ftspan::verify::{verify_spanner, VerificationMode};
+use ftspan::{bounds, poly_greedy_spanner, SpannerParams};
+use ftspan_graph::{generators, metrics};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // A dense-ish random communication network on 200 nodes.
+    let graph = generators::connected_gnp(200, 0.08, &mut rng);
+    let summary = metrics::summarize(&graph);
+    println!(
+        "input graph: {} vertices, {} edges (avg degree {:.1})",
+        summary.vertices, summary.edges, summary.average_degree
+    );
+
+    // Build a 2-vertex-fault-tolerant 3-spanner with the paper's
+    // polynomial-time modified greedy algorithm.
+    let params = SpannerParams::vertex(2, 2);
+    let result = poly_greedy_spanner(&graph, params);
+    println!("built {params}");
+    println!(
+        "spanner: {} edges ({:.1}% of the input), {} LBC calls, {} BFS runs, {:?}",
+        result.spanner.edge_count(),
+        100.0 * result.stats.retention(),
+        result.stats.lbc_calls,
+        result.stats.bfs_runs,
+        result.stats.elapsed,
+    );
+    println!(
+        "Theorem 8 reference curve k·f^(1-1/k)·n^(1+1/k): {:.0} edges",
+        bounds::poly_greedy_size_bound(200, params.k(), params.f())
+    );
+
+    // Spot-check the fault-tolerance property on 50 sampled fault sets
+    // (exhaustive verification is exponential in f and meant for tiny graphs).
+    let report = verify_spanner(
+        &graph,
+        &result.spanner,
+        params,
+        VerificationMode::Sampled {
+            samples: 50,
+            seed: 7,
+        },
+    );
+    println!(
+        "verification: {} fault sets, {} pairs checked, max stretch {:.2}, valid = {}",
+        report.fault_sets_checked,
+        report.pairs_checked,
+        report.max_stretch,
+        report.is_valid()
+    );
+    assert!(report.is_valid(), "the spanner must satisfy Definition 1");
+}

@@ -1,0 +1,68 @@
+//! Shared workload helpers for the cross-crate integration tests.
+
+use ftspan_graph::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic RNG for a named scenario.
+#[must_use]
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// The workload families the integration suite sweeps over, mirroring the
+/// families used in EXPERIMENTS.md.
+#[must_use]
+pub fn small_workloads(seed: u64) -> Vec<(&'static str, Graph)> {
+    let mut r = rng(seed);
+    vec![
+        ("gnp-sparse", generators::connected_gnp(18, 0.2, &mut r)),
+        ("gnp-dense", generators::connected_gnp(14, 0.5, &mut r)),
+        ("grid", generators::grid(4, 4)),
+        ("ring-of-cliques", generators::ring_of_cliques(4, 4)),
+        ("complete", generators::complete(12)),
+        (
+            "geometric",
+            generators::random_geometric(16, 0.45, &mut r),
+        ),
+        (
+            "weighted-gnp",
+            generators::with_random_weights(
+                &generators::connected_gnp(14, 0.35, &mut r),
+                1.0,
+                10.0,
+                &mut r,
+            ),
+        ),
+    ]
+}
+
+/// Medium-size workloads for property/sampled tests.
+#[must_use]
+pub fn medium_workloads(seed: u64) -> Vec<(&'static str, Graph)> {
+    let mut r = rng(seed);
+    vec![
+        ("gnp-80", generators::connected_gnp(80, 0.08, &mut r)),
+        ("ba-80", generators::barabasi_albert(80, 3, &mut r)),
+        ("ws-80", generators::watts_strogatz(80, 4, 0.2, &mut r)),
+        ("grid-9x9", generators::grid(9, 9)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_nonempty_and_deterministic() {
+        let a = small_workloads(1);
+        let b = small_workloads(1);
+        assert_eq!(a.len(), b.len());
+        for ((name_a, g_a), (name_b, g_b)) in a.iter().zip(b.iter()) {
+            assert_eq!(name_a, name_b);
+            assert_eq!(g_a.edge_count(), g_b.edge_count());
+            assert!(g_a.edge_count() > 0, "{name_a} must have edges");
+        }
+        assert!(!medium_workloads(2).is_empty());
+    }
+}

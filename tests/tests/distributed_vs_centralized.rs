@@ -1,0 +1,109 @@
+//! Integration tests comparing the distributed constructions against the
+//! centralized ones on shared workloads.
+
+use ftspan::verify::{verify_spanner, VerificationMode};
+use ftspan::{bounds, poly_greedy_spanner, SpannerParams};
+use ftspan_distributed::{
+    congest_baswana_sen, congest_ft_spanner, local_ft_spanner, padded_decomposition,
+    DecompositionOptions,
+};
+use ftspan_integration_tests::{medium_workloads, rng, small_workloads};
+
+#[test]
+fn local_construction_is_valid_on_every_small_workload() {
+    let params = SpannerParams::vertex(2, 1);
+    for (name, graph) in small_workloads(1_000) {
+        let mut r = rng(7);
+        let result = local_ft_spanner(&graph, params, &mut r);
+        let report = verify_spanner(&graph, &result.spanner, params, VerificationMode::Exhaustive);
+        assert!(report.is_valid(), "{name}: {:?}", report.violations);
+        assert!(result.spanner.is_edge_subgraph_of(&graph), "{name}");
+    }
+}
+
+#[test]
+fn congest_construction_is_valid_on_every_small_workload() {
+    let params = SpannerParams::vertex(2, 1);
+    for (name, graph) in small_workloads(2_000) {
+        let mut r = rng(8);
+        let out = congest_ft_spanner(&graph, params, &mut r);
+        let report =
+            verify_spanner(&graph, &out.result.spanner, params, VerificationMode::Exhaustive);
+        assert!(report.is_valid(), "{name}: {:?}", report.violations);
+    }
+}
+
+#[test]
+fn distributed_baswana_sen_matches_centralized_size_bound() {
+    for (name, graph) in medium_workloads(3_000) {
+        let mut r = rng(9);
+        let distributed = congest_baswana_sen(&graph, 2, &mut r);
+        let report = verify_spanner(
+            &graph,
+            &distributed.spanner,
+            SpannerParams::vertex(2, 0),
+            VerificationMode::Sampled { samples: 10, seed: 3 },
+        );
+        assert!(report.is_valid(), "{name}");
+        let bound = 4.0 * bounds::baswana_sen_size_bound(graph.vertex_count(), 2)
+            + graph.vertex_count() as f64;
+        assert!(
+            (distributed.spanner.edge_count() as f64) <= bound.min(graph.edge_count() as f64 + 1.0),
+            "{name}: {} edges vs bound {bound}",
+            distributed.spanner.edge_count()
+        );
+    }
+}
+
+#[test]
+fn local_round_cost_tracks_log_n_and_congest_tracks_its_bound() {
+    let params = SpannerParams::vertex(2, 1);
+    for (name, graph) in medium_workloads(4_000) {
+        let n = graph.vertex_count();
+        let mut r = rng(10);
+        let local = local_ft_spanner(&graph, params, &mut r);
+        assert!(
+            (local.rounds.rounds as f64) <= 120.0 * bounds::local_round_bound(n),
+            "{name}: LOCAL rounds {} out of range",
+            local.rounds.rounds
+        );
+        let congest = congest_ft_spanner(&graph, params, &mut r);
+        assert!(
+            (congest.result.rounds.rounds as f64) <= 80.0 * bounds::congest_round_bound(n, 2, 1),
+            "{name}: CONGEST rounds {} out of range",
+            congest.result.rounds.rounds
+        );
+        assert!(congest.result.rounds.max_words_per_edge_round <= 6, "{name}");
+    }
+}
+
+#[test]
+fn distributed_outputs_are_never_sparser_than_what_correctness_allows() {
+    // The LOCAL union over O(log n) partitions and the CONGEST union over
+    // many DK iterations are both at least as large as one centralized
+    // modified-greedy run is *allowed* to be small — i.e. they stay valid but
+    // pay extra edges. Check the ordering on a dense workload.
+    let params = SpannerParams::vertex(2, 1);
+    let mut r = rng(11);
+    let graph = ftspan_graph::generators::connected_gnp(60, 0.3, &mut r);
+    let central = poly_greedy_spanner(&graph, params);
+    let local = local_ft_spanner(&graph, params, &mut r);
+    let congest = congest_ft_spanner(&graph, params, &mut r);
+    assert!(local.spanner.edge_count() + 10 >= central.spanner.edge_count());
+    assert!(congest.result.spanner.edge_count() + 10 >= central.spanner.edge_count());
+}
+
+#[test]
+fn decomposition_covers_edges_on_medium_workloads() {
+    for (name, graph) in medium_workloads(5_000) {
+        let mut r = rng(12);
+        let d = padded_decomposition(&graph, &DecompositionOptions::default(), &mut r);
+        assert!(
+            d.edge_coverage(&graph) > 0.999,
+            "{name}: coverage {}",
+            d.edge_coverage(&graph)
+        );
+        let expected = ((graph.vertex_count() as f64).log2() * 4.0).ceil() as usize;
+        assert_eq!(d.partitions.len(), expected, "{name}");
+    }
+}

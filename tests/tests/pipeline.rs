@@ -1,0 +1,104 @@
+//! End-to-end integration tests: generate a workload, run every construction,
+//! verify the fault-tolerance property, and check the size bounds.
+
+use ftspan::verify::{verify_spanner, VerificationMode};
+use ftspan::{bounds, Algorithm, FaultModel, SpannerBuilder, SpannerParams};
+use ftspan_graph::io;
+use ftspan_integration_tests::small_workloads;
+
+#[test]
+fn every_algorithm_produces_a_valid_vft_spanner_on_every_workload() {
+    let params = SpannerParams::vertex(2, 1);
+    for (name, graph) in small_workloads(100) {
+        for algorithm in [
+            Algorithm::PolyGreedy,
+            Algorithm::ExactGreedy,
+            Algorithm::DinitzKrauthgamer,
+            Algorithm::DinitzKrauthgamerBaswanaSen,
+        ] {
+            let result = SpannerBuilder::from_params(params)
+                .algorithm(algorithm)
+                .seed(17)
+                .build(&graph)
+                .unwrap_or_else(|e| panic!("{name}/{algorithm:?}: {e}"));
+            assert!(
+                result.spanner.is_edge_subgraph_of(&graph),
+                "{name}/{algorithm:?}: spanner is not a subgraph"
+            );
+            let report =
+                verify_spanner(&graph, &result.spanner, params, VerificationMode::Exhaustive);
+            assert!(
+                report.is_valid(),
+                "{name}/{algorithm:?}: {:?}",
+                report.violations
+            );
+        }
+    }
+}
+
+#[test]
+fn modified_greedy_handles_edge_faults_on_every_workload() {
+    let params = SpannerParams::edge(2, 1);
+    for (name, graph) in small_workloads(200) {
+        let result = SpannerBuilder::from_params(params)
+            .fault_model(FaultModel::Edge)
+            .build(&graph)
+            .unwrap();
+        let report = verify_spanner(&graph, &result.spanner, params, VerificationMode::Exhaustive);
+        assert!(report.is_valid(), "{name}: {:?}", report.violations);
+    }
+}
+
+#[test]
+fn poly_greedy_respects_theorem_8_while_exact_respects_bp19() {
+    let params = SpannerParams::vertex(2, 2);
+    for (name, graph) in small_workloads(300) {
+        let n = graph.vertex_count();
+        let poly = SpannerBuilder::from_params(params)
+            .algorithm(Algorithm::PolyGreedy)
+            .build(&graph)
+            .unwrap();
+        let exact = SpannerBuilder::from_params(params)
+            .algorithm(Algorithm::ExactGreedy)
+            .build(&graph)
+            .unwrap();
+        assert!(
+            (poly.spanner.edge_count() as f64) <= bounds::poly_greedy_size_bound(n, 2, 2),
+            "{name}: poly greedy exceeded Theorem 8"
+        );
+        assert!(
+            (exact.spanner.edge_count() as f64) <= bounds::optimal_ft_size_bound(n, 2, 2),
+            "{name}: exact greedy exceeded the BP19 bound"
+        );
+    }
+}
+
+#[test]
+fn spanners_survive_an_io_round_trip() {
+    let params = SpannerParams::vertex(2, 1);
+    for (name, graph) in small_workloads(400) {
+        let result = SpannerBuilder::from_params(params).build(&graph).unwrap();
+        let text = io::to_edge_list(&result.spanner);
+        let back = io::from_edge_list(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(back.vertex_count(), result.spanner.vertex_count());
+        assert_eq!(back.edge_count(), result.spanner.edge_count());
+        // The round-tripped spanner is still a valid FT spanner of the input.
+        let report = verify_spanner(&graph, &back, params, VerificationMode::Exhaustive);
+        assert!(report.is_valid(), "{name}: {:?}", report.violations);
+    }
+}
+
+#[test]
+fn increasing_k_reduces_size_on_dense_inputs() {
+    for (name, graph) in small_workloads(500) {
+        if graph.edge_count() < 3 * graph.vertex_count() {
+            continue; // only meaningful for dense workloads
+        }
+        let small_k = SpannerBuilder::new(2, 1).build(&graph).unwrap();
+        let large_k = SpannerBuilder::new(4, 1).build(&graph).unwrap();
+        assert!(
+            large_k.spanner.edge_count() <= small_k.spanner.edge_count(),
+            "{name}: larger stretch should never need more edges"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the core invariants, on randomly generated graphs
+//! and parameters.
+
+use ftspan::lbc::{decide_vertex_lbc, is_length_bounded_cut, LbcDecision};
+use ftspan::verify::{verify_spanner, VerificationMode};
+use ftspan::{poly_greedy_spanner, FaultSet, SpannerParams};
+use ftspan_graph::bfs::{bfs_hop_distances, shortest_hop_path_within};
+use ftspan_graph::dijkstra::dijkstra_distances;
+use ftspan_graph::girth::girth;
+use ftspan_graph::{generators, vid, FaultView, Graph, GraphView, VertexId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a connected random graph described by (n, edge probability, seed).
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (4usize..24, 0.15f64..0.6, 0u64..1_000).prop_map(|(n, p, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::connected_gnp(n, p, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The modified greedy output is always a subgraph, never denser than the
+    /// input, and satisfies the spanner property with no faults applied.
+    #[test]
+    fn poly_greedy_basic_invariants(graph in graph_strategy(), k in 2u32..4, f in 0u32..3) {
+        let params = SpannerParams::vertex(k, f);
+        let result = poly_greedy_spanner(&graph, params);
+        prop_assert!(result.spanner.is_edge_subgraph_of(&graph));
+        prop_assert!(result.spanner.edge_count() <= graph.edge_count());
+        let report = verify_spanner(
+            &graph,
+            &result.spanner,
+            SpannerParams::vertex(k, 0),
+            VerificationMode::Exhaustive,
+        );
+        prop_assert!(report.is_valid());
+    }
+
+    /// Exhaustive fault-tolerance for f = 1 (kept small so the exhaustive
+    /// verifier stays fast inside proptest).
+    #[test]
+    fn poly_greedy_is_fault_tolerant(graph in graph_strategy(), k in 2u32..3) {
+        let params = SpannerParams::vertex(k, 1);
+        let result = poly_greedy_spanner(&graph, params);
+        let report = verify_spanner(&graph, &result.spanner, params, VerificationMode::Exhaustive);
+        prop_assert!(report.is_valid(), "violations: {:?}", report.violations.len());
+    }
+
+    /// A YES answer from the LBC approximation always comes with a certificate
+    /// that really is a length-bounded cut.
+    #[test]
+    fn lbc_yes_certificates_are_real_cuts(
+        graph in graph_strategy(),
+        t in 2u32..6,
+        alpha in 1u32..4,
+    ) {
+        let u = vid(0);
+        let v = vid(graph.vertex_count() - 1);
+        let (decision, stats) = decide_vertex_lbc(&graph, u, v, t, alpha);
+        prop_assert!(stats.bfs_runs <= alpha as usize + 1);
+        if let LbcDecision::Yes(cut) = decision {
+            prop_assert!(cut.len() <= (alpha * (t.saturating_sub(1))) as usize);
+            prop_assert!(is_length_bounded_cut(&graph, &cut, u, v, t));
+        }
+    }
+
+    /// BFS hop distances and Dijkstra agree on unit-weighted graphs, with or
+    /// without faults applied.
+    #[test]
+    fn bfs_and_dijkstra_agree_on_unit_weights(graph in graph_strategy(), blocked in 0usize..4) {
+        let mut view = FaultView::new(&graph);
+        for i in 0..blocked.min(graph.vertex_count().saturating_sub(2)) {
+            view.block_vertex(VertexId::new(i + 1));
+        }
+        let source = vid(0);
+        let bfs = bfs_hop_distances(&view, source);
+        let dij = dijkstra_distances(&view, source);
+        for i in 0..graph.vertex_count() {
+            match bfs[i] {
+                Some(d) => prop_assert!((dij[i] - f64::from(d)).abs() < 1e-9),
+                None => prop_assert!(dij[i].is_infinite()),
+            }
+        }
+    }
+
+    /// Hop-bounded search never returns a path longer than its budget, and
+    /// agrees with plain BFS about reachability within the budget.
+    #[test]
+    fn hop_bounded_paths_respect_their_budget(graph in graph_strategy(), budget in 1u32..6) {
+        let u = vid(0);
+        let v = vid(graph.vertex_count() / 2);
+        let dist = bfs_hop_distances(&graph, u)[v.index()];
+        match shortest_hop_path_within(&graph, u, v, budget) {
+            Some(path) => {
+                prop_assert!(path.hop_count() as u32 <= budget);
+                prop_assert_eq!(Some(path.hop_count() as u32), dist);
+            }
+            None => prop_assert!(dist.map_or(true, |d| d > budget)),
+        }
+    }
+
+    /// Applying and clearing fault sets round-trips the view to the full graph.
+    #[test]
+    fn fault_view_round_trip(graph in graph_strategy(), faults in 0usize..5) {
+        let victims: Vec<VertexId> = (0..faults.min(graph.vertex_count()))
+            .map(VertexId::new)
+            .collect();
+        let set = FaultSet::vertices(victims.clone());
+        let mut view = set.apply(&graph);
+        prop_assert_eq!(view.live_vertex_count(), graph.vertex_count() - victims.len());
+        view.clear();
+        prop_assert_eq!(view.live_vertex_count(), graph.vertex_count());
+        for v in graph.vertices() {
+            prop_assert_eq!(view.neighbors(v).count(), graph.degree(v));
+        }
+    }
+
+    /// The non-fault-tolerant greedy spanner of an unweighted graph has girth
+    /// greater than 2k — the structural fact behind every size bound used in
+    /// the paper.
+    #[test]
+    fn classic_greedy_girth_exceeds_2k(graph in graph_strategy(), k in 2u32..4) {
+        let result = ftspan::nonft::greedy_spanner(&graph, k);
+        if let Some(g) = girth(&result.spanner) {
+            prop_assert!(g > 2 * k, "girth {g} with k {k}");
+        }
+    }
+}
