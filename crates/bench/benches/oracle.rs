@@ -1,0 +1,91 @@
+//! Oracle serving throughput: batched distance/path queries under vertex
+//! faults, with the shortest-path-tree cache on vs off.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ftspan::{FaultModel, FaultSet, SpannerParams};
+use ftspan_bench::{gnp_workload, rng};
+use ftspan_graph::vid;
+use ftspan_oracle::{FaultOracle, OracleOptions, Query};
+use rand::Rng;
+
+/// A mixed distance/path batch over a handful of rolling fault sets and hot
+/// sources — the bursty traffic shape the tree cache is designed for.
+fn query_batch(n_vertices: usize, batch: usize, fault_sets: usize, seed: u64) -> Vec<Query> {
+    let mut r = rng(seed);
+    let waves: Vec<FaultSet> = (0..fault_sets)
+        .map(|_| {
+            let a = vid(r.gen_range(0..n_vertices));
+            let b = vid(r.gen_range(0..n_vertices));
+            FaultSet::vertices([a, b])
+        })
+        .collect();
+    let hot_sources: Vec<usize> = (0..24).map(|_| r.gen_range(0..n_vertices)).collect();
+    (0..batch)
+        .map(|i| {
+            let u = vid(hot_sources[r.gen_range(0..hot_sources.len())]);
+            let mut v = vid(r.gen_range(0..n_vertices));
+            while v == u {
+                v = vid(r.gen_range(0..n_vertices));
+            }
+            let faults = waves[i % waves.len()].clone();
+            if i % 4 == 0 {
+                Query::path(u, v, faults)
+            } else {
+                Query::distance(u, v, faults)
+            }
+        })
+        .collect()
+}
+
+fn bench_oracle_batch(c: &mut Criterion) {
+    let n = 400;
+    let batch = 2_000;
+    let graph = gnp_workload(n, 6.0, 7);
+    let params = SpannerParams::vertex(2, 2);
+    let queries = query_batch(n, batch, 8, 11);
+
+    let mut group = c.benchmark_group("oracle_batch");
+    group.throughput(Throughput::Elements(batch as u64));
+    for (label, capacity) in [("cache_on", 128usize), ("cache_off", 0)] {
+        let oracle = FaultOracle::build(
+            graph.clone(),
+            params,
+            OracleOptions {
+                cache_capacity: capacity,
+                ..OracleOptions::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(label), &queries, |b, q| {
+            b.iter(|| oracle.answer_batch(q));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("oracle_single");
+    let oracle = FaultOracle::build(graph, params, OracleOptions::default());
+    let faults = FaultSet::vertices([vid(1), vid(2)]);
+    let empty = FaultSet::empty(FaultModel::Vertex);
+    group.bench_function("distance_faulted", |b| {
+        b.iter(|| oracle.distance(vid(3), vid(n - 1), &faults))
+    });
+    group.bench_function("path_no_faults", |b| {
+        b.iter(|| oracle.path(vid(3), vid(n - 1), &empty))
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_oracle_batch
+}
+criterion_main!(benches);

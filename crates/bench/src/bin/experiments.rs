@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! cargo run --release -p ftspan-bench --bin experiments [all|lbc|size-vs-n|size-vs-f|runtime|
-//!     exact-vs-poly|weighted|dk11|local|congest|eft|blocking]
+//!     exact-vs-poly|weighted|dk11|local|congest|eft|blocking|oracle]
 //! ```
 //!
 //! With no argument (or `all`) every experiment runs. The tables in
@@ -59,6 +59,9 @@ fn main() {
     if all || which == "blocking" {
         experiment_blocking();
     }
+    if all || which == "oracle" {
+        experiment_oracle();
+    }
 }
 
 /// E1 (Theorem 4): LBC(t, α) decision quality and cost.
@@ -99,7 +102,14 @@ fn experiment_lbc() {
     println!(
         "{}",
         markdown_table(
-            &["n", "m", "alpha", "avg BFS runs (<= alpha+1)", "YES %", "us / decision"],
+            &[
+                "n",
+                "m",
+                "alpha",
+                "avg BFS runs (<= alpha+1)",
+                "YES %",
+                "us / decision"
+            ],
             &rows
         )
     );
@@ -119,7 +129,10 @@ fn experiment_size_vs_n() {
                 &g,
                 &result.spanner,
                 params,
-                VerificationMode::Sampled { samples: 30, seed: 1 },
+                VerificationMode::Sampled {
+                    samples: 30,
+                    seed: 1,
+                },
             );
             rows.push(vec![
                 n.to_string(),
@@ -136,7 +149,16 @@ fn experiment_size_vs_n() {
     println!(
         "{}",
         markdown_table(
-            &["n", "m", "f", "|E(H)|", "Thm 8 curve", "ratio", "FT check", "seconds"],
+            &[
+                "n",
+                "m",
+                "f",
+                "|E(H)|",
+                "Thm 8 curve",
+                "ratio",
+                "FT check",
+                "seconds"
+            ],
             &rows
         )
     );
@@ -168,7 +190,14 @@ fn experiment_size_vs_f() {
     println!(
         "{}",
         markdown_table(
-            &["f", "greedy |E(H)|", "f^(1-1/k) curve", "DK11 |E(H)|", "f^(2-1/k) curve", "DK11 / greedy"],
+            &[
+                "f",
+                "greedy |E(H)|",
+                "f^(1-1/k) curve",
+                "DK11 |E(H)|",
+                "f^(2-1/k) curve",
+                "DK11 / greedy"
+            ],
             &rows
         )
     );
@@ -196,7 +225,14 @@ fn experiment_runtime() {
     println!(
         "{}",
         markdown_table(
-            &["m", "|E(H)|", "LBC calls", "BFS runs", "seconds", "us per edge"],
+            &[
+                "m",
+                "|E(H)|",
+                "LBC calls",
+                "BFS runs",
+                "seconds",
+                "us per edge"
+            ],
             &rows
         )
     );
@@ -229,7 +265,16 @@ fn experiment_exact_vs_poly() {
     println!(
         "{}",
         markdown_table(
-            &["n", "m", "exact |E(H)|", "poly |E(H)|", "poly/exact", "exact s", "poly s", "fault sets enumerated"],
+            &[
+                "n",
+                "m",
+                "exact |E(H)|",
+                "poly |E(H)|",
+                "poly/exact",
+                "exact s",
+                "poly s",
+                "fault sets enumerated"
+            ],
             &rows
         )
     );
@@ -248,7 +293,10 @@ fn experiment_weighted() {
                 &g,
                 &result.spanner,
                 params,
-                VerificationMode::Sampled { samples: 40, seed: 2 },
+                VerificationMode::Sampled {
+                    samples: 40,
+                    seed: 2,
+                },
             );
             rows.push(vec![
                 n.to_string(),
@@ -265,7 +313,16 @@ fn experiment_weighted() {
     println!(
         "{}",
         markdown_table(
-            &["n", "m", "f", "|E(H)|", "% edges kept", "max observed stretch", "allowed", "FT check"],
+            &[
+                "n",
+                "m",
+                "f",
+                "|E(H)|",
+                "% edges kept",
+                "max observed stretch",
+                "allowed",
+                "FT check"
+            ],
             &rows
         )
     );
@@ -285,12 +342,18 @@ fn experiment_dk11() {
             &g,
             &result.spanner,
             params,
-            VerificationMode::Sampled { samples: 30, seed: 3 },
+            VerificationMode::Sampled {
+                samples: 30,
+                seed: 3,
+            },
         );
         rows.push(vec![
             f.to_string(),
             result.spanner.edge_count().to_string(),
-            format!("{:.0}", bounds::dk_size_bound(n, 2, f).min(g.edge_count() as f64)),
+            format!(
+                "{:.0}",
+                bounds::dk_size_bound(n, 2, f).min(g.edge_count() as f64)
+            ),
             report.is_valid().to_string(),
             format!("{secs:.2}"),
         ]);
@@ -298,7 +361,13 @@ fn experiment_dk11() {
     println!(
         "{}",
         markdown_table(
-            &["f", "|E(H)|", "Thm 13 curve (capped at m)", "FT check", "seconds"],
+            &[
+                "f",
+                "|E(H)|",
+                "Thm 13 curve (capped at m)",
+                "FT check",
+                "seconds"
+            ],
             &rows
         )
     );
@@ -318,13 +387,19 @@ fn experiment_local() {
             &g,
             &result.spanner,
             params,
-            VerificationMode::Sampled { samples: 25, seed: 4 },
+            VerificationMode::Sampled {
+                samples: 25,
+                seed: 4,
+            },
         );
         rows.push(vec![
             n.to_string(),
             g.edge_count().to_string(),
             result.spanner.edge_count().to_string(),
-            format!("{:.0}", bounds::local_size_bound(n, 2, 1).min(g.edge_count() as f64)),
+            format!(
+                "{:.0}",
+                bounds::local_size_bound(n, 2, 1).min(g.edge_count() as f64)
+            ),
             result.rounds.rounds.to_string(),
             format!("{:.0}", bounds::local_round_bound(n)),
             result.partitions.to_string(),
@@ -335,7 +410,17 @@ fn experiment_local() {
     println!(
         "{}",
         markdown_table(
-            &["n", "m", "|E(H)|", "size curve (capped)", "rounds", "log2 n", "partitions", "FT check", "seconds"],
+            &[
+                "n",
+                "m",
+                "|E(H)|",
+                "size curve (capped)",
+                "rounds",
+                "log2 n",
+                "partitions",
+                "FT check",
+                "seconds"
+            ],
             &rows
         )
     );
@@ -377,7 +462,10 @@ fn experiment_congest() {
             &g,
             &out.result.spanner,
             params,
-            VerificationMode::Sampled { samples: 20, seed: 5 },
+            VerificationMode::Sampled {
+                samples: 20,
+                seed: 5,
+            },
         );
         rows.push(vec![
             n.to_string(),
@@ -396,7 +484,19 @@ fn experiment_congest() {
     println!(
         "{}",
         markdown_table(
-            &["n", "f", "|E(H)|", "DK iterations", "phase-1 rounds", "phase-2 rounds", "total rounds", "Thm 15 curve", "congestion factor", "FT check", "seconds"],
+            &[
+                "n",
+                "f",
+                "|E(H)|",
+                "DK iterations",
+                "phase-1 rounds",
+                "phase-2 rounds",
+                "total rounds",
+                "Thm 15 curve",
+                "congestion factor",
+                "FT check",
+                "seconds"
+            ],
             &rows
         )
     );
@@ -416,7 +516,10 @@ fn experiment_eft() {
             &g,
             &eft.spanner,
             eft_params,
-            VerificationMode::Sampled { samples: 30, seed: 6 },
+            VerificationMode::Sampled {
+                samples: 30,
+                seed: 6,
+            },
         );
         rows.push(vec![
             f.to_string(),
@@ -468,9 +571,97 @@ fn experiment_blocking() {
     println!(
         "{}",
         markdown_table(
-            &["n", "f", "|E(H)|", "|B|", "Lemma 6 bound (2k-1)f|E(H)|", "unblocked 2k-cycles"],
+            &[
+                "n",
+                "f",
+                "|E(H)|",
+                "|B|",
+                "Lemma 6 bound (2k-1)f|E(H)|",
+                "unblocked 2k-cycles"
+            ],
             &rows
         )
     );
     let _ = FaultModel::Vertex; // silence unused-import lints if variants change
+}
+
+/// E12: the serving layer — batched query throughput and churn repair.
+fn experiment_oracle() {
+    use ftspan::{sample_fault_set, FaultSet};
+    use ftspan_oracle::{ChurnConfig, FaultOracle, OracleOptions, Query};
+
+    println!("\n## E12 — FaultOracle: throughput and latency under rolling faults\n");
+    let n = 1_000;
+    let batch_size = 2_000;
+    let graph = gnp_workload(n, 16.0, 13);
+    let params = SpannerParams::vertex(2, 2);
+    let (mut oracle, build_secs) =
+        timed(|| FaultOracle::build(graph.clone(), params, OracleOptions::default()));
+    println!(
+        "built {params} on n = {n}, m = {}: {} spanner edges in {build_secs:.1}s\n",
+        graph.edge_count(),
+        oracle.spanner().edge_count()
+    );
+
+    let mut query_rng = rng(14);
+    let mut wave_rng = rng(15);
+    let churn = ChurnConfig::default();
+    let mut rows = Vec::new();
+    for wave_no in 0..5u32 {
+        // A rolling wave of faults beyond the design tolerance, then a batch.
+        let outcome = if wave_no == 0 {
+            None
+        } else {
+            let wave = sample_fault_set(oracle.graph(), FaultModel::Vertex, 3, &[], &mut wave_rng);
+            Some(oracle.apply_wave(&wave, &churn))
+        };
+        let fault_pool: Vec<FaultSet> = (0..8)
+            .map(|_| sample_fault_set(oracle.graph(), FaultModel::Vertex, 2, &[], &mut query_rng))
+            .collect();
+        let hot_sources: Vec<usize> = (0..32).map(|_| query_rng.gen_range(0..n)).collect();
+        let queries: Vec<Query> = (0..batch_size)
+            .map(|i| {
+                let u = vid(hot_sources[query_rng.gen_range(0..hot_sources.len())]);
+                let v = vid(query_rng.gen_range(0..n));
+                Query::distance(u, v, fault_pool[i % fault_pool.len()].clone())
+            })
+            .collect();
+        let before = oracle.metrics().snapshot();
+        let (answers, secs) = timed(|| oracle.answer_batch(&queries));
+        let after = oracle.metrics().snapshot();
+        let hits = after.cache_hits - before.cache_hits;
+        let served = answers.iter().filter(|a| a.is_reachable()).count();
+        rows.push(vec![
+            wave_no.to_string(),
+            outcome
+                .as_ref()
+                .map_or("-".into(), |o| o.broken_pairs.len().to_string()),
+            outcome
+                .as_ref()
+                .map_or("-".into(), |o| o.edges_added.to_string()),
+            outcome
+                .as_ref()
+                .map_or("-".into(), |o| o.escalated.to_string()),
+            served.to_string(),
+            format!("{:.0}", batch_size as f64 / secs),
+            format!("{:.1}", 100.0 * hits as f64 / batch_size as f64),
+            format!("{:.1}", 1e6 * secs / batch_size as f64),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "wave",
+                "broken pairs",
+                "edges added",
+                "escalated",
+                "reachable",
+                "queries/s",
+                "hit %",
+                "us/query"
+            ],
+            &rows
+        )
+    );
 }

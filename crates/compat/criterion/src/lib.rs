@@ -1,0 +1,368 @@
+//! Offline, API-compatible subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a miniature harness with the same surface the benches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurements are real (monotonic-clock timing of warm-up plus
+//! `sample_size` samples, reporting min / mean / max per iteration) but the
+//! statistical machinery of upstream Criterion (outlier analysis, HTML
+//! reports, regression detection) is intentionally absent. Passing `--test`
+//! or setting `CRITERION_SMOKE=1` runs every benchmark closure exactly once,
+//! which is what CI uses to keep bench targets honest without paying for a
+//! measurement run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness entry point, mirroring `criterion::Criterion`.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_SMOKE").is_some();
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(1),
+            smoke,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target duration of the measurement phase.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        run_one(self, &label, None, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput unit.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput unit reported for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks a closure under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &label, self.throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks a closure that receives a shared input reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &label, self.throughput, &mut |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id distinguished only by a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => write!(f, "{func}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "benchmark"),
+        }
+    }
+}
+
+/// Throughput unit attached to a benchmark's report line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to every benchmark closure; [`Bencher::iter`] times the hot loop.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    smoke: bool,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, recording one duration per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            black_box(f());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one(
+    criterion: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        smoke: criterion.smoke,
+        warm_up_time: criterion.warm_up_time,
+        sample_size: criterion.sample_size,
+    };
+    f(&mut bencher);
+    if criterion.smoke {
+        println!("{label}: smoke ok");
+        return;
+    }
+    if bencher.samples.is_empty() {
+        println!("{label}: no samples recorded");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = *bencher.samples.iter().min().expect("non-empty");
+    let max = *bencher.samples.iter().max().expect("non-empty");
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  thrpt: {:.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!("  thrpt: {:.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{label}: time [{} {} {}]{rate}",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark target functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_criterion() -> Criterion {
+        Criterion {
+            smoke: true,
+            ..Criterion::default()
+        }
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = smoke_criterion();
+        let mut ran = 0u32;
+        c.bench_function("touch", |b| b.iter(|| ran += 1));
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn group_bench_with_input_passes_input() {
+        let mut c = smoke_criterion();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(3));
+        let data = vec![1, 2, 3];
+        group.bench_with_input(BenchmarkId::from_parameter(3), &data, |b, d| {
+            b.iter(|| d.iter().sum::<i32>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn real_measurement_records_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.smoke = false;
+        let mut count = 0u64;
+        c.bench_function("count", |b| b.iter(|| count += 1));
+        // Warm-up at least once plus 3 samples.
+        assert!(count >= 4);
+    }
+
+    #[test]
+    fn benchmark_id_display_forms() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(fmt_duration(Duration::from_nanos(10)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(10)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(10)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).contains(" s"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Value-generation strategies, mirroring `proptest::strategy`.
+
+use rand::Rng;
+
+use crate::test_runner::TestRunner;
+
+/// A recipe for generating values of an associated type, mirroring
+/// `proptest::strategy::Strategy` (without shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value using the runner's RNG.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+/// A strategy that always yields a clone of one value, mirroring
+/// `proptest::strategy::Just`.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, runner: &mut TestRunner) -> f64 {
+        runner.rng().gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(runner),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);

@@ -1,0 +1,131 @@
+//! The case loop and its configuration, mirroring `proptest::test_runner`.
+
+use std::fmt::Debug;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// Configuration for a [`TestRunner`], mirroring
+/// `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Maximum number of rejected (assumption-failed) cases tolerated before
+    /// the property errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running the given number of cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property was falsified with the given message.
+    Fail(String),
+    /// The case was discarded because an assumption did not hold.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A falsification with the given message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A discarded case with the given message.
+    #[must_use]
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// Runs a property over many generated cases.
+///
+/// Generation is deterministic: the RNG is seeded from a fixed constant (or
+/// the `PROPTEST_SEED` environment variable when set), so a failure printed
+/// by CI reproduces locally without a persistence file.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Creates a runner for the given configuration.
+    #[must_use]
+    pub fn new(config: ProptestConfig) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x70726F70_74657374); // "proptest"
+        Self {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The runner's RNG, used by strategies.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Runs `test` against `config.cases` generated values.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the failing input when the property is falsified, or when
+    /// too many cases are rejected by `prop_assume!`.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        S::Value: Debug,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            let value = strategy.new_value(self);
+            let shown = format!("{value:?}");
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= self.config.max_global_rejects,
+                        "proptest: too many rejected cases ({rejected}); \
+                         weaken the prop_assume! or widen the strategy"
+                    );
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!(
+                        "proptest: property falsified after {passed} passing case(s)\n\
+                         {message}\n\
+                         failing input: {shown}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Concrete generators: [`StdRng`] (xoshiro256++) and [`ThreadRng`].
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator: xoshiro256++.
+///
+/// Mirrors `rand::rngs::StdRng` in role (not in output stream — upstream
+/// `StdRng` is ChaCha-based). Every use in this workspace seeds it through
+/// [`SeedableRng::seed_from_u64`], so only determinism and statistical
+/// quality matter, not stream compatibility.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ by Blackman & Vigna (public domain reference design).
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        // The all-zero state is the one forbidden state of xoshiro.
+        let s = if s == [0, 0, 0, 0] { [1, 2, 3, 4] } else { s };
+        Self { s }
+    }
+}
+
+/// The generator returned by [`crate::thread_rng`]; a thin wrapper over
+/// [`StdRng`] with a per-call stream.
+#[derive(Clone, Debug)]
+pub struct ThreadRng {
+    inner: StdRng,
+}
+
+impl ThreadRng {
+    pub(crate) fn new(inner: StdRng) -> Self {
+        Self { inner }
+    }
+}
+
+impl RngCore for ThreadRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

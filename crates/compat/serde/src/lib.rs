@@ -1,0 +1,41 @@
+//! Offline stub of [`serde`](https://crates.io/crates/serde) for this
+//! workspace.
+//!
+//! The ftspan crates gate serialization support behind an optional `serde`
+//! feature. The build environment has no access to crates.io, so this stub
+//! keeps that feature *compilable*: it provides the [`Serialize`] /
+//! [`Deserialize`] marker traits plus no-op derive macros, which is exactly
+//! what `#[cfg_attr(feature = "serde", derive(serde::Serialize,
+//! serde::Deserialize))]` needs to expand. No wire format is implemented;
+//! swapping in real serde later requires no changes to the ftspan crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stub of `serde::Serialize` (no serializer plumbing).
+pub trait Serialize {}
+
+/// Marker stub of `serde::Deserialize` (no deserializer plumbing).
+pub trait Deserialize {}
+
+#[cfg(test)]
+mod tests {
+    #[derive(super::Serialize, super::Deserialize, Debug, PartialEq)]
+    struct Probe {
+        x: u32,
+    }
+
+    #[derive(super::Serialize, super::Deserialize, Debug, PartialEq)]
+    enum Mode {
+        A,
+        B(u8),
+    }
+
+    #[test]
+    fn derives_expand_to_nothing_and_types_still_work() {
+        assert_eq!(Probe { x: 1 }, Probe { x: 1 });
+        assert_ne!(Mode::A, Mode::B(2));
+    }
+}

@@ -1,0 +1,18 @@
+//! No-op derive macros backing the offline `serde` stub: deriving
+//! `Serialize` / `Deserialize` expands to nothing, which keeps the
+//! `#[cfg_attr(feature = "serde", ...)]` attributes in the ftspan crates
+//! compilable without the real serde available.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing (stub of `serde_derive::Serialize`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing (stub of `serde_derive::Deserialize`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -119,7 +119,7 @@ pub fn baswana_sen_spanner<R: Rng + ?Sized>(graph: &Graph, k: u32, rng: &mut R) 
                 None => {
                     // No adjacent sampled cluster: connect to every adjacent
                     // cluster with its lightest edge and drop out.
-                    for (_, (_, e)) in &best {
+                    for (_, e) in best.values() {
                         insert_edge(&mut spanner, graph, *e);
                     }
                     discard_edges_to_clusters(graph, &cluster, &mut alive, v, |_| true);
@@ -144,14 +144,14 @@ pub fn baswana_sen_spanner<R: Rng + ?Sized>(graph: &Graph, k: u32, rng: &mut R) 
         cluster = next_cluster;
 
         // 3. Intra-cluster edges never need to be considered again.
-        for e_idx in 0..graph.edge_count() {
-            if !alive[e_idx] {
+        for (e_idx, alive_slot) in alive.iter_mut().enumerate() {
+            if !*alive_slot {
                 continue;
             }
             let (a, b) = graph.edge(EdgeId::new(e_idx)).endpoints();
             if let (Some(ca), Some(cb)) = (cluster[a.index()], cluster[b.index()]) {
                 if ca == cb {
-                    alive[e_idx] = false;
+                    *alive_slot = false;
                 }
             }
         }
@@ -167,7 +167,9 @@ pub fn baswana_sen_spanner<R: Rng + ?Sized>(graph: &Graph, k: u32, rng: &mut R) 
             if !alive[e.index()] {
                 continue;
             }
-            let Some(cw) = cluster[w.index()] else { continue };
+            let Some(cw) = cluster[w.index()] else {
+                continue;
+            };
             if Some(cw) == own {
                 continue;
             }
@@ -205,7 +207,9 @@ fn lightest_edges_by_cluster(
         if !alive[e.index()] {
             continue;
         }
-        let Some(cw) = cluster[w.index()] else { continue };
+        let Some(cw) = cluster[w.index()] else {
+            continue;
+        };
         if cw == own {
             continue;
         }
@@ -251,8 +255,8 @@ mod tests {
     use super::*;
     use crate::bounds;
     use crate::verify::{verify_spanner, VerificationMode};
-    use ftspan_graph::traversal::is_connected;
     use ftspan_graph::generators;
+    use ftspan_graph::traversal::is_connected;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -87,7 +87,15 @@ pub fn enumerate_short_cycles(graph: &Graph, max_len: usize) -> Vec<Vec<VertexId
         let start = VertexId::new(start_idx);
         path.push(start);
         on_path[start_idx] = true;
-        extend_cycle_search(graph, start, start, max_len, &mut path, &mut on_path, &mut cycles);
+        extend_cycle_search(
+            graph,
+            start,
+            start,
+            max_len,
+            &mut path,
+            &mut on_path,
+            &mut cycles,
+        );
         on_path[start_idx] = false;
         path.pop();
     }

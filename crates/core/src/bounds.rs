@@ -123,9 +123,7 @@ mod tests {
     fn bounds_are_monotone_in_f() {
         for k in 1..5 {
             for f in 1..10u32 {
-                assert!(
-                    optimal_ft_size_bound(200, k, f + 1) >= optimal_ft_size_bound(200, k, f)
-                );
+                assert!(optimal_ft_size_bound(200, k, f + 1) >= optimal_ft_size_bound(200, k, f));
                 assert!(dk_size_bound(200, k, f + 1) >= dk_size_bound(200, k, f));
                 assert!(congest_round_bound(200, k, f + 1) >= congest_round_bound(200, k, f));
             }

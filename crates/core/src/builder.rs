@@ -210,8 +210,7 @@ mod tests {
                 .seed(11)
                 .build(&g)
                 .unwrap();
-            let report =
-                verify_spanner(&g, &result.spanner, params, VerificationMode::Exhaustive);
+            let report = verify_spanner(&g, &result.spanner, params, VerificationMode::Exhaustive);
             assert!(report.is_valid(), "{algorithm:?}: {:?}", report.violations);
         }
     }

@@ -75,11 +75,9 @@ pub fn dk_iteration_count(n: usize, m: usize, f: u32, options: &DkOptions) -> us
 }
 
 fn participation_probability(f: u32, options: &DkOptions) -> f64 {
-    options.participation_probability.unwrap_or(if f <= 1 {
-        0.5
-    } else {
-        1.0 / f64::from(f)
-    })
+    options
+        .participation_probability
+        .unwrap_or(if f <= 1 { 0.5 } else { 1.0 / f64::from(f) })
 }
 
 /// Runs the Dinitz–Krauthgamer framework with an arbitrary inner spanner
@@ -124,7 +122,11 @@ where
     if f == 0 {
         // Degenerate case: one iteration over the whole graph.
         let sub_spanner = inner(graph, k, rng);
-        assert_eq!(sub_spanner.vertex_count(), n, "inner spanner changed the vertex set");
+        assert_eq!(
+            sub_spanner.vertex_count(),
+            n,
+            "inner spanner changed the vertex set"
+        );
         spanner.union_edges_from(&sub_spanner);
     } else {
         for _ in 0..iterations {

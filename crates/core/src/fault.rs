@@ -157,13 +157,16 @@ impl FaultSet {
 
     /// Re-expresses an edge fault set (whose ids refer to `source`) as edge
     /// ids of `target`, matching by endpoints and dropping edges `target`
-    /// does not contain. Vertex fault sets are returned unchanged.
+    /// does not contain. Ids out of range for `source` are dropped too
+    /// (mirroring the tolerance of [`FaultSet::apply_to`] — serving layers
+    /// accept client-supplied fault sets that may be stale). Vertex fault
+    /// sets are returned unchanged.
     #[must_use]
     pub fn translate_edges(&self, source: &Graph, target: &Graph) -> FaultSet {
         match self {
             FaultSet::Vertices(_) => self.clone(),
             FaultSet::Edges(es) => FaultSet::edges(es.iter().filter_map(|&e| {
-                let (u, v) = source.edge(e).endpoints();
+                let (u, v) = source.get_edge(e)?.endpoints();
                 target.edge_between(u, v)
             })),
         }
@@ -182,10 +185,7 @@ pub fn enumerate_vertex_fault_sets(
     max_size: usize,
     exclude: &[VertexId],
 ) -> Vec<FaultSet> {
-    let universe: Vec<VertexId> = graph
-        .vertices()
-        .filter(|v| !exclude.contains(v))
-        .collect();
+    let universe: Vec<VertexId> = graph.vertices().filter(|v| !exclude.contains(v)).collect();
     enumerate_subsets(&universe, max_size)
         .into_iter()
         .map(FaultSet::vertices)
@@ -274,10 +274,8 @@ pub fn sample_fault_set<R: Rng + ?Sized>(
 ) -> FaultSet {
     match model {
         FaultModel::Vertex => {
-            let mut universe: Vec<VertexId> = graph
-                .vertices()
-                .filter(|v| !exclude.contains(v))
-                .collect();
+            let mut universe: Vec<VertexId> =
+                graph.vertices().filter(|v| !exclude.contains(v)).collect();
             universe.shuffle(rng);
             universe.truncate(size);
             FaultSet::vertices(universe)
@@ -310,7 +308,10 @@ mod tests {
     #[test]
     fn empty_sets_for_both_models() {
         assert!(FaultSet::empty(FaultModel::Vertex).is_empty());
-        assert_eq!(FaultSet::empty(FaultModel::Vertex).model(), FaultModel::Vertex);
+        assert_eq!(
+            FaultSet::empty(FaultModel::Vertex).model(),
+            FaultModel::Vertex
+        );
         assert_eq!(FaultSet::empty(FaultModel::Edge).model(), FaultModel::Edge);
     }
 
@@ -363,6 +364,9 @@ mod tests {
         let f = FaultSet::edges([e_g, missing]);
         let t = f.translate_edges(&g, &h);
         assert_eq!(t.len(), 1);
+        // Out-of-range source ids are dropped, not panicked on.
+        let stale = FaultSet::edges([eid(999)]);
+        assert!(stale.translate_edges(&g, &h).is_empty());
         let e_h = h.edge_between(vid(0), vid(1)).unwrap();
         assert!(t.contains_edge(e_h));
         // Vertex sets pass through untouched.
@@ -376,7 +380,9 @@ mod tests {
         // Vertex sets of size <= 2 excluding two terminals: C(3,0)+C(3,1)+C(3,2) = 7.
         let sets = enumerate_vertex_fault_sets(&g, 2, &[vid(0), vid(1)]);
         assert_eq!(sets.len(), 7);
-        assert!(sets.iter().all(|s| !s.contains_vertex(vid(0)) && !s.contains_vertex(vid(1))));
+        assert!(sets
+            .iter()
+            .all(|s| !s.contains_vertex(vid(0)) && !s.contains_vertex(vid(1))));
         // Edge sets of size <= 1 over 10 edges: 1 + 10.
         let sets = enumerate_edge_fault_sets(&g, 1);
         assert_eq!(sets.len(), 11);

@@ -94,9 +94,7 @@ pub fn exact_greedy_spanner_with(
             FaultModel::Vertex => {
                 exists_vertex_cut(&spanner, u, v, threshold, f, options, &mut stats)?
             }
-            FaultModel::Edge => {
-                exists_edge_cut(&spanner, u, v, threshold, f, options, &mut stats)?
-            }
+            FaultModel::Edge => exists_edge_cut(&spanner, u, v, threshold, f, options, &mut stats)?,
         };
         if found {
             spanner.add_edge(u.index(), v.index(), edge.weight());
@@ -138,9 +136,7 @@ fn exists_vertex_cut(
     let dv = dijkstra_distances(spanner, v);
     let candidates: Vec<VertexId> = spanner
         .vertices()
-        .filter(|&x| {
-            x != u && x != v && du[x.index()] + dv[x.index()] <= threshold + 1e-9
-        })
+        .filter(|&x| x != u && x != v && du[x.index()] + dv[x.index()] <= threshold + 1e-9)
         .collect();
     let required = count_fault_sets(candidates.len(), f);
     if required > options.enumeration_budget {
@@ -151,7 +147,15 @@ fn exists_vertex_cut(
     }
     let mut chosen: Vec<VertexId> = Vec::with_capacity(f);
     Ok(search_vertex_subsets(
-        spanner, &candidates, 0, f, &mut chosen, u, v, threshold, stats,
+        spanner,
+        &candidates,
+        0,
+        f,
+        &mut chosen,
+        u,
+        v,
+        threshold,
+        stats,
     ))
 }
 
@@ -234,7 +238,15 @@ fn exists_edge_cut(
     }
     let mut chosen: Vec<EdgeId> = Vec::with_capacity(f);
     Ok(search_edge_subsets(
-        spanner, &candidates, 0, f, &mut chosen, u, v, threshold, stats,
+        spanner,
+        &candidates,
+        0,
+        f,
+        &mut chosen,
+        u,
+        v,
+        threshold,
+        stats,
     ))
 }
 
@@ -294,7 +306,7 @@ fn distance_exceeds(
         view.block_edge(e);
     }
     let d = dijkstra_distances(&view, u)[v.index()];
-    !(d <= threshold + 1e-9)
+    d > threshold + 1e-9
 }
 
 #[cfg(test)]

@@ -141,8 +141,8 @@ mod tests {
     use crate::bounds;
     use crate::lbc::is_length_bounded_cut;
     use crate::verify::{verify_spanner, VerificationMode};
-    use ftspan_graph::traversal::is_connected;
     use ftspan_graph::generators;
+    use ftspan_graph::traversal::is_connected;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -287,8 +287,7 @@ mod tests {
                 collect_certificates: false,
             };
             let result = poly_greedy_spanner_with(&g, params, &options);
-            let report =
-                verify_spanner(&g, &result.spanner, params, VerificationMode::Exhaustive);
+            let report = verify_spanner(&g, &result.spanner, params, VerificationMode::Exhaustive);
             assert!(report.is_valid());
         }
     }

@@ -22,9 +22,11 @@
 //!
 //! plus the [`lbc`] Length-Bounded Cut approximation that powers the modified
 //! greedy, a fault-tolerance [`verify`] checker, [`blocking`]-set analysis
-//! tools (Lemma 6), and closed-form reference [`bounds`] for every theorem.
+//! tools (Lemma 6), warm-start [`repair`] hooks for online serving layers,
+//! and closed-form reference [`bounds`] for every theorem.
 //! Distributed (LOCAL / CONGEST) constructions live in the companion crate
-//! `ftspan-distributed`.
+//! `ftspan-distributed`; the online query-serving engine lives in
+//! `ftspan-oracle`.
 //!
 //! ## Quick start
 //!
@@ -68,14 +70,15 @@ pub mod greedy_poly;
 pub mod lbc;
 pub mod nonft;
 mod params;
+pub mod repair;
 mod stats;
 pub mod verify;
 
 pub use builder::{Algorithm, SpannerBuilder};
 pub use error::{Result, SpannerError};
 pub use fault::{
-    count_fault_sets, enumerate_edge_fault_sets, enumerate_fault_sets,
-    enumerate_vertex_fault_sets, sample_fault_set, FaultSet,
+    count_fault_sets, enumerate_edge_fault_sets, enumerate_fault_sets, enumerate_vertex_fault_sets,
+    sample_fault_set, FaultSet,
 };
 pub use greedy_exact::{exact_greedy_spanner, exact_greedy_spanner_with, ExactGreedyOptions};
 pub use greedy_poly::{

@@ -52,7 +52,7 @@ pub fn greedy_spanner(graph: &Graph, k: u32) -> SpannerResult {
         let edge = graph.edge(edge_id);
         let (u, v) = edge.endpoints();
         let d = dijkstra_distances(&spanner, u)[v.index()];
-        if !(d <= threshold_factor * edge.weight() + 1e-9) {
+        if d > threshold_factor * edge.weight() + 1e-9 {
             spanner.add_edge(u.index(), v.index(), edge.weight());
         }
     }
@@ -71,9 +71,9 @@ mod tests {
     use super::*;
     use crate::bounds;
     use crate::verify::{fault_free_stretch, verify_spanner, VerificationMode};
+    use ftspan_graph::generators;
     use ftspan_graph::girth::girth_exceeds;
     use ftspan_graph::traversal::is_connected;
-    use ftspan_graph::generators;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -177,7 +177,10 @@ mod tests {
     fn fault_model_round_trip() {
         let p = SpannerParams::vertex(3, 2);
         assert_eq!(p.fault_model(), FaultModel::Vertex);
-        assert_eq!(p.with_fault_model(FaultModel::Edge).fault_model(), FaultModel::Edge);
+        assert_eq!(
+            p.with_fault_model(FaultModel::Edge).fault_model(),
+            FaultModel::Edge
+        );
         assert_eq!(SpannerParams::edge(3, 2).fault_model(), FaultModel::Edge);
     }
 

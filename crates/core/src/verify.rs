@@ -143,12 +143,9 @@ fn fault_sets_for_mode(
     mode: &VerificationMode,
 ) -> Vec<FaultSet> {
     match mode {
-        VerificationMode::Exhaustive => enumerate_fault_sets(
-            graph,
-            params.fault_model(),
-            params.f() as usize,
-            &[],
-        ),
+        VerificationMode::Exhaustive => {
+            enumerate_fault_sets(graph, params.fault_model(), params.f() as usize, &[])
+        }
         VerificationMode::Sampled { samples, seed } => {
             let mut rng = StdRng::seed_from_u64(*seed);
             let mut sets = Vec::with_capacity(*samples + 1);
@@ -270,21 +267,20 @@ fn check_fault_set(
         // Lemma 3: only edges that are themselves shortest paths in G \ F
         // need to be checked (for unit weights this is automatic).
         if !graph.is_unit_weighted() {
-            let dist_g = g_dist_cache[u.index()]
-                .get_or_insert_with(|| dijkstra_distances(&view_g, u));
+            let dist_g =
+                g_dist_cache[u.index()].get_or_insert_with(|| dijkstra_distances(&view_g, u));
             if dist_g[v.index()] + 1e-9 < edge.weight() {
                 continue;
             }
         }
-        let dist_h =
-            h_dist_cache[u.index()].get_or_insert_with(|| dijkstra_distances(&view_h, u));
+        let dist_h = h_dist_cache[u.index()].get_or_insert_with(|| dijkstra_distances(&view_h, u));
         let observed = dist_h[v.index()];
         let allowed = stretch * edge.weight();
         report.pairs_checked += 1;
         if observed.is_finite() && edge.weight() > 0.0 {
             report.max_stretch = report.max_stretch.max(observed / edge.weight());
         }
-        if !(observed <= allowed + 1e-9) {
+        if observed > allowed + 1e-9 {
             report.violations.push(Violation {
                 fault_set: fault_set.clone(),
                 u,
@@ -426,7 +422,10 @@ mod tests {
             &g,
             &h,
             SpannerParams::vertex(2, 1),
-            VerificationMode::Sampled { samples: 4, seed: 1 },
+            VerificationMode::Sampled {
+                samples: 4,
+                seed: 1,
+            },
         );
         assert!(!report.is_valid());
     }

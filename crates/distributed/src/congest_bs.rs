@@ -25,10 +25,7 @@ use crate::runtime::{Model, Network, Outgoing};
 #[derive(Clone, Debug, PartialEq)]
 enum BsMsg {
     /// Flooded inside a cluster: "cluster `center` was (not) sampled".
-    ClusterBit {
-        center: VertexId,
-        sampled: bool,
-    },
+    ClusterBit { center: VertexId, sampled: bool },
     /// Neighbour information exchange: the sender's current cluster (if any)
     /// and whether that cluster was sampled this phase.
     Info {
@@ -83,8 +80,8 @@ pub fn congest_baswana_sen<R: Rng + ?Sized>(
     for phase in 1..k {
         // (a) Centers flip their coins locally.
         let mut sampled_center: BTreeMap<VertexId, bool> = BTreeMap::new();
-        for v in 0..n {
-            if cluster[v] == Some(VertexId::new(v)) {
+        for (v, &c) in cluster.iter().enumerate() {
+            if c == Some(VertexId::new(v)) {
                 sampled_center.insert(VertexId::new(v), rng.gen_bool(sample_probability));
             }
         }
@@ -118,7 +115,14 @@ pub fn congest_baswana_sen<R: Rng + ?Sized>(
                         return graph
                             .neighbors(v)
                             .map(|(nbr, _)| {
-                                Outgoing::sized(nbr, BsMsg::ClusterBit { center, sampled: bit }, 2)
+                                Outgoing::sized(
+                                    nbr,
+                                    BsMsg::ClusterBit {
+                                        center,
+                                        sampled: bit,
+                                    },
+                                    2,
+                                )
                             })
                             .collect();
                     }
@@ -201,7 +205,7 @@ pub fn congest_baswana_sen<R: Rng + ?Sized>(
                 .map(|(c, (w, e, _))| (*c, *w, *e));
             match best_sampled {
                 None => {
-                    for (_, (_, e, _)) in &best {
+                    for (_, e, _) in best.values() {
                         insert_edge(&mut spanner, graph, *e);
                     }
                     for (w, e) in graph.neighbors(v) {
@@ -227,8 +231,8 @@ pub fn congest_baswana_sen<R: Rng + ?Sized>(
                         let Some(&(Some(cw), _)) = nbr_info[v_idx].get(&w) else {
                             continue;
                         };
-                        let discard = cw == home
-                            || best.get(&cw).is_some_and(|(w2, _, _)| *w2 < home_weight);
+                        let discard =
+                            cw == home || best.get(&cw).is_some_and(|(w2, _, _)| *w2 < home_weight);
                         if discard {
                             alive[e.index()] = false;
                         }
@@ -243,14 +247,14 @@ pub fn congest_baswana_sen<R: Rng + ?Sized>(
         });
 
         cluster = next_cluster;
-        for e_idx in 0..graph.edge_count() {
-            if !alive[e_idx] {
+        for (e_idx, alive_slot) in alive.iter_mut().enumerate() {
+            if !*alive_slot {
                 continue;
             }
             let (a, b) = graph.edge(EdgeId::new(e_idx)).endpoints();
             if let (Some(ca), Some(cb)) = (cluster[a.index()], cluster[b.index()]) {
                 if ca == cb {
-                    alive[e_idx] = false;
+                    *alive_slot = false;
                 }
             }
         }
@@ -265,7 +269,16 @@ pub fn congest_baswana_sen<R: Rng + ?Sized>(
             let center = cluster[v.index()];
             graph
                 .neighbors(v)
-                .map(|(nbr, _)| Outgoing::sized(nbr, BsMsg::Info { center, sampled: false }, 2))
+                .map(|(nbr, _)| {
+                    Outgoing::sized(
+                        nbr,
+                        BsMsg::Info {
+                            center,
+                            sampled: false,
+                        },
+                        2,
+                    )
+                })
                 .collect()
         });
         net.round(|v, inbox| {

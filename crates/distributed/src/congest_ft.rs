@@ -156,8 +156,7 @@ pub fn congest_ft_spanner_with<R: Rng + ?Sized>(
     let bits_per_message =
         (options.words_per_message as f64) * (n.max(2) as f64).log2().ceil().max(1.0);
     let longest_list = chosen.iter().map(Vec::len).max().unwrap_or(0);
-    let phase1_rounds =
-        ((longest_list as f64) * bits_per_index / bits_per_message).ceil() as usize;
+    let phase1_rounds = ((longest_list as f64) * bits_per_index / bits_per_message).ceil() as usize;
 
     // Phase 2: one distributed Baswana–Sen per iteration, on the induced
     // subgraph of that iteration's participants.
@@ -239,7 +238,12 @@ mod tests {
         let g = generators::connected_gnp(14, 0.4, &mut rng);
         let params = SpannerParams::vertex(2, 1);
         let out = congest_ft_spanner(&g, params, &mut rng);
-        let report = verify_spanner(&g, &out.result.spanner, params, VerificationMode::Exhaustive);
+        let report = verify_spanner(
+            &g,
+            &out.result.spanner,
+            params,
+            VerificationMode::Exhaustive,
+        );
         assert!(report.is_valid(), "violations: {:?}", report.violations);
     }
 
@@ -294,7 +298,12 @@ mod tests {
         let out = congest_ft_spanner(&g, params, &mut rng);
         assert_eq!(out.iterations, 1);
         assert_eq!(out.phase1_rounds, 0);
-        let report = verify_spanner(&g, &out.result.spanner, params, VerificationMode::Exhaustive);
+        let report = verify_spanner(
+            &g,
+            &out.result.spanner,
+            params,
+            VerificationMode::Exhaustive,
+        );
         assert!(report.is_valid());
     }
 

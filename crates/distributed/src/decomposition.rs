@@ -153,7 +153,9 @@ fn exponential_shift_partition<R: Rng + ?Sized>(
 ) -> Partition {
     let n = graph.vertex_count();
     if n == 0 {
-        return Partition { center_of: Vec::new() };
+        return Partition {
+            center_of: Vec::new(),
+        };
     }
     // δ_u ~ Exp(beta), truncated defensively at 8 ln(n+2)/beta.
     let cap = 8.0 * ((n + 2) as f64).ln() / beta;
@@ -243,7 +245,10 @@ mod tests {
             assert_eq!(total, 40);
             // Every member of a cluster maps back to that center.
             for (center, members) in p.clusters() {
-                assert!(members.contains(&center), "center must be in its own cluster");
+                assert!(
+                    members.contains(&center),
+                    "center must be in its own cluster"
+                );
                 for m in members {
                     assert_eq!(p.center_of(m), center);
                 }
@@ -328,7 +333,10 @@ mod tests {
         assert!(d.covers_all_edges(&g));
         let g = Graph::new(1);
         let d = padded_decomposition(&g, &DecompositionOptions::default(), &mut rng);
-        assert_eq!(d.partitions[0].center_of(VertexId::new(0)), VertexId::new(0));
+        assert_eq!(
+            d.partitions[0].center_of(VertexId::new(0)),
+            VertexId::new(0)
+        );
         assert!((d.edge_coverage(&g) - 1.0).abs() < 1e-12);
     }
 

@@ -249,8 +249,7 @@ mod tests {
         let result = local_ft_spanner(&g, params, &mut rng);
         // Theorem 12 curve times the extra factor k of the polynomial
         // per-cluster algorithm, and never more than m.
-        let bound =
-            (2.0 * bounds::local_size_bound(60, 2, 1)).min(g.edge_count() as f64) + 60.0;
+        let bound = (2.0 * bounds::local_size_bound(60, 2, 1)).min(g.edge_count() as f64) + 60.0;
         assert!((result.spanner.edge_count() as f64) <= bound);
     }
 

@@ -251,7 +251,9 @@ mod tests {
                     best[v.index()] = best[v.index()].min(m.payload);
                 }
                 let mine = best[v.index()];
-                g.neighbors(v).map(|(n, _)| Outgoing::unit(n, mine)).collect()
+                g.neighbors(v)
+                    .map(|(n, _)| Outgoing::unit(n, mine))
+                    .collect()
             });
         }
         assert!(best.iter().all(|&b| b == 0));

@@ -219,6 +219,96 @@ pub fn eccentricity<V: GraphView>(view: &V, source: VertexId) -> Option<u32> {
     )
 }
 
+/// Reusable buffers for repeated hop-bounded BFS runs.
+///
+/// Repair and serving layers run a BFS per damaged element to collect the
+/// affected neighbourhood; a scratch instance keeps the distance array and
+/// queue allocations alive across those runs (resizing to each view's vertex
+/// count), mirroring [`crate::dijkstra::DijkstraScratch`] for the unweighted
+/// case.
+///
+/// # Examples
+///
+/// ```
+/// use ftspan_graph::bfs::BfsScratch;
+/// use ftspan_graph::{vid, Graph};
+///
+/// let mut g = Graph::new(4);
+/// g.add_unit_edge(0, 1);
+/// g.add_unit_edge(1, 2);
+/// g.add_unit_edge(2, 3);
+/// let mut scratch = BfsScratch::new();
+/// let dist = scratch.hop_distances_within(&g, vid(0), 2);
+/// assert_eq!(dist[2], Some(2));
+/// assert_eq!(dist[3], None); // beyond the hop budget
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BfsScratch {
+    dist: Vec<Option<u32>>,
+    queue: VecDeque<VertexId>,
+}
+
+impl BfsScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes hop distances from `source`, exploring at most `max_hops`
+    /// levels. Vertices farther than the budget (or unreachable, or faulted)
+    /// map to `None`. The returned slice borrows the scratch and is valid
+    /// until the next run.
+    pub fn hop_distances_within<V: GraphView>(
+        &mut self,
+        view: &V,
+        source: VertexId,
+        max_hops: u32,
+    ) -> &[Option<u32>] {
+        self.multi_source_hop_distances(view, [source], max_hops)
+    }
+
+    /// Computes hop distances from the nearest of several sources (the
+    /// "ball around the damage" primitive of repair layers), exploring at
+    /// most `max_hops` levels. Out-of-range, faulted, and duplicate seeds
+    /// are ignored. The returned slice borrows the scratch and is valid
+    /// until the next run.
+    pub fn multi_source_hop_distances<V, I>(
+        &mut self,
+        view: &V,
+        sources: I,
+        max_hops: u32,
+    ) -> &[Option<u32>]
+    where
+        V: GraphView,
+        I: IntoIterator<Item = VertexId>,
+    {
+        let n = view.vertex_count();
+        self.dist.clear();
+        self.dist.resize(n, None);
+        self.queue.clear();
+        for s in sources {
+            if s.index() < n && view.contains_vertex(s) && self.dist[s.index()].is_none() {
+                self.dist[s.index()] = Some(0);
+                self.queue.push_back(s);
+            }
+        }
+        while let Some(u) = self.queue.pop_front() {
+            let du = self.dist[u.index()].expect("queued vertex must have a distance");
+            if du >= max_hops {
+                continue;
+            }
+            for (v, _) in view.neighbors(u) {
+                if self.dist[v.index()].is_none() {
+                    self.dist[v.index()] = Some(du + 1);
+                    self.queue.push_back(v);
+                }
+            }
+        }
+        &self.dist
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,8 +373,8 @@ mod tests {
         let g = grid3x3();
         for s in 0..9 {
             let dist = bfs_hop_distances(&g, vid(s));
-            for t in 0..9 {
-                assert_eq!(hop_distance(&g, vid(s), vid(t)), dist[t]);
+            for (t, &expected) in dist.iter().enumerate() {
+                assert_eq!(hop_distance(&g, vid(s), vid(t)), expected);
             }
         }
     }
@@ -373,5 +463,62 @@ mod tests {
         let g = path_graph(5);
         assert_eq!(eccentricity(&g, vid(0)), Some(4));
         assert_eq!(eccentricity(&g, vid(2)), Some(2));
+    }
+
+    #[test]
+    fn bfs_scratch_matches_unbounded_bfs_within_budget() {
+        let g = grid3x3();
+        let mut scratch = BfsScratch::new();
+        let bounded = scratch.hop_distances_within(&g, vid(0), u32::MAX).to_vec();
+        assert_eq!(bounded, bfs_hop_distances(&g, vid(0)));
+    }
+
+    #[test]
+    fn bfs_scratch_respects_hop_budget_and_faults() {
+        let g = path_graph(6);
+        let mut scratch = BfsScratch::new();
+        let dist = scratch.hop_distances_within(&g, vid(0), 3);
+        assert_eq!(dist[3], Some(3));
+        assert_eq!(dist[4], None);
+
+        let mut view = FaultView::new(&g);
+        view.block_vertex(vid(2));
+        let dist = scratch.hop_distances_within(&view, vid(0), 5);
+        assert_eq!(dist[1], Some(1));
+        assert_eq!(dist[2], None);
+        assert_eq!(dist[3], None);
+
+        // Faulted source yields all-None.
+        let dist = scratch.hop_distances_within(&view, vid(2), 5);
+        assert!(dist.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn multi_source_bfs_takes_nearest_seed_distance() {
+        let g = path_graph(10); // 0-1-...-9
+        let mut scratch = BfsScratch::new();
+        let dist = scratch.multi_source_hop_distances(&g, [vid(0), vid(9)], 3);
+        assert_eq!(dist[0], Some(0));
+        assert_eq!(dist[9], Some(0));
+        assert_eq!(dist[2], Some(2));
+        assert_eq!(dist[7], Some(2));
+        assert_eq!(dist[4], None); // 4 hops from either seed, budget 3
+                                   // Out-of-range and duplicate seeds are tolerated; no seeds → all None.
+        let dist = scratch.multi_source_hop_distances(&g, [vid(1), vid(1), vid(99)], 1);
+        assert_eq!(dist[1], Some(0));
+        assert_eq!(dist[2], Some(1));
+        let dist = scratch.multi_source_hop_distances(&g, [], 5);
+        assert!(dist.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn bfs_scratch_reuses_buffers_across_sizes() {
+        let small = path_graph(3);
+        let big = path_graph(12);
+        let mut scratch = BfsScratch::new();
+        assert_eq!(scratch.hop_distances_within(&big, vid(0), 20)[11], Some(11));
+        let dist = scratch.hop_distances_within(&small, vid(0), 20);
+        assert_eq!(dist.len(), 3);
+        assert_eq!(dist[2], Some(2));
     }
 }

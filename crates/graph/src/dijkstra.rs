@@ -157,6 +157,168 @@ pub fn shortest_weighted_path<V: GraphView>(
     Some((dist[target.index()], path))
 }
 
+/// A single-source shortest-path tree: distances and parent pointers from one
+/// source over a (possibly faulted) view.
+///
+/// Trees are the unit of caching in query-serving layers: one Dijkstra run
+/// from `source` answers every `(source, *)` distance or path query under the
+/// same fault set, so the tree owns its data and can outlive both the scratch
+/// space that computed it and the view it was computed on.
+#[derive(Clone, Debug)]
+pub struct ShortestPathTree {
+    source: VertexId,
+    dist: Vec<f64>,
+    parent: Vec<Option<VertexId>>,
+}
+
+impl ShortestPathTree {
+    /// The source vertex the tree is rooted at.
+    #[inline]
+    #[must_use]
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// Number of vertices covered by the tree (the view's vertex count).
+    #[inline]
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Weighted distance from the source to `v`, or `None` when `v` is
+    /// unreachable (or was faulted).
+    #[must_use]
+    pub fn distance_to(&self, v: VertexId) -> Option<f64> {
+        let d = *self.dist.get(v.index())?;
+        d.is_finite().then_some(d)
+    }
+
+    /// The shortest path from the source to `v` (inclusive on both ends), or
+    /// `None` when `v` is unreachable.
+    #[must_use]
+    pub fn path_to(&self, v: VertexId) -> Option<Vec<VertexId>> {
+        if !self.dist.get(v.index())?.is_finite() {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while cur != self.source {
+            cur = self.parent[cur.index()].expect("finite distance implies a parent chain");
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Raw distance slice indexed by vertex id (`f64::INFINITY` marks
+    /// unreachable vertices), for bulk consumers like verifiers.
+    #[inline]
+    #[must_use]
+    pub fn distances(&self) -> &[f64] {
+        &self.dist
+    }
+}
+
+/// Reusable buffers for repeated Dijkstra runs.
+///
+/// Serving layers run Dijkstra once per (fault set, source) pair, thousands
+/// of times per second; reallocating the distance, parent, settled, and heap
+/// storage on every run is measurable. A scratch instance keeps those
+/// allocations alive across runs and across views (it resizes itself to each
+/// view's vertex count).
+///
+/// # Examples
+///
+/// ```
+/// use ftspan_graph::dijkstra::DijkstraScratch;
+/// use ftspan_graph::{vid, Graph};
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1, 2.0);
+/// g.add_edge(1, 2, 3.0);
+/// let mut scratch = DijkstraScratch::new();
+/// let tree = scratch.shortest_path_tree(&g, vid(0));
+/// assert_eq!(tree.distance_to(vid(2)), Some(5.0));
+/// assert_eq!(tree.path_to(vid(2)).unwrap(), vec![vid(0), vid(1), vid(2)]);
+/// ```
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    dist: Vec<f64>,
+    parent: Vec<Option<VertexId>>,
+    settled: Vec<bool>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl DijkstraScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scratch pre-sized for views with `n` vertices.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            dist: Vec::with_capacity(n),
+            parent: Vec::with_capacity(n),
+            settled: Vec::with_capacity(n),
+            heap: BinaryHeap::with_capacity(n),
+        }
+    }
+
+    /// Runs Dijkstra from `source` over `view`, returning an owned
+    /// shortest-path tree. The scratch buffers are reset and reused; the
+    /// returned tree copies only the distance and parent arrays it needs.
+    #[must_use]
+    pub fn shortest_path_tree<V: GraphView>(
+        &mut self,
+        view: &V,
+        source: VertexId,
+    ) -> ShortestPathTree {
+        let n = view.vertex_count();
+        self.dist.clear();
+        self.dist.resize(n, f64::INFINITY);
+        self.parent.clear();
+        self.parent.resize(n, None);
+        self.settled.clear();
+        self.settled.resize(n, false);
+        self.heap.clear();
+
+        if view.contains_vertex(source) {
+            self.dist[source.index()] = 0.0;
+            self.heap.push(HeapEntry {
+                distance: 0.0,
+                vertex: source,
+            });
+            while let Some(HeapEntry { distance, vertex }) = self.heap.pop() {
+                if self.settled[vertex.index()] {
+                    continue;
+                }
+                self.settled[vertex.index()] = true;
+                for (nbr, e) in view.neighbors(vertex) {
+                    let cand = distance + view.edge_weight(e);
+                    if cand < self.dist[nbr.index()] {
+                        self.dist[nbr.index()] = cand;
+                        self.parent[nbr.index()] = Some(vertex);
+                        self.heap.push(HeapEntry {
+                            distance: cand,
+                            vertex: nbr,
+                        });
+                    }
+                }
+            }
+        }
+
+        ShortestPathTree {
+            source,
+            dist: self.dist.clone(),
+            parent: self.parent.clone(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +403,58 @@ mod tests {
         g.add_edge(1, 2, 0.0);
         let dist = dijkstra_distances(&g, vid(0));
         assert_eq!(dist[2], 0.0);
+    }
+
+    #[test]
+    fn scratch_tree_matches_one_shot_functions() {
+        let g = weighted_square();
+        let mut scratch = DijkstraScratch::with_capacity(4);
+        let tree = scratch.shortest_path_tree(&g, vid(0));
+        let dist = dijkstra_distances(&g, vid(0));
+        for (v, &expected) in dist.iter().enumerate() {
+            assert_eq!(tree.distances()[v], expected);
+            assert_eq!(tree.distance_to(vid(v)), Some(expected));
+        }
+        let (w, path) = shortest_weighted_path(&g, vid(0), vid(3)).unwrap();
+        assert_eq!(tree.distance_to(vid(3)), Some(w));
+        assert_eq!(tree.path_to(vid(3)).unwrap(), path);
+        assert_eq!(tree.source(), vid(0));
+        assert_eq!(tree.vertex_count(), 4);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_views_and_sizes() {
+        let g = weighted_square();
+        let mut scratch = DijkstraScratch::new();
+        let full = scratch.shortest_path_tree(&g, vid(0));
+        assert_eq!(full.distance_to(vid(2)), Some(2.0));
+
+        let mut view = FaultView::new(&g);
+        view.block_vertex(vid(1));
+        let faulted = scratch.shortest_path_tree(&view, vid(0));
+        assert_eq!(faulted.distance_to(vid(2)), Some(5.0));
+        assert_eq!(faulted.distance_to(vid(1)), None);
+        assert!(faulted.path_to(vid(1)).is_none());
+
+        // A bigger graph afterwards: buffers must regrow correctly.
+        let mut big = Graph::new(10);
+        for i in 0..9 {
+            big.add_edge(i, i + 1, 1.0);
+        }
+        let chain = scratch.shortest_path_tree(&big, vid(0));
+        assert_eq!(chain.distance_to(vid(9)), Some(9.0));
+        assert_eq!(chain.path_to(vid(9)).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn scratch_tree_from_faulted_source_is_empty() {
+        let g = weighted_square();
+        let mut view = FaultView::new(&g);
+        view.block_vertex(vid(0));
+        let tree = DijkstraScratch::new().shortest_path_tree(&view, vid(0));
+        for v in 0..4 {
+            assert_eq!(tree.distance_to(vid(v)), None);
+        }
     }
 
     #[test]

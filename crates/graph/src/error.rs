@@ -77,10 +77,16 @@ impl fmt::Display for GraphError {
                 write!(f, "self-loop at {vertex} rejected: graphs must be simple")
             }
             GraphError::ParallelEdge { u, v } => {
-                write!(f, "parallel edge {{{u}, {v}}} rejected: graphs must be simple")
+                write!(
+                    f,
+                    "parallel edge {{{u}, {v}}} rejected: graphs must be simple"
+                )
             }
             GraphError::InvalidWeight { weight } => {
-                write!(f, "invalid edge weight {weight}: must be finite and non-negative")
+                write!(
+                    f,
+                    "invalid edge weight {weight}: must be finite and non-negative"
+                )
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")

@@ -280,7 +280,7 @@ pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, attach: usize, rng: &mut R) ->
 /// Panics if `k` is odd, `k >= n`, or `beta` is outside `[0, 1]`.
 #[must_use]
 pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
-    assert!(k % 2 == 0, "ring degree k must be even");
+    assert!(k.is_multiple_of(2), "ring degree k must be even");
     assert!(k < n, "ring degree k must be smaller than n");
     assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
     let mut g = Graph::new(n);
@@ -375,7 +375,10 @@ pub fn random_tree_with_chords<R: Rng + ?Sized>(n: usize, chords: usize, rng: &m
 /// Panics if `lo` is negative or `lo >= hi`.
 #[must_use]
 pub fn with_random_weights<R: Rng + ?Sized>(g: &Graph, lo: f64, hi: f64, rng: &mut R) -> Graph {
-    assert!(lo >= 0.0 && lo < hi, "weight range must satisfy 0 <= lo < hi");
+    assert!(
+        lo >= 0.0 && lo < hi,
+        "weight range must satisfy 0 <= lo < hi"
+    );
     let mut out = Graph::with_capacity(g.vertex_count(), g.edge_count());
     for (_, e) in g.edges() {
         let (u, v) = e.endpoints();
@@ -410,7 +413,10 @@ mod tests {
         let g = gnp(200, 0.1, &mut r);
         let possible = 200.0 * 199.0 / 2.0;
         let density = g.edge_count() as f64 / possible;
-        assert!((density - 0.1).abs() < 0.02, "density {density} too far from 0.1");
+        assert!(
+            (density - 0.1).abs() < 0.02,
+            "density {density} too far from 0.1"
+        );
     }
 
     #[test]

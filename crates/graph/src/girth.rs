@@ -80,7 +80,7 @@ pub fn girth<V: GraphView>(view: &V) -> Option<u32> {
 /// Equivalent to `girth(view).map_or(true, |g| g > bound)` but exits early.
 #[must_use]
 pub fn girth_exceeds<V: GraphView>(view: &V, bound: u32) -> bool {
-    girth(view).map_or(true, |g| g > bound)
+    girth(view).is_none_or(|g| g > bound)
 }
 
 #[cfg(test)]

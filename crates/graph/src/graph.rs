@@ -183,7 +183,8 @@ impl Graph {
         if u >= self.vertex_count() || v >= self.vertex_count() {
             return false;
         }
-        self.edge_between(VertexId::new(u), VertexId::new(v)).is_some()
+        self.edge_between(VertexId::new(u), VertexId::new(v))
+            .is_some()
     }
 
     /// Adds an undirected edge `{u, v}` with the given weight, returning its id.
@@ -339,8 +340,8 @@ impl Graph {
                 v.index() < self.vertex_count(),
                 "vertex {v} out of range for induced subgraph"
             );
-            if !new_of.contains_key(&v) {
-                new_of.insert(v, original_of.len());
+            if let std::collections::hash_map::Entry::Vacant(e) = new_of.entry(v) {
+                e.insert(original_of.len());
                 original_of.push(v);
             }
         }
@@ -649,7 +650,9 @@ mod tests {
         assert_eq!(sub.edge_count(), 2);
         assert!(sub.has_edge_between(0, 1)); // 1-2
         assert!(sub.has_edge_between(0, 2)); // 1-4
-        let e = sub.edge_between(VertexId::new(0), VertexId::new(2)).unwrap();
+        let e = sub
+            .edge_between(VertexId::new(0), VertexId::new(2))
+            .unwrap();
         assert_eq!(sub.weight(e), 7.0);
     }
 

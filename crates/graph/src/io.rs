@@ -93,11 +93,7 @@ pub fn from_edge_list(text: &str) -> Result<Graph> {
     builder.try_build()
 }
 
-fn parse_token<T: std::str::FromStr>(
-    token: Option<&str>,
-    line: usize,
-    what: &str,
-) -> Result<T> {
+fn parse_token<T: std::str::FromStr>(token: Option<&str>, line: usize, what: &str) -> Result<T> {
     match token {
         Some(tok) => parse_str(tok, line, what),
         None => Err(GraphError::Parse {
@@ -130,7 +126,9 @@ mod tests {
         assert_eq!(back.edge_count(), 3);
         for (_, e) in g.edges() {
             let (u, v) = e.endpoints();
-            let id = back.edge_between(u, v).expect("edge must survive round trip");
+            let id = back
+                .edge_between(u, v)
+                .expect("edge must survive round trip");
             assert!((back.weight(id) - e.weight()).abs() < 1e-12);
         }
     }

@@ -59,4 +59,4 @@ pub use edge::Edge;
 pub use error::{GraphError, Result};
 pub use graph::{Graph, GraphBuilder};
 pub use ids::{eid, vid, EdgeId, VertexId};
-pub use view::{FaultView, GraphView};
+pub use view::{fault_fingerprint, FaultView, GraphView};

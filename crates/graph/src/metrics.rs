@@ -43,7 +43,11 @@ pub fn summarize<V: GraphView>(view: &V) -> GraphSummary {
         edges,
         min_degree: degrees.iter().copied().min().unwrap_or(0),
         max_degree: degrees.iter().copied().max().unwrap_or(0),
-        average_degree: if n == 0 { 0.0 } else { 2.0 * edges as f64 / n as f64 },
+        average_degree: if n == 0 {
+            0.0
+        } else {
+            2.0 * edges as f64 / n as f64
+        },
         density: if possible == 0 {
             0.0
         } else {
@@ -66,7 +70,11 @@ pub fn hop_diameter<V: GraphView>(view: &V) -> Option<u32> {
         if !view.contains_vertex(v) {
             continue;
         }
-        let ecc = bfs_hop_distances(view, v).into_iter().flatten().max().unwrap_or(0);
+        let ecc = bfs_hop_distances(view, v)
+            .into_iter()
+            .flatten()
+            .max()
+            .unwrap_or(0);
         best = Some(best.map_or(ecc, |b| b.max(ecc)));
     }
     best
@@ -87,7 +95,10 @@ pub fn estimate_diameter<V: GraphView>(view: &V, start: VertexId) -> Option<u32>
         .filter_map(|(i, d)| d.map(|d| (i, d)))
         .max_by_key(|&(_, d)| d)
         .map(|(i, _)| VertexId::new(i))?;
-    bfs_hop_distances(view, farthest).into_iter().flatten().max()
+    bfs_hop_distances(view, farthest)
+        .into_iter()
+        .flatten()
+        .max()
 }
 
 /// Degree histogram: entry `i` counts live vertices with degree exactly `i`.

@@ -149,6 +149,44 @@ pub struct FaultView<'g> {
     edge_blocked: Vec<bool>,
     blocked_vertex_count: usize,
     blocked_edge_count: usize,
+    fingerprint: u64,
+}
+
+/// Domain-separation tags mixed into the [`FaultView::fingerprint`] so a
+/// blocked vertex and a blocked edge with the same index hash differently.
+const VERTEX_FINGERPRINT_TAG: u64 = 0x9E6C_63D0_76CC_4311;
+const EDGE_FINGERPRINT_TAG: u64 = 0x5851_F42D_4C95_7F2D;
+
+/// SplitMix64 finalizer, used to spread fault element ids over 64 bits.
+#[inline]
+fn mix_fingerprint(tag: u64, index: usize) -> u64 {
+    let mut z = tag ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Computes the fingerprint a [`FaultView`] would report after blocking
+/// exactly the given vertices and edges, without building the view.
+///
+/// Caching layers key "`G \ F` artifacts" by fault set; this lets them derive
+/// the key in `O(|F|)` straight from the fault lists while staying consistent
+/// with [`FaultView::fingerprint`]. Duplicate elements must not be passed
+/// (XOR would cancel them out).
+#[must_use]
+pub fn fault_fingerprint<VI, EI>(vertices: VI, edges: EI) -> u64
+where
+    VI: IntoIterator<Item = VertexId>,
+    EI: IntoIterator<Item = EdgeId>,
+{
+    let mut fp = 0u64;
+    for v in vertices {
+        fp ^= mix_fingerprint(VERTEX_FINGERPRINT_TAG, v.index());
+    }
+    for e in edges {
+        fp ^= mix_fingerprint(EDGE_FINGERPRINT_TAG, e.index());
+    }
+    fp
 }
 
 impl<'g> FaultView<'g> {
@@ -161,6 +199,7 @@ impl<'g> FaultView<'g> {
             edge_blocked: vec![false; graph.edge_count()],
             blocked_vertex_count: 0,
             blocked_edge_count: 0,
+            fingerprint: 0,
         }
     }
 
@@ -210,6 +249,7 @@ impl<'g> FaultView<'g> {
         } else {
             *slot = true;
             self.blocked_vertex_count += 1;
+            self.fingerprint ^= mix_fingerprint(VERTEX_FINGERPRINT_TAG, v.index());
             true
         }
     }
@@ -224,6 +264,7 @@ impl<'g> FaultView<'g> {
         if *slot {
             *slot = false;
             self.blocked_vertex_count -= 1;
+            self.fingerprint ^= mix_fingerprint(VERTEX_FINGERPRINT_TAG, v.index());
             true
         } else {
             false
@@ -242,6 +283,7 @@ impl<'g> FaultView<'g> {
         } else {
             *slot = true;
             self.blocked_edge_count += 1;
+            self.fingerprint ^= mix_fingerprint(EDGE_FINGERPRINT_TAG, e.index());
             true
         }
     }
@@ -256,6 +298,7 @@ impl<'g> FaultView<'g> {
         if *slot {
             *slot = false;
             self.blocked_edge_count -= 1;
+            self.fingerprint ^= mix_fingerprint(EDGE_FINGERPRINT_TAG, e.index());
             true
         } else {
             false
@@ -268,6 +311,25 @@ impl<'g> FaultView<'g> {
         self.edge_blocked.fill(false);
         self.blocked_vertex_count = 0;
         self.blocked_edge_count = 0;
+        self.fingerprint = 0;
+    }
+
+    /// A 64-bit fingerprint of the current fault set, maintained in `O(1)`
+    /// per block/unblock operation.
+    ///
+    /// The fingerprint is an XOR of per-element SplitMix64 hashes, so it is
+    /// independent of the order in which faults were applied and returns to
+    /// its previous value when a fault is lifted; two views over the same
+    /// graph with equal fault sets always share a fingerprint. Caching layers
+    /// use it as a cheap first-level key for "`G \ F` artifacts" (for
+    /// example per-fault-set shortest-path trees) without materializing or
+    /// sorting the fault set on every lookup. As with any 64-bit hash,
+    /// distinct fault sets can collide with probability `~2⁻⁶⁴`; exact caches
+    /// must confirm equality on the full fault set after a fingerprint hit.
+    #[inline]
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Number of currently blocked vertices.
@@ -303,7 +365,8 @@ impl<'g> FaultView<'g> {
         self.vertex_blocked
             .iter()
             .enumerate()
-            .filter_map(|(i, &b)| b.then(|| VertexId::new(i)))
+            .filter(|&(_i, &b)| b)
+            .map(|(i, &_b)| VertexId::new(i))
     }
 
     /// Iterates over the currently blocked edges.
@@ -311,7 +374,8 @@ impl<'g> FaultView<'g> {
         self.edge_blocked
             .iter()
             .enumerate()
-            .filter_map(|(i, &b)| b.then(|| EdgeId::new(i)))
+            .filter(|&(_i, &b)| b)
+            .map(|(i, &_b)| EdgeId::new(i))
     }
 }
 
@@ -338,11 +402,9 @@ impl GraphView for FaultView<'_> {
     #[inline]
     fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
         let blocked_self = self.vertex_blocked[v.index()];
-        self.graph
-            .neighbors(v)
-            .filter(move |&(nbr, e)| {
-                !blocked_self && !self.vertex_blocked[nbr.index()] && !self.edge_blocked[e.index()]
-            })
+        self.graph.neighbors(v).filter(move |&(nbr, e)| {
+            !blocked_self && !self.vertex_blocked[nbr.index()] && !self.edge_blocked[e.index()]
+        })
     }
 
     #[inline]
@@ -468,6 +530,60 @@ mod tests {
         assert!(view.contains_edge(e01));
         view.block_vertex(vid(0));
         assert!(!view.contains_edge(e01));
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent_and_reversible() {
+        let g = cycle(6);
+        let mut a = FaultView::new(&g);
+        let mut b = FaultView::new(&g);
+        assert_eq!(a.fingerprint(), 0);
+        a.block_vertex(vid(1));
+        a.block_vertex(vid(4));
+        b.block_vertex(vid(4));
+        b.block_vertex(vid(1));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), 0);
+        // Lifting one fault returns to the single-fault fingerprint.
+        let mut single = FaultView::new(&g);
+        single.block_vertex(vid(1));
+        a.unblock_vertex(vid(4));
+        assert_eq!(a.fingerprint(), single.fingerprint());
+        // Re-blocking an already blocked element must not change anything.
+        a.block_vertex(vid(1));
+        assert_eq!(a.fingerprint(), single.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_vertex_and_edge_faults() {
+        let g = cycle(5);
+        let mut by_vertex = FaultView::new(&g);
+        by_vertex.block_vertex(vid(2));
+        let mut by_edge = FaultView::new(&g);
+        by_edge.block_edge(crate::eid(2));
+        assert_ne!(by_vertex.fingerprint(), by_edge.fingerprint());
+    }
+
+    #[test]
+    fn standalone_fault_fingerprint_matches_view() {
+        let g = cycle(6);
+        let e = g.edge_between(vid(2), vid(3)).unwrap();
+        let mut view = FaultView::new(&g);
+        view.block_vertex(vid(5));
+        view.block_vertex(vid(1));
+        view.block_edge(e);
+        assert_eq!(view.fingerprint(), fault_fingerprint([vid(1), vid(5)], [e]));
+        assert_eq!(fault_fingerprint([], []), 0);
+    }
+
+    #[test]
+    fn fingerprint_resets_on_clear() {
+        let g = cycle(5);
+        let mut view = FaultView::with_blocked_vertices(&g, [vid(0), vid(2)]);
+        view.block_edge(g.edge_between(vid(3), vid(4)).unwrap());
+        assert_ne!(view.fingerprint(), 0);
+        view.clear();
+        assert_eq!(view.fingerprint(), 0);
     }
 
     #[test]

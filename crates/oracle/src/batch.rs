@@ -1,0 +1,197 @@
+//! Batched query answering over a worker pool.
+//!
+//! Batches are grouped by fault set before being handed to workers: all
+//! queries under the same `F` land in the same group, so the group's first
+//! query computes (or finds) the shortest-path trees and the rest hit the
+//! cache without ever contending for it from another thread. Groups are
+//! distributed over the pool through a simple atomic cursor — group sizes
+//! are uneven, so work stealing at group granularity beats static chunking.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use ftspan_graph::dijkstra::DijkstraScratch;
+
+use crate::cache::CacheKey;
+use crate::oracle::FaultOracle;
+use crate::query::{Answer, Query};
+
+impl FaultOracle {
+    /// Answers a batch of queries, returning answers in request order.
+    ///
+    /// Queries are grouped by fault set and the groups are served by a pool
+    /// of `options.workers` threads (machine parallelism when 0). Each worker
+    /// owns a [`DijkstraScratch`], so per-query allocations are amortized
+    /// away; the tree cache is shared through the oracle.
+    #[must_use]
+    pub fn answer_batch(&self, queries: &[Query]) -> Vec<Answer> {
+        self.metrics().record_batch();
+        if queries.is_empty() {
+            return Vec::new();
+        }
+
+        // Group query indices by fault set; each group carries its cache key
+        // so the per-query path never re-derives it.
+        let mut by_fault: HashMap<CacheKey, Vec<usize>> = HashMap::new();
+        for (idx, query) in queries.iter().enumerate() {
+            by_fault
+                .entry(CacheKey::from_fault_set(&query.faults))
+                .or_default()
+                .push(idx);
+        }
+        let groups: Vec<(CacheKey, Vec<usize>)> = by_fault.into_iter().collect();
+
+        let workers = self.effective_workers(groups.len());
+        let mut slots: Vec<Option<Answer>> = vec![None; queries.len()];
+
+        if workers <= 1 {
+            let mut scratch = DijkstraScratch::new();
+            for (key, group) in &groups {
+                for &idx in group {
+                    slots[idx] = Some(self.answer_with_key(&queries[idx], key, &mut scratch));
+                }
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let collected: Mutex<Vec<(usize, Answer)>> =
+                Mutex::new(Vec::with_capacity(queries.len()));
+            thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        let mut scratch = DijkstraScratch::new();
+                        let mut local: Vec<(usize, Answer)> = Vec::new();
+                        loop {
+                            let g = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some((key, group)) = groups.get(g) else {
+                                break;
+                            };
+                            for &idx in group {
+                                local.push((
+                                    idx,
+                                    self.answer_with_key(&queries[idx], key, &mut scratch),
+                                ));
+                            }
+                        }
+                        collected
+                            .lock()
+                            .expect("batch result sink poisoned")
+                            .extend(local);
+                    });
+                }
+            });
+            for (idx, answer) in collected.into_inner().expect("batch result sink poisoned") {
+                slots[idx] = Some(answer);
+            }
+        }
+
+        slots
+            .into_iter()
+            .map(|a| a.expect("every query index answered exactly once"))
+            .collect()
+    }
+
+    fn effective_workers(&self, groups: usize) -> usize {
+        let configured = if self.options.workers == 0 {
+            thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.options.workers
+        };
+        configured.min(groups).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::OracleOptions;
+    use ftspan::{FaultModel, FaultSet, SpannerParams};
+    use ftspan_graph::{generators, vid};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn oracle_with_workers(workers: usize, cache_capacity: usize) -> FaultOracle {
+        let mut rng = StdRng::seed_from_u64(31);
+        let graph = generators::connected_gnp(30, 0.25, &mut rng);
+        let options = OracleOptions {
+            workers,
+            cache_capacity,
+            ..OracleOptions::default()
+        };
+        FaultOracle::build(graph, SpannerParams::vertex(2, 1), options)
+    }
+
+    fn mixed_batch(n: usize, vertices: usize, seed: u64) -> Vec<Query> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let u = vid(rng.gen_range(0..vertices));
+                let mut v = vid(rng.gen_range(0..vertices));
+                while v == u {
+                    v = vid(rng.gen_range(0..vertices));
+                }
+                // A handful of distinct fault sets so grouping matters.
+                let victim = vid(rng.gen_range(0..4usize) + 10);
+                let faults = if victim == u || victim == v {
+                    FaultSet::empty(FaultModel::Vertex)
+                } else {
+                    FaultSet::vertices([victim])
+                };
+                if i % 3 == 0 {
+                    Query::path(u, v, faults)
+                } else {
+                    Query::distance(u, v, faults)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_single_query_answers() {
+        let parallel = oracle_with_workers(4, 64);
+        let queries = mixed_batch(120, 30, 7);
+        let batched = parallel.answer_batch(&queries);
+        assert_eq!(batched.len(), queries.len());
+        for (query, answer) in queries.iter().zip(&batched) {
+            let single = parallel.answer(query);
+            assert_eq!(single.distance, answer.distance, "query {query:?}");
+            assert_eq!(single.path, answer.path);
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let sequential = oracle_with_workers(1, 64);
+        let parallel = oracle_with_workers(6, 64);
+        let queries = mixed_batch(90, 30, 8);
+        let a = sequential.answer_batch(&queries);
+        let b = parallel.answer_batch(&queries);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.distance, y.distance);
+            assert_eq!(x.path, y.path);
+        }
+    }
+
+    #[test]
+    fn grouping_yields_high_cache_hit_rate() {
+        let oracle = oracle_with_workers(1, 64);
+        let queries = mixed_batch(200, 30, 9);
+        let _ = oracle.answer_batch(&queries);
+        let snap = oracle.metrics().snapshot();
+        assert_eq!(snap.queries, 200);
+        // A few fault sets serve 200 queries: most answers must be hits.
+        assert!(
+            snap.hit_rate() > 0.5,
+            "hit rate {:.2} unexpectedly low",
+            snap.hit_rate()
+        );
+        assert_eq!(snap.batches, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let oracle = oracle_with_workers(4, 64);
+        assert!(oracle.answer_batch(&[]).is_empty());
+    }
+}

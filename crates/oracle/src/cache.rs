@@ -1,0 +1,258 @@
+//! The fault-set-keyed LRU cache of shortest-path trees.
+//!
+//! One Dijkstra run from a source `s` on `H ∖ F` answers every `(s, *)`
+//! query under the same fault set, so the natural cache granularity is a
+//! **tree**, grouped per fault set: real query traffic is bursty in `F`
+//! (a fault wave stays active while many queries arrive), which makes the
+//! per-fault-set hit rate high even with a small capacity.
+//!
+//! Keys combine the `O(|F|)` [`fault_fingerprint`] from `ftspan-graph` (for
+//! cheap hashing) with the exact sorted fault lists (for collision-proof
+//! equality). Eviction is least-recently-used over fault sets; all trees of
+//! an evicted fault set go together.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use ftspan::FaultSet;
+use ftspan_graph::dijkstra::ShortestPathTree;
+use ftspan_graph::{fault_fingerprint, VertexId};
+
+/// Exact cache key for one fault set.
+///
+/// `Hash` uses only the precomputed fingerprint; `Eq` compares the full
+/// sorted fault lists, so a (astronomically unlikely) fingerprint collision
+/// degrades to a bucket collision, never to a wrong answer.
+#[derive(Clone, Debug, Eq)]
+pub struct CacheKey {
+    fingerprint: u64,
+    vertices: Vec<u32>,
+    edges: Vec<u32>,
+}
+
+impl CacheKey {
+    /// Builds the key for a fault set (fault sets are sorted and
+    /// deduplicated by construction).
+    #[must_use]
+    pub fn from_fault_set(faults: &FaultSet) -> Self {
+        let vertices: Vec<u32> = faults.vertex_faults().iter().map(|v| v.as_u32()).collect();
+        let edges: Vec<u32> = faults.edge_faults().iter().map(|e| e.as_u32()).collect();
+        let fingerprint = fault_fingerprint(
+            faults.vertex_faults().iter().copied(),
+            faults.edge_faults().iter().copied(),
+        );
+        Self {
+            fingerprint,
+            vertices,
+            edges,
+        }
+    }
+
+    /// The fingerprint used for hashing.
+    #[inline]
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+impl PartialEq for CacheKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.fingerprint == other.fingerprint
+            && self.vertices == other.vertices
+            && self.edges == other.edges
+    }
+}
+
+impl Hash for CacheKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.fingerprint);
+    }
+}
+
+/// All cached trees for one fault set.
+#[derive(Debug, Default)]
+struct FaultEntry {
+    trees: HashMap<VertexId, Arc<ShortestPathTree>>,
+    last_used: u64,
+}
+
+/// An LRU cache of shortest-path trees grouped by fault set.
+///
+/// The cache is a plain data structure; the oracle wraps it in a mutex and
+/// keeps tree payloads behind [`Arc`] so workers clone a handle and release
+/// the lock before walking the tree.
+#[derive(Debug)]
+pub struct TreeCache {
+    capacity: usize,
+    entries: HashMap<CacheKey, FaultEntry>,
+    tick: u64,
+    trees_cached: usize,
+}
+
+impl TreeCache {
+    /// Creates a cache holding at most `capacity` fault sets (0 disables
+    /// caching: every lookup misses and stores nothing).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: HashMap::new(),
+            tick: 0,
+            trees_cached: 0,
+        }
+    }
+
+    /// The configured capacity in fault sets.
+    #[inline]
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of fault sets currently cached.
+    #[must_use]
+    pub fn fault_sets_cached(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of trees currently cached across all fault sets.
+    #[must_use]
+    pub fn trees_cached(&self) -> usize {
+        self.trees_cached
+    }
+
+    /// Looks up the tree rooted at `source` under the given fault set,
+    /// refreshing the entry's recency on a hit.
+    #[must_use]
+    pub fn get(&mut self, key: &CacheKey, source: VertexId) -> Option<Arc<ShortestPathTree>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.get_mut(key)?;
+        entry.last_used = tick;
+        entry.trees.get(&source).cloned()
+    }
+
+    /// Inserts a tree, evicting the least-recently-used fault set when a new
+    /// fault set would exceed capacity. With capacity 0 this is a no-op.
+    pub fn insert(&mut self, key: CacheKey, source: VertexId, tree: Arc<ShortestPathTree>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                if let Some(evicted) = self.entries.remove(&victim) {
+                    self.trees_cached -= evicted.trees.len();
+                }
+            }
+        }
+        let entry = self.entries.entry(key).or_default();
+        entry.last_used = tick;
+        if entry.trees.insert(source, tree).is_none() {
+            self.trees_cached += 1;
+        }
+    }
+
+    /// Drops every cached tree (used when the spanner or damage changes).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.trees_cached = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftspan_graph::dijkstra::DijkstraScratch;
+    use ftspan_graph::{eid, generators, vid};
+
+    fn tree_for(source: usize) -> Arc<ShortestPathTree> {
+        let g = generators::path(6);
+        Arc::new(DijkstraScratch::new().shortest_path_tree(&g, vid(source)))
+    }
+
+    #[test]
+    fn keys_are_equal_iff_fault_sets_are() {
+        let a = CacheKey::from_fault_set(&FaultSet::vertices([vid(3), vid(1)]));
+        let b = CacheKey::from_fault_set(&FaultSet::vertices([vid(1), vid(3)]));
+        let c = CacheKey::from_fault_set(&FaultSet::vertices([vid(1)]));
+        let d = CacheKey::from_fault_set(&FaultSet::edges([eid(1), eid(3)]));
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn hit_and_miss_roundtrip() {
+        let mut cache = TreeCache::new(4);
+        let key = CacheKey::from_fault_set(&FaultSet::vertices([vid(2)]));
+        assert!(cache.get(&key, vid(0)).is_none());
+        cache.insert(key.clone(), vid(0), tree_for(0));
+        let hit = cache.get(&key, vid(0)).expect("cached");
+        assert_eq!(hit.source(), vid(0));
+        assert!(
+            cache.get(&key, vid(1)).is_none(),
+            "other sources still miss"
+        );
+        assert_eq!(cache.fault_sets_cached(), 1);
+        assert_eq!(cache.trees_cached(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_fault_set() {
+        let mut cache = TreeCache::new(2);
+        let k1 = CacheKey::from_fault_set(&FaultSet::vertices([vid(1)]));
+        let k2 = CacheKey::from_fault_set(&FaultSet::vertices([vid(2)]));
+        let k3 = CacheKey::from_fault_set(&FaultSet::vertices([vid(3)]));
+        cache.insert(k1.clone(), vid(0), tree_for(0));
+        cache.insert(k2.clone(), vid(0), tree_for(0));
+        // Touch k1 so k2 becomes the LRU.
+        assert!(cache.get(&k1, vid(0)).is_some());
+        cache.insert(k3.clone(), vid(0), tree_for(0));
+        assert_eq!(cache.fault_sets_cached(), 2);
+        assert!(cache.get(&k1, vid(0)).is_some());
+        assert!(cache.get(&k2, vid(0)).is_none(), "k2 evicted");
+        assert!(cache.get(&k3, vid(0)).is_some());
+    }
+
+    #[test]
+    fn multiple_trees_per_fault_set_count_once_per_source() {
+        let mut cache = TreeCache::new(2);
+        let key = CacheKey::from_fault_set(&FaultSet::vertices([vid(1)]));
+        cache.insert(key.clone(), vid(0), tree_for(0));
+        cache.insert(key.clone(), vid(2), tree_for(2));
+        cache.insert(key.clone(), vid(2), tree_for(2)); // overwrite, not growth
+        assert_eq!(cache.trees_cached(), 2);
+        assert_eq!(cache.fault_sets_cached(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = TreeCache::new(0);
+        let key = CacheKey::from_fault_set(&FaultSet::vertices([vid(1)]));
+        cache.insert(key.clone(), vid(0), tree_for(0));
+        assert!(cache.get(&key, vid(0)).is_none());
+        assert_eq!(cache.trees_cached(), 0);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut cache = TreeCache::new(4);
+        let key = CacheKey::from_fault_set(&FaultSet::vertices([vid(1)]));
+        cache.insert(key.clone(), vid(0), tree_for(0));
+        cache.clear();
+        assert_eq!(cache.fault_sets_cached(), 0);
+        assert_eq!(cache.trees_cached(), 0);
+        assert!(cache.get(&key, vid(0)).is_none());
+    }
+}

@@ -1,0 +1,546 @@
+//! The churn loop: permanent fault waves, violation detection, and
+//! incremental repair.
+//!
+//! A *wave* is a set of vertices or edges that fail **permanently** (unlike
+//! the transient fault sets attached to queries). Applying a wave:
+//!
+//! 1. collects repair *seeds*: the failed elements' surroundings plus the
+//!    edges whose LBC certificates the wave invalidated
+//!    ([`ftspan::repair::certificates_touching`]);
+//! 2. rematerializes the effective graph `G'` and surviving spanner `H'`;
+//! 3. detects pairs near the damage whose stretch bound
+//!    `d_{H'}(u, v) ≤ (2k − 1) · w(u, v)` broke;
+//! 4. repairs by re-running the modified greedy **only on the damaged
+//!    neighbourhood** ([`ftspan::repair::respan_candidates`]);
+//! 5. verifies by sampling, and — when local repair was not enough —
+//!    escalates to a full warm-start respan, which provably restores the
+//!    `f`-fault-tolerant spanner property.
+//!
+//! Rozhoň–Ghaffari-style locality is the guiding idea: repair work should be
+//! proportional to the damaged region, not the graph, with the global pass
+//! kept only as a correctness backstop.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use ftspan::repair::{
+    candidate_endpoints, certificates_touching, full_respan, respan_candidates, RepairOptions,
+};
+use ftspan::verify::{verify_spanner, VerificationMode};
+use ftspan::{EdgeCertificate, FaultSet};
+use ftspan_graph::bfs::BfsScratch;
+use ftspan_graph::dijkstra::DijkstraScratch;
+use ftspan_graph::{EdgeId, Graph, VertexId};
+
+use crate::oracle::FaultOracle;
+use crate::repair::neighborhood_candidates;
+
+/// Configuration of the churn loop.
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// Hop radius around the seeds when collecting repair candidates.
+    /// `0` means "use the stretch `2k − 1`", the distance within which a
+    /// broken witness path must have passed the damage.
+    pub repair_radius: u32,
+    /// Samples for the post-repair spot check (half random, half
+    /// adversarial); `0` skips verification and never escalates.
+    pub verify_samples: usize,
+    /// Seed of the post-repair spot check, for reproducibility.
+    pub verify_seed: u64,
+    /// Whether an invalid spot check escalates to a full respan.
+    pub escalate: bool,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        Self {
+            repair_radius: 0,
+            verify_samples: 16,
+            verify_seed: 0x000C_4151_77AE,
+            escalate: true,
+        }
+    }
+}
+
+/// What one [`FaultOracle::apply_wave`] call did.
+#[derive(Clone, Debug)]
+pub struct WaveOutcome {
+    /// The wave that was applied.
+    pub wave: FaultSet,
+    /// Pairs (edges of the effective graph) whose stretch bound was broken
+    /// before repair.
+    pub broken_pairs: Vec<(VertexId, VertexId)>,
+    /// Number of candidate edges handed to the localized respan.
+    pub candidates: usize,
+    /// Spanner edges added by repair (local plus escalation).
+    pub edges_added: usize,
+    /// Whether the local repair had to escalate to a full respan.
+    pub escalated: bool,
+    /// Spanner edges that survived the wave (before repair).
+    pub surviving_spanner_edges: usize,
+    /// Wall-clock time of the whole wave application.
+    pub elapsed: Duration,
+}
+
+impl FaultOracle {
+    /// Applies a permanent fault wave, repairs the spanner around it, and
+    /// invalidates cached serving state.
+    ///
+    /// Edge identifiers in the wave refer to the **current**
+    /// [`FaultOracle::graph`]. Waves may exceed the design tolerance `f` —
+    /// that is exactly when repair has real work to do.
+    pub fn apply_wave(&mut self, wave: &FaultSet, config: &ChurnConfig) -> WaveOutcome {
+        let start = Instant::now();
+        let radius = if config.repair_radius == 0 {
+            self.params.stretch()
+        } else {
+            config.repair_radius
+        };
+
+        // 1. Seeds, in the pre-wave id space (vertex ids are stable).
+        let mut seeds: Vec<VertexId> = Vec::new();
+        match wave {
+            FaultSet::Vertices(vs) => {
+                for &v in vs {
+                    if v.index() < self.graph.vertex_count() {
+                        seeds.push(v);
+                        seeds.extend(self.graph.neighbors(v).map(|(nbr, _)| nbr));
+                    }
+                }
+            }
+            FaultSet::Edges(es) => {
+                for &e in es {
+                    if let Some(edge) = self.graph.get_edge(e) {
+                        let (u, v) = edge.endpoints();
+                        seeds.push(u);
+                        seeds.push(v);
+                    }
+                }
+            }
+        }
+        seeds.extend(self.certificate_seeds(wave));
+        seeds.sort_unstable();
+        seeds.dedup();
+
+        // 2. Record damage and rematerialize the effective graphs. Both the
+        //    damage bookkeeping and the spanner filter resolve wave edge ids
+        //    against the pre-wave graph, so they run before the swap.
+        self.record_damage(wave);
+        let new_spanner = self.surviving_spanner(wave);
+        let old_graph = std::mem::replace(&mut self.graph, Graph::new(0));
+        let new_graph = self.materialize_effective_graph();
+        let surviving_spanner_edges = new_spanner.edge_count();
+
+        // 3. Detect broken stretch pairs near the damage.
+        let broken_pairs = detect_broken_pairs(
+            &new_graph,
+            &new_spanner,
+            self.stretch_bound(),
+            &seeds,
+            radius,
+        );
+        let mut all_seeds = seeds;
+        for &(u, v) in &broken_pairs {
+            all_seeds.push(u);
+            all_seeds.push(v);
+        }
+        all_seeds.sort_unstable();
+        all_seeds.dedup();
+
+        // 4. Localized repair.
+        let candidates = neighborhood_candidates(&new_graph, &all_seeds, radius);
+        let repair_options = RepairOptions {
+            collect_certificates: self.options.collect_certificates,
+        };
+        let mut outcome = respan_candidates(
+            &new_graph,
+            &new_spanner,
+            self.params,
+            &candidates,
+            &repair_options,
+        );
+        let mut edges_added = outcome.edges_added();
+
+        // 5. Spot-check; escalate to the provably-sufficient full respan if
+        //    the local neighbourhood was too small.
+        let mut escalated = false;
+        if config.verify_samples > 0 {
+            let report = verify_spanner(
+                &new_graph,
+                &outcome.spanner,
+                self.params,
+                VerificationMode::Sampled {
+                    samples: config.verify_samples,
+                    seed: config.verify_seed,
+                },
+            );
+            if !report.is_valid() && config.escalate {
+                escalated = true;
+                let mut fixed =
+                    full_respan(&new_graph, &outcome.spanner, self.params, &repair_options);
+                edges_added += fixed.edges_added();
+                // The warm start keeps every locally-repaired edge; carry
+                // their certificates over (re-resolving spanner ids against
+                // the rebuilt graph) so the next wave's seeding still sees
+                // the thin spots this wave exposed.
+                let carried = outcome.certificates.iter().filter_map(|cert| {
+                    let (u, v) = new_graph.edge(cert.input_edge).endpoints();
+                    Some(EdgeCertificate {
+                        input_edge: cert.input_edge,
+                        spanner_edge: fixed.spanner.edge_between(u, v)?,
+                        cut: cert.cut.clone(),
+                    })
+                });
+                fixed.certificates.extend(carried);
+                outcome = fixed;
+            }
+        }
+
+        // 6. Install the new state.
+        let mut certificates =
+            translate_certificates(&self.certificates, &old_graph, &new_graph, &outcome.spanner);
+        certificates.extend(outcome.certificates);
+        self.certificates = certificates;
+        self.graph = new_graph;
+        self.spanner = outcome.spanner;
+        self.invalidate_serving_state();
+        self.metrics.record_wave(edges_added as u64, escalated);
+
+        WaveOutcome {
+            wave: wave.clone(),
+            broken_pairs,
+            candidates: candidates.len(),
+            edges_added,
+            escalated,
+            surviving_spanner_edges,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Cumulative permanently-failed vertices.
+    #[must_use]
+    pub fn damaged_vertices(&self) -> &[VertexId] {
+        &self.damage_vertices
+    }
+
+    /// Cumulative permanently-failed edges, by endpoints in the base graph.
+    #[must_use]
+    pub fn damaged_edges(&self) -> &[(VertexId, VertexId)] {
+        &self.damage_edges
+    }
+
+    /// Seeds contributed by LBC certificates whose cut the wave intersects:
+    /// the endpoints of edges whose redundancy the damage just consumed.
+    fn certificate_seeds(&self, wave: &FaultSet) -> Vec<VertexId> {
+        // Edge-model certificate cuts hold *spanner* edge ids; translate the
+        // wave (graph ids) into that space before intersecting.
+        let wave_for_certs = match wave {
+            FaultSet::Vertices(_) => wave.clone(),
+            FaultSet::Edges(_) => wave.translate_edges(&self.graph, &self.spanner),
+        };
+        let touched = certificates_touching(&self.certificates, &wave_for_certs);
+        let edges: Vec<EdgeId> = touched.iter().map(|c| c.input_edge).collect();
+        candidate_endpoints(&self.graph, &edges)
+    }
+
+    fn record_damage(&mut self, wave: &FaultSet) {
+        match wave {
+            FaultSet::Vertices(vs) => {
+                for &v in vs {
+                    if v.index() < self.base_graph.vertex_count()
+                        && !self.damage_vertices.contains(&v)
+                    {
+                        self.damage_vertices.push(v);
+                    }
+                }
+            }
+            FaultSet::Edges(es) => {
+                for &e in es {
+                    if let Some(edge) = self.graph.get_edge(e) {
+                        let (u, v) = edge.endpoints();
+                        let key = if u <= v { (u, v) } else { (v, u) };
+                        if !self.damage_edges.contains(&key) {
+                            self.damage_edges.push(key);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The base graph minus all accumulated damage, on the same vertex set
+    /// (failed vertices become isolated).
+    fn materialize_effective_graph(&self) -> Graph {
+        let mut dead = vec![false; self.base_graph.vertex_count()];
+        for &v in &self.damage_vertices {
+            dead[v.index()] = true;
+        }
+        let dead_edges: HashSet<(u32, u32)> = self
+            .damage_edges
+            .iter()
+            .map(|&(u, v)| (u.as_u32(), v.as_u32()))
+            .collect();
+        let mut out =
+            Graph::with_capacity(self.base_graph.vertex_count(), self.base_graph.edge_count());
+        for (_, edge) in self.base_graph.edges() {
+            let (u, v) = edge.endpoints();
+            if dead[u.index()] || dead[v.index()] {
+                continue;
+            }
+            let key = if u <= v {
+                (u.as_u32(), v.as_u32())
+            } else {
+                (v.as_u32(), u.as_u32())
+            };
+            if dead_edges.contains(&key) {
+                continue;
+            }
+            out.add_edge(u.index(), v.index(), edge.weight());
+        }
+        out
+    }
+
+    /// The current spanner minus the wave's elements.
+    fn surviving_spanner(&self, wave: &FaultSet) -> Graph {
+        let mut out = Graph::with_capacity(self.spanner.vertex_count(), self.spanner.edge_count());
+        for (_, edge) in self.spanner.edges() {
+            let (u, v) = edge.endpoints();
+            let killed = match wave {
+                FaultSet::Vertices(vs) => vs.contains(&u) || vs.contains(&v),
+                FaultSet::Edges(es) => es.iter().any(|&e| {
+                    self.graph
+                        .get_edge(e)
+                        .map(|ge| {
+                            let (a, b) = ge.endpoints();
+                            (a == u && b == v) || (a == v && b == u)
+                        })
+                        .unwrap_or(false)
+                }),
+            };
+            if !killed {
+                out.add_edge(u.index(), v.index(), edge.weight());
+            }
+        }
+        out
+    }
+}
+
+/// Checks the Lemma-3 pairs (surviving graph edges) whose endpoints lie
+/// within `radius` hops of a seed: a pair is broken when
+/// `d_{H'}(u, v) > (2k − 1) · w(u, v)` (with the usual weighted restriction
+/// to edges that are themselves shortest paths).
+fn detect_broken_pairs(
+    graph: &Graph,
+    spanner: &Graph,
+    stretch: f64,
+    seeds: &[VertexId],
+    radius: u32,
+) -> Vec<(VertexId, VertexId)> {
+    let mut bfs = BfsScratch::new();
+    let near: Vec<bool> = bfs
+        .multi_source_hop_distances(graph, seeds.iter().copied(), radius)
+        .iter()
+        .map(Option::is_some)
+        .collect();
+
+    let mut scratch = DijkstraScratch::new();
+    let mut spanner_trees: HashMap<VertexId, ftspan_graph::dijkstra::ShortestPathTree> =
+        HashMap::new();
+    let mut graph_trees: HashMap<VertexId, ftspan_graph::dijkstra::ShortestPathTree> =
+        HashMap::new();
+    let mut broken = Vec::new();
+    for (_, edge) in graph.edges() {
+        let (u, v) = edge.endpoints();
+        if !near[u.index()] && !near[v.index()] {
+            continue;
+        }
+        // Weighted Lemma-3 restriction: only edges that are shortest paths
+        // in G' constrain the spanner.
+        if !graph.is_unit_weighted() {
+            let tree = graph_trees
+                .entry(u)
+                .or_insert_with(|| scratch.shortest_path_tree(graph, u));
+            if tree.distances()[v.index()] + 1e-9 < edge.weight() {
+                continue;
+            }
+        }
+        let tree = spanner_trees
+            .entry(u)
+            .or_insert_with(|| scratch.shortest_path_tree(spanner, u));
+        let observed = tree.distances()[v.index()];
+        if observed > stretch * edge.weight() + 1e-9 {
+            broken.push((u, v));
+        }
+    }
+    broken
+}
+
+/// Carries certificates across a rematerialization by re-resolving their
+/// edges by endpoints. Certificates whose edge vanished, and edge-model cuts
+/// (whose ids are only meaningful against the old spanner), are dropped.
+fn translate_certificates(
+    certificates: &[EdgeCertificate],
+    old_graph: &Graph,
+    new_graph: &Graph,
+    new_spanner: &Graph,
+) -> Vec<EdgeCertificate> {
+    certificates
+        .iter()
+        .filter_map(|cert| {
+            if matches!(cert.cut, FaultSet::Edges(_)) {
+                return None;
+            }
+            let (u, v) = old_graph.get_edge(cert.input_edge)?.endpoints();
+            let input_edge = new_graph.edge_between(u, v)?;
+            let spanner_edge = new_spanner.edge_between(u, v)?;
+            Some(EdgeCertificate {
+                input_edge,
+                spanner_edge,
+                cut: cert.cut.clone(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::OracleOptions;
+    use ftspan::verify::{verify_spanner, VerificationMode};
+    use ftspan::SpannerParams;
+    use ftspan_graph::{generators, vid};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn churn_oracle(seed: u64) -> FaultOracle {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = generators::connected_gnp(40, 0.2, &mut rng);
+        FaultOracle::build(graph, SpannerParams::vertex(2, 1), OracleOptions::default())
+    }
+
+    #[test]
+    fn wave_removes_elements_from_the_effective_graph() {
+        let mut oracle = churn_oracle(41);
+        let before_edges = oracle.graph().edge_count();
+        let victim = vid(5);
+        let degree = oracle.graph().degree(victim);
+        assert!(degree > 0);
+        let outcome = oracle.apply_wave(&FaultSet::vertices([victim]), &ChurnConfig::default());
+        assert_eq!(oracle.graph().edge_count(), before_edges - degree);
+        assert_eq!(oracle.graph().degree(victim), 0);
+        assert_eq!(oracle.damaged_vertices(), &[victim]);
+        assert_eq!(outcome.wave, FaultSet::vertices([victim]));
+        assert_eq!(oracle.epoch(), 1);
+    }
+
+    #[test]
+    fn repaired_spanner_is_valid_for_the_damaged_graph() {
+        let mut oracle = churn_oracle(42);
+        // Hit it with a wave larger than the design tolerance f = 1.
+        let wave = FaultSet::vertices([vid(2), vid(9), vid(17)]);
+        let _ = oracle.apply_wave(&wave, &ChurnConfig::default());
+        let report = verify_spanner(
+            oracle.graph(),
+            oracle.spanner(),
+            oracle.params(),
+            VerificationMode::Sampled {
+                samples: 30,
+                seed: 5,
+            },
+        );
+        assert!(report.is_valid(), "violations: {:?}", report.violations);
+        assert!(oracle.spanner().is_edge_subgraph_of(oracle.graph()));
+    }
+
+    #[test]
+    fn edge_waves_translate_by_endpoints() {
+        let mut oracle = churn_oracle(43);
+        let (edge_id, edge) = oracle.graph().edges().next().map(|(i, e)| (i, *e)).unwrap();
+        let (u, v) = edge.endpoints();
+        let _ = oracle.apply_wave(&FaultSet::edges([edge_id]), &ChurnConfig::default());
+        assert!(oracle.graph().edge_between(u, v).is_none());
+        assert!(oracle.spanner().edge_between(u, v).is_none());
+        assert_eq!(oracle.damaged_edges().len(), 1);
+    }
+
+    #[test]
+    fn queries_after_waves_serve_the_surviving_graph() {
+        let mut oracle = churn_oracle(44);
+        let wave = FaultSet::vertices([vid(3), vid(11)]);
+        let _ = oracle.apply_wave(&wave, &ChurnConfig::default());
+        let empty = FaultSet::empty(ftspan::FaultModel::Vertex);
+        // Failed vertices answer None against live ones.
+        assert_eq!(oracle.distance(vid(3), vid(0), &empty), None);
+        // Live pairs still answer, within the stretch bound of the damaged
+        // graph.
+        let view = ftspan_graph::FaultView::new(oracle.graph());
+        let live: Vec<VertexId> = (0..oracle.graph().vertex_count())
+            .map(vid)
+            .filter(|&x| x != vid(3) && x != vid(11) && view.graph().degree(x) > 0)
+            .collect();
+        let (a, b) = (live[0], live[1]);
+        if let Some(d_g) = ftspan_graph::dijkstra::weighted_distance(oracle.graph(), a, b) {
+            let d_h = oracle
+                .distance(a, b, &empty)
+                .expect("spanner keeps connectivity");
+            assert!(d_h <= oracle.stretch_bound() * d_g + 1e-9);
+        }
+    }
+
+    #[test]
+    fn waves_invalidate_the_cache() {
+        let mut oracle = churn_oracle(45);
+        let faults = FaultSet::vertices([vid(6)]);
+        let _ = oracle.distance(vid(0), vid(1), &faults);
+        let hit = oracle.answer(&crate::Query::distance(vid(0), vid(1), faults.clone()));
+        assert!(hit.cache_hit);
+        let _ = oracle.apply_wave(&FaultSet::vertices([vid(20)]), &ChurnConfig::default());
+        let miss = oracle.answer(&crate::Query::distance(vid(0), vid(1), faults));
+        assert!(!miss.cache_hit, "cache must be cleared by a wave");
+    }
+
+    #[test]
+    fn many_rounds_of_churn_keep_the_oracle_healthy() {
+        let mut oracle = churn_oracle(46);
+        let mut rng = StdRng::seed_from_u64(99);
+        let config = ChurnConfig {
+            verify_samples: 12,
+            ..ChurnConfig::default()
+        };
+        for round in 0..6 {
+            let wave = ftspan::sample_fault_set(
+                oracle.graph(),
+                ftspan::FaultModel::Vertex,
+                2,
+                &[],
+                &mut rng,
+            );
+            let outcome = oracle.apply_wave(&wave, &config);
+            assert!(outcome.elapsed.as_secs() < 60, "round {round} too slow");
+            let report = verify_spanner(
+                oracle.graph(),
+                oracle.spanner(),
+                oracle.params(),
+                VerificationMode::Sampled {
+                    samples: 10,
+                    seed: round,
+                },
+            );
+            assert!(report.is_valid(), "round {round}: {:?}", report.violations);
+        }
+        assert_eq!(oracle.metrics().snapshot().waves_applied, 6);
+    }
+
+    #[test]
+    fn detect_broken_pairs_flags_destroyed_detours() {
+        // Cycle C6: spanner = the cycle minus one edge is NOT a valid
+        // 3-spanner; detection around the removed edge's endpoints sees it.
+        let g = generators::cycle(6);
+        let spanner = g.edge_subgraph(g.edge_ids().take(5));
+        let seeds = vec![vid(0), vid(5)];
+        let broken = detect_broken_pairs(&g, &spanner, 3.0, &seeds, 2);
+        assert!(broken.contains(&(vid(5), vid(0))) || broken.contains(&(vid(0), vid(5))));
+        // With the full cycle as spanner nothing is broken.
+        assert!(detect_broken_pairs(&g, &g, 3.0, &seeds, 2).is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! # ftspan-oracle
+//!
+//! A fault-tolerant **query-serving engine** over the spanners built by the
+//! [`ftspan`] crate: the layer that turns "construct and verify offline" into
+//! an online system answering distance and path queries under failures.
+//!
+//! The constructions of Dinitz & Robelle (PODC 2020) guarantee that a
+//! `(2k − 1)`-spanner `H` of `G` keeps
+//! `d_{H∖F}(u, v) ≤ (2k − 1) · d_{G∖F}(u, v)` for every fault set `|F| ≤ f`.
+//! The [`FaultOracle`] serves exactly those queries:
+//!
+//! * [`FaultOracle::distance`] / [`FaultOracle::path`] answer single queries
+//!   on `H ∖ F` for an arbitrary fault set `F`, backed by an LRU
+//!   [`cache`](crate::cache) of per-fault-set shortest-path trees keyed by
+//!   the `O(|F|)` fingerprint from `ftspan-graph`;
+//! * [`FaultOracle::answer_batch`] fans a mixed query batch out over a
+//!   worker pool, grouping queries by fault set so every worker reuses both
+//!   its Dijkstra scratch buffers and the shared tree cache;
+//! * [`FaultOracle::apply_wave`] drives **churn**: permanent damage arrives
+//!   as fault waves, broken stretch pairs are detected around the damage,
+//!   and the spanner is repaired by re-running the modified greedy on the
+//!   affected neighbourhood only ([`ftspan::repair`]), escalating to a full
+//!   warm-start respan when local repair is insufficient.
+//!
+//! ## Example
+//!
+//! ```
+//! use ftspan::{FaultSet, SpannerParams};
+//! use ftspan_graph::{generators, vid};
+//! use ftspan_oracle::{FaultOracle, OracleOptions, Query};
+//!
+//! let mut rng = rand::thread_rng();
+//! let graph = generators::connected_gnp(40, 0.2, &mut rng);
+//! let params = SpannerParams::vertex(2, 1);
+//! let oracle = FaultOracle::build(graph, params, OracleOptions::default());
+//!
+//! // A single query under one vertex fault.
+//! let faults = FaultSet::vertices([vid(3)]);
+//! let d = oracle.distance(vid(0), vid(1), &faults);
+//! assert!(d.is_some());
+//!
+//! // A small batch; answers come back in request order.
+//! let batch = vec![
+//!     Query::distance(vid(0), vid(5), faults.clone()),
+//!     Query::path(vid(5), vid(9), faults),
+//! ];
+//! let answers = oracle.answer_batch(&batch);
+//! assert_eq!(answers.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod batch;
+pub mod cache;
+pub mod churn;
+pub mod metrics;
+mod oracle;
+pub mod query;
+pub mod repair;
+
+pub use cache::{CacheKey, TreeCache};
+pub use churn::{ChurnConfig, WaveOutcome};
+pub use metrics::{MetricsSnapshot, OracleMetrics};
+pub use oracle::{FaultOracle, OracleOptions};
+pub use query::{Answer, Query, QueryKind};

@@ -1,0 +1,125 @@
+//! Serving metrics: lock-free counters the oracle updates on every query.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing an oracle's lifetime, safe to update from
+/// every worker thread concurrently.
+#[derive(Debug, Default)]
+pub struct OracleMetrics {
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    trees_built: AtomicU64,
+    batches: AtomicU64,
+    waves_applied: AtomicU64,
+    repairs_escalated: AtomicU64,
+    edges_added_by_repair: AtomicU64,
+}
+
+impl OracleMetrics {
+    pub(crate) fn record_query(&self, cache_hit: bool) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_tree_built(&self) {
+        self.trees_built.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wave(&self, edges_added: u64, escalated: bool) {
+        self.waves_applied.fetch_add(1, Ordering::Relaxed);
+        self.edges_added_by_repair
+            .fetch_add(edges_added, Ordering::Relaxed);
+        if escalated {
+            self.repairs_escalated.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            trees_built: self.trees_built.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            waves_applied: self.waves_applied.load(Ordering::Relaxed),
+            repairs_escalated: self.repairs_escalated.load(Ordering::Relaxed),
+            edges_added_by_repair: self.edges_added_by_repair.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value copy of [`OracleMetrics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Total queries served (single and batched).
+    pub queries: u64,
+    /// Queries answered from a cached shortest-path tree.
+    pub cache_hits: u64,
+    /// Queries that had to compute a tree (or ran with caching disabled).
+    pub cache_misses: u64,
+    /// Shortest-path trees computed.
+    pub trees_built: u64,
+    /// Batch calls served.
+    pub batches: u64,
+    /// Fault waves applied through the churn loop.
+    pub waves_applied: u64,
+    /// Waves whose local repair had to escalate to a full respan.
+    pub repairs_escalated: u64,
+    /// Spanner edges added by repair across all waves.
+    pub edges_added_by_repair: u64,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of queries served from cache (0 when nothing was served).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = OracleMetrics::default();
+        m.record_query(true);
+        m.record_query(false);
+        m.record_query(true);
+        m.record_tree_built();
+        m.record_batch();
+        m.record_wave(4, true);
+        m.record_wave(0, false);
+        let s = m.snapshot();
+        assert_eq!(s.queries, 3);
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.trees_built, 1);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.waves_applied, 2);
+        assert_eq!(s.repairs_escalated, 1);
+        assert_eq!(s.edges_added_by_repair, 4);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_hit_rate_is_zero() {
+        assert_eq!(OracleMetrics::default().snapshot().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! The request/response vocabulary of the oracle.
+
+use ftspan::FaultSet;
+use ftspan_graph::VertexId;
+
+/// What a [`Query`] asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Only the distance `d_{H∖F}(u, v)`.
+    Distance,
+    /// The distance plus an explicit shortest path in `H ∖ F`.
+    Path,
+}
+
+/// One request against the oracle: a vertex pair and the fault set the answer
+/// must survive.
+///
+/// Edge fault identifiers follow the workspace convention: they refer to the
+/// oracle's *input graph* and are translated to the spanner by endpoints.
+#[derive(Clone, Debug)]
+pub struct Query {
+    /// One endpoint.
+    pub u: VertexId,
+    /// The other endpoint.
+    pub v: VertexId,
+    /// The failed vertices or edges the answer must route around.
+    pub faults: FaultSet,
+    /// Whether an explicit path is requested.
+    pub kind: QueryKind,
+}
+
+impl Query {
+    /// A distance query.
+    #[must_use]
+    pub fn distance(u: VertexId, v: VertexId, faults: FaultSet) -> Self {
+        Self {
+            u,
+            v,
+            faults,
+            kind: QueryKind::Distance,
+        }
+    }
+
+    /// A path query.
+    #[must_use]
+    pub fn path(u: VertexId, v: VertexId, faults: FaultSet) -> Self {
+        Self {
+            u,
+            v,
+            faults,
+            kind: QueryKind::Path,
+        }
+    }
+}
+
+/// The oracle's response to one [`Query`].
+#[derive(Clone, Debug)]
+pub struct Answer {
+    /// The distance in the surviving spanner `H ∖ F`, or `None` when the
+    /// endpoints are disconnected by the faults (or an endpoint itself
+    /// failed).
+    pub distance: Option<f64>,
+    /// The witness path (source first), for [`QueryKind::Path`] queries that
+    /// are reachable; `None` otherwise.
+    pub path: Option<Vec<VertexId>>,
+    /// Whether the answer was served from a cached shortest-path tree.
+    pub cache_hit: bool,
+}
+
+impl Answer {
+    /// Returns `true` when the pair is connected in `H ∖ F`.
+    #[must_use]
+    pub fn is_reachable(&self) -> bool {
+        self.distance.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftspan_graph::vid;
+
+    #[test]
+    fn constructors_set_kind() {
+        let f = FaultSet::vertices([vid(1)]);
+        assert_eq!(
+            Query::distance(vid(0), vid(2), f.clone()).kind,
+            QueryKind::Distance
+        );
+        assert_eq!(Query::path(vid(0), vid(2), f).kind, QueryKind::Path);
+    }
+
+    #[test]
+    fn reachability_mirrors_distance() {
+        let yes = Answer {
+            distance: Some(2.0),
+            path: None,
+            cache_hit: false,
+        };
+        let no = Answer {
+            distance: None,
+            path: None,
+            cache_hit: true,
+        };
+        assert!(yes.is_reachable());
+        assert!(!no.is_reachable());
+    }
+}

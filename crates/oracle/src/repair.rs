@@ -1,0 +1,82 @@
+//! Neighbourhood extraction for localized repair.
+//!
+//! After a fault wave, the spanner property can only have broken near the
+//! damage: a pair whose witness paths never came close to a failed element
+//! still has them. Repair therefore collects the edges of the effective
+//! graph within a small hop radius of the *seeds* (failed elements, their
+//! former neighbours, endpoints of detected violations, and edges whose LBC
+//! certificates the damage invalidated) and re-runs the modified greedy on
+//! exactly those candidates ([`ftspan::repair::respan_candidates`]).
+
+use ftspan_graph::bfs::BfsScratch;
+use ftspan_graph::{EdgeId, Graph, VertexId};
+
+/// Marks every vertex within `radius` hops of any seed in `graph` and
+/// returns the identifiers of all edges with at least one marked endpoint —
+/// the candidate set of a localized repair.
+///
+/// Runs one multi-source hop-bounded BFS
+/// ([`BfsScratch::multi_source_hop_distances`]): `O(n + m)` worst case,
+/// typically far less for small radii. Out-of-range seeds are ignored.
+#[must_use]
+pub fn neighborhood_candidates(graph: &Graph, seeds: &[VertexId], radius: u32) -> Vec<EdgeId> {
+    let mut scratch = BfsScratch::new();
+    let dist = scratch.multi_source_hop_distances(graph, seeds.iter().copied(), radius);
+    graph
+        .edges()
+        .filter(|(_, e)| dist[e.source().index()].is_some() || dist[e.target().index()].is_some())
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftspan_graph::{generators, vid};
+
+    #[test]
+    fn radius_zero_takes_only_incident_edges() {
+        let g = generators::path(6); // 0-1-2-3-4-5
+        let candidates = neighborhood_candidates(&g, &[vid(2)], 0);
+        let pairs: Vec<_> = candidates
+            .iter()
+            .map(|&e| {
+                let (u, v) = g.edge(e).endpoints();
+                (u.index(), v.index())
+            })
+            .collect();
+        assert_eq!(pairs, vec![(1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn radius_grows_the_ball() {
+        let g = generators::path(8);
+        let r1 = neighborhood_candidates(&g, &[vid(3)], 1);
+        let r2 = neighborhood_candidates(&g, &[vid(3)], 2);
+        assert!(r1.len() < r2.len());
+        let all = neighborhood_candidates(&g, &[vid(3)], 10);
+        assert_eq!(all.len(), g.edge_count());
+    }
+
+    #[test]
+    fn multiple_seeds_union_their_balls() {
+        let g = generators::path(10);
+        let left = neighborhood_candidates(&g, &[vid(0)], 1);
+        let right = neighborhood_candidates(&g, &[vid(9)], 1);
+        let both = neighborhood_candidates(&g, &[vid(0), vid(9)], 1);
+        assert_eq!(both.len(), left.len() + right.len());
+    }
+
+    #[test]
+    fn out_of_range_and_duplicate_seeds_are_tolerated() {
+        let g = generators::path(4);
+        let candidates = neighborhood_candidates(&g, &[vid(1), vid(1), vid(99)], 1);
+        assert!(!candidates.is_empty());
+    }
+
+    #[test]
+    fn empty_seed_set_yields_nothing() {
+        let g = generators::complete(5);
+        assert!(neighborhood_candidates(&g, &[], 3).is_empty());
+    }
+}

@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run -p ftspan-examples --bin fault_injection_stress`.
 
-use ftspan::verify::{verify_under_fault_set, verify_spanner, VerificationMode};
+use ftspan::verify::{verify_spanner, verify_under_fault_set, VerificationMode};
 use ftspan::{
     nonft::greedy_spanner, poly_greedy_spanner, sample_fault_set, FaultModel, SpannerParams,
 };

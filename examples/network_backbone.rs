@@ -33,7 +33,10 @@ fn main() {
     };
 
     for (label, algorithm) in [
-        ("classic greedy (no fault tolerance)", Algorithm::ClassicGreedy),
+        (
+            "classic greedy (no fault tolerance)",
+            Algorithm::ClassicGreedy,
+        ),
         ("modified greedy (this paper)", Algorithm::PolyGreedy),
         ("exact greedy [BDPW18/BP19]", Algorithm::ExactGreedy),
         ("Dinitz-Krauthgamer [DK11]", Algorithm::DinitzKrauthgamer),

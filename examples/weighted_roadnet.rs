@@ -46,7 +46,11 @@ fn main() {
             100.0 * result.stats.retention(),
             100.0 * result.spanner.total_weight() / graph.total_weight(),
             fault_free_stretch(&graph, &result.spanner),
-            if report.is_valid() { "valid" } else { "VIOLATED" },
+            if report.is_valid() {
+                "valid"
+            } else {
+                "VIOLATED"
+            },
         );
     }
 

@@ -21,10 +21,7 @@ pub fn small_workloads(seed: u64) -> Vec<(&'static str, Graph)> {
         ("grid", generators::grid(4, 4)),
         ("ring-of-cliques", generators::ring_of_cliques(4, 4)),
         ("complete", generators::complete(12)),
-        (
-            "geometric",
-            generators::random_geometric(16, 0.45, &mut r),
-        ),
+        ("geometric", generators::random_geometric(16, 0.45, &mut r)),
         (
             "weighted-gnp",
             generators::with_random_weights(

@@ -15,7 +15,12 @@ fn local_construction_is_valid_on_every_small_workload() {
     for (name, graph) in small_workloads(1_000) {
         let mut r = rng(7);
         let result = local_ft_spanner(&graph, params, &mut r);
-        let report = verify_spanner(&graph, &result.spanner, params, VerificationMode::Exhaustive);
+        let report = verify_spanner(
+            &graph,
+            &result.spanner,
+            params,
+            VerificationMode::Exhaustive,
+        );
         assert!(report.is_valid(), "{name}: {:?}", report.violations);
         assert!(result.spanner.is_edge_subgraph_of(&graph), "{name}");
     }
@@ -27,8 +32,12 @@ fn congest_construction_is_valid_on_every_small_workload() {
     for (name, graph) in small_workloads(2_000) {
         let mut r = rng(8);
         let out = congest_ft_spanner(&graph, params, &mut r);
-        let report =
-            verify_spanner(&graph, &out.result.spanner, params, VerificationMode::Exhaustive);
+        let report = verify_spanner(
+            &graph,
+            &out.result.spanner,
+            params,
+            VerificationMode::Exhaustive,
+        );
         assert!(report.is_valid(), "{name}: {:?}", report.violations);
     }
 }
@@ -42,7 +51,10 @@ fn distributed_baswana_sen_matches_centralized_size_bound() {
             &graph,
             &distributed.spanner,
             SpannerParams::vertex(2, 0),
-            VerificationMode::Sampled { samples: 10, seed: 3 },
+            VerificationMode::Sampled {
+                samples: 10,
+                seed: 3,
+            },
         );
         assert!(report.is_valid(), "{name}");
         let bound = 4.0 * bounds::baswana_sen_size_bound(graph.vertex_count(), 2)
@@ -73,7 +85,10 @@ fn local_round_cost_tracks_log_n_and_congest_tracks_its_bound() {
             "{name}: CONGEST rounds {} out of range",
             congest.result.rounds.rounds
         );
-        assert!(congest.result.rounds.max_words_per_edge_round <= 6, "{name}");
+        assert!(
+            congest.result.rounds.max_words_per_edge_round <= 6,
+            "{name}"
+        );
     }
 }
 

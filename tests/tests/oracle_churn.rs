@@ -1,0 +1,229 @@
+//! Integration tests for the `ftspan-oracle` serving engine: churn-driven
+//! repair and the large-batch acceptance scenario.
+
+use ftspan::verify::{verify_spanner, VerificationMode};
+use ftspan::{sample_fault_set, FaultModel, FaultSet, SpannerParams};
+use ftspan_graph::dijkstra::DijkstraScratch;
+use ftspan_graph::{generators, vid};
+use ftspan_integration_tests::rng;
+use ftspan_oracle::{ChurnConfig, FaultOracle, OracleOptions, Query};
+use rand::Rng;
+
+/// Twenty rounds of churn beyond the design tolerance: after every wave the
+/// repaired spanner must again be a valid `f`-fault-tolerant spanner of the
+/// surviving graph, and the oracle must keep answering.
+#[test]
+fn twenty_churn_rounds_repair_restores_validity() {
+    let mut r = rng(501);
+    let graph = generators::connected_gnp(60, 0.18, &mut r);
+    let params = SpannerParams::vertex(2, 1);
+    let mut oracle = FaultOracle::build(graph, params, OracleOptions::default());
+    let config = ChurnConfig::default();
+
+    for round in 0..20u64 {
+        // Two permanent failures per round — twice the design tolerance.
+        let wave = sample_fault_set(oracle.graph(), FaultModel::Vertex, 2, &[], &mut r);
+        let outcome = oracle.apply_wave(&wave, &config);
+        assert_eq!(outcome.wave, wave, "round {round}");
+
+        // Repair must leave a valid f-VFT spanner of the damaged graph.
+        let report = verify_spanner(
+            oracle.graph(),
+            oracle.spanner(),
+            params,
+            VerificationMode::Sampled {
+                samples: 20,
+                seed: round,
+            },
+        );
+        assert!(
+            report.is_valid(),
+            "round {round}: {} violations, e.g. {:?}",
+            report.violations.len(),
+            report.violations.first()
+        );
+        assert!(
+            oracle.spanner().is_edge_subgraph_of(oracle.graph()),
+            "round {round}: repaired spanner must stay a subgraph"
+        );
+
+        // The oracle still serves live pairs.
+        let live: Vec<_> = oracle
+            .graph()
+            .vertices()
+            .filter(|&v| oracle.graph().degree(v) > 0)
+            .take(2)
+            .collect();
+        if live.len() == 2 {
+            let empty = FaultSet::empty(FaultModel::Vertex);
+            let _ = oracle.distance(live[0], live[1], &empty);
+        }
+    }
+    let snapshot = oracle.metrics().snapshot();
+    assert_eq!(snapshot.waves_applied, 20);
+    assert_eq!(oracle.epoch(), 20);
+    // Waves may resample an already-failed vertex, so damage accumulates to
+    // at most 2 per round.
+    let damaged = oracle.damaged_vertices().len();
+    assert!((20..=40).contains(&damaged), "damaged {damaged}");
+}
+
+/// Edge-fault churn: waves of permanent edge failures, same repair contract.
+#[test]
+fn edge_fault_churn_repairs_too() {
+    let mut r = rng(502);
+    let graph = generators::connected_gnp(50, 0.2, &mut r);
+    let params = SpannerParams::edge(2, 1);
+    let mut oracle = FaultOracle::build(graph, params, OracleOptions::default());
+    let config = ChurnConfig::default();
+
+    for round in 0..8u64 {
+        let wave = sample_fault_set(oracle.graph(), FaultModel::Edge, 3, &[], &mut r);
+        let _ = oracle.apply_wave(&wave, &config);
+        let report = verify_spanner(
+            oracle.graph(),
+            oracle.spanner(),
+            params,
+            VerificationMode::Sampled {
+                samples: 15,
+                seed: round,
+            },
+        );
+        assert!(
+            report.is_valid(),
+            "round {round}: {:?}",
+            report.violations.first()
+        );
+    }
+}
+
+/// The acceptance scenario: a 10 000-query batch against a 1 000-node graph
+/// under `f = 2` vertex faults. Every sampled answer must equal Dijkstra on
+/// `H ∖ F` and respect `d_{H∖F} ≤ (2k − 1) · d_{G∖F}`.
+#[test]
+fn ten_thousand_query_batch_on_thousand_node_graph_respects_stretch() {
+    let n = 1_000;
+    let mut r = rng(503);
+    let graph = generators::connected_gnp(n, 16.0 / (n as f64 - 1.0), &mut r);
+    let params = SpannerParams::vertex(2, 2);
+    let oracle = FaultOracle::build(graph, params, OracleOptions::default());
+    assert!(
+        oracle.spanner().edge_count() < oracle.graph().edge_count(),
+        "the spanner should actually sparsify this graph"
+    );
+
+    // 10k mixed queries over a pool of f = 2 vertex fault sets and hot
+    // sources (the traffic shape the cache is built for).
+    let fault_pool: Vec<FaultSet> = (0..10)
+        .map(|_| sample_fault_set(oracle.graph(), FaultModel::Vertex, 2, &[], &mut r))
+        .collect();
+    let hot_sources: Vec<usize> = (0..40).map(|_| r.gen_range(0..n)).collect();
+    let queries: Vec<Query> = (0..10_000)
+        .map(|i| {
+            let u = vid(hot_sources[r.gen_range(0..hot_sources.len())]);
+            let mut v = vid(r.gen_range(0..n));
+            while v == u {
+                v = vid(r.gen_range(0..n));
+            }
+            let faults = fault_pool[i % fault_pool.len()].clone();
+            if i % 5 == 0 {
+                Query::path(u, v, faults)
+            } else {
+                Query::distance(u, v, faults)
+            }
+        })
+        .collect();
+
+    let answers = oracle.answer_batch(&queries);
+    assert_eq!(answers.len(), queries.len());
+
+    // Sample answers across the batch and check them against the ground
+    // truth: exact distance in H \ F (correctness) and the (2k − 1) bound
+    // against exact distance in G \ F (the spanner guarantee).
+    let stretch = oracle.stretch_bound();
+    let mut scratch = DijkstraScratch::new();
+    let mut audited = 0;
+    for (query, answer) in queries.iter().zip(&answers).step_by(61) {
+        let spanner_view = query.faults.apply(oracle.spanner());
+        let h_tree = scratch.shortest_path_tree(&spanner_view, query.u);
+        assert_eq!(
+            answer.distance,
+            h_tree.distance_to(query.v),
+            "answer must equal Dijkstra on H \\ F for {query:?}"
+        );
+        let graph_view = query.faults.apply(oracle.graph());
+        let g_tree = scratch.shortest_path_tree(&graph_view, query.u);
+        match g_tree.distance_to(query.v) {
+            Some(d_g) => {
+                let d_h = answer
+                    .distance
+                    .expect("pair connected in G \\ F must be served by H \\ F");
+                assert!(
+                    d_h <= stretch * d_g + 1e-9,
+                    "stretch violated for {query:?}: {d_h} > {stretch} * {d_g}"
+                );
+            }
+            None => assert!(
+                answer.distance.is_none(),
+                "H \\ F cannot connect a pair G \\ F separates"
+            ),
+        }
+        audited += 1;
+    }
+    assert!(audited >= 150, "audited only {audited} answers");
+
+    // Path answers must be genuine walks in the surviving spanner.
+    for (query, answer) in queries.iter().zip(&answers) {
+        if let Some(path) = &answer.path {
+            assert_eq!(path.first(), Some(&query.u));
+            assert_eq!(path.last(), Some(&query.v));
+            let mut walked = 0.0;
+            for pair in path.windows(2) {
+                let e = oracle
+                    .spanner()
+                    .edge_between(pair[0], pair[1])
+                    .expect("path edges must exist in the spanner");
+                walked += oracle.spanner().weight(e);
+            }
+            let d = answer.distance.expect("path answers carry a distance");
+            assert!((walked - d).abs() < 1e-9);
+        }
+    }
+
+    // The grouped batch over a small fault-set pool must hit the cache hard.
+    let snapshot = oracle.metrics().snapshot();
+    assert_eq!(snapshot.queries, 10_000);
+    assert!(
+        snapshot.hit_rate() > 0.7,
+        "hit rate {:.2} too low for pooled traffic",
+        snapshot.hit_rate()
+    );
+}
+
+/// The oracle's repair path is exercised deliberately: destroy part of the
+/// spanner's redundancy by a targeted wave and confirm escalation still ends
+/// in a valid state.
+#[test]
+fn targeted_wave_with_escalation_allowed_stays_valid() {
+    let graph = generators::ring_of_cliques(6, 5);
+    let params = SpannerParams::vertex(2, 1);
+    let mut oracle = FaultOracle::build(graph, params, OracleOptions::default());
+    // Fault one vertex of every other clique — structured damage near the
+    // ring's small cuts.
+    let wave = FaultSet::vertices([vid(0), vid(10), vid(20)]);
+    let config = ChurnConfig {
+        verify_samples: 25,
+        ..ChurnConfig::default()
+    };
+    let _ = oracle.apply_wave(&wave, &config);
+    let report = verify_spanner(
+        oracle.graph(),
+        oracle.spanner(),
+        params,
+        VerificationMode::Sampled {
+            samples: 30,
+            seed: 7,
+        },
+    );
+    assert!(report.is_valid(), "{:?}", report.violations.first());
+}

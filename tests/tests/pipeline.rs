@@ -25,8 +25,12 @@ fn every_algorithm_produces_a_valid_vft_spanner_on_every_workload() {
                 result.spanner.is_edge_subgraph_of(&graph),
                 "{name}/{algorithm:?}: spanner is not a subgraph"
             );
-            let report =
-                verify_spanner(&graph, &result.spanner, params, VerificationMode::Exhaustive);
+            let report = verify_spanner(
+                &graph,
+                &result.spanner,
+                params,
+                VerificationMode::Exhaustive,
+            );
             assert!(
                 report.is_valid(),
                 "{name}/{algorithm:?}: {:?}",
@@ -44,7 +48,12 @@ fn modified_greedy_handles_edge_faults_on_every_workload() {
             .fault_model(FaultModel::Edge)
             .build(&graph)
             .unwrap();
-        let report = verify_spanner(&graph, &result.spanner, params, VerificationMode::Exhaustive);
+        let report = verify_spanner(
+            &graph,
+            &result.spanner,
+            params,
+            VerificationMode::Exhaustive,
+        );
         assert!(report.is_valid(), "{name}: {:?}", report.violations);
     }
 }

@@ -3,14 +3,15 @@
 
 use ftspan::lbc::{decide_vertex_lbc, is_length_bounded_cut, LbcDecision};
 use ftspan::verify::{verify_spanner, VerificationMode};
-use ftspan::{poly_greedy_spanner, FaultSet, SpannerParams};
+use ftspan::{poly_greedy_spanner, sample_fault_set, FaultModel, FaultSet, SpannerParams};
 use ftspan_graph::bfs::{bfs_hop_distances, shortest_hop_path_within};
-use ftspan_graph::dijkstra::dijkstra_distances;
+use ftspan_graph::dijkstra::{dijkstra_distances, weighted_distance};
 use ftspan_graph::girth::girth;
 use ftspan_graph::{generators, vid, FaultView, Graph, GraphView, VertexId};
+use ftspan_oracle::{FaultOracle, OracleOptions};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Strategy: a connected random graph described by (n, edge probability, seed).
 fn graph_strategy() -> impl Strategy<Value = Graph> {
@@ -99,7 +100,7 @@ proptest! {
                 prop_assert!(path.hop_count() as u32 <= budget);
                 prop_assert_eq!(Some(path.hop_count() as u32), dist);
             }
-            None => prop_assert!(dist.map_or(true, |d| d > budget)),
+            None => prop_assert!(dist.is_none_or(|d| d > budget)),
         }
     }
 
@@ -127,6 +128,47 @@ proptest! {
         let result = ftspan::nonft::greedy_spanner(&graph, k);
         if let Some(g) = girth(&result.spanner) {
             prop_assert!(g > 2 * k, "girth {g} with k {k}");
+        }
+    }
+
+    /// Every `FaultOracle` answer equals Dijkstra on `H ∖ F` and respects
+    /// the `(2k − 1)` stretch bound against `G ∖ F` — the serving layer
+    /// never distorts the spanner guarantee.
+    #[test]
+    fn oracle_answers_match_dijkstra_and_stretch_bound(
+        graph in graph_strategy(),
+        f in 0u32..3,
+        seed in 0u64..500,
+    ) {
+        let params = SpannerParams::vertex(2, f);
+        let n = graph.vertex_count();
+        let oracle = FaultOracle::build(graph, params, OracleOptions::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..4 {
+            let u = vid(rng.gen_range(0..n));
+            let v = vid(rng.gen_range(0..n));
+            if u == v {
+                continue;
+            }
+            // |F| ≤ f, never faulting the terminals (Definition 1).
+            let faults = sample_fault_set(
+                oracle.graph(),
+                FaultModel::Vertex,
+                f as usize,
+                &[u, v],
+                &mut rng,
+            );
+            let answer = oracle.distance(u, v, &faults);
+            let spanner_view = faults.apply(oracle.spanner());
+            prop_assert_eq!(answer, weighted_distance(&spanner_view, u, v));
+            let graph_view = faults.apply(oracle.graph());
+            if let Some(d_g) = weighted_distance(&graph_view, u, v) {
+                let d_h = answer.expect("spanner must keep surviving pairs connected");
+                prop_assert!(
+                    d_h <= f64::from(params.stretch()) * d_g + 1e-9,
+                    "stretch violated: {} > {} * {}", d_h, params.stretch(), d_g
+                );
+            }
         }
     }
 }
