@@ -1,0 +1,111 @@
+//! Sharded vs single-oracle serving throughput.
+//!
+//! Three configurations answer the same batch on the same graph:
+//!
+//! * the single global [`FaultOracle`] (the baseline);
+//! * a [`ShardedOracle`] with a **1-shard plan** — one region covering the
+//!   graph, empty frontier, no fallbacks. The acceptance criterion is that
+//!   this stays within 2× of the baseline: routing must not tax unsharded
+//!   deployments;
+//! * a [`ShardedOracle`] with a 4-shard plan, the configuration that
+//!   actually pays for its routing with smaller per-region working sets.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ftspan::{FaultModel, FaultSet, SpannerParams};
+use ftspan_bench::{gnp_workload, rng};
+use ftspan_graph::vid;
+use ftspan_oracle::{
+    FaultOracle, OracleOptions, Query, ShardPlanOptions, ShardedOptions, ShardedOracle,
+};
+use rand::Rng;
+
+/// The bursty traffic shape of the oracle bench: hot sources, a handful of
+/// rolling fault sets, mixed distance/path queries.
+fn query_batch(n_vertices: usize, batch: usize, fault_sets: usize, seed: u64) -> Vec<Query> {
+    let mut r = rng(seed);
+    let waves: Vec<FaultSet> = (0..fault_sets)
+        .map(|_| {
+            let a = vid(r.gen_range(0..n_vertices));
+            let b = vid(r.gen_range(0..n_vertices));
+            FaultSet::vertices([a, b])
+        })
+        .collect();
+    let hot_sources: Vec<usize> = (0..24).map(|_| r.gen_range(0..n_vertices)).collect();
+    (0..batch)
+        .map(|i| {
+            let u = vid(hot_sources[r.gen_range(0..hot_sources.len())]);
+            let mut v = vid(r.gen_range(0..n_vertices));
+            while v == u {
+                v = vid(r.gen_range(0..n_vertices));
+            }
+            let faults = waves[i % waves.len()].clone();
+            if i % 4 == 0 {
+                Query::path(u, v, faults)
+            } else {
+                Query::distance(u, v, faults)
+            }
+        })
+        .collect()
+}
+
+fn sharded_options(shards: usize) -> ShardedOptions {
+    ShardedOptions {
+        plan: ShardPlanOptions {
+            shards,
+            ..ShardPlanOptions::default()
+        },
+        ..ShardedOptions::default()
+    }
+}
+
+fn bench_sharded_vs_single(c: &mut Criterion) {
+    let n = 400;
+    let batch = 2_000;
+    let graph = gnp_workload(n, 6.0, 7);
+    let params = SpannerParams::vertex(2, 2);
+    let queries = query_batch(n, batch, 8, 11);
+
+    let single = FaultOracle::build(graph.clone(), params, OracleOptions::default());
+    let one_shard = ShardedOracle::build(graph.clone(), params, sharded_options(1));
+    let four_shards = ShardedOracle::build(graph, params, sharded_options(4));
+
+    let mut group = c.benchmark_group("sharded_batch");
+    group.throughput(Throughput::Elements(batch as u64));
+    group.bench_with_input(BenchmarkId::from_parameter("single"), &queries, |b, q| {
+        b.iter(|| single.answer_batch(q));
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("shards_1"), &queries, |b, q| {
+        b.iter(|| one_shard.answer_batch(q));
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("shards_4"), &queries, |b, q| {
+        b.iter(|| four_shards.answer_batch(q));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("sharded_single_query");
+    let faults = FaultSet::vertices([vid(1), vid(2)]);
+    let empty = FaultSet::empty(FaultModel::Vertex);
+    group.bench_function("distance_faulted", |b| {
+        b.iter(|| four_shards.distance(vid(3), vid(n - 1), &faults))
+    });
+    group.bench_function("path_no_faults", |b| {
+        b.iter(|| four_shards.path(vid(3), vid(n - 1), &empty))
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sharded_vs_single
+}
+criterion_main!(benches);

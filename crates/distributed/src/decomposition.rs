@@ -61,6 +61,53 @@ impl Partition {
         out
     }
 
+    /// Size of the largest cluster (0 for an empty graph) — the balance
+    /// criterion used when picking a partition for sharding.
+    #[must_use]
+    pub fn max_cluster_size(&self) -> usize {
+        self.clusters()
+            .iter()
+            .map(|(_, members)| members.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Packs the partition's clusters into `shards` groups of roughly equal
+    /// vertex count, returning the shard index of every vertex.
+    ///
+    /// The packing is deterministic: clusters are taken largest first (ties
+    /// by center id) and each goes to the currently lightest shard (ties by
+    /// shard index). Whole clusters are never split, so every intra-cluster
+    /// edge — the edges the low-diameter clustering worked to keep together —
+    /// stays internal to a shard, and the same partition always yields the
+    /// same assignment (the reproducibility the sharded differential tests
+    /// rely on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0.
+    #[must_use]
+    pub fn shard_assignment(&self, shards: usize) -> Vec<u32> {
+        assert!(shards > 0, "shard count must be positive");
+        let mut clusters = self.clusters();
+        clusters.sort_by(|(ca, ma), (cb, mb)| mb.len().cmp(&ma.len()).then(ca.cmp(cb)));
+        let mut load = vec![0usize; shards];
+        let mut shard_of = vec![0u32; self.center_of.len()];
+        for (_, members) in clusters {
+            let lightest = load
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &l)| (l, i))
+                .map(|(i, _)| i)
+                .expect("at least one shard");
+            load[lightest] += members.len();
+            for v in members {
+                shard_of[v.index()] = lightest as u32;
+            }
+        }
+        shard_of
+    }
+
     /// The maximum hop diameter of any cluster, measured inside the induced
     /// subgraph of the cluster (strong diameter). Singleton clusters have
     /// diameter 0.
@@ -104,6 +151,22 @@ impl Decomposition {
             let (u, v) = e.endpoints();
             self.partitions.iter().any(|p| p.covers_edge(graph, u, v))
         })
+    }
+
+    /// The partition best suited for deriving a shard plan: the one whose
+    /// largest cluster is smallest (ties broken by partition index), so the
+    /// downstream bin packing starts from the most balanced clustering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decomposition has no partitions (never produced by
+    /// [`padded_decomposition`]).
+    #[must_use]
+    pub fn sharding_partition(&self) -> &Partition {
+        self.partitions
+            .iter()
+            .min_by_key(|p| p.max_cluster_size())
+            .expect("decomposition has at least one partition")
     }
 
     /// Fraction of edges covered by at least one cluster.
@@ -338,6 +401,38 @@ mod tests {
             VertexId::new(0)
         );
         assert!((d.edge_coverage(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_assignment_is_a_balanced_cluster_respecting_partition() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generators::connected_gnp(60, 0.1, &mut rng);
+        let d = padded_decomposition(&g, &DecompositionOptions::default(), &mut rng);
+        let p = d.sharding_partition();
+        for shards in [1usize, 3, 5] {
+            let assignment = p.shard_assignment(shards);
+            assert_eq!(assignment.len(), 60);
+            assert!(assignment.iter().all(|&s| (s as usize) < shards));
+            // Clusters are never split across shards.
+            for (_, members) in p.clusters() {
+                let first = assignment[members[0].index()];
+                assert!(members.iter().all(|m| assignment[m.index()] == first));
+            }
+            // Deterministic: recomputing yields the identical assignment.
+            assert_eq!(assignment, p.shard_assignment(shards));
+        }
+        // The chosen partition is the most balanced one.
+        let best = p.max_cluster_size();
+        assert!(d.partitions.iter().all(|q| q.max_cluster_size() >= best));
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn zero_shards_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = generators::path(10);
+        let d = padded_decomposition(&g, &DecompositionOptions::default(), &mut rng);
+        let _ = d.sharding_partition().shard_assignment(0);
     }
 
     #[test]

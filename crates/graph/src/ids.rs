@@ -165,6 +165,120 @@ impl fmt::Display for EdgeId {
     }
 }
 
+/// A bidirectional mapping between a graph's global vertex identifiers and
+/// the dense local identifiers of an extracted region (an induced subgraph,
+/// typically a shard plus its halo).
+///
+/// Local identifiers are assigned in the order the members were listed, so a
+/// region built from a sorted member list has deterministic local ids — the
+/// property the sharded serving layer relies on for reproducible caching.
+///
+/// # Examples
+///
+/// ```
+/// use ftspan_graph::{vid, IdRemap};
+///
+/// let remap = IdRemap::from_members(10, &[vid(7), vid(2), vid(9)]);
+/// assert_eq!(remap.local_count(), 3);
+/// assert_eq!(remap.to_local(vid(2)), Some(vid(1)));
+/// assert_eq!(remap.to_global(vid(1)), vid(2));
+/// assert_eq!(remap.to_local(vid(3)), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct IdRemap {
+    to_global: Vec<VertexId>,
+    to_local: Vec<Option<VertexId>>,
+}
+
+impl IdRemap {
+    /// Builds the mapping for the given members of a universe of
+    /// `universe_size` global vertices. Duplicate members keep their first
+    /// position; members out of range are ignored.
+    #[must_use]
+    pub fn from_members(universe_size: usize, members: &[VertexId]) -> Self {
+        let mut to_local: Vec<Option<VertexId>> = vec![None; universe_size];
+        let mut to_global = Vec::with_capacity(members.len());
+        for &v in members {
+            if v.index() < universe_size && to_local[v.index()].is_none() {
+                to_local[v.index()] = Some(VertexId::new(to_global.len()));
+                to_global.push(v);
+            }
+        }
+        Self {
+            to_global,
+            to_local,
+        }
+    }
+
+    /// Number of vertices in the region (the local identifier space).
+    #[inline]
+    #[must_use]
+    pub fn local_count(&self) -> usize {
+        self.to_global.len()
+    }
+
+    /// Size of the global identifier space the mapping was built over.
+    #[inline]
+    #[must_use]
+    pub fn universe_size(&self) -> usize {
+        self.to_local.len()
+    }
+
+    /// The region members, in local-id order (`members()[i]` is the global
+    /// id of local vertex `i`).
+    #[inline]
+    #[must_use]
+    pub fn members(&self) -> &[VertexId] {
+        &self.to_global
+    }
+
+    /// Maps a global vertex into the region, or `None` if it is not a member
+    /// (or out of range).
+    #[inline]
+    #[must_use]
+    pub fn to_local(&self, global: VertexId) -> Option<VertexId> {
+        self.to_local.get(global.index()).copied().flatten()
+    }
+
+    /// Returns `true` if the global vertex belongs to the region.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, global: VertexId) -> bool {
+        self.to_local(global).is_some()
+    }
+
+    /// Maps a local vertex back to its global identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range for the region.
+    #[inline]
+    #[must_use]
+    pub fn to_global(&self, local: VertexId) -> VertexId {
+        self.to_global[local.index()]
+    }
+
+    /// Re-expresses a local path in global identifiers.
+    #[must_use]
+    pub fn globalize_path(&self, path: &[VertexId]) -> Vec<VertexId> {
+        path.iter().map(|&v| self.to_global(v)).collect()
+    }
+
+    /// Maps the global vertices that belong to the region into local ids,
+    /// silently dropping non-members (the tolerance serving layers need when
+    /// restricting a global fault set to one shard).
+    #[must_use]
+    pub fn localize_vertices<I>(&self, vertices: I) -> Vec<VertexId>
+    where
+        I: IntoIterator<Item = VertexId>,
+    {
+        vertices
+            .into_iter()
+            .filter_map(|v| self.to_local(v))
+            .collect()
+    }
+}
+
 /// Convenience constructor used pervasively in tests and examples.
 ///
 /// # Examples
@@ -249,5 +363,40 @@ mod tests {
     #[should_panic(expected = "vertex index exceeds u32::MAX")]
     fn vertex_id_overflow_panics() {
         let _ = VertexId::new(usize::try_from(u64::from(u32::MAX) + 1).unwrap());
+    }
+
+    #[test]
+    fn remap_round_trips_members_in_order() {
+        let remap = IdRemap::from_members(8, &[vid(5), vid(0), vid(3)]);
+        assert_eq!(remap.local_count(), 3);
+        assert_eq!(remap.universe_size(), 8);
+        assert_eq!(remap.members(), &[vid(5), vid(0), vid(3)]);
+        for (local, &global) in remap.members().iter().enumerate() {
+            assert_eq!(remap.to_local(global), Some(vid(local)));
+            assert_eq!(remap.to_global(vid(local)), global);
+        }
+        assert!(remap.contains(vid(0)));
+        assert!(!remap.contains(vid(1)));
+        assert_eq!(remap.to_local(vid(100)), None, "out of range maps to None");
+    }
+
+    #[test]
+    fn remap_ignores_duplicates_and_out_of_range_members() {
+        let remap = IdRemap::from_members(4, &[vid(2), vid(2), vid(9), vid(1)]);
+        assert_eq!(remap.members(), &[vid(2), vid(1)]);
+        assert_eq!(remap.to_local(vid(2)), Some(vid(0)));
+    }
+
+    #[test]
+    fn remap_translates_paths_and_filters_vertices() {
+        let remap = IdRemap::from_members(6, &[vid(4), vid(1), vid(5)]);
+        assert_eq!(
+            remap.globalize_path(&[vid(0), vid(2), vid(1)]),
+            vec![vid(4), vid(5), vid(1)]
+        );
+        assert_eq!(
+            remap.localize_vertices([vid(1), vid(3), vid(5)]),
+            vec![vid(1), vid(2)]
+        );
     }
 }

@@ -58,5 +58,7 @@ mod view;
 pub use edge::Edge;
 pub use error::{GraphError, Result};
 pub use graph::{Graph, GraphBuilder};
-pub use ids::{eid, vid, EdgeId, VertexId};
-pub use view::{fault_fingerprint, FaultView, GraphView};
+pub use ids::{eid, vid, EdgeId, IdRemap, VertexId};
+pub use view::{
+    fault_fingerprint, fault_fingerprint_namespaced, namespace_fingerprint, FaultView, GraphView,
+};

@@ -6,7 +6,8 @@
 //! crate are generic over [`GraphView`], and [`FaultView`] implements that
 //! trait by filtering a borrowed [`Graph`] through cheap membership bitmaps.
 
-use crate::{EdgeId, Graph, VertexId};
+use crate::bfs::BfsScratch;
+use crate::{EdgeId, Graph, IdRemap, VertexId};
 
 /// Read-only access to an undirected graph, possibly with faults applied.
 ///
@@ -149,21 +150,60 @@ pub struct FaultView<'g> {
     edge_blocked: Vec<bool>,
     blocked_vertex_count: usize,
     blocked_edge_count: usize,
+    namespace: u64,
     fingerprint: u64,
 }
 
 /// Domain-separation tags mixed into the [`FaultView::fingerprint`] so a
-/// blocked vertex and a blocked edge with the same index hash differently.
+/// blocked vertex and a blocked edge with the same index hash differently,
+/// and so a namespace qualifier can never cancel against either.
 const VERTEX_FINGERPRINT_TAG: u64 = 0x9E6C_63D0_76CC_4311;
 const EDGE_FINGERPRINT_TAG: u64 = 0x5851_F42D_4C95_7F2D;
+const NAMESPACE_FINGERPRINT_TAG: u64 = 0xA24B_AED4_963E_E407;
 
 /// SplitMix64 finalizer, used to spread fault element ids over 64 bits.
 #[inline]
-fn mix_fingerprint(tag: u64, index: usize) -> u64 {
-    let mut z = tag ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+fn mix64(tag: u64, value: u64) -> u64 {
+    let mut z = tag ^ value.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+#[inline]
+fn mix_fingerprint(tag: u64, index: usize) -> u64 {
+    mix64(tag, index as u64)
+}
+
+/// The fingerprint contribution of a namespace qualifier: `0` for the default
+/// namespace `0`, a SplitMix64 hash otherwise.
+///
+/// Fault fingerprints are computed over *local* element indices, so two
+/// different regions (for example two shards of a sharded oracle) holding
+/// identical local fault patterns would collide. Namespacing folds a
+/// region-unique qualifier into the fingerprint so cached `G \ F` artifacts
+/// can never be confused across regions. Namespace `0` is the global
+/// namespace and leaves every existing fingerprint unchanged.
+#[inline]
+#[must_use]
+pub fn namespace_fingerprint(namespace: u64) -> u64 {
+    if namespace == 0 {
+        0
+    } else {
+        mix64(NAMESPACE_FINGERPRINT_TAG, namespace)
+    }
+}
+
+/// Like [`fault_fingerprint`] but qualified by a namespace (see
+/// [`namespace_fingerprint`]). `fault_fingerprint_namespaced(0, ..)` equals
+/// `fault_fingerprint(..)`.
+#[must_use]
+pub fn fault_fingerprint_namespaced<VI, EI>(namespace: u64, vertices: VI, edges: EI) -> u64
+where
+    VI: IntoIterator<Item = VertexId>,
+    EI: IntoIterator<Item = EdgeId>,
+{
+    namespace_fingerprint(namespace) ^ fault_fingerprint(vertices, edges)
 }
 
 /// Computes the fingerprint a [`FaultView`] would report after blocking
@@ -190,17 +230,37 @@ where
 }
 
 impl<'g> FaultView<'g> {
-    /// Creates a view with an empty fault set.
+    /// Creates a view with an empty fault set in the global namespace `0`.
     #[must_use]
     pub fn new(graph: &'g Graph) -> Self {
+        Self::with_namespace(graph, 0)
+    }
+
+    /// Creates a view with an empty fault set whose fingerprints are
+    /// qualified by `namespace` (see [`namespace_fingerprint`]).
+    ///
+    /// Views over remapped regions (shards) must use a region-unique
+    /// namespace: their local element indices overlap, so unqualified
+    /// fingerprints of identical local fault patterns would collide across
+    /// regions.
+    #[must_use]
+    pub fn with_namespace(graph: &'g Graph, namespace: u64) -> Self {
         Self {
             graph,
             vertex_blocked: vec![false; graph.vertex_count()],
             edge_blocked: vec![false; graph.edge_count()],
             blocked_vertex_count: 0,
             blocked_edge_count: 0,
-            fingerprint: 0,
+            namespace,
+            fingerprint: namespace_fingerprint(namespace),
         }
+    }
+
+    /// The namespace qualifier this view folds into its fingerprint.
+    #[inline]
+    #[must_use]
+    pub fn namespace(&self) -> u64 {
+        self.namespace
     }
 
     /// Creates a view with the given vertices already blocked.
@@ -305,13 +365,13 @@ impl<'g> FaultView<'g> {
         }
     }
 
-    /// Removes all faults, restoring the full graph.
+    /// Removes all faults, restoring the full graph (the namespace is kept).
     pub fn clear(&mut self) {
         self.vertex_blocked.fill(false);
         self.edge_blocked.fill(false);
         self.blocked_vertex_count = 0;
         self.blocked_edge_count = 0;
-        self.fingerprint = 0;
+        self.fingerprint = namespace_fingerprint(self.namespace);
     }
 
     /// A 64-bit fingerprint of the current fault set, maintained in `O(1)`
@@ -420,6 +480,49 @@ impl GraphView for FaultView<'_> {
     #[inline]
     fn live_vertex_count(&self) -> usize {
         self.graph.vertex_count() - self.blocked_vertex_count
+    }
+}
+
+/// Region extraction: induced subgraphs with a halo, the building block of
+/// sharded serving. A *region* is a vertex subset (a shard's core) expanded
+/// by every vertex within a hop radius (the halo), re-indexed densely via
+/// [`IdRemap`] so per-region data structures stay compact.
+impl Graph {
+    /// All vertices within `radius` hops of any core vertex — the core plus
+    /// its halo — in ascending global id order (so downstream local ids are
+    /// deterministic). Out-of-range core vertices are ignored.
+    #[must_use]
+    pub fn halo_members(&self, core: &[VertexId], radius: u32) -> Vec<VertexId> {
+        let mut scratch = BfsScratch::new();
+        let dist = scratch.multi_source_hop_distances(self, core.iter().copied(), radius);
+        dist.iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_some())
+            .map(|(i, _)| VertexId::new(i))
+            .collect()
+    }
+
+    /// Builds the induced subgraph on the given members together with the
+    /// local↔global id mapping. Duplicate members keep their first position;
+    /// local ids follow member order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any member is out of range.
+    #[must_use]
+    pub fn induced_subgraph_remap(&self, members: &[VertexId]) -> (Graph, IdRemap) {
+        let (sub, original_of) = self.induced_subgraph(members);
+        let remap = IdRemap::from_members(self.vertex_count(), &original_of);
+        (sub, remap)
+    }
+
+    /// Builds the induced subgraph on `core` plus its hop-`radius` halo,
+    /// together with the id mapping: the region a shard serves locally. A
+    /// disconnected core vertex still belongs to its own region.
+    #[must_use]
+    pub fn induced_subgraph_with_halo(&self, core: &[VertexId], radius: u32) -> (Graph, IdRemap) {
+        let members = self.halo_members(core, radius);
+        self.induced_subgraph_remap(&members)
     }
 }
 
@@ -584,6 +687,88 @@ mod tests {
         assert_ne!(view.fingerprint(), 0);
         view.clear();
         assert_eq!(view.fingerprint(), 0);
+    }
+
+    #[test]
+    fn namespaced_views_with_equal_faults_have_distinct_fingerprints() {
+        let g = cycle(6);
+        let mut a = FaultView::with_namespace(&g, 1);
+        let mut b = FaultView::with_namespace(&g, 2);
+        assert_eq!(a.namespace(), 1);
+        assert_ne!(a.fingerprint(), b.fingerprint(), "empty sets must differ");
+        a.block_vertex(vid(3));
+        b.block_vertex(vid(3));
+        assert_ne!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "identical local fault patterns in different namespaces must not collide"
+        );
+        // Clearing returns to the namespace's base fingerprint, not to 0.
+        let base = FaultView::with_namespace(&g, 1).fingerprint();
+        a.clear();
+        assert_eq!(a.fingerprint(), base);
+        assert_ne!(base, 0);
+    }
+
+    #[test]
+    fn namespace_zero_matches_unnamespaced_fingerprints() {
+        let g = cycle(5);
+        let mut plain = FaultView::new(&g);
+        let mut zero = FaultView::with_namespace(&g, 0);
+        plain.block_vertex(vid(2));
+        zero.block_vertex(vid(2));
+        assert_eq!(plain.fingerprint(), zero.fingerprint());
+        assert_eq!(
+            fault_fingerprint_namespaced(0, [vid(2)], []),
+            fault_fingerprint([vid(2)], [])
+        );
+        assert_eq!(
+            fault_fingerprint_namespaced(7, [vid(2)], []),
+            namespace_fingerprint(7) ^ fault_fingerprint([vid(2)], [])
+        );
+    }
+
+    #[test]
+    fn halo_members_grow_with_radius_and_include_the_core() {
+        let g = {
+            let mut g = Graph::new(8);
+            for i in 0..7 {
+                g.add_unit_edge(i, i + 1);
+            }
+            g
+        };
+        assert_eq!(g.halo_members(&[vid(3)], 0), vec![vid(3)]);
+        assert_eq!(
+            g.halo_members(&[vid(3)], 2),
+            vec![vid(1), vid(2), vid(3), vid(4), vid(5)]
+        );
+        // Out-of-range cores are tolerated.
+        assert_eq!(g.halo_members(&[vid(99)], 3), Vec::<VertexId>::new());
+    }
+
+    #[test]
+    fn induced_subgraph_with_halo_keeps_weights_and_mapping() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1, 2.0);
+        g.add_edge(1, 2, 3.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 4, 1.0);
+        g.add_edge(4, 5, 1.0);
+        let (sub, remap) = g.induced_subgraph_with_halo(&[vid(1)], 1);
+        assert_eq!(remap.members(), &[vid(0), vid(1), vid(2)]);
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        let e = sub
+            .edge_between(
+                remap.to_local(vid(1)).unwrap(),
+                remap.to_local(vid(2)).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(sub.weight(e), 3.0);
+        // Plain remapped induction on an explicit member list agrees.
+        let (sub2, remap2) = g.induced_subgraph_remap(&[vid(0), vid(1), vid(2)]);
+        assert_eq!(sub2.edge_count(), sub.edge_count());
+        assert_eq!(remap2.members(), remap.members());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! distributed over the pool through a simple atomic cursor — group sizes
 //! are uneven, so work stealing at group granularity beats static chunking.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -17,6 +17,7 @@ use ftspan_graph::dijkstra::DijkstraScratch;
 use crate::cache::CacheKey;
 use crate::oracle::FaultOracle;
 use crate::query::{Answer, Query};
+use crate::shard::{Route, ShardedOracle};
 
 impl FaultOracle {
     /// Answers a batch of queries, returning answers in request order.
@@ -37,7 +38,7 @@ impl FaultOracle {
         let mut by_fault: HashMap<CacheKey, Vec<usize>> = HashMap::new();
         for (idx, query) in queries.iter().enumerate() {
             by_fault
-                .entry(CacheKey::from_fault_set(&query.faults))
+                .entry(self.cache_key(&query.faults))
                 .or_default()
                 .push(idx);
         }
@@ -92,13 +93,100 @@ impl FaultOracle {
             .collect()
     }
 
-    fn effective_workers(&self, groups: usize) -> usize {
+    pub(crate) fn effective_workers(&self, groups: usize) -> usize {
         let configured = if self.options.workers == 0 {
             thread::available_parallelism().map_or(1, usize::from)
         } else {
             self.options.workers
         };
         configured.min(groups).max(1)
+    }
+}
+
+impl ShardedOracle {
+    /// Answers a batch of queries, returning answers in request order —
+    /// identical answers to [`FaultOracle::answer_batch`] on the same
+    /// spanner, but routed through the shards.
+    ///
+    /// Queries are grouped by `(region route, fault set)` so each group
+    /// shares its region's cached trees, and the groups are fanned out over
+    /// the same kind of work-stealing worker pool the single oracle uses.
+    /// Pair regions for every cross-shard route in the batch are
+    /// materialized up front, so workers never contend on the pair cache.
+    #[must_use]
+    pub fn answer_batch(&self, queries: &[Query]) -> Vec<Answer> {
+        self.metrics().record_batch();
+        if queries.is_empty() {
+            return Vec::new();
+        }
+
+        let mut by_group: HashMap<(Route, CacheKey), Vec<usize>> = HashMap::new();
+        let mut pairs: HashSet<(u32, u32)> = HashSet::new();
+        for (idx, query) in queries.iter().enumerate() {
+            let route = self.route(query.u, query.v);
+            if let Route::Pair(a, b) = route {
+                pairs.insert((a, b));
+            }
+            by_group
+                .entry((route, CacheKey::from_fault_set(&query.faults)))
+                .or_default()
+                .push(idx);
+        }
+        for (a, b) in pairs {
+            let _ = self.pair_region(a, b);
+        }
+        let groups: Vec<(Route, Vec<usize>)> = by_group
+            .into_iter()
+            .map(|((route, _), idxs)| (route, idxs))
+            .collect();
+
+        let workers = self.global().effective_workers(groups.len());
+        let mut slots: Vec<Option<Answer>> = vec![None; queries.len()];
+
+        if workers <= 1 {
+            let mut scratch = DijkstraScratch::new();
+            for (_, group) in &groups {
+                for &idx in group {
+                    slots[idx] = Some(self.answer_with_scratch(&queries[idx], &mut scratch));
+                }
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let collected: Mutex<Vec<(usize, Answer)>> =
+                Mutex::new(Vec::with_capacity(queries.len()));
+            thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        let mut scratch = DijkstraScratch::new();
+                        let mut local: Vec<(usize, Answer)> = Vec::new();
+                        loop {
+                            let g = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some((_, group)) = groups.get(g) else {
+                                break;
+                            };
+                            for &idx in group {
+                                local.push((
+                                    idx,
+                                    self.answer_with_scratch(&queries[idx], &mut scratch),
+                                ));
+                            }
+                        }
+                        collected
+                            .lock()
+                            .expect("batch result sink poisoned")
+                            .extend(local);
+                    });
+                }
+            });
+            for (idx, answer) in collected.into_inner().expect("batch result sink poisoned") {
+                slots[idx] = Some(answer);
+            }
+        }
+
+        slots
+            .into_iter()
+            .map(|a| a.expect("every query index answered exactly once"))
+            .collect()
     }
 }
 
@@ -193,5 +281,63 @@ mod tests {
     fn empty_batch_is_fine() {
         let oracle = oracle_with_workers(4, 64);
         assert!(oracle.answer_batch(&[]).is_empty());
+    }
+
+    fn sharded_with_workers(workers: usize, shards: usize) -> crate::ShardedOracle {
+        let mut rng = StdRng::seed_from_u64(31);
+        let graph = generators::connected_gnp(30, 0.25, &mut rng);
+        let options = crate::ShardedOptions {
+            plan: crate::ShardPlanOptions {
+                shards,
+                ..crate::ShardPlanOptions::default()
+            },
+            oracle: OracleOptions {
+                workers,
+                ..OracleOptions::default()
+            },
+            ..crate::ShardedOptions::default()
+        };
+        crate::ShardedOracle::build(graph, SpannerParams::vertex(2, 1), options)
+    }
+
+    #[test]
+    fn sharded_batch_matches_single_oracle_batch() {
+        // Same graph and spanner construction as `oracle_with_workers`, so
+        // the sharded batch must reproduce the single oracle's answers.
+        let single = oracle_with_workers(4, 64);
+        for shards in [1usize, 3] {
+            let sharded = sharded_with_workers(4, shards);
+            let queries = mixed_batch(150, 30, 12);
+            let a = single.answer_batch(&queries);
+            let b = sharded.answer_batch(&queries);
+            assert_eq!(a.len(), b.len());
+            for ((query, x), y) in queries.iter().zip(&a).zip(&b) {
+                assert_eq!(x.distance, y.distance, "shards {shards}: {query:?}");
+                match (&x.path, &y.path) {
+                    (None, None) => {}
+                    (Some(p), Some(q)) => {
+                        // Shortest paths need not be unique; both must be
+                        // walks of the same length with the right endpoints.
+                        assert_eq!(p.first(), q.first());
+                        assert_eq!(p.last(), q.last());
+                    }
+                    other => panic!("path presence diverged: {other:?}"),
+                }
+            }
+            assert_eq!(sharded.metrics().snapshot().queries, 150);
+        }
+    }
+
+    #[test]
+    fn sharded_sequential_and_parallel_agree() {
+        let sequential = sharded_with_workers(1, 3);
+        let parallel = sharded_with_workers(6, 3);
+        let queries = mixed_batch(90, 30, 13);
+        let a = sequential.answer_batch(&queries);
+        let b = parallel.answer_batch(&queries);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.distance, y.distance);
+        }
+        assert!(sequential.answer_batch(&[]).is_empty());
     }
 }

@@ -17,33 +17,50 @@ use std::sync::Arc;
 
 use ftspan::FaultSet;
 use ftspan_graph::dijkstra::ShortestPathTree;
-use ftspan_graph::{fault_fingerprint, VertexId};
+use ftspan_graph::{fault_fingerprint_namespaced, VertexId};
 
-/// Exact cache key for one fault set.
+/// Exact cache key for one fault set, qualified by a cache namespace.
 ///
-/// `Hash` uses only the precomputed fingerprint; `Eq` compares the full
-/// sorted fault lists, so a (astronomically unlikely) fingerprint collision
-/// degrades to a bucket collision, never to a wrong answer.
+/// `Hash` uses only the precomputed fingerprint; `Eq` compares the namespace
+/// and the full sorted fault lists, so a (astronomically unlikely)
+/// fingerprint collision degrades to a bucket collision, never to a wrong
+/// answer.
+///
+/// The namespace exists because fault fingerprints are computed over *local*
+/// element indices: two shards of a [`ShardedOracle`](crate::ShardedOracle)
+/// with identical local fault patterns would otherwise produce equal keys and
+/// could share cache entries through any cache layered across shards. Each
+/// shard therefore keys its trees under a shard-unique namespace
+/// (see [`OracleOptions::cache_namespace`](crate::OracleOptions)).
 #[derive(Clone, Debug, Eq)]
 pub struct CacheKey {
     fingerprint: u64,
+    namespace: u64,
     vertices: Vec<u32>,
     edges: Vec<u32>,
 }
 
 impl CacheKey {
-    /// Builds the key for a fault set (fault sets are sorted and
-    /// deduplicated by construction).
+    /// Builds the key for a fault set in the global namespace `0` (fault
+    /// sets are sorted and deduplicated by construction).
     #[must_use]
     pub fn from_fault_set(faults: &FaultSet) -> Self {
+        Self::namespaced(0, faults)
+    }
+
+    /// Builds the key for a fault set under the given cache namespace.
+    #[must_use]
+    pub fn namespaced(namespace: u64, faults: &FaultSet) -> Self {
         let vertices: Vec<u32> = faults.vertex_faults().iter().map(|v| v.as_u32()).collect();
         let edges: Vec<u32> = faults.edge_faults().iter().map(|e| e.as_u32()).collect();
-        let fingerprint = fault_fingerprint(
+        let fingerprint = fault_fingerprint_namespaced(
+            namespace,
             faults.vertex_faults().iter().copied(),
             faults.edge_faults().iter().copied(),
         );
         Self {
             fingerprint,
+            namespace,
             vertices,
             edges,
         }
@@ -55,11 +72,19 @@ impl CacheKey {
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
     }
+
+    /// The cache namespace the key was derived under.
+    #[inline]
+    #[must_use]
+    pub fn namespace(&self) -> u64 {
+        self.namespace
+    }
 }
 
 impl PartialEq for CacheKey {
     fn eq(&self, other: &Self) -> bool {
         self.fingerprint == other.fingerprint
+            && self.namespace == other.namespace
             && self.vertices == other.vertices
             && self.edges == other.edges
     }
@@ -190,6 +215,35 @@ mod tests {
         assert_ne!(a, c);
         assert_ne!(a, d);
         assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn namespaces_separate_identical_local_fault_patterns() {
+        // Regression: shard-local fault sets are expressed in remapped local
+        // ids, so two shards with identical local fault patterns used to
+        // derive equal keys and could share cache entries. Namespaced keys
+        // must never collide across shards.
+        let faults = FaultSet::vertices([vid(1), vid(3)]);
+        let shard_a = CacheKey::namespaced(1, &faults);
+        let shard_b = CacheKey::namespaced(2, &faults);
+        assert_ne!(shard_a, shard_b);
+        assert_ne!(shard_a.fingerprint(), shard_b.fingerprint());
+        assert_eq!(shard_a.namespace(), 1);
+        // Namespace 0 is the legacy global namespace.
+        assert_eq!(
+            CacheKey::namespaced(0, &faults),
+            CacheKey::from_fault_set(&faults)
+        );
+
+        // End to end: a cache fed trees under shard A's key must miss for
+        // shard B even though the local fault lists and sources are equal.
+        let mut cache = TreeCache::new(4);
+        cache.insert(shard_a.clone(), vid(0), tree_for(0));
+        assert!(cache.get(&shard_a, vid(0)).is_some());
+        assert!(
+            cache.get(&shard_b, vid(0)).is_none(),
+            "shards must not share cache entries"
+        );
     }
 
     #[test]

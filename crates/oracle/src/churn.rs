@@ -32,8 +32,10 @@ use ftspan_graph::bfs::BfsScratch;
 use ftspan_graph::dijkstra::DijkstraScratch;
 use ftspan_graph::{EdgeId, Graph, VertexId};
 
+use crate::boundary::BoundaryIndex;
 use crate::oracle::FaultOracle;
 use crate::repair::neighborhood_candidates;
+use crate::shard::{region_signature, shard_namespace, Region, ShardedOracle};
 
 /// Configuration of the churn loop.
 #[derive(Clone, Debug)]
@@ -325,6 +327,84 @@ impl FaultOracle {
     }
 }
 
+/// What one [`ShardedOracle::apply_wave`] call did.
+#[derive(Clone, Debug)]
+pub struct ShardWaveOutcome {
+    /// The global repair outcome (the wave is applied to the global oracle
+    /// first; its localized repair carries the provable guarantees).
+    pub global: WaveOutcome,
+    /// Shards whose region changed (membership or induced edges) and were
+    /// therefore rebuilt from the repaired spanner. Shards the wave did not
+    /// touch keep their oracle — and its cached trees — untouched.
+    pub rebuilt_shards: Vec<usize>,
+    /// Shard pairs that were adjacent (had cut edges) before the wave and
+    /// have none afterwards: the wave severed every portal between them, so
+    /// cross-shard queries between those shards now certify through wider
+    /// detours or fall back to the global oracle.
+    pub severed_pairs: Vec<(u32, u32)>,
+}
+
+impl ShardedOracle {
+    /// Applies a permanent fault wave and fans the repair out across the
+    /// shards.
+    ///
+    /// The wave first goes through the global oracle's churn loop
+    /// ([`FaultOracle::apply_wave`]): localized certificate-seeded repair
+    /// with full-respan escalation, which restores the `f`-fault-tolerant
+    /// spanner property. The fan-out then recomputes every shard's region
+    /// membership and signature against the repaired spanner and rebuilds
+    /// **only the regions the wave actually changed** — repair work stays
+    /// proportional to the damaged area, and a wave confined to one shard
+    /// leaves every other shard's cached trees valid (their epochs do not
+    /// move). Pair regions are dropped and rebuilt lazily on demand.
+    pub fn apply_wave(&mut self, wave: &FaultSet, config: &ChurnConfig) -> ShardWaveOutcome {
+        let pairs_before = self.boundary.adjacent_pairs();
+        let global = self.global.apply_wave(wave, config);
+
+        self.boundary = BoundaryIndex::build(self.global.spanner(), &self.plan);
+        let severed_pairs = {
+            let after: HashSet<(u32, u32)> = self.boundary.adjacent_pairs().into_iter().collect();
+            pairs_before
+                .into_iter()
+                .filter(|p| !after.contains(p))
+                .collect()
+        };
+
+        let mut rebuilt_shards = Vec::new();
+        for shard in 0..self.plan.shard_count() {
+            let members = self
+                .global
+                .spanner()
+                .halo_members(self.plan.core(shard), self.halo_radius);
+            let signature = region_signature(self.global.graph(), self.global.spanner(), &members);
+            if signature == self.regions[shard].signature {
+                continue;
+            }
+            self.regions[shard] = Region::build(
+                self.global.graph(),
+                self.global.spanner(),
+                self.global.params(),
+                &self.options.oracle,
+                shard_namespace(shard),
+                &members,
+            );
+            self.shard_epochs[shard] += 1;
+            rebuilt_shards.push(shard);
+        }
+        self.pair_regions
+            .lock()
+            .expect("pair region cache poisoned")
+            .clear();
+        self.metrics.record_wave();
+
+        ShardWaveOutcome {
+            global,
+            rebuilt_shards,
+            severed_pairs,
+        }
+    }
+}
+
 /// Checks the Lemma-3 pairs (surviving graph edges) whose endpoints lie
 /// within `radius` hops of a seed: a pair is broken when
 /// `d_{H'}(u, v) > (2k − 1) · w(u, v)` (with the usual weighted restriction
@@ -529,6 +609,80 @@ mod tests {
             assert!(report.is_valid(), "round {round}: {:?}", report.violations);
         }
         assert_eq!(oracle.metrics().snapshot().waves_applied, 6);
+    }
+
+    #[test]
+    fn sharded_wave_rebuilds_only_touched_regions() {
+        // Two cliques joined by a long path: damage inside clique A is far
+        // (more than the halo radius) from clique B's region.
+        let g = {
+            let cliques = 2usize;
+            let size = 6usize;
+            let path_len = 14usize;
+            let n = cliques * size + path_len;
+            let mut g = Graph::new(n);
+            for c in 0..cliques {
+                for i in 0..size {
+                    for j in (i + 1)..size {
+                        g.add_unit_edge(c * size + i, c * size + j);
+                    }
+                }
+            }
+            // Path: clique A's vertex 0 … chain … clique B's vertex 6.
+            let chain_start = cliques * size;
+            let mut prev = 0usize;
+            for p in 0..path_len {
+                g.add_unit_edge(prev, chain_start + p);
+                prev = chain_start + p;
+            }
+            g.add_unit_edge(prev, size); // into clique B
+            g
+        };
+        let n = g.vertex_count();
+        // Shard 0: clique A + first half of the chain; shard 1: the rest.
+        let shard_of: Vec<u32> = (0..n)
+            .map(|i| u32::from(!(i < 6 || (12..19).contains(&i))))
+            .collect();
+        let plan = crate::ShardPlan::from_shard_of(shard_of);
+        let mut oracle = crate::ShardedOracle::build_with_plan(
+            g,
+            SpannerParams::vertex(2, 1),
+            plan,
+            crate::ShardedOptions::default(),
+        );
+
+        // Warm shard 1's cache with a local query.
+        let faults = FaultSet::vertices([vid(7)]);
+        let _ = oracle.distance(vid(6), vid(8), &faults);
+        let warm = oracle.answer(&crate::Query::distance(vid(6), vid(8), faults.clone()));
+        assert!(warm.cache_hit);
+        let epochs_before = oracle.shard_epochs().to_vec();
+
+        // A wave deep inside clique A: far outside shard 1's halo.
+        let outcome = oracle.apply_wave(&FaultSet::vertices([vid(2)]), &ChurnConfig::default());
+        assert!(outcome.rebuilt_shards.contains(&0));
+        assert!(
+            !outcome.rebuilt_shards.contains(&1),
+            "wave confined to shard 0 must not rebuild shard 1"
+        );
+        assert_eq!(oracle.shard_epochs()[1], epochs_before[1]);
+        assert!(oracle.shard_epochs()[0] > epochs_before[0]);
+
+        // Shard 1's cached trees are still live after the wave.
+        let still_warm = oracle.answer(&crate::Query::distance(vid(6), vid(8), faults));
+        assert!(
+            still_warm.cache_hit,
+            "untouched shard must keep its cached trees"
+        );
+
+        // And the sharded oracle still answers exactly like its global one.
+        let empty = FaultSet::empty(ftspan::FaultModel::Vertex);
+        for (u, v) in [(0usize, 8usize), (3, 25), (13, 20)] {
+            assert_eq!(
+                oracle.distance(vid(u), vid(v), &empty),
+                oracle.global().distance(vid(u), vid(v), &empty)
+            );
+        }
     }
 
     #[test]

@@ -20,7 +20,14 @@
 //!   as fault waves, broken stretch pairs are detected around the damage,
 //!   and the spanner is repaired by re-running the modified greedy on the
 //!   affected neighbourhood only ([`ftspan::repair`]), escalating to a full
-//!   warm-start respan when local repair is insufficient.
+//!   warm-start respan when local repair is insufficient;
+//! * [`ShardedOracle`] scales the whole stack past one working set: a
+//!   deterministic [`ShardPlan`] (padded-decomposition clusters packed into
+//!   balanced shards) serves each shard from its own `FaultOracle` over the
+//!   shard's core plus a `2k − 1` halo, stitches cross-shard queries through
+//!   the [`BoundaryIndex`]'s portals, and falls back to a global oracle only
+//!   when locality cannot be certified — so sharded answers are *identical*
+//!   to single-oracle answers (see the [`shard`] module docs).
 //!
 //! ## Example
 //!
@@ -53,15 +60,22 @@
 #![warn(missing_debug_implementations)]
 
 pub mod batch;
+pub mod boundary;
 pub mod cache;
 pub mod churn;
 pub mod metrics;
 mod oracle;
 pub mod query;
 pub mod repair;
+pub mod shard;
 
+pub use boundary::{BoundaryIndex, CutEdge};
 pub use cache::{CacheKey, TreeCache};
-pub use churn::{ChurnConfig, WaveOutcome};
+pub use churn::{ChurnConfig, ShardWaveOutcome, WaveOutcome};
 pub use metrics::{MetricsSnapshot, OracleMetrics};
 pub use oracle::{FaultOracle, OracleOptions};
 pub use query::{Answer, Query, QueryKind};
+pub use shard::{
+    ShardPlan, ShardPlanOptions, ShardedMetrics, ShardedMetricsSnapshot, ShardedOptions,
+    ShardedOracle,
+};

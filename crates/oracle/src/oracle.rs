@@ -27,6 +27,12 @@ pub struct OracleOptions {
     /// let the churn loop seed localized repair from the spots where the
     /// spanner's redundancy was thinnest; disable to save memory.
     pub collect_certificates: bool,
+    /// Namespace folded into every cache key fingerprint. Oracles serving a
+    /// *remapped region* of a larger graph (shards) must use a region-unique
+    /// namespace: their local element ids overlap, so unqualified keys of
+    /// identical local fault patterns would collide across regions. `0` (the
+    /// default) is the global namespace and keeps fingerprints unchanged.
+    pub cache_namespace: u64,
 }
 
 impl Default for OracleOptions {
@@ -35,6 +41,7 @@ impl Default for OracleOptions {
             cache_capacity: 128,
             workers: 0,
             collect_certificates: true,
+            cache_namespace: 0,
         }
     }
 }
@@ -197,8 +204,13 @@ impl FaultOracle {
         query: &Query,
         scratch: &mut DijkstraScratch,
     ) -> Answer {
-        let key = CacheKey::from_fault_set(&query.faults);
+        let key = self.cache_key(&query.faults);
         self.answer_with_key(query, &key, scratch)
+    }
+
+    /// Derives the cache key for a fault set under this oracle's namespace.
+    pub(crate) fn cache_key(&self, faults: &FaultSet) -> CacheKey {
+        CacheKey::namespaced(self.options.cache_namespace, faults)
     }
 
     /// Like [`FaultOracle::answer_with_scratch`] but with the cache key
@@ -256,15 +268,46 @@ impl FaultOracle {
                 return (tree, true);
             }
         }
+        self.compute_tree(key, faults, u, scratch)
+    }
+
+    /// Fetches or computes the shortest-path tree rooted at exactly `root`
+    /// under the given fault set. The sharded serving layer uses this to read
+    /// frontier distances off both endpoints' trees for its escape
+    /// certificate, where a tree rooted at the "wrong" endpoint would not do.
+    pub(crate) fn tree_rooted_at(
+        &self,
+        key: &CacheKey,
+        faults: &FaultSet,
+        root: VertexId,
+        scratch: &mut DijkstraScratch,
+    ) -> (Arc<ShortestPathTree>, bool) {
+        if self.options.cache_capacity > 0 {
+            let mut cache = self.cache.lock().expect("tree cache poisoned");
+            if let Some(tree) = cache.get(key, root) {
+                return (tree, true);
+            }
+        }
+        self.compute_tree(key, faults, root, scratch)
+    }
+
+    /// Computes (and caches) a tree rooted at `root` on the faulted spanner.
+    fn compute_tree(
+        &self,
+        key: &CacheKey,
+        faults: &FaultSet,
+        root: VertexId,
+        scratch: &mut DijkstraScratch,
+    ) -> (Arc<ShortestPathTree>, bool) {
         // Compute outside the lock; concurrent workers may race on the same
         // tree, in which case the last insert simply wins.
         let spanner_faults = faults.translate_edges(&self.graph, &self.spanner);
         let view = spanner_faults.apply(&self.spanner);
-        let tree = Arc::new(scratch.shortest_path_tree(&view, u));
+        let tree = Arc::new(scratch.shortest_path_tree(&view, root));
         self.metrics.record_tree_built();
         if self.options.cache_capacity > 0 {
             let mut cache = self.cache.lock().expect("tree cache poisoned");
-            cache.insert(key.clone(), u, Arc::clone(&tree));
+            cache.insert(key.clone(), root, Arc::clone(&tree));
         }
         (tree, false)
     }

@@ -1,0 +1,1015 @@
+//! Sharded serving: partition the vertex set, serve every query from a
+//! per-shard oracle when locality can be *proved*, and fall back to the
+//! global oracle otherwise.
+//!
+//! The [`ShardedOracle`] is the scaling layer over [`FaultOracle`]: a
+//! [`ShardPlan`] (derived deterministically from the padded decomposition of
+//! `ftspan-distributed`) assigns each vertex to a shard; every shard serves a
+//! **region** — its core vertices plus a halo of radius `2k − 1` — through
+//! its own `FaultOracle` over the induced subgraph, with shard-local dense
+//! ids and a shard-unique cache namespace. Cross-shard queries are served
+//! from lazily-built **pair regions** (the union of two shards' regions,
+//! which contains the [`BoundaryIndex`]'s cut edges between them), stitching
+//! the two shards' shortest-path trees through the portal vertices.
+//!
+//! ## Exactness
+//!
+//! Sharded answers are *identical* to the single global oracle's, not
+//! approximations. A region answer is returned only when an **escape
+//! certificate** holds: writing `front(x)` for the distance from `x` to the
+//! region's frontier (vertices with spanner edges leaving the region) inside
+//! the faulted region, any `u`–`v` walk that leaves the region must pay at
+//! least `front(u) + front(v)` — it walks from `u` to a frontier vertex
+//! entirely inside the region before first leaving, and from a frontier
+//! vertex to `v` entirely inside after last re-entering. So whenever the
+//! local distance satisfies `d(u, v) ≤ front(u) + front(v)` (or an endpoint
+//! cannot reach the frontier at all), the local answer is the global
+//! shortest distance, bit for bit. Only queries whose shortest path provably
+//! might wander outside the region — for example when a fault wave severs
+//! all portals between two shards — reach the global fallback, and the
+//! [`ShardedMetrics`] record how often that happens.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ftspan::{
+    poly_greedy_spanner_with, FaultSet, PolyGreedyOptions, SpannerParams, SpannerResult,
+    SpannerStats,
+};
+use ftspan_distributed::{padded_decomposition, DecompositionOptions};
+use ftspan_graph::dijkstra::{DijkstraScratch, ShortestPathTree};
+use ftspan_graph::{Graph, IdRemap, VertexId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::boundary::BoundaryIndex;
+use crate::oracle::{FaultOracle, OracleOptions};
+use crate::query::{Answer, Query, QueryKind};
+
+/// How a [`ShardPlan`] is derived from the padded decomposition.
+#[derive(Clone, Debug)]
+pub struct ShardPlanOptions {
+    /// Desired number of shards (the plan never produces more; tiny graphs
+    /// may fill fewer).
+    pub shards: usize,
+    /// Seed of the decomposition's exponential shifts. The plan is a pure
+    /// function of the graph and these options, so a fixed seed makes shard
+    /// assignment reproducible across runs and machines.
+    pub seed: u64,
+    /// Rate of the exponential shifts (cluster radius is `O(log n / beta)`).
+    pub beta: f64,
+    /// Candidate partitions to draw; the most balanced one is kept.
+    pub partitions: usize,
+}
+
+impl Default for ShardPlanOptions {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            seed: 0x0005_4A2D_2020,
+            beta: 0.25,
+            partitions: 4,
+        }
+    }
+}
+
+/// A deterministic assignment of every vertex to exactly one shard.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardPlan {
+    shard_of: Vec<u32>,
+    cores: Vec<Vec<VertexId>>,
+}
+
+impl ShardPlan {
+    /// Derives a plan from the graph's padded decomposition: draw
+    /// `options.partitions` low-diameter clusterings with the seeded RNG,
+    /// keep the most balanced one, and pack whole clusters into
+    /// `options.shards` shards of roughly equal size. Deterministic given
+    /// the graph and options.
+    ///
+    /// On low-diameter graphs the exponential-shift clustering can produce a
+    /// single giant cluster, which would collapse every request onto one
+    /// shard. The plan therefore *refines* the packing: while a requested
+    /// shard is empty, the heaviest shard is split along its BFS layering
+    /// (the ball around its lowest vertex stays, the far half moves), so the
+    /// plan always fills `min(shards, n)` shards while keeping the split
+    /// halves as coherent as the graph allows.
+    #[must_use]
+    pub fn build(graph: &Graph, options: &ShardPlanOptions) -> Self {
+        if graph.vertex_count() == 0 {
+            return Self::from_shard_of(Vec::new());
+        }
+        let shards = options.shards.max(1);
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let decomposition = padded_decomposition(
+            graph,
+            &DecompositionOptions {
+                beta: options.beta,
+                partitions: Some(options.partitions.max(1)),
+            },
+            &mut rng,
+        );
+        let assignment = decomposition.sharding_partition().shard_assignment(shards);
+
+        let mut cores: Vec<Vec<VertexId>> = vec![Vec::new(); shards];
+        for (i, &s) in assignment.iter().enumerate() {
+            cores[s as usize].push(VertexId::new(i));
+        }
+        while let Some(empty) = cores.iter().position(Vec::is_empty) {
+            let Some(heaviest) = cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.len() >= 2)
+                .max_by(|(i, a), (j, b)| a.len().cmp(&b.len()).then(j.cmp(i)))
+                .map(|(i, _)| i)
+            else {
+                break; // fewer vertices than shards: trailing shards stay empty
+            };
+            let (keep, moved) = split_by_bfs_layers(graph, &cores[heaviest]);
+            cores[heaviest] = keep;
+            cores[empty] = moved;
+        }
+        cores.retain(|c| !c.is_empty());
+
+        let mut shard_of = vec![0u32; graph.vertex_count()];
+        for (s, core) in cores.iter().enumerate() {
+            for &v in core {
+                shard_of[v.index()] = s as u32;
+            }
+        }
+        Self::from_shard_of(shard_of)
+    }
+
+    /// Wraps an explicit vertex→shard assignment (entry `i` is the shard of
+    /// vertex `i`). Useful for tests and for callers with domain knowledge
+    /// of the graph's natural partition.
+    #[must_use]
+    pub fn from_shard_of(shard_of: Vec<u32>) -> Self {
+        let shards = shard_of
+            .iter()
+            .map(|&s| s as usize + 1)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let mut cores = vec![Vec::new(); shards];
+        for (i, &s) in shard_of.iter().enumerate() {
+            cores[s as usize].push(VertexId::new(i));
+        }
+        Self { shard_of, cores }
+    }
+
+    /// Number of shards.
+    #[inline]
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Number of vertices the plan covers.
+    #[inline]
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// The shard a vertex belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn shard_of(&self, v: VertexId) -> u32 {
+        self.shard_of[v.index()]
+    }
+
+    /// The core vertices of one shard, in ascending id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn core(&self, shard: usize) -> &[VertexId] {
+        &self.cores[shard]
+    }
+}
+
+/// Configuration of a [`ShardedOracle`].
+#[derive(Clone, Debug, Default)]
+pub struct ShardedOptions {
+    /// How the shard plan is derived (ignored by
+    /// [`ShardedOracle::build_with_plan`]).
+    pub plan: ShardPlanOptions,
+    /// Hop radius of every shard's halo, measured in the spanner. `None`
+    /// uses the stretch `2k − 1` — the distance within which a spanner
+    /// witness path for a core edge can wander.
+    pub halo_radius: Option<u32>,
+    /// Options of the global oracle and (with per-shard cache namespaces)
+    /// of every region oracle.
+    pub oracle: OracleOptions,
+}
+
+/// One served region: a shard's core plus halo (or the union of two shards'
+/// regions for cross-shard stitching), remapped to dense local ids.
+#[derive(Debug)]
+pub(crate) struct Region {
+    pub(crate) oracle: FaultOracle,
+    pub(crate) remap: IdRemap,
+    /// Local ids of the vertices with global spanner edges leaving the
+    /// region — the only places a path can escape through.
+    pub(crate) frontier: Vec<VertexId>,
+    /// Signature of the region's members and induced edges, used by the
+    /// churn fan-out to decide whether a wave touched this region.
+    pub(crate) signature: u64,
+}
+
+impl Region {
+    /// Extracts the region on `members` (sorted global ids) from the global
+    /// effective graph and spanner.
+    pub(crate) fn build(
+        graph: &Graph,
+        spanner: &Graph,
+        params: SpannerParams,
+        base_options: &OracleOptions,
+        namespace: u64,
+        members: &[VertexId],
+    ) -> Self {
+        let signature = region_signature(graph, spanner, members);
+        let (local_base, remap) = graph.induced_subgraph_remap(members);
+        let mut local_spanner = Graph::empty_like(&local_base);
+        // Only member adjacencies are scanned (not the whole spanner edge
+        // table), so region extraction stays proportional to the region.
+        for &u in remap.members() {
+            for (v, e) in spanner.neighbors(u) {
+                if u < v {
+                    if let (Some(lu), Some(lv)) = (remap.to_local(u), remap.to_local(v)) {
+                        local_spanner.add_edge(lu.index(), lv.index(), spanner.weight(e));
+                    }
+                }
+            }
+        }
+        let frontier: Vec<VertexId> = remap
+            .members()
+            .iter()
+            .filter(|&&g| spanner.neighbors(g).any(|(nbr, _)| !remap.contains(nbr)))
+            .map(|&g| remap.to_local(g).expect("member maps locally"))
+            .collect();
+        let oracle = FaultOracle::from_result(
+            local_base,
+            SpannerResult {
+                spanner: local_spanner,
+                params,
+                stats: SpannerStats::default(),
+                certificates: Vec::new(),
+            },
+            OracleOptions {
+                cache_namespace: namespace,
+                ..base_options.clone()
+            },
+        );
+        Self {
+            oracle,
+            remap,
+            frontier,
+            signature,
+        }
+    }
+
+    /// Restricts a global fault set to the region's local id space. Faults
+    /// outside the region cannot touch any path inside it and are dropped;
+    /// edge fault ids (which refer to the global input graph) are matched by
+    /// endpoints.
+    fn localize_faults(&self, faults: &FaultSet, global_graph: &Graph) -> FaultSet {
+        match faults {
+            FaultSet::Vertices(vs) => {
+                FaultSet::vertices(self.remap.localize_vertices(vs.iter().copied()))
+            }
+            FaultSet::Edges(es) => FaultSet::edges(es.iter().filter_map(|&e| {
+                let (u, v) = global_graph.get_edge(e)?.endpoints();
+                let lu = self.remap.to_local(u)?;
+                let lv = self.remap.to_local(v)?;
+                self.oracle.graph().edge_between(lu, lv)
+            })),
+        }
+    }
+
+    /// The shortest faulted-region distance from a tree's root to the
+    /// frontier, or `None` when the root cannot reach the frontier at all
+    /// (in which case no path through the root can leave the region).
+    fn frontier_distance(&self, tree: &ShortestPathTree) -> Option<f64> {
+        self.frontier
+            .iter()
+            .filter_map(|&p| tree.distance_to(p))
+            .min_by(f64::total_cmp)
+    }
+
+    /// Attempts to answer the query (global ids) from this region alone.
+    /// Returns `Some` only when the escape certificate proves the local
+    /// answer equals the global one; `None` sends the caller to the global
+    /// fallback.
+    pub(crate) fn try_answer(
+        &self,
+        query: &Query,
+        global_graph: &Graph,
+        scratch: &mut DijkstraScratch,
+    ) -> Option<Answer> {
+        let lu = self.remap.to_local(query.u)?;
+        let lv = self.remap.to_local(query.v)?;
+        let faults = self.localize_faults(&query.faults, global_graph);
+        let key = self.oracle.cache_key(&faults);
+        let (tree_u, cache_hit) = self.oracle.tree_rooted_at(&key, &faults, lu, scratch);
+        let distance = tree_u.distance_to(lv);
+
+        let exact = match self.frontier_distance(&tree_u) {
+            // `u` cannot reach the frontier under these faults: no u–v path
+            // leaves the region, so the local answer is the global answer.
+            None => true,
+            Some(front_u) => {
+                let (tree_v, _) = self.oracle.tree_rooted_at(&key, &faults, lv, scratch);
+                match (distance, self.frontier_distance(&tree_v)) {
+                    // Same escape-proofness, from the `v` side.
+                    (_, None) => true,
+                    // Any escaping walk costs at least front(u) + front(v);
+                    // a local distance at or below that floor is optimal.
+                    (Some(d), Some(front_v)) => d <= front_u + front_v,
+                    // Locally disconnected but both endpoints can escape:
+                    // the pair may be connected through other regions.
+                    (None, Some(_)) => false,
+                }
+            }
+        };
+        if !exact {
+            return None;
+        }
+
+        let path = match (query.kind, distance) {
+            (QueryKind::Path, Some(_)) => tree_u.path_to(lv).map(|p| self.remap.globalize_path(&p)),
+            _ => None,
+        };
+        Some(Answer {
+            distance,
+            path,
+            cache_hit,
+        })
+    }
+}
+
+/// Splits a shard's members into two halves along the BFS layering of its
+/// induced subgraph: the ball around the lowest member stays, the farthest
+/// half (unreachable members first) moves out. Deterministic, and as locality
+/// preserving as the induced topology allows.
+fn split_by_bfs_layers(graph: &Graph, members: &[VertexId]) -> (Vec<VertexId>, Vec<VertexId>) {
+    let mut sorted = members.to_vec();
+    sorted.sort_unstable();
+    let (sub, remap) = graph.induced_subgraph_remap(&sorted);
+    let dist = ftspan_graph::bfs::bfs_hop_distances(&sub, VertexId::new(0));
+    let mut order: Vec<(u32, VertexId)> = sorted
+        .iter()
+        .map(|&g| {
+            let local = remap.to_local(g).expect("member maps locally");
+            (dist[local.index()].unwrap_or(u32::MAX), g)
+        })
+        .collect();
+    order.sort_unstable();
+    let keep_len = order.len().div_ceil(2);
+    let mut keep: Vec<VertexId> = order[..keep_len].iter().map(|&(_, g)| g).collect();
+    let mut moved: Vec<VertexId> = order[keep_len..].iter().map(|&(_, g)| g).collect();
+    keep.sort_unstable();
+    moved.sort_unstable();
+    (keep, moved)
+}
+
+/// Order- and id-sensitive signature of a region: its member list, every
+/// induced base and spanner edge (endpoints and weight), **and every edge
+/// leaving the region**. Two extractions of the same region from the same
+/// global state always agree, and any wave or repair that adds or removes a
+/// member, an induced edge, or a leaving edge changes the signature — the
+/// test the churn fan-out uses to skip untouched shards.
+///
+/// Leaving edges must be covered because the escape certificate reads the
+/// region's *frontier* off them: a repair that adds a spanner edge from a
+/// halo-rim member to the outside changes no member and no induced edge,
+/// but turns that member into a frontier vertex. Skipping the rebuild would
+/// leave the frontier stale and the certificate unsound.
+pub(crate) fn region_signature(graph: &Graph, spanner: &Graph, members: &[VertexId]) -> u64 {
+    let mut inside = vec![false; graph.vertex_count()];
+    for &v in members {
+        inside[v.index()] = true;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |value: u64| {
+        h ^= value;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for &v in members {
+        mix(u64::from(v.as_u32()));
+    }
+    for (tag, g) in [(0x6261u64, graph), (0x7370u64, spanner)] {
+        mix(tag);
+        for &v in members {
+            for (nbr, e) in g.neighbors(v) {
+                if inside[nbr.index()] {
+                    if nbr > v {
+                        mix(u64::from(v.as_u32()) << 32 | u64::from(nbr.as_u32()));
+                        mix(g.weight(e).to_bits());
+                    }
+                } else {
+                    // A leaving edge: hash under a distinct tag so it can
+                    // never cancel against an internal edge.
+                    mix(0x6F75_7400 ^ (u64::from(v.as_u32()) << 32 | u64::from(nbr.as_u32())));
+                }
+            }
+        }
+    }
+    h
+}
+
+/// Lock-free counters describing how sharded traffic was served.
+#[derive(Debug, Default)]
+pub struct ShardedMetrics {
+    queries: AtomicU64,
+    local: AtomicU64,
+    stitched: AtomicU64,
+    global_fallbacks: AtomicU64,
+    batches: AtomicU64,
+    waves: AtomicU64,
+}
+
+impl ShardedMetrics {
+    pub(crate) fn record_local(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.local.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_stitched(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.stitched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_global_fallback(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.global_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wave(&self) {
+        self.waves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> ShardedMetricsSnapshot {
+        ShardedMetricsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            local: self.local.load(Ordering::Relaxed),
+            stitched: self.stitched.load(Ordering::Relaxed),
+            global_fallbacks: self.global_fallbacks.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            waves: self.waves.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value copy of [`ShardedMetrics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardedMetricsSnapshot {
+    /// Total queries served.
+    pub queries: u64,
+    /// Queries answered from a single shard's region.
+    pub local: u64,
+    /// Cross-shard queries answered from a stitched pair region.
+    pub stitched: u64,
+    /// Queries that fell back to the global oracle.
+    pub global_fallbacks: u64,
+    /// Batch calls served.
+    pub batches: u64,
+    /// Fault waves applied.
+    pub waves: u64,
+}
+
+impl ShardedMetricsSnapshot {
+    /// Fraction of queries served without touching the global oracle.
+    #[must_use]
+    pub fn locality_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            (self.local + self.stitched) as f64 / self.queries as f64
+        }
+    }
+}
+
+/// A sharded, API-compatible drop-in for [`FaultOracle`]: same query
+/// vocabulary, identical answers, with traffic served from per-shard state.
+///
+/// See the [module docs](crate::shard) for the architecture and the
+/// exactness argument.
+#[derive(Debug)]
+pub struct ShardedOracle {
+    pub(crate) global: FaultOracle,
+    pub(crate) plan: ShardPlan,
+    pub(crate) boundary: BoundaryIndex,
+    pub(crate) regions: Vec<Region>,
+    pub(crate) pair_regions: Mutex<HashMap<(u32, u32), Arc<Region>>>,
+    pub(crate) shard_epochs: Vec<u64>,
+    pub(crate) halo_radius: u32,
+    pub(crate) options: ShardedOptions,
+    pub(crate) metrics: ShardedMetrics,
+}
+
+impl ShardedOracle {
+    /// Builds the global spanner with the paper's polynomial-time modified
+    /// greedy, derives a shard plan from the padded decomposition, and wires
+    /// up the sharded serving state.
+    #[must_use]
+    pub fn build(graph: Graph, params: SpannerParams, options: ShardedOptions) -> Self {
+        let plan = ShardPlan::build(&graph, &options.plan);
+        Self::build_with_plan(graph, params, plan, options)
+    }
+
+    /// Like [`ShardedOracle::build`] but with an explicit shard plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not cover the graph's vertex set.
+    #[must_use]
+    pub fn build_with_plan(
+        graph: Graph,
+        params: SpannerParams,
+        plan: ShardPlan,
+        options: ShardedOptions,
+    ) -> Self {
+        let build_options = PolyGreedyOptions {
+            collect_certificates: options.oracle.collect_certificates,
+            ..PolyGreedyOptions::default()
+        };
+        let result = poly_greedy_spanner_with(&graph, params, &build_options);
+        Self::from_result(graph, result, plan, options)
+    }
+
+    /// Wraps an already-built spanner in a sharded oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spanner or the plan does not cover the graph's vertex
+    /// set.
+    #[must_use]
+    pub fn from_result(
+        graph: Graph,
+        result: SpannerResult,
+        plan: ShardPlan,
+        options: ShardedOptions,
+    ) -> Self {
+        assert_eq!(
+            graph.vertex_count(),
+            plan.vertex_count(),
+            "shard plan must cover the graph's vertex set"
+        );
+        let params = result.params;
+        let global = FaultOracle::from_result(graph, result, options.oracle.clone());
+        let halo_radius = options.halo_radius.unwrap_or_else(|| params.stretch());
+        let boundary = BoundaryIndex::build(global.spanner(), &plan);
+        let regions = (0..plan.shard_count())
+            .map(|s| {
+                let members = global.spanner().halo_members(plan.core(s), halo_radius);
+                Region::build(
+                    global.graph(),
+                    global.spanner(),
+                    params,
+                    &options.oracle,
+                    shard_namespace(s),
+                    &members,
+                )
+            })
+            .collect();
+        let shard_epochs = vec![0; plan.shard_count()];
+        Self {
+            global,
+            plan,
+            boundary,
+            regions,
+            pair_regions: Mutex::new(HashMap::new()),
+            shard_epochs,
+            halo_radius,
+            options,
+            metrics: ShardedMetrics::default(),
+        }
+    }
+
+    /// The shard plan in force.
+    #[inline]
+    #[must_use]
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The cross-shard boundary index over the current spanner.
+    #[inline]
+    #[must_use]
+    pub fn boundary(&self) -> &BoundaryIndex {
+        &self.boundary
+    }
+
+    /// The global fallback oracle.
+    #[inline]
+    #[must_use]
+    pub fn global(&self) -> &FaultOracle {
+        &self.global
+    }
+
+    /// Number of shards.
+    #[inline]
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.plan.shard_count()
+    }
+
+    /// The current effective input graph (see [`FaultOracle::graph`]).
+    #[inline]
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        self.global.graph()
+    }
+
+    /// The global spanner being served.
+    #[inline]
+    #[must_use]
+    pub fn spanner(&self) -> &Graph {
+        self.global.spanner()
+    }
+
+    /// The parameters the spanner targets.
+    #[inline]
+    #[must_use]
+    pub fn params(&self) -> SpannerParams {
+        self.global.params()
+    }
+
+    /// The stretch bound `2k − 1` as a float.
+    #[inline]
+    #[must_use]
+    pub fn stretch_bound(&self) -> f64 {
+        self.global.stretch_bound()
+    }
+
+    /// The halo radius every shard region was expanded by.
+    #[inline]
+    #[must_use]
+    pub fn halo_radius(&self) -> u32 {
+        self.halo_radius
+    }
+
+    /// Sharded serving metrics (lock-free; safe to read at any time).
+    #[inline]
+    #[must_use]
+    pub fn metrics(&self) -> &ShardedMetrics {
+        &self.metrics
+    }
+
+    /// Per-shard rebuild epochs: entry `s` counts how many fault waves
+    /// forced shard `s`'s region (and therefore its caches) to be rebuilt.
+    /// A wave confined to one shard leaves every other entry unchanged.
+    #[must_use]
+    pub fn shard_epochs(&self) -> &[u64] {
+        &self.shard_epochs
+    }
+
+    /// The global ids of the vertices shard `s` serves (core plus halo).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn shard_members(&self, shard: usize) -> &[VertexId] {
+        self.regions[shard].remap.members()
+    }
+
+    /// Distance in `H ∖ F` — identical to [`FaultOracle::distance`] on the
+    /// same spanner.
+    #[must_use]
+    pub fn distance(&self, u: VertexId, v: VertexId, faults: &FaultSet) -> Option<f64> {
+        self.answer(&Query::distance(u, v, faults.clone())).distance
+    }
+
+    /// Distance plus an explicit shortest path in `H ∖ F`.
+    #[must_use]
+    pub fn path(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        faults: &FaultSet,
+    ) -> Option<(f64, Vec<VertexId>)> {
+        let answer = self.answer(&Query::path(u, v, faults.clone()));
+        Some((answer.distance?, answer.path?))
+    }
+
+    /// Answers one query. For batches prefer
+    /// [`ShardedOracle::answer_batch`](crate::batch).
+    #[must_use]
+    pub fn answer(&self, query: &Query) -> Answer {
+        let mut scratch = DijkstraScratch::new();
+        self.answer_with_scratch(query, &mut scratch)
+    }
+
+    /// The shared single-query path: route to a region, certify, fall back.
+    pub(crate) fn answer_with_scratch(
+        &self,
+        query: &Query,
+        scratch: &mut DijkstraScratch,
+    ) -> Answer {
+        match self.route(query.u, query.v) {
+            Route::Local(shard) => {
+                if let Some(answer) =
+                    self.regions[shard as usize].try_answer(query, self.global.graph(), scratch)
+                {
+                    self.metrics.record_local();
+                    return answer;
+                }
+            }
+            Route::Pair(a, b) => {
+                let region = self.pair_region(a, b);
+                if let Some(answer) = region.try_answer(query, self.global.graph(), scratch) {
+                    self.metrics.record_stitched();
+                    return answer;
+                }
+            }
+        }
+        self.metrics.record_global_fallback();
+        self.global.answer_with_scratch(query, scratch)
+    }
+
+    /// Which region a vertex pair is served from.
+    pub(crate) fn route(&self, u: VertexId, v: VertexId) -> Route {
+        let su = self.plan.shard_of(u);
+        let sv = self.plan.shard_of(v);
+        if su == sv {
+            Route::Local(su)
+        } else {
+            Route::Pair(su.min(sv), su.max(sv))
+        }
+    }
+
+    /// Fetches (or lazily builds) the stitched pair region for two shards.
+    pub(crate) fn pair_region(&self, a: u32, b: u32) -> Arc<Region> {
+        if let Some(region) = self
+            .pair_regions
+            .lock()
+            .expect("pair region cache poisoned")
+            .get(&(a, b))
+        {
+            return Arc::clone(region);
+        }
+        // Build outside the lock; a concurrent builder of the same pair just
+        // loses the insert race and its region is dropped.
+        let mut members: Vec<VertexId> = self.regions[a as usize]
+            .remap
+            .members()
+            .iter()
+            .chain(self.regions[b as usize].remap.members())
+            .copied()
+            .collect();
+        members.sort_unstable();
+        members.dedup();
+        let region = Arc::new(Region::build(
+            self.global.graph(),
+            self.global.spanner(),
+            self.global.params(),
+            &self.options.oracle,
+            pair_namespace(a, b),
+            &members,
+        ));
+        let mut cache = self
+            .pair_regions
+            .lock()
+            .expect("pair region cache poisoned");
+        Arc::clone(cache.entry((a, b)).or_insert(region))
+    }
+}
+
+/// The region a query routes to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum Route {
+    /// Both endpoints in one shard.
+    Local(u32),
+    /// Endpoints in two different shards (normalized `a < b`).
+    Pair(u32, u32),
+}
+
+/// Cache namespace of a shard region (`0` is reserved for the global
+/// namespace).
+pub(crate) fn shard_namespace(shard: usize) -> u64 {
+    shard as u64 + 1
+}
+
+/// Cache namespace of a pair region, disjoint from every shard namespace
+/// for any realistic shard count.
+pub(crate) fn pair_namespace(a: u32, b: u32) -> u64 {
+    (u64::from(a) + 1) << 32 | (u64::from(b) + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftspan_graph::{generators, vid};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sharded(seed: u64, shards: usize, f: u32) -> ShardedOracle {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = generators::connected_gnp(48, 0.15, &mut rng);
+        let options = ShardedOptions {
+            plan: ShardPlanOptions {
+                shards,
+                ..ShardPlanOptions::default()
+            },
+            ..ShardedOptions::default()
+        };
+        ShardedOracle::build(graph, SpannerParams::vertex(2, f), options)
+    }
+
+    #[test]
+    fn plan_is_a_deterministic_partition() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let graph = generators::connected_gnp(40, 0.15, &mut rng);
+        let options = ShardPlanOptions::default();
+        let plan = ShardPlan::build(&graph, &options);
+        assert_eq!(plan, ShardPlan::build(&graph, &options));
+        assert_eq!(plan.vertex_count(), 40);
+        let total: usize = (0..plan.shard_count()).map(|s| plan.core(s).len()).sum();
+        assert_eq!(total, 40, "every vertex in exactly one core");
+        for s in 0..plan.shard_count() {
+            for &v in plan.core(s) {
+                assert_eq!(plan.shard_of(v) as usize, s);
+            }
+        }
+        // A different seed may produce a different plan but stays a partition.
+        let other = ShardPlan::build(
+            &graph,
+            &ShardPlanOptions {
+                seed: 99,
+                ..options
+            },
+        );
+        let total: usize = (0..other.shard_count()).map(|s| other.core(s).len()).sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn answers_match_the_global_oracle_exactly() {
+        let oracle = sharded(2, 3, 1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = oracle.graph().vertex_count();
+        for _ in 0..60 {
+            let u = vid(rng.gen_range(0..n));
+            let v = vid(rng.gen_range(0..n));
+            let faults = ftspan::sample_fault_set(
+                oracle.graph(),
+                ftspan::FaultModel::Vertex,
+                1,
+                &[],
+                &mut rng,
+            );
+            assert_eq!(
+                oracle.distance(u, v, &faults),
+                oracle.global().distance(u, v, &faults),
+                "u {u} v {v} faults {faults:?}"
+            );
+        }
+        let snap = oracle.metrics().snapshot();
+        assert_eq!(snap.queries, 60);
+    }
+
+    #[test]
+    fn paths_are_valid_spanner_walks() {
+        let oracle = sharded(3, 3, 1);
+        let faults = FaultSet::vertices([vid(9)]);
+        let mut served = 0;
+        for (u, v) in [(0usize, 40usize), (5, 33), (17, 2)] {
+            let Some((d, path)) = oracle.path(vid(u), vid(v), &faults) else {
+                continue;
+            };
+            assert_eq!(path.first(), Some(&vid(u)));
+            assert_eq!(path.last(), Some(&vid(v)));
+            let mut walked = 0.0;
+            for pair in path.windows(2) {
+                let e = oracle
+                    .spanner()
+                    .edge_between(pair[0], pair[1])
+                    .expect("path must use global spanner edges");
+                walked += oracle.spanner().weight(e);
+                assert!(!faults.contains_vertex(pair[0]));
+            }
+            assert!((walked - d).abs() < 1e-9);
+            served += 1;
+        }
+        assert!(served > 0);
+    }
+
+    #[test]
+    fn one_shard_plan_serves_everything_locally_without_fallbacks() {
+        let oracle = sharded(4, 1, 1);
+        assert_eq!(oracle.shard_count(), 1);
+        assert!(oracle.boundary().cut_edges().is_empty());
+        assert!(oracle.regions[0].frontier.is_empty());
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = oracle.graph().vertex_count();
+        for _ in 0..30 {
+            let u = vid(rng.gen_range(0..n));
+            let v = vid(rng.gen_range(0..n));
+            let _ = oracle.distance(u, v, &FaultSet::vertices([vid(1)]));
+        }
+        let snap = oracle.metrics().snapshot();
+        assert_eq!(
+            snap.global_fallbacks, 0,
+            "1-shard plan must never fall back"
+        );
+        assert_eq!(snap.local, 30);
+        assert!((snap.locality_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regions_contain_core_plus_halo_and_expose_their_frontier() {
+        let oracle = sharded(5, 3, 1);
+        for s in 0..oracle.shard_count() {
+            let members = oracle.shard_members(s);
+            for &v in oracle.plan().core(s) {
+                assert!(members.contains(&v), "core vertex {v} missing from region");
+            }
+            // Frontier vertices really have spanner edges leaving the region.
+            let region = &oracle.regions[s];
+            for &lf in &region.frontier {
+                let g = region.remap.to_global(lf);
+                assert!(oracle
+                    .spanner()
+                    .neighbors(g)
+                    .any(|(nbr, _)| !region.remap.contains(nbr)));
+            }
+        }
+    }
+
+    #[test]
+    fn pair_regions_are_built_lazily_and_reused() {
+        let oracle = sharded(6, 3, 1);
+        assert_eq!(
+            oracle
+                .pair_regions
+                .lock()
+                .expect("pair region cache poisoned")
+                .len(),
+            0
+        );
+        let a = oracle.pair_region(0, 1);
+        let b = oracle.pair_region(0, 1);
+        assert!(Arc::ptr_eq(&a, &b), "pair region must be cached");
+        // The pair region serves both shards' vertices.
+        for &v in oracle.plan().core(0).iter().chain(oracle.plan().core(1)) {
+            assert!(a.remap.contains(v));
+        }
+    }
+
+    #[test]
+    fn region_signature_tracks_edges_leaving_the_region() {
+        // Regression: a repair can add a spanner edge from a halo-rim member
+        // to the outside without changing the member set or any induced
+        // edge. The signature must still change, or the churn fan-out would
+        // skip the rebuild and serve with a stale frontier.
+        let before = generators::path(5); // 0-1-2-3-4
+        let members = [vid(0), vid(1)];
+        let mut after = before.clone();
+        after.add_unit_edge(1, 3); // leaves {0, 1}; membership + induced edges unchanged
+        assert_ne!(
+            region_signature(&before, &before, &members),
+            region_signature(&after, &after, &members)
+        );
+        // Same member set and incident edges → identical signature.
+        assert_eq!(
+            region_signature(&before, &before, &members),
+            region_signature(&before, &before, &members)
+        );
+        // Edges wholly outside the region do not disturb it.
+        let mut far = before.clone();
+        far.add_unit_edge(2, 4);
+        assert_eq!(
+            region_signature(&before, &before, &members),
+            region_signature(&far, &far, &members)
+        );
+    }
+
+    #[test]
+    fn shard_namespaces_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..16 {
+            assert!(seen.insert(shard_namespace(s)));
+        }
+        for a in 0..8u32 {
+            for b in (a + 1)..8 {
+                assert!(seen.insert(pair_namespace(a, b)));
+            }
+        }
+        assert!(!seen.contains(&0), "0 is reserved for the global namespace");
+    }
+}

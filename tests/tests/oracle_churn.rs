@@ -2,11 +2,13 @@
 //! repair and the large-batch acceptance scenario.
 
 use ftspan::verify::{verify_spanner, VerificationMode};
-use ftspan::{sample_fault_set, FaultModel, FaultSet, SpannerParams};
-use ftspan_graph::dijkstra::DijkstraScratch;
+use ftspan::{poly_greedy_spanner, sample_fault_set, FaultModel, FaultSet, SpannerParams};
+use ftspan_graph::dijkstra::{weighted_distance, DijkstraScratch};
 use ftspan_graph::{generators, vid};
 use ftspan_integration_tests::rng;
-use ftspan_oracle::{ChurnConfig, FaultOracle, OracleOptions, Query};
+use ftspan_oracle::{
+    ChurnConfig, FaultOracle, OracleOptions, Query, ShardPlanOptions, ShardedOptions, ShardedOracle,
+};
 use rand::Rng;
 
 /// Twenty rounds of churn beyond the design tolerance: after every wave the
@@ -198,6 +200,107 @@ fn ten_thousand_query_batch_on_thousand_node_graph_respects_stretch() {
         "hit rate {:.2} too low for pooled traffic",
         snapshot.hit_rate()
     );
+}
+
+/// Runs `rounds` of sharded churn and audits the serving state after every
+/// wave: the repaired spanner stays valid, sharded answers stay consistent
+/// with the global oracle, and per-shard repair is never worse than what a
+/// **post-wave global respan** would guarantee — a fresh modified-greedy
+/// spanner of the damaged graph provides `(2k − 1)`-stretch over `G' ∖ F`,
+/// so every sharded answer is held to that same bound, with connectivity
+/// parity against the fresh respan.
+fn sharded_churn_run(rounds: u64, n: usize, seed: u64) {
+    let mut r = rng(seed);
+    let graph = generators::connected_gnp(n, 14.0 / (n as f64 - 1.0), &mut r);
+    let params = SpannerParams::vertex(2, 1);
+    let mut oracle = ShardedOracle::build(
+        graph,
+        params,
+        ShardedOptions {
+            plan: ShardPlanOptions {
+                shards: 3,
+                ..ShardPlanOptions::default()
+            },
+            ..ShardedOptions::default()
+        },
+    );
+    let config = ChurnConfig::default();
+    let stretch = oracle.stretch_bound();
+
+    for round in 0..rounds {
+        let wave = sample_fault_set(oracle.graph(), FaultModel::Vertex, 2, &[], &mut r);
+        let outcome = oracle.apply_wave(&wave, &config);
+        assert_eq!(outcome.global.wave, wave, "round {round}");
+
+        // The globally-repaired spanner the shards serve is valid for the
+        // damaged graph.
+        let report = verify_spanner(
+            oracle.graph(),
+            oracle.spanner(),
+            params,
+            VerificationMode::Sampled {
+                samples: 15,
+                seed: round,
+            },
+        );
+        assert!(
+            report.is_valid(),
+            "round {round}: {:?}",
+            report.violations.first()
+        );
+
+        // The benchmark per-shard repair is held to: a full respan of the
+        // post-wave graph from scratch.
+        let respan = poly_greedy_spanner(oracle.graph(), params).spanner;
+        let empty = FaultSet::empty(FaultModel::Vertex);
+        for _ in 0..6 {
+            let u = vid(r.gen_range(0..n));
+            let v = vid(r.gen_range(0..n));
+            let sharded = oracle.distance(u, v, &empty);
+            // Consistency: sharded serving equals the global oracle.
+            assert_eq!(
+                sharded,
+                oracle.global().distance(u, v, &empty),
+                "round {round}: sharded and global answers diverged"
+            );
+            let d_base = weighted_distance(oracle.graph(), u, v);
+            let d_respan = weighted_distance(&respan, u, v);
+            // Both spanners preserve connectivity of the damaged graph, so
+            // reachability must agree with the fresh respan.
+            assert_eq!(
+                sharded.is_some(),
+                d_respan.is_some(),
+                "round {round}: connectivity parity with the global respan broke"
+            );
+            if let Some(d_g) = d_base {
+                let d_h = sharded.expect("connected pairs stay served");
+                // Never worse than the post-wave global respan's guarantee.
+                assert!(
+                    d_h <= stretch * d_g + 1e-9,
+                    "round {round}: {d_h} > {stretch} * {d_g}"
+                );
+            }
+        }
+    }
+    assert_eq!(oracle.metrics().snapshot().waves, rounds);
+    assert_eq!(oracle.global().epoch(), rounds);
+}
+
+/// Twenty rounds of sharded churn (the headline satellite scenario).
+#[test]
+fn twenty_sharded_churn_rounds_stay_consistent_and_within_respan_bound() {
+    sharded_churn_run(20, 60, 601);
+}
+
+/// Nightly-style long churn soak, enabled by `FTSPAN_LONG_TESTS=1` (wired to
+/// the scheduled CI job): more rounds on a larger graph.
+#[test]
+fn long_sharded_churn_soak() {
+    if std::env::var("FTSPAN_LONG_TESTS").map_or(true, |v| v != "1") {
+        eprintln!("skipping long churn soak (set FTSPAN_LONG_TESTS=1 to run)");
+        return;
+    }
+    sharded_churn_run(60, 140, 602);
 }
 
 /// The oracle's repair path is exercised deliberately: destroy part of the

@@ -8,7 +8,10 @@ use ftspan_graph::bfs::{bfs_hop_distances, shortest_hop_path_within};
 use ftspan_graph::dijkstra::{dijkstra_distances, weighted_distance};
 use ftspan_graph::girth::girth;
 use ftspan_graph::{generators, vid, FaultView, Graph, GraphView, VertexId};
-use ftspan_oracle::{FaultOracle, OracleOptions};
+use ftspan_oracle::{
+    BoundaryIndex, FaultOracle, OracleOptions, ShardPlan, ShardPlanOptions, ShardedOptions,
+    ShardedOracle,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -128,6 +131,121 @@ proptest! {
         let result = ftspan::nonft::greedy_spanner(&graph, k);
         if let Some(g) = girth(&result.spanner) {
             prop_assert!(g > 2 * k, "girth {g} with k {k}");
+        }
+    }
+
+    /// Shard assignment is a partition of the vertex set — every vertex in
+    /// exactly one shard — and deterministic under a fixed seed.
+    #[test]
+    fn shard_plan_is_a_deterministic_partition(
+        graph in graph_strategy(),
+        shards in 1usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let options = ShardPlanOptions { shards, seed, ..ShardPlanOptions::default() };
+        let plan = ShardPlan::build(&graph, &options);
+        prop_assert_eq!(plan.vertex_count(), graph.vertex_count());
+        prop_assert!(plan.shard_count() >= 1 && plan.shard_count() <= shards);
+        // Partition: every vertex appears in exactly one core, and cores
+        // agree with the per-vertex assignment.
+        let mut seen = vec![0usize; graph.vertex_count()];
+        for s in 0..plan.shard_count() {
+            for &v in plan.core(s) {
+                seen[v.index()] += 1;
+                prop_assert_eq!(plan.shard_of(v) as usize, s);
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "vertex in {seen:?} cores");
+        // Deterministic: an independent rebuild with the same seed agrees.
+        prop_assert_eq!(plan, ShardPlan::build(&graph, &options));
+    }
+
+    /// Every spanner edge whose endpoints lie in different shards appears in
+    /// the boundary index, and the index contains nothing else.
+    #[test]
+    fn every_cut_edge_appears_in_the_boundary_index(
+        graph in graph_strategy(),
+        shards in 1usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let params = SpannerParams::vertex(2, 1);
+        let spanner = poly_greedy_spanner(&graph, params).spanner;
+        let plan = ShardPlan::build(
+            &graph,
+            &ShardPlanOptions { shards, seed, ..ShardPlanOptions::default() },
+        );
+        let index = BoundaryIndex::build(&spanner, &plan);
+        let mut expected = 0usize;
+        for (id, edge) in spanner.edges() {
+            let (u, v) = edge.endpoints();
+            if plan.shard_of(u) == plan.shard_of(v) {
+                continue;
+            }
+            expected += 1;
+            prop_assert!(
+                index.cut_edges().iter().any(|c| c.edge == id),
+                "cut edge {id} ({u}, {v}) missing from the boundary index"
+            );
+            prop_assert!(index.is_portal(u) && index.is_portal(v));
+            let (a, b) = (plan.shard_of(u), plan.shard_of(v));
+            prop_assert!(index.cut_edges_between(a, b).any(|c| c.edge == id));
+        }
+        // No extras: the index holds exactly the crossing edges.
+        prop_assert_eq!(index.cut_edges().len(), expected);
+    }
+
+    /// Stitched cross-shard answers respect the `(2k − 1)` stretch bound
+    /// against fresh Dijkstra on the faulted *base* graph — sharding never
+    /// weakens the spanner guarantee the single oracle provides.
+    #[test]
+    fn stitched_cross_shard_paths_respect_the_stretch_bound(
+        graph in graph_strategy(),
+        f in 0u32..3,
+        seed in 0u64..500,
+    ) {
+        let params = SpannerParams::vertex(2, f);
+        let n = graph.vertex_count();
+        let oracle = ShardedOracle::build(
+            graph,
+            params,
+            ShardedOptions {
+                plan: ShardPlanOptions { shards: 3, seed, ..ShardPlanOptions::default() },
+                ..ShardedOptions::default()
+            },
+        );
+        let stretch = oracle.stretch_bound();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..4 {
+            let u = vid(rng.gen_range(0..n));
+            let v = vid(rng.gen_range(0..n));
+            if u == v || oracle.plan().shard_of(u) == oracle.plan().shard_of(v) {
+                continue;
+            }
+            // |F| <= f, never faulting the terminals (Definition 1).
+            let faults = sample_fault_set(
+                oracle.graph(),
+                FaultModel::Vertex,
+                f as usize,
+                &[u, v],
+                &mut rng,
+            );
+            let answer = oracle.path(u, v, &faults);
+            let graph_view = faults.apply(oracle.graph());
+            if let Some(d_g) = weighted_distance(&graph_view, u, v) {
+                let (d_h, path) = answer.expect("surviving pairs stay connected");
+                prop_assert!(
+                    d_h <= stretch * d_g + 1e-9,
+                    "stitched stretch violated: {} > {} * {}", d_h, stretch, d_g
+                );
+                // The stitched path is a genuine walk in the global spanner.
+                prop_assert_eq!(path.first(), Some(&u));
+                prop_assert_eq!(path.last(), Some(&v));
+                for pair in path.windows(2) {
+                    prop_assert!(
+                        oracle.spanner().edge_between(pair[0], pair[1]).is_some()
+                    );
+                }
+            }
         }
     }
 
