@@ -169,6 +169,9 @@ pub fn respan_candidates(
 
     stats.spanner_edges = rebuilt.edge_count();
     stats.elapsed = start.elapsed();
+    // Serving layers install this spanner directly; hand it over in pure
+    // CSR form so their query path never touches an append buffer.
+    rebuilt.compact();
     RepairOutcome {
         spanner: rebuilt,
         added,

@@ -5,7 +5,7 @@
 //! algorithms themselves only ever use BFS (see [`crate::bfs`]).
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::{GraphView, VertexId};
 
@@ -228,6 +228,14 @@ impl ShortestPathTree {
 /// allocations alive across runs and across views (it resizes itself to each
 /// view's vertex count).
 ///
+/// On unit-weighted views ([`GraphView::unit_weighted`]) the tree is built
+/// with a bucket queue (Dial's algorithm with bucket width 1, which
+/// degenerates to plain BFS): no heap, no `f64` comparisons in the queue
+/// discipline. The distances are bit-identical to the Dijkstra lane — both
+/// compute exact small-integer sums of `1.0` — only the choice of parent
+/// among equal-distance predecessors (and therefore which of several equally
+/// short paths a tree reports) can differ.
+///
 /// # Examples
 ///
 /// ```
@@ -248,6 +256,8 @@ pub struct DijkstraScratch {
     parent: Vec<Option<VertexId>>,
     settled: Vec<bool>,
     heap: BinaryHeap<HeapEntry>,
+    /// FIFO bucket of the Dial lane (unit weights ⇒ one active bucket).
+    bucket: VecDeque<VertexId>,
 }
 
 impl DijkstraScratch {
@@ -265,12 +275,15 @@ impl DijkstraScratch {
             parent: Vec::with_capacity(n),
             settled: Vec::with_capacity(n),
             heap: BinaryHeap::with_capacity(n),
+            bucket: VecDeque::with_capacity(n),
         }
     }
 
-    /// Runs Dijkstra from `source` over `view`, returning an owned
-    /// shortest-path tree. The scratch buffers are reset and reused; the
-    /// returned tree copies only the distance and parent arrays it needs.
+    /// Runs a single-source shortest-path computation from `source` over
+    /// `view`, returning an owned tree. The scratch buffers are reset and
+    /// reused; the returned tree copies only the distance and parent arrays
+    /// it needs. Unit-weighted views take the bucket-queue (Dial) lane, all
+    /// others run binary-heap Dijkstra; the distances agree bit-for-bit.
     #[must_use]
     pub fn shortest_path_tree<V: GraphView>(
         &mut self,
@@ -282,32 +295,12 @@ impl DijkstraScratch {
         self.dist.resize(n, f64::INFINITY);
         self.parent.clear();
         self.parent.resize(n, None);
-        self.settled.clear();
-        self.settled.resize(n, false);
-        self.heap.clear();
 
         if view.contains_vertex(source) {
-            self.dist[source.index()] = 0.0;
-            self.heap.push(HeapEntry {
-                distance: 0.0,
-                vertex: source,
-            });
-            while let Some(HeapEntry { distance, vertex }) = self.heap.pop() {
-                if self.settled[vertex.index()] {
-                    continue;
-                }
-                self.settled[vertex.index()] = true;
-                for (nbr, e) in view.neighbors(vertex) {
-                    let cand = distance + view.edge_weight(e);
-                    if cand < self.dist[nbr.index()] {
-                        self.dist[nbr.index()] = cand;
-                        self.parent[nbr.index()] = Some(vertex);
-                        self.heap.push(HeapEntry {
-                            distance: cand,
-                            vertex: nbr,
-                        });
-                    }
-                }
+            if view.unit_weighted() {
+                self.run_dial(view, source);
+            } else {
+                self.run_dijkstra(view, source);
             }
         }
 
@@ -315,6 +308,57 @@ impl DijkstraScratch {
             source,
             dist: self.dist.clone(),
             parent: self.parent.clone(),
+        }
+    }
+
+    /// The Dial lane: with every weight exactly 1 the bucket queue has one
+    /// live bucket per frontier level, i.e. a FIFO — every vertex settles on
+    /// first discovery at distance `parent + 1.0` (an exact small-integer
+    /// `f64`, so the sums match the heap lane's).
+    fn run_dial<V: GraphView>(&mut self, view: &V, source: VertexId) {
+        self.bucket.clear();
+        self.dist[source.index()] = 0.0;
+        self.bucket.push_back(source);
+        while let Some(u) = self.bucket.pop_front() {
+            let du = self.dist[u.index()];
+            for (nbr, _) in view.neighbors(u) {
+                let slot = &mut self.dist[nbr.index()];
+                if slot.is_infinite() {
+                    *slot = du + 1.0;
+                    self.parent[nbr.index()] = Some(u);
+                    self.bucket.push_back(nbr);
+                }
+            }
+        }
+    }
+
+    /// The general lane: binary-heap Dijkstra with a settled bitmap.
+    fn run_dijkstra<V: GraphView>(&mut self, view: &V, source: VertexId) {
+        let n = view.vertex_count();
+        self.settled.clear();
+        self.settled.resize(n, false);
+        self.heap.clear();
+        self.dist[source.index()] = 0.0;
+        self.heap.push(HeapEntry {
+            distance: 0.0,
+            vertex: source,
+        });
+        while let Some(HeapEntry { distance, vertex }) = self.heap.pop() {
+            if self.settled[vertex.index()] {
+                continue;
+            }
+            self.settled[vertex.index()] = true;
+            for (nbr, e) in view.neighbors(vertex) {
+                let cand = distance + view.edge_weight(e);
+                if cand < self.dist[nbr.index()] {
+                    self.dist[nbr.index()] = cand;
+                    self.parent[nbr.index()] = Some(vertex);
+                    self.heap.push(HeapEntry {
+                        distance: cand,
+                        vertex: nbr,
+                    });
+                }
+            }
         }
     }
 }
@@ -455,6 +499,45 @@ mod tests {
         for v in 0..4 {
             assert_eq!(tree.distance_to(vid(v)), None);
         }
+    }
+
+    #[test]
+    fn dial_lane_matches_heap_distances_on_unit_graphs() {
+        // A unit-weight graph takes the bucket-queue lane; distances must be
+        // bit-identical to the heap lane (forced here by a FaultView over a
+        // graph whose flag we break with a weight-1.0-but-general instance:
+        // compare against the one-shot heap implementation instead).
+        let mut g = Graph::new(8);
+        for (u, v) in [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 0),
+            (1, 6),
+            (6, 7),
+            (2, 7),
+        ] {
+            g.add_unit_edge(u, v);
+        }
+        assert!(g.is_unit_weighted());
+        let mut scratch = DijkstraScratch::new();
+        let tree = scratch.shortest_path_tree(&g, vid(0));
+        let heap_dist = dijkstra_distances(&g, vid(0));
+        assert_eq!(tree.distances(), &heap_dist[..]);
+
+        // Same under faults: the view inherits the unit-weight flag.
+        let mut view = FaultView::new(&g);
+        view.block_vertex(vid(1));
+        let tree = scratch.shortest_path_tree(&view, vid(0));
+        let heap_dist = dijkstra_distances(&view, vid(0));
+        assert_eq!(tree.distances(), &heap_dist[..]);
+        // Paths from the Dial lane are valid shortest walks.
+        let p = tree.path_to(vid(3)).expect("reachable around the fault");
+        assert_eq!(p.first(), Some(&vid(0)));
+        assert_eq!(p.last(), Some(&vid(3)));
+        assert_eq!((p.len() - 1) as f64, tree.distance_to(vid(3)).unwrap());
     }
 
     #[test]

@@ -1,17 +1,31 @@
-//! The core undirected graph data structure.
-
-use std::collections::HashMap;
+//! The core undirected graph data structure, stored in compressed sparse row
+//! (CSR) form.
 
 use crate::error::{GraphError, Result};
 use crate::{Edge, EdgeId, VertexId};
 
-/// An undirected simple graph with optional edge weights, stored as an
-/// adjacency list plus a dense edge table.
+/// An undirected simple graph with optional edge weights, stored as a
+/// compressed-sparse-row adjacency plus a dense edge table.
 ///
 /// Vertices are the dense range `0..n`; edges are identified by [`EdgeId`] in
-/// insertion order. The structure is optimized for the access patterns of the
-/// spanner algorithms in this workspace: iterating neighbors, hop-bounded BFS,
-/// and incrementally growing a sparse subgraph on the same vertex set.
+/// insertion order. The adjacency lives in two layers:
+///
+/// * a **CSR core** — `offsets: Vec<u32>` into one flat `(neighbor, edge id)`
+///   array, with each vertex's slice sorted by neighbor id so
+///   [`Graph::edge_between`] is a binary search and traversals walk
+///   cache-contiguous memory;
+/// * a small **append buffer** of edges added since the last compaction, so
+///   incremental construction (the greedy spanner algorithms interleave
+///   `add_edge` with reads) stays cheap.
+///
+/// [`Graph::compact`] merges the buffer into the CSR core; `add_edge` also
+/// compacts automatically once the buffer grows past a fraction of the core,
+/// so total maintenance cost is `O((n + m) log m)` over any insertion
+/// sequence. Serving layers compact once after construction and then read a
+/// pure CSR layout. All operations are correct regardless of compaction
+/// state; compaction only changes layout (and therefore neighbor iteration
+/// order, which is sorted within the core and insertion-ordered in the
+/// buffer), never the answer of any query.
 ///
 /// # Examples
 ///
@@ -27,16 +41,30 @@ use crate::{Edge, EdgeId, VertexId};
 /// assert!(g.has_edge_between(1, 2));
 /// assert!(!g.has_edge_between(0, 3));
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Graph {
-    /// `adjacency[v]` lists `(neighbor, edge id)` pairs for vertex `v`.
-    adjacency: Vec<Vec<(VertexId, EdgeId)>>,
+    /// CSR offsets: the compacted neighbors of vertex `v` live in
+    /// `csr_adj[csr_offsets[v] as usize..csr_offsets[v + 1] as usize]`.
+    /// Always `n + 1` entries.
+    csr_offsets: Vec<u32>,
+    /// Flat `(neighbor, edge id)` pairs; each vertex's slice is sorted by
+    /// neighbor id (neighbors are unique because the graph is simple).
+    csr_adj: Vec<(VertexId, EdgeId)>,
+    /// Per-vertex append buffers for edges added since the last compaction,
+    /// in insertion order.
+    pending: Vec<Vec<(VertexId, EdgeId)>>,
+    /// Number of edges currently represented only in `pending`.
+    pending_edges: usize,
     /// Dense edge table indexed by [`EdgeId`].
     edges: Vec<Edge>,
-    /// Lookup from a normalized endpoint pair to the edge id.
-    edge_lookup: HashMap<(u32, u32), EdgeId>,
     /// True while every inserted edge has weight exactly 1.0.
     unit_weighted: bool,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new(0)
+    }
 }
 
 impl Graph {
@@ -44,9 +72,11 @@ impl Graph {
     #[must_use]
     pub fn new(n: usize) -> Self {
         Self {
-            adjacency: vec![Vec::new(); n],
+            csr_offsets: vec![0; n + 1],
+            csr_adj: Vec::new(),
+            pending: vec![Vec::new(); n],
+            pending_edges: 0,
             edges: Vec::new(),
-            edge_lookup: HashMap::new(),
             unit_weighted: true,
         }
     }
@@ -54,12 +84,9 @@ impl Graph {
     /// Creates a graph with `n` vertices and space reserved for `m` edges.
     #[must_use]
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        Self {
-            adjacency: vec![Vec::new(); n],
-            edges: Vec::with_capacity(m),
-            edge_lookup: HashMap::with_capacity(m),
-            unit_weighted: true,
-        }
+        let mut g = Self::new(n);
+        g.edges.reserve(m);
+        g
     }
 
     /// Creates an empty subgraph skeleton on the same vertex set as `other`:
@@ -74,7 +101,7 @@ impl Graph {
     #[inline]
     #[must_use]
     pub fn vertex_count(&self) -> usize {
-        self.adjacency.len()
+        self.pending.len()
     }
 
     /// Number of edges `m`.
@@ -94,16 +121,67 @@ impl Graph {
     /// Returns `true` while every edge inserted so far has weight exactly 1.
     ///
     /// Unweighted inputs are represented as unit-weighted graphs; algorithms
-    /// use this flag to pick the unweighted code path.
+    /// use this flag to pick the unweighted code path (for example the
+    /// bucket-queue shortest-path-tree builder in
+    /// [`crate::dijkstra::DijkstraScratch`]).
     #[inline]
     #[must_use]
     pub fn is_unit_weighted(&self) -> bool {
         self.unit_weighted
     }
 
+    /// Returns `true` when every edge lives in the CSR core (no pending
+    /// append buffer). Serving layers compact once after construction so the
+    /// query hot path reads a pure flat layout.
+    #[inline]
+    #[must_use]
+    pub fn is_compacted(&self) -> bool {
+        self.pending_edges == 0
+    }
+
+    /// The compacted CSR slice of vertex `v` (sorted by neighbor id).
+    #[inline]
+    fn csr_slice(&self, v: usize) -> &[(VertexId, EdgeId)] {
+        let start = self.csr_offsets[v] as usize;
+        let end = self.csr_offsets[v + 1] as usize;
+        &self.csr_adj[start..end]
+    }
+
+    /// Merges the pending append buffers into the CSR core.
+    ///
+    /// After compaction every vertex's neighbors form one contiguous slice
+    /// sorted by neighbor id, [`Graph::edge_between`] is a pure binary
+    /// search, and traversals touch no per-vertex heap allocations. Calling
+    /// this on an already-compacted graph is a no-op. Compaction never
+    /// changes vertex or edge identifiers, weights, or any query answer —
+    /// only the memory layout and neighbor iteration order.
+    pub fn compact(&mut self) {
+        if self.pending_edges == 0 {
+            return;
+        }
+        let n = self.vertex_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut adj = Vec::with_capacity(2 * self.edges.len());
+        offsets.push(0u32);
+        for v in 0..n {
+            let start = adj.len();
+            let old_start = self.csr_offsets[v] as usize;
+            let old_end = self.csr_offsets[v + 1] as usize;
+            adj.extend_from_slice(&self.csr_adj[old_start..old_end]);
+            adj.extend_from_slice(&self.pending[v]);
+            adj[start..].sort_unstable_by_key(|&(nbr, _)| nbr);
+            offsets.push(u32::try_from(adj.len()).expect("adjacency size exceeds u32::MAX"));
+            // Free the buffer outright: a compacted graph carries no slack.
+            self.pending[v] = Vec::new();
+        }
+        self.csr_offsets = offsets;
+        self.csr_adj = adj;
+        self.pending_edges = 0;
+    }
+
     /// Iterates over all vertex identifiers `0..n`.
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (0..self.adjacency.len()).map(VertexId::new)
+        (0..self.vertex_count()).map(VertexId::new)
     }
 
     /// Iterates over all edges as `(EdgeId, &Edge)` in insertion order.
@@ -156,24 +234,47 @@ impl Graph {
     #[inline]
     #[must_use]
     pub fn degree(&self, v: VertexId) -> usize {
-        self.adjacency[v.index()].len()
+        self.csr_slice(v.index()).len() + self.pending[v.index()].len()
     }
 
-    /// Iterates over `(neighbor, edge id)` pairs of vertex `v`.
+    /// Iterates over `(neighbor, edge id)` pairs of vertex `v`: first the
+    /// CSR core (ascending neighbor id), then any pending appends.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
-        self.adjacency[v.index()].iter().copied()
+        self.csr_slice(v.index())
+            .iter()
+            .copied()
+            .chain(self.pending[v.index()].iter().copied())
     }
 
-    /// Returns the identifier of the edge between `u` and `v`, if present.
+    /// Returns the identifier of the edge between `u` and `v`, if present:
+    /// a binary search over the CSR slice plus a scan of the (small) pending
+    /// buffer of the lower-degree endpoint. Out-of-range endpoints yield
+    /// `None`.
     #[must_use]
     pub fn edge_between(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
-        let key = Self::normalize(u, v);
-        self.edge_lookup.get(&key).copied()
+        let n = self.vertex_count();
+        if u.index() >= n || v.index() >= n || u == v {
+            return None;
+        }
+        // Probe from the endpoint with the smaller degree.
+        let (probe, target) = if self.degree(u) <= self.degree(v) {
+            (u.index(), v)
+        } else {
+            (v.index(), u)
+        };
+        let slice = self.csr_slice(probe);
+        if let Ok(pos) = slice.binary_search_by_key(&target, |&(nbr, _)| nbr) {
+            return Some(slice[pos].1);
+        }
+        self.pending[probe]
+            .iter()
+            .find(|&&(nbr, _)| nbr == target)
+            .map(|&(_, e)| e)
     }
 
     /// Returns `true` if an edge `{u, v}` exists. Accepts raw indices for
@@ -238,17 +339,25 @@ impl Graph {
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });
         }
-        let key = Self::normalize(u, v);
-        if self.edge_lookup.contains_key(&key) {
+        if self.edge_between(u, v).is_some() {
             return Err(GraphError::ParallelEdge { u, v });
         }
         let id = EdgeId::new(self.edges.len());
         self.edges.push(Edge::new(u, v, weight));
-        self.adjacency[u.index()].push((v, id));
-        self.adjacency[v.index()].push((u, id));
-        self.edge_lookup.insert(key, id);
+        self.pending[u.index()].push((v, id));
+        self.pending[v.index()].push((u, id));
+        self.pending_edges += 1;
         if weight != 1.0 {
             self.unit_weighted = false;
+        }
+        // Amortized self-compaction: once the append buffers hold a constant
+        // fraction of the edges, fold them into the CSR core so long
+        // incremental constructions keep binary-search lookups and contiguous
+        // traversal. Geometric growth bounds total compaction work by
+        // O((n + m) log m).
+        let compacted = self.edges.len() - self.pending_edges;
+        if self.pending_edges >= 64 && self.pending_edges >= compacted {
+            self.compact();
         }
         Ok(id)
     }
@@ -287,7 +396,10 @@ impl Graph {
     /// Returns the maximum degree over all vertices (0 for an empty graph).
     #[must_use]
     pub fn max_degree(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+        (0..self.vertex_count())
+            .map(|v| self.csr_slice(v).len() + self.pending[v].len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average degree `2m / n`, or 0 for a graph without vertices.
@@ -301,7 +413,8 @@ impl Graph {
     }
 
     /// Builds the subgraph of this graph containing exactly the given edges,
-    /// on the same vertex set. Duplicate edge ids are ignored.
+    /// on the same vertex set. Duplicate edge ids are ignored. The result is
+    /// compacted.
     ///
     /// # Panics
     ///
@@ -319,42 +432,82 @@ impl Graph {
                 sub.add_edge(u.index(), v.index(), edge.weight());
             }
         }
+        sub.compact();
         sub
     }
 
     /// Builds the induced subgraph `G[C]` on the vertex subset `C`.
     ///
-    /// Returns the induced graph together with the mapping from new (dense)
-    /// vertex indices back to the original vertex identifiers: entry `i` of
-    /// the mapping is the original id of new vertex `i`.
+    /// Returns the induced graph (compacted) together with the mapping from
+    /// new (dense) vertex indices back to the original vertex identifiers:
+    /// entry `i` of the mapping is the original id of new vertex `i`.
     ///
     /// # Panics
     ///
     /// Panics if any vertex in `community` is out of range.
     #[must_use]
     pub fn induced_subgraph(&self, community: &[VertexId]) -> (Graph, Vec<VertexId>) {
+        // Local-id lookup: a dense array is fastest but costs O(n) to zero,
+        // which would make per-cluster loops (decomposition diagnostics,
+        // LOCAL simulation) quadratic when called once per small cluster.
+        // Switch representation on the community's share of the graph.
+        enum LocalIds {
+            Dense(Vec<Option<u32>>),
+            Sparse(std::collections::HashMap<VertexId, u32>),
+        }
+        impl LocalIds {
+            fn get(&self, v: VertexId) -> Option<u32> {
+                match self {
+                    LocalIds::Dense(ids) => ids[v.index()],
+                    LocalIds::Sparse(ids) => ids.get(&v).copied(),
+                }
+            }
+        }
+
+        let dense = community.len() * 4 >= self.vertex_count();
+        let mut new_of = if dense {
+            LocalIds::Dense(vec![None; self.vertex_count()])
+        } else {
+            LocalIds::Sparse(std::collections::HashMap::with_capacity(community.len()))
+        };
         let mut original_of = Vec::with_capacity(community.len());
-        let mut new_of: HashMap<VertexId, usize> = HashMap::with_capacity(community.len());
         for &v in community {
             assert!(
                 v.index() < self.vertex_count(),
                 "vertex {v} out of range for induced subgraph"
             );
-            if let std::collections::hash_map::Entry::Vacant(e) = new_of.entry(v) {
-                e.insert(original_of.len());
+            let next = original_of.len() as u32;
+            let inserted = match &mut new_of {
+                LocalIds::Dense(ids) => {
+                    let slot = &mut ids[v.index()];
+                    slot.is_none() && {
+                        *slot = Some(next);
+                        true
+                    }
+                }
+                LocalIds::Sparse(ids) => match ids.entry(v) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(next);
+                        true
+                    }
+                    std::collections::hash_map::Entry::Occupied(_) => false,
+                },
+            };
+            if inserted {
                 original_of.push(v);
             }
         }
         let mut sub = Graph::new(original_of.len());
         for (i, &orig) in original_of.iter().enumerate() {
             for (nbr, e) in self.neighbors(orig) {
-                if let Some(&j) = new_of.get(&nbr) {
-                    if i < j {
-                        sub.add_edge(i, j, self.weight(e));
+                if let Some(j) = new_of.get(nbr) {
+                    if i < j as usize {
+                        sub.add_edge(i, j as usize, self.weight(e));
                     }
                 }
             }
         }
+        sub.compact();
         (sub, original_of)
     }
 
@@ -391,20 +544,11 @@ impl Graph {
                 .iter()
                 .all(|e| other.edge_between(e.source(), e.target()).is_some())
     }
-
-    #[inline]
-    fn normalize(u: VertexId, v: VertexId) -> (u32, u32) {
-        let (a, b) = (u.as_u32(), v.as_u32());
-        if a <= b {
-            (a, b)
-        } else {
-            (b, a)
-        }
-    }
 }
 
 /// Incremental builder for [`Graph`] that tolerates out-of-order vertex
 /// discovery: the vertex count grows automatically to cover every endpoint.
+/// The built graph is compacted.
 ///
 /// # Examples
 ///
@@ -491,6 +635,7 @@ impl GraphBuilder {
         for (u, v, w) in self.edges {
             g.try_add_edge(u, v, w)?;
         }
+        g.compact();
         Ok(g)
     }
 }
@@ -514,6 +659,7 @@ mod tests {
         assert_eq!(g.edge_count(), 0);
         assert!(g.is_empty());
         assert!(g.is_unit_weighted());
+        assert!(g.is_compacted());
         assert_eq!(g.max_degree(), 0);
         assert_eq!(g.average_degree(), 0.0);
     }
@@ -530,6 +676,77 @@ mod tests {
         assert_eq!(nbrs, vec![(VertexId::new(2), e)]);
         let nbrs: Vec<_> = g.neighbors(VertexId::new(2)).collect();
         assert_eq!(nbrs, vec![(VertexId::new(0), e)]);
+    }
+
+    #[test]
+    fn compact_preserves_every_observation() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 3, 2.0);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(3, 5, 1.5);
+        g.add_edge(0, 2, 1.0);
+        let before: Vec<(usize, Vec<(VertexId, EdgeId)>)> = (0..6)
+            .map(|v| {
+                let mut nbrs: Vec<_> = g.neighbors(VertexId::new(v)).collect();
+                nbrs.sort_unstable();
+                (g.degree(VertexId::new(v)), nbrs)
+            })
+            .collect();
+        assert!(!g.is_compacted());
+        g.compact();
+        assert!(g.is_compacted());
+        for (v, expected) in before.iter().enumerate() {
+            let mut nbrs: Vec<_> = g.neighbors(VertexId::new(v)).collect();
+            nbrs.sort_unstable();
+            assert_eq!(&(g.degree(VertexId::new(v)), nbrs), expected);
+        }
+        // Compacted slices are sorted by neighbor id.
+        let ids: Vec<u32> = g
+            .neighbors(VertexId::new(0))
+            .map(|(n, _)| n.as_u32())
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        // Compacting twice is a no-op.
+        g.compact();
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn edge_between_works_across_core_and_pending() {
+        let mut g = Graph::new(8);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 5, 1.0);
+        g.compact();
+        // Now some edges only in the pending buffer.
+        g.add_edge(0, 3, 1.0);
+        g.add_edge(2, 7, 1.0);
+        assert!(g.has_edge_between(0, 1)); // core
+        assert!(g.has_edge_between(0, 3)); // pending
+        assert!(g.has_edge_between(7, 2)); // pending, reversed
+        assert!(!g.has_edge_between(0, 4));
+        assert_eq!(g.degree(VertexId::new(0)), 3);
+    }
+
+    #[test]
+    fn automatic_compaction_keeps_growing_graphs_queryable() {
+        // Enough edges to cross the self-compaction threshold several times.
+        let n = 300;
+        let mut g = Graph::new(n);
+        for i in 0..n - 1 {
+            g.add_unit_edge(i, i + 1);
+        }
+        for i in 0..n - 2 {
+            g.add_unit_edge(i, i + 2);
+        }
+        assert_eq!(g.edge_count(), 2 * n - 3);
+        for i in 0..n - 2 {
+            assert!(g.has_edge_between(i, i + 1));
+            assert!(g.has_edge_between(i, i + 2));
+            assert!(!g.has_edge_between(i, i + 3) || i + 3 >= n);
+        }
+        g.compact();
+        assert_eq!(g.edge_count(), 2 * n - 3);
+        assert_eq!(g.degree(VertexId::new(10)), 4);
     }
 
     #[test]
@@ -551,6 +768,12 @@ mod tests {
         ));
         assert!(matches!(
             g.try_add_edge(1, 0, 2.0),
+            Err(GraphError::ParallelEdge { .. })
+        ));
+        // Also after compaction (binary-search path).
+        g.compact();
+        assert!(matches!(
+            g.try_add_edge(0, 1, 2.0),
             Err(GraphError::ParallelEdge { .. })
         ));
     }
@@ -590,6 +813,10 @@ mod tests {
         assert!(!g.has_edge_between(0, 2));
         assert!(!g.has_edge_between(0, 99));
         assert!(g.edge_between(VertexId::new(2), VertexId::new(3)).is_some());
+        assert!(g.edge_between(VertexId::new(2), VertexId::new(2)).is_none());
+        assert!(g
+            .edge_between(VertexId::new(0), VertexId::new(99))
+            .is_none());
     }
 
     #[test]
@@ -627,6 +854,7 @@ mod tests {
         let sub = g.edge_subgraph(ids);
         assert_eq!(sub.vertex_count(), 5);
         assert_eq!(sub.edge_count(), 2);
+        assert!(sub.is_compacted());
         assert!(sub.has_edge_between(0, 1));
         assert!(sub.has_edge_between(1, 2));
         assert!(!sub.has_edge_between(2, 3));
@@ -692,6 +920,7 @@ mod tests {
         let g = GraphBuilder::new().unit_edge(0, 9).build();
         assert_eq!(g.vertex_count(), 10);
         assert_eq!(g.edge_count(), 1);
+        assert!(g.is_compacted());
     }
 
     #[test]
@@ -731,5 +960,13 @@ mod tests {
         g.add_unit_edge(0, 3);
         assert_eq!(g.max_degree(), 3);
         assert!((g.average_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_graph_is_the_empty_graph() {
+        let g = Graph::default();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_compacted());
     }
 }

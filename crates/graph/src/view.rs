@@ -36,6 +36,15 @@ pub trait GraphView {
     /// Endpoints of edge `e` in the underlying graph.
     fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId);
 
+    /// Returns `true` when every edge of the underlying graph has weight
+    /// exactly 1. Traversals use this to take the bucket-queue (Dial)
+    /// shortest-path lane, which on unit weights degenerates to BFS and
+    /// produces bit-identical distances to Dijkstra without a heap. The
+    /// default is conservative: `false`.
+    fn unit_weighted(&self) -> bool {
+        false
+    }
+
     /// Number of live vertices.
     fn live_vertex_count(&self) -> usize {
         (0..self.vertex_count())
@@ -76,6 +85,11 @@ impl GraphView for Graph {
     }
 
     #[inline]
+    fn unit_weighted(&self) -> bool {
+        self.is_unit_weighted()
+    }
+
+    #[inline]
     fn live_vertex_count(&self) -> usize {
         Graph::vertex_count(self)
     }
@@ -110,6 +124,11 @@ impl<T: GraphView + ?Sized> GraphView for &T {
     #[inline]
     fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
         (**self).edge_endpoints(e)
+    }
+
+    #[inline]
+    fn unit_weighted(&self) -> bool {
+        (**self).unit_weighted()
     }
 
     #[inline]
@@ -478,6 +497,11 @@ impl GraphView for FaultView<'_> {
     }
 
     #[inline]
+    fn unit_weighted(&self) -> bool {
+        self.graph.is_unit_weighted()
+    }
+
+    #[inline]
     fn live_vertex_count(&self) -> usize {
         self.graph.vertex_count() - self.blocked_vertex_count
     }
@@ -494,6 +518,19 @@ impl Graph {
     #[must_use]
     pub fn halo_members(&self, core: &[VertexId], radius: u32) -> Vec<VertexId> {
         let mut scratch = BfsScratch::new();
+        self.halo_members_with(&mut scratch, core, radius)
+    }
+
+    /// Like [`Graph::halo_members`] but reusing caller-owned BFS buffers —
+    /// the form repair fan-outs use when they extract one region per shard
+    /// in a loop.
+    #[must_use]
+    pub fn halo_members_with(
+        &self,
+        scratch: &mut BfsScratch,
+        core: &[VertexId],
+        radius: u32,
+    ) -> Vec<VertexId> {
         let dist = scratch.multi_source_hop_distances(self, core.iter().copied(), radius);
         dist.iter()
             .enumerate()

@@ -6,26 +6,91 @@
 //! cache without ever contending for it from another thread. Groups are
 //! distributed over the pool through a simple atomic cursor — group sizes
 //! are uneven, so work stealing at group granularity beats static chunking.
+//!
+//! Results are written into **disjoint pre-sized output windows**: one
+//! contiguous answer buffer is `split_at_mut` into per-group slices up
+//! front, and whichever worker claims a group writes that group's answers
+//! by index into its own window. Each window's lock is taken exactly once,
+//! by exactly one worker, so result collection is contention-free (the
+//! previous design funneled every worker's output through one shared
+//! `Mutex<Vec<(usize, Answer)>>`).
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread;
 
-use ftspan_graph::dijkstra::DijkstraScratch;
+use ftspan_graph::dijkstra::{DijkstraScratch, ShortestPathTree};
 
-use crate::cache::CacheKey;
+use crate::cache::KeyRef;
 use crate::oracle::FaultOracle;
 use crate::query::{Answer, Query};
 use crate::shard::{Route, ShardedOracle};
+
+/// A batch partitioned into fault-set groups: `groups[g]` lists the indices
+/// of the queries sharing the `g`-th fault set, sorted by source vertex so
+/// consecutive queries can reuse the same cached tree without re-probing the
+/// cache. Grouping hashes only the `u64` fingerprint — per-query work is
+/// allocation-free; a (astronomically unlikely) fingerprint collision merely
+/// merges two groups, whose queries still resolve exactly by their own fault
+/// sets.
+fn group_by_fingerprint(queries: &[Query], namespace: u64) -> Vec<(u64, Vec<usize>)> {
+    let mut by_fault: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (idx, query) in queries.iter().enumerate() {
+        let fp = KeyRef::new(namespace, &query.faults).fingerprint();
+        by_fault.entry(fp).or_default().push(idx);
+    }
+    let mut groups: Vec<(u64, Vec<usize>)> = by_fault.into_iter().collect();
+    for (_, idxs) in &mut groups {
+        idxs.sort_unstable_by_key(|&i| (queries[i].u, queries[i].v, i));
+    }
+    groups
+}
+
+/// Splits one contiguous answer buffer into per-group windows. Window `g`
+/// holds `groups[g].1.len()` slots; the scatter step maps them back to
+/// request order.
+fn split_windows<'a, T>(
+    mut rest: &'a mut [Option<Answer>],
+    groups: &[(T, Vec<usize>)],
+) -> Vec<Mutex<&'a mut [Option<Answer>]>> {
+    let mut windows = Vec::with_capacity(groups.len());
+    for (_, idxs) in groups {
+        let (window, tail) = rest.split_at_mut(idxs.len());
+        windows.push(Mutex::new(window));
+        rest = tail;
+    }
+    windows
+}
+
+/// Reassembles group-major answers into request order.
+fn scatter<T>(
+    grouped: Vec<Option<Answer>>,
+    groups: &[(T, Vec<usize>)],
+    total: usize,
+) -> Vec<Answer> {
+    let mut slots: Vec<Option<Answer>> = Vec::with_capacity(total);
+    slots.resize_with(total, || None);
+    let mut cursor = grouped.into_iter();
+    for (_, idxs) in groups {
+        for &idx in idxs {
+            slots[idx] = cursor.next().expect("window sized to its group");
+        }
+    }
+    slots
+        .into_iter()
+        .map(|a| a.expect("every query index answered exactly once"))
+        .collect()
+}
 
 impl FaultOracle {
     /// Answers a batch of queries, returning answers in request order.
     ///
     /// Queries are grouped by fault set and the groups are served by a pool
     /// of `options.workers` threads (machine parallelism when 0). Each worker
-    /// owns a [`DijkstraScratch`], so per-query allocations are amortized
-    /// away; the tree cache is shared through the oracle.
+    /// owns a [`DijkstraScratch`], holds the group's most recent tree to skip
+    /// repeat cache probes, and writes into its group's disjoint output
+    /// window; the tree cache is shared through the oracle.
     #[must_use]
     pub fn answer_batch(&self, queries: &[Query]) -> Vec<Answer> {
         self.metrics().record_batch();
@@ -33,64 +98,93 @@ impl FaultOracle {
             return Vec::new();
         }
 
-        // Group query indices by fault set; each group carries its cache key
-        // so the per-query path never re-derives it.
-        let mut by_fault: HashMap<CacheKey, Vec<usize>> = HashMap::new();
-        for (idx, query) in queries.iter().enumerate() {
-            by_fault
-                .entry(self.cache_key(&query.faults))
-                .or_default()
-                .push(idx);
-        }
-        let groups: Vec<(CacheKey, Vec<usize>)> = by_fault.into_iter().collect();
-
+        let groups = group_by_fingerprint(queries, self.cache_namespace());
         let workers = self.effective_workers(groups.len());
-        let mut slots: Vec<Option<Answer>> = vec![None; queries.len()];
+        let mut grouped: Vec<Option<Answer>> = Vec::with_capacity(queries.len());
+        grouped.resize_with(queries.len(), || None);
 
         if workers <= 1 {
             let mut scratch = DijkstraScratch::new();
-            for (key, group) in &groups {
-                for &idx in group {
-                    slots[idx] = Some(self.answer_with_key(&queries[idx], key, &mut scratch));
+            let mut out = grouped.iter_mut();
+            for (fp, idxs) in &groups {
+                let mut held: Option<(&Query, Arc<ShortestPathTree>)> = None;
+                for &idx in idxs {
+                    let slot = out.next().expect("buffer sized to the batch");
+                    *slot =
+                        Some(self.answer_group_query(queries, *fp, idx, &mut held, &mut scratch));
                 }
             }
         } else {
             let cursor = AtomicUsize::new(0);
-            let collected: Mutex<Vec<(usize, Answer)>> =
-                Mutex::new(Vec::with_capacity(queries.len()));
+            let windows = split_windows(&mut grouped, &groups);
             thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| {
                         let mut scratch = DijkstraScratch::new();
-                        let mut local: Vec<(usize, Answer)> = Vec::new();
                         loop {
                             let g = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some((key, group)) = groups.get(g) else {
+                            let Some((fp, idxs)) = groups.get(g) else {
                                 break;
                             };
-                            for &idx in group {
-                                local.push((
+                            // Exactly one worker claims group `g`, so this
+                            // lock is uncontended and taken once per group.
+                            let mut window =
+                                windows[g].lock().expect("batch output window poisoned");
+                            let mut held: Option<(&Query, Arc<ShortestPathTree>)> = None;
+                            for (slot, &idx) in window.iter_mut().zip(idxs) {
+                                *slot = Some(self.answer_group_query(
+                                    queries,
+                                    *fp,
                                     idx,
-                                    self.answer_with_key(&queries[idx], key, &mut scratch),
+                                    &mut held,
+                                    &mut scratch,
                                 ));
                             }
                         }
-                        collected
-                            .lock()
-                            .expect("batch result sink poisoned")
-                            .extend(local);
                     });
                 }
             });
-            for (idx, answer) in collected.into_inner().expect("batch result sink poisoned") {
-                slots[idx] = Some(answer);
-            }
+            drop(windows);
         }
 
-        slots
-            .into_iter()
-            .map(|a| a.expect("every query index answered exactly once"))
-            .collect()
+        scatter(grouped, &groups, queries.len())
+    }
+
+    /// Answers one query of a fault-set group, reusing the group's held tree
+    /// when the roots line up (skipping the cache mutex entirely). The memo
+    /// is bypassed when caching is disabled so `cache_capacity: 0` keeps its
+    /// meaning as the recompute-everything baseline.
+    ///
+    /// LRU semantics: a group's first query probes the cache and refreshes
+    /// its fault set's recency once per group claim; memo-served queries
+    /// deliberately do not touch the cache again. Recency therefore means
+    /// "when was this fault set last *claimed*", not a per-query counter —
+    /// the trade that keeps thousands of repeat queries off the cache
+    /// mutex. Memo answers report `cache_hit = true` because the tree they
+    /// read did come from the cache (or was computed and inserted for this
+    /// very group).
+    fn answer_group_query<'q>(
+        &self,
+        queries: &'q [Query],
+        fingerprint: u64,
+        idx: usize,
+        held: &mut Option<(&'q Query, Arc<ShortestPathTree>)>,
+        scratch: &mut DijkstraScratch,
+    ) -> Answer {
+        let query = &queries[idx];
+        if let Some((held_query, tree)) = held {
+            let root = tree.source();
+            if (root == query.u || root == query.v) && held_query.faults == query.faults {
+                return self.answer_from_tree(query.u, query.v, query.kind, tree, true);
+            }
+        }
+        let key = KeyRef::with_fingerprint(self.cache_namespace(), fingerprint, &query.faults);
+        let (tree, cache_hit) = self.tree_for(&key, query.u, query.v, scratch);
+        let answer = self.answer_from_tree(query.u, query.v, query.kind, &tree, cache_hit);
+        if self.options.cache_capacity > 0 {
+            *held = Some((query, tree));
+        }
+        answer
     }
 
     pub(crate) fn effective_workers(&self, groups: usize) -> usize {
@@ -110,9 +204,10 @@ impl ShardedOracle {
     ///
     /// Queries are grouped by `(region route, fault set)` so each group
     /// shares its region's cached trees, and the groups are fanned out over
-    /// the same kind of work-stealing worker pool the single oracle uses.
-    /// Pair regions for every cross-shard route in the batch are
-    /// materialized up front, so workers never contend on the pair cache.
+    /// the same kind of work-stealing worker pool the single oracle uses,
+    /// with the same disjoint per-group output windows. Pair regions for
+    /// every cross-shard route in the batch are materialized up front, so
+    /// workers never contend on the pair cache.
     #[must_use]
     pub fn answer_batch(&self, queries: &[Query]) -> Vec<Answer> {
         self.metrics().record_batch();
@@ -120,17 +215,15 @@ impl ShardedOracle {
             return Vec::new();
         }
 
-        let mut by_group: HashMap<(Route, CacheKey), Vec<usize>> = HashMap::new();
+        let mut by_group: HashMap<(Route, u64), Vec<usize>> = HashMap::new();
         let mut pairs: HashSet<(u32, u32)> = HashSet::new();
         for (idx, query) in queries.iter().enumerate() {
             let route = self.route(query.u, query.v);
             if let Route::Pair(a, b) = route {
                 pairs.insert((a, b));
             }
-            by_group
-                .entry((route, CacheKey::from_fault_set(&query.faults)))
-                .or_default()
-                .push(idx);
+            let fp = KeyRef::new(0, &query.faults).fingerprint();
+            by_group.entry((route, fp)).or_default().push(idx);
         }
         for (a, b) in pairs {
             let _ = self.pair_region(a, b);
@@ -141,52 +234,43 @@ impl ShardedOracle {
             .collect();
 
         let workers = self.global().effective_workers(groups.len());
-        let mut slots: Vec<Option<Answer>> = vec![None; queries.len()];
+        let mut grouped: Vec<Option<Answer>> = Vec::with_capacity(queries.len());
+        grouped.resize_with(queries.len(), || None);
 
         if workers <= 1 {
             let mut scratch = DijkstraScratch::new();
-            for (_, group) in &groups {
-                for &idx in group {
-                    slots[idx] = Some(self.answer_with_scratch(&queries[idx], &mut scratch));
+            let mut out = grouped.iter_mut();
+            for (_, idxs) in &groups {
+                for &idx in idxs {
+                    let slot = out.next().expect("buffer sized to the batch");
+                    *slot = Some(self.answer_with_scratch(&queries[idx], &mut scratch));
                 }
             }
         } else {
             let cursor = AtomicUsize::new(0);
-            let collected: Mutex<Vec<(usize, Answer)>> =
-                Mutex::new(Vec::with_capacity(queries.len()));
+            let windows = split_windows(&mut grouped, &groups);
             thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| {
                         let mut scratch = DijkstraScratch::new();
-                        let mut local: Vec<(usize, Answer)> = Vec::new();
                         loop {
                             let g = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some((_, group)) = groups.get(g) else {
+                            let Some((_, idxs)) = groups.get(g) else {
                                 break;
                             };
-                            for &idx in group {
-                                local.push((
-                                    idx,
-                                    self.answer_with_scratch(&queries[idx], &mut scratch),
-                                ));
+                            let mut window =
+                                windows[g].lock().expect("batch output window poisoned");
+                            for (slot, &idx) in window.iter_mut().zip(idxs) {
+                                *slot = Some(self.answer_with_scratch(&queries[idx], &mut scratch));
                             }
                         }
-                        collected
-                            .lock()
-                            .expect("batch result sink poisoned")
-                            .extend(local);
                     });
                 }
             });
-            for (idx, answer) in collected.into_inner().expect("batch result sink poisoned") {
-                slots[idx] = Some(answer);
-            }
+            drop(windows);
         }
 
-        slots
-            .into_iter()
-            .map(|a| a.expect("every query index answered exactly once"))
-            .collect()
+        scatter(grouped, &groups, queries.len())
     }
 }
 
@@ -275,6 +359,19 @@ mod tests {
             snap.hit_rate()
         );
         assert_eq!(snap.batches, 1);
+    }
+
+    #[test]
+    fn cache_off_batches_never_reuse_trees() {
+        // With capacity 0 the held-tree memo must stay disabled: every query
+        // recomputes, keeping the cache-off bench an honest baseline.
+        let oracle = oracle_with_workers(1, 0);
+        let queries = mixed_batch(40, 30, 10);
+        let _ = oracle.answer_batch(&queries);
+        let snap = oracle.metrics().snapshot();
+        assert_eq!(snap.queries, 40);
+        assert_eq!(snap.cache_hits, 0);
+        assert_eq!(snap.trees_built, 40);
     }
 
     #[test]

@@ -6,20 +6,22 @@
 //! (a fault wave stays active while many queries arrive), which makes the
 //! per-fault-set hit rate high even with a small capacity.
 //!
-//! Keys combine the `O(|F|)` [`fault_fingerprint`] from `ftspan-graph` (for
-//! cheap hashing) with the exact sorted fault lists (for collision-proof
-//! equality). Eviction is least-recently-used over fault sets; all trees of
-//! an evicted fault set go together.
+//! The store is a flat vector of slots scanned by fingerprint — at serving
+//! capacities (a few hundred fault sets) a contiguous scan of `u64`s beats a
+//! hash map, and it makes LRU eviction a `swap_remove` that *moves* the
+//! victim out instead of cloning its key. Lookups on the query hot path go
+//! through [`KeyRef`], a borrowed key derived from the fault set in `O(|F|)`
+//! with **zero heap allocation**; an owned [`CacheKey`] is only materialized
+//! when a freshly computed tree is inserted (the miss path).
 
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use ftspan::FaultSet;
 use ftspan_graph::dijkstra::ShortestPathTree;
-use ftspan_graph::{fault_fingerprint_namespaced, VertexId};
+use ftspan_graph::{fault_fingerprint_namespaced, EdgeId, VertexId};
 
-/// Exact cache key for one fault set, qualified by a cache namespace.
+/// Exact owned cache key for one fault set, qualified by a cache namespace.
 ///
 /// `Hash` uses only the precomputed fingerprint; `Eq` compares the namespace
 /// and the full sorted fault lists, so a (astronomically unlikely)
@@ -36,8 +38,8 @@ use ftspan_graph::{fault_fingerprint_namespaced, VertexId};
 pub struct CacheKey {
     fingerprint: u64,
     namespace: u64,
-    vertices: Vec<u32>,
-    edges: Vec<u32>,
+    vertices: Vec<VertexId>,
+    edges: Vec<EdgeId>,
 }
 
 impl CacheKey {
@@ -51,19 +53,7 @@ impl CacheKey {
     /// Builds the key for a fault set under the given cache namespace.
     #[must_use]
     pub fn namespaced(namespace: u64, faults: &FaultSet) -> Self {
-        let vertices: Vec<u32> = faults.vertex_faults().iter().map(|v| v.as_u32()).collect();
-        let edges: Vec<u32> = faults.edge_faults().iter().map(|e| e.as_u32()).collect();
-        let fingerprint = fault_fingerprint_namespaced(
-            namespace,
-            faults.vertex_faults().iter().copied(),
-            faults.edge_faults().iter().copied(),
-        );
-        Self {
-            fingerprint,
-            namespace,
-            vertices,
-            edges,
-        }
+        KeyRef::new(namespace, faults).to_owned_key()
     }
 
     /// The fingerprint used for hashing.
@@ -78,6 +68,16 @@ impl CacheKey {
     #[must_use]
     pub fn namespace(&self) -> u64 {
         self.namespace
+    }
+
+    /// Exact comparison against a borrowed key, allocation-free: fingerprint
+    /// and namespace first, then the full sorted fault lists.
+    #[inline]
+    fn matches(&self, key: &KeyRef<'_>) -> bool {
+        self.fingerprint == key.fingerprint
+            && self.namespace == key.namespace
+            && self.vertices.as_slice() == key.faults.vertex_faults()
+            && self.edges.as_slice() == key.faults.edge_faults()
     }
 }
 
@@ -96,10 +96,78 @@ impl Hash for CacheKey {
     }
 }
 
-/// All cached trees for one fault set.
-#[derive(Debug, Default)]
-struct FaultEntry {
-    trees: HashMap<VertexId, Arc<ShortestPathTree>>,
+/// A borrowed cache key: namespace, precomputed fingerprint, and a reference
+/// to the fault set. Deriving one costs `O(|F|)` fingerprint mixing and no
+/// heap allocation, which is what keeps the cached-tree hit path
+/// allocation-free. [`KeyRef::to_owned_key`] materializes the owned
+/// [`CacheKey`] for insertion.
+#[derive(Clone, Copy, Debug)]
+pub struct KeyRef<'a> {
+    namespace: u64,
+    fingerprint: u64,
+    faults: &'a FaultSet,
+}
+
+impl<'a> KeyRef<'a> {
+    /// Derives the borrowed key for a fault set under a namespace.
+    #[must_use]
+    pub fn new(namespace: u64, faults: &'a FaultSet) -> Self {
+        let fingerprint = fault_fingerprint_namespaced(
+            namespace,
+            faults.vertex_faults().iter().copied(),
+            faults.edge_faults().iter().copied(),
+        );
+        Self {
+            namespace,
+            fingerprint,
+            faults,
+        }
+    }
+
+    /// Rebuilds a borrowed key from a fingerprint computed earlier (batch
+    /// grouping computes it once per group and reuses it per query).
+    #[must_use]
+    pub fn with_fingerprint(namespace: u64, fingerprint: u64, faults: &'a FaultSet) -> Self {
+        Self {
+            namespace,
+            fingerprint,
+            faults,
+        }
+    }
+
+    /// The namespaced fingerprint.
+    #[inline]
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The fault set the key refers to.
+    #[inline]
+    #[must_use]
+    pub fn faults(&self) -> &'a FaultSet {
+        self.faults
+    }
+
+    /// Materializes the owned key (allocates; used on the insert/miss path).
+    #[must_use]
+    pub fn to_owned_key(&self) -> CacheKey {
+        CacheKey {
+            fingerprint: self.fingerprint,
+            namespace: self.namespace,
+            vertices: self.faults.vertex_faults().to_vec(),
+            edges: self.faults.edge_faults().to_vec(),
+        }
+    }
+}
+
+/// All cached trees for one fault set. Trees are kept in a small vector —
+/// a fault set rarely accumulates more than a few dozen roots, and a linear
+/// scan of `(VertexId, Arc)` pairs is cheaper than hashing at that size.
+#[derive(Debug)]
+struct CacheSlot {
+    key: CacheKey,
+    trees: Vec<(VertexId, Arc<ShortestPathTree>)>,
     last_used: u64,
 }
 
@@ -107,11 +175,25 @@ struct FaultEntry {
 ///
 /// The cache is a plain data structure; the oracle wraps it in a mutex and
 /// keeps tree payloads behind [`Arc`] so workers clone a handle and release
-/// the lock before walking the tree.
+/// the lock before walking the tree. Eviction is least-recently-used over
+/// fault sets; all trees of an evicted fault set go together, and the victim
+/// is moved out by `swap_remove` — no key clone on the eviction path.
+///
+/// Lookup cost: a linear scan of a **dense `u64` fingerprint array** (one
+/// word per cached fault set, exact key confirmation only on a fingerprint
+/// hit). At serving capacities — the default is 128 fault sets, and a few
+/// thousand is typical headroom — this is faster than a hash map probe and
+/// keeps eviction clone-free; a pathologically large `cache_capacity`
+/// (hundreds of thousands) would pay O(capacity) per lookup under the cache
+/// mutex, so capacity should scale with the number of *concurrently hot*
+/// fault sets, not the total ever seen.
 #[derive(Debug)]
 pub struct TreeCache {
     capacity: usize,
-    entries: HashMap<CacheKey, FaultEntry>,
+    /// `fingerprints[i]` mirrors `slots[i].key.fingerprint()`: the dense
+    /// scan lane (8 bytes per slot) for lookups.
+    fingerprints: Vec<u64>,
+    slots: Vec<CacheSlot>,
     tick: u64,
     trees_cached: usize,
 }
@@ -123,10 +205,31 @@ impl TreeCache {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            entries: HashMap::new(),
+            fingerprints: Vec::with_capacity(capacity.min(1024)),
+            slots: Vec::with_capacity(capacity.min(1024)),
             tick: 0,
             trees_cached: 0,
         }
+    }
+
+    /// Index of the slot exactly matching the borrowed key: scan the dense
+    /// fingerprint lane, confirm on the full key only at fingerprint hits
+    /// (fingerprint collisions between distinct fault sets are ~2⁻⁶⁴).
+    fn position_matching(&self, key: &KeyRef<'_>) -> Option<usize> {
+        let wanted = key.fingerprint;
+        self.fingerprints
+            .iter()
+            .enumerate()
+            .find_map(|(i, &fp)| (fp == wanted && self.slots[i].key.matches(key)).then_some(i))
+    }
+
+    /// Index of the slot exactly matching the owned key.
+    fn position_matching_owned(&self, key: &CacheKey) -> Option<usize> {
+        let wanted = key.fingerprint;
+        self.fingerprints
+            .iter()
+            .enumerate()
+            .find_map(|(i, &fp)| (fp == wanted && self.slots[i].key == *key).then_some(i))
     }
 
     /// The configured capacity in fault sets.
@@ -139,7 +242,7 @@ impl TreeCache {
     /// Number of fault sets currently cached.
     #[must_use]
     pub fn fault_sets_cached(&self) -> usize {
-        self.entries.len()
+        self.slots.len()
     }
 
     /// Number of trees currently cached across all fault sets.
@@ -148,15 +251,61 @@ impl TreeCache {
         self.trees_cached
     }
 
-    /// Looks up the tree rooted at `source` under the given fault set,
-    /// refreshing the entry's recency on a hit.
+    /// Looks up the tree rooted at `source` under the given borrowed key,
+    /// refreshing the slot's recency on a fault-set hit. Allocation-free
+    /// apart from the `Arc` handle clone.
+    #[must_use]
+    pub fn get_ref(&mut self, key: &KeyRef<'_>, source: VertexId) -> Option<Arc<ShortestPathTree>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let i = self.position_matching(key)?;
+        let slot = &mut self.slots[i];
+        slot.last_used = tick;
+        slot.trees
+            .iter()
+            .find(|&&(s, _)| s == source)
+            .map(|(_, tree)| Arc::clone(tree))
+    }
+
+    /// Looks up a tree rooted at either endpoint (`u` preferred) with a
+    /// single slot scan — the undirected query path's hit probe.
+    #[must_use]
+    pub fn get_either_ref(
+        &mut self,
+        key: &KeyRef<'_>,
+        u: VertexId,
+        v: VertexId,
+    ) -> Option<Arc<ShortestPathTree>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let i = self.position_matching(key)?;
+        let slot = &mut self.slots[i];
+        slot.last_used = tick;
+        let mut fallback = None;
+        for (root, tree) in &slot.trees {
+            if *root == u {
+                return Some(Arc::clone(tree));
+            }
+            if *root == v && fallback.is_none() {
+                fallback = Some(tree);
+            }
+        }
+        fallback.map(Arc::clone)
+    }
+
+    /// Looks up the tree rooted at `source` under an owned key (test and
+    /// tooling convenience; the hot path uses [`TreeCache::get_ref`]).
     #[must_use]
     pub fn get(&mut self, key: &CacheKey, source: VertexId) -> Option<Arc<ShortestPathTree>> {
         self.tick += 1;
         let tick = self.tick;
-        let entry = self.entries.get_mut(key)?;
-        entry.last_used = tick;
-        entry.trees.get(&source).cloned()
+        let i = self.position_matching_owned(key)?;
+        let slot = &mut self.slots[i];
+        slot.last_used = tick;
+        slot.trees
+            .iter()
+            .find(|&&(s, _)| s == source)
+            .map(|(_, tree)| Arc::clone(tree))
     }
 
     /// Inserts a tree, evicting the least-recently-used fault set when a new
@@ -167,28 +316,40 @@ impl TreeCache {
         }
         self.tick += 1;
         let tick = self.tick;
-        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
-            if let Some(victim) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-            {
-                if let Some(evicted) = self.entries.remove(&victim) {
-                    self.trees_cached -= evicted.trees.len();
-                }
+        if let Some(i) = self.position_matching_owned(&key) {
+            let slot = &mut self.slots[i];
+            slot.last_used = tick;
+            if let Some(entry) = slot.trees.iter_mut().find(|(s, _)| *s == source) {
+                entry.1 = tree;
+            } else {
+                slot.trees.push((source, tree));
+                self.trees_cached += 1;
+            }
+            return;
+        }
+        if self.slots.len() >= self.capacity {
+            if let Some(victim) = (0..self.slots.len()).min_by_key(|&i| self.slots[i].last_used) {
+                // The victim slot is moved out whole; its key is dropped
+                // without an intermediate clone. The fingerprint lane mirrors
+                // the swap_remove.
+                let evicted = self.slots.swap_remove(victim);
+                self.fingerprints.swap_remove(victim);
+                self.trees_cached -= evicted.trees.len();
             }
         }
-        let entry = self.entries.entry(key).or_default();
-        entry.last_used = tick;
-        if entry.trees.insert(source, tree).is_none() {
-            self.trees_cached += 1;
-        }
+        self.fingerprints.push(key.fingerprint());
+        self.slots.push(CacheSlot {
+            key,
+            trees: vec![(source, tree)],
+            last_used: tick,
+        });
+        self.trees_cached += 1;
     }
 
     /// Drops every cached tree (used when the spanner or damage changes).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.slots.clear();
+        self.fingerprints.clear();
         self.trees_cached = 0;
     }
 }
@@ -218,6 +379,20 @@ mod tests {
     }
 
     #[test]
+    fn key_ref_agrees_with_owned_key() {
+        let faults = FaultSet::vertices([vid(2), vid(9)]);
+        let owned = CacheKey::namespaced(3, &faults);
+        let borrowed = KeyRef::new(3, &faults);
+        assert_eq!(owned.fingerprint(), borrowed.fingerprint());
+        assert_eq!(borrowed.to_owned_key(), owned);
+        assert!(owned.matches(&borrowed));
+        // Mismatched namespace or fault set must not match.
+        assert!(!owned.matches(&KeyRef::new(4, &faults)));
+        let other = FaultSet::vertices([vid(2)]);
+        assert!(!owned.matches(&KeyRef::new(3, &other)));
+    }
+
+    #[test]
     fn namespaces_separate_identical_local_fault_patterns() {
         // Regression: shard-local fault sets are expressed in remapped local
         // ids, so two shards with identical local fault patterns used to
@@ -244,12 +419,15 @@ mod tests {
             cache.get(&shard_b, vid(0)).is_none(),
             "shards must not share cache entries"
         );
+        assert!(cache.get_ref(&KeyRef::new(1, &faults), vid(0)).is_some());
+        assert!(cache.get_ref(&KeyRef::new(2, &faults), vid(0)).is_none());
     }
 
     #[test]
     fn hit_and_miss_roundtrip() {
         let mut cache = TreeCache::new(4);
-        let key = CacheKey::from_fault_set(&FaultSet::vertices([vid(2)]));
+        let faults = FaultSet::vertices([vid(2)]);
+        let key = CacheKey::from_fault_set(&faults);
         assert!(cache.get(&key, vid(0)).is_none());
         cache.insert(key.clone(), vid(0), tree_for(0));
         let hit = cache.get(&key, vid(0)).expect("cached");
@@ -258,6 +436,11 @@ mod tests {
             cache.get(&key, vid(1)).is_none(),
             "other sources still miss"
         );
+        // Borrowed-key lookups see the same entry.
+        let hit = cache
+            .get_ref(&KeyRef::new(0, &faults), vid(0))
+            .expect("cached");
+        assert_eq!(hit.source(), vid(0));
         assert_eq!(cache.fault_sets_cached(), 1);
         assert_eq!(cache.trees_cached(), 1);
     }
@@ -288,6 +471,21 @@ mod tests {
         cache.insert(key.clone(), vid(2), tree_for(2)); // overwrite, not growth
         assert_eq!(cache.trees_cached(), 2);
         assert_eq!(cache.fault_sets_cached(), 1);
+    }
+
+    #[test]
+    fn eviction_accounts_all_trees_of_the_victim() {
+        let mut cache = TreeCache::new(1);
+        let k1 = CacheKey::from_fault_set(&FaultSet::vertices([vid(1)]));
+        let k2 = CacheKey::from_fault_set(&FaultSet::vertices([vid(2)]));
+        cache.insert(k1.clone(), vid(0), tree_for(0));
+        cache.insert(k1.clone(), vid(3), tree_for(3));
+        assert_eq!(cache.trees_cached(), 2);
+        cache.insert(k2.clone(), vid(0), tree_for(0));
+        assert_eq!(cache.fault_sets_cached(), 1);
+        assert_eq!(cache.trees_cached(), 1);
+        assert!(cache.get(&k1, vid(0)).is_none());
+        assert!(cache.get(&k2, vid(0)).is_some());
     }
 
     #[test]

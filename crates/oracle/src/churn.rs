@@ -34,7 +34,7 @@ use ftspan_graph::{EdgeId, Graph, VertexId};
 
 use crate::boundary::BoundaryIndex;
 use crate::oracle::FaultOracle;
-use crate::repair::neighborhood_candidates;
+use crate::repair::neighborhood_candidates_with;
 use crate::shard::{region_signature, shard_namespace, Region, ShardedOracle};
 
 /// Configuration of the churn loop.
@@ -98,6 +98,10 @@ impl FaultOracle {
         } else {
             config.repair_radius
         };
+        // One scratch pair serves every BFS/Dijkstra of the wave: violation
+        // detection, candidate collection, and the respan hooks.
+        let mut bfs_scratch = BfsScratch::new();
+        let mut dijkstra_scratch = DijkstraScratch::new();
 
         // 1. Seeds, in the pre-wave id space (vertex ids are stable).
         let mut seeds: Vec<VertexId> = Vec::new();
@@ -140,6 +144,8 @@ impl FaultOracle {
             self.stretch_bound(),
             &seeds,
             radius,
+            &mut bfs_scratch,
+            &mut dijkstra_scratch,
         );
         let mut all_seeds = seeds;
         for &(u, v) in &broken_pairs {
@@ -150,7 +156,8 @@ impl FaultOracle {
         all_seeds.dedup();
 
         // 4. Localized repair.
-        let candidates = neighborhood_candidates(&new_graph, &all_seeds, radius);
+        let candidates =
+            neighborhood_candidates_with(&mut bfs_scratch, &new_graph, &all_seeds, radius);
         let repair_options = RepairOptions {
             collect_certificates: self.options.collect_certificates,
         };
@@ -299,6 +306,7 @@ impl FaultOracle {
             }
             out.add_edge(u.index(), v.index(), edge.weight());
         }
+        out.compact();
         out
     }
 
@@ -323,6 +331,7 @@ impl FaultOracle {
                 out.add_edge(u.index(), v.index(), edge.weight());
             }
         }
+        out.compact();
         out
     }
 }
@@ -371,11 +380,13 @@ impl ShardedOracle {
         };
 
         let mut rebuilt_shards = Vec::new();
+        let mut halo_scratch = BfsScratch::new();
         for shard in 0..self.plan.shard_count() {
-            let members = self
-                .global
-                .spanner()
-                .halo_members(self.plan.core(shard), self.halo_radius);
+            let members = self.global.spanner().halo_members_with(
+                &mut halo_scratch,
+                self.plan.core(shard),
+                self.halo_radius,
+            );
             let signature = region_signature(self.global.graph(), self.global.spanner(), &members);
             if signature == self.regions[shard].signature {
                 continue;
@@ -409,21 +420,22 @@ impl ShardedOracle {
 /// within `radius` hops of a seed: a pair is broken when
 /// `d_{H'}(u, v) > (2k − 1) · w(u, v)` (with the usual weighted restriction
 /// to edges that are themselves shortest paths).
+#[allow(clippy::too_many_arguments)]
 fn detect_broken_pairs(
     graph: &Graph,
     spanner: &Graph,
     stretch: f64,
     seeds: &[VertexId],
     radius: u32,
+    bfs: &mut BfsScratch,
+    scratch: &mut DijkstraScratch,
 ) -> Vec<(VertexId, VertexId)> {
-    let mut bfs = BfsScratch::new();
     let near: Vec<bool> = bfs
         .multi_source_hop_distances(graph, seeds.iter().copied(), radius)
         .iter()
         .map(Option::is_some)
         .collect();
 
-    let mut scratch = DijkstraScratch::new();
     let mut spanner_trees: HashMap<VertexId, ftspan_graph::dijkstra::ShortestPathTree> =
         HashMap::new();
     let mut graph_trees: HashMap<VertexId, ftspan_graph::dijkstra::ShortestPathTree> =
@@ -692,9 +704,11 @@ mod tests {
         let g = generators::cycle(6);
         let spanner = g.edge_subgraph(g.edge_ids().take(5));
         let seeds = vec![vid(0), vid(5)];
-        let broken = detect_broken_pairs(&g, &spanner, 3.0, &seeds, 2);
+        let mut bfs = BfsScratch::new();
+        let mut dij = DijkstraScratch::new();
+        let broken = detect_broken_pairs(&g, &spanner, 3.0, &seeds, 2, &mut bfs, &mut dij);
         assert!(broken.contains(&(vid(5), vid(0))) || broken.contains(&(vid(0), vid(5))));
         // With the full cycle as spanner nothing is broken.
-        assert!(detect_broken_pairs(&g, &g, 3.0, &seeds, 2).is_empty());
+        assert!(detect_broken_pairs(&g, &g, 3.0, &seeds, 2, &mut bfs, &mut dij).is_empty());
     }
 }

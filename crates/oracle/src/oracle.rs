@@ -9,7 +9,7 @@ use ftspan::{
 use ftspan_graph::dijkstra::{DijkstraScratch, ShortestPathTree};
 use ftspan_graph::{Graph, VertexId};
 
-use crate::cache::{CacheKey, TreeCache};
+use crate::cache::{KeyRef, TreeCache};
 use crate::metrics::OracleMetrics;
 use crate::query::{Answer, Query, QueryKind};
 
@@ -19,6 +19,11 @@ pub struct OracleOptions {
     /// Maximum number of fault sets whose shortest-path trees stay cached
     /// (LRU). `0` disables caching entirely — every query recomputes, which
     /// is the baseline the `oracle` bench compares against.
+    ///
+    /// Lookups scan a dense per-fault-set fingerprint array, so size this to
+    /// the number of *concurrently hot* fault sets (hundreds to a few
+    /// thousand), not the total ever observed — see
+    /// [`TreeCache`](crate::TreeCache) for the cost model.
     pub cache_capacity: usize,
     /// Worker threads for [`FaultOracle::answer_batch`]. `0` means "use the
     /// machine's available parallelism".
@@ -70,6 +75,15 @@ pub struct FaultOracle {
     pub(crate) metrics: OracleMetrics,
 }
 
+std::thread_local! {
+    /// Recycled Dijkstra buffers for entry points that have no caller-owned
+    /// scratch (single queries). Thread-local, so concurrent `distance()`
+    /// callers never serialize on a shared pool lock and the cached hit
+    /// path stays allocation-free after the first query on a thread.
+    static QUERY_SCRATCH: std::cell::RefCell<DijkstraScratch> =
+        std::cell::RefCell::new(DijkstraScratch::new());
+}
+
 impl FaultOracle {
     /// Builds the spanner with the paper's polynomial-time modified greedy
     /// and wraps it in an oracle.
@@ -96,11 +110,17 @@ impl FaultOracle {
             result.spanner.vertex_count(),
             "spanner must be over the graph's vertex set"
         );
+        // Serving reads flat CSR slices; fold any construction-time append
+        // buffers into the core once, up front.
+        let mut graph = graph;
+        graph.compact();
+        let mut spanner = result.spanner;
+        spanner.compact();
         let cache = Mutex::new(TreeCache::new(options.cache_capacity));
         Self {
             base_graph: graph.clone(),
             graph,
-            spanner: result.spanner,
+            spanner,
             params: result.params,
             options,
             certificates: result.certificates,
@@ -172,9 +192,17 @@ impl FaultOracle {
 
     /// Distance in `H ∖ F`, or `None` when the faults disconnect the pair
     /// (or fault an endpoint).
+    ///
+    /// On a cached-tree hit this path performs **no heap allocation**: the
+    /// borrowed cache key is derived in place, the tree is read through an
+    /// `Arc` handle, and no `Query`/`FaultSet` is cloned.
     #[must_use]
     pub fn distance(&self, u: VertexId, v: VertexId, faults: &FaultSet) -> Option<f64> {
-        self.answer(&Query::distance(u, v, faults.clone())).distance
+        self.with_scratch(|scratch| {
+            let key = self.key_ref(faults);
+            self.answer_with_key(u, v, QueryKind::Distance, &key, scratch)
+        })
+        .distance
     }
 
     /// Distance plus an explicit shortest path in `H ∖ F`.
@@ -185,7 +213,10 @@ impl FaultOracle {
         v: VertexId,
         faults: &FaultSet,
     ) -> Option<(f64, Vec<VertexId>)> {
-        let answer = self.answer(&Query::path(u, v, faults.clone()));
+        let answer = self.with_scratch(|scratch| {
+            let key = self.key_ref(faults);
+            self.answer_with_key(u, v, QueryKind::Path, &key, scratch)
+        });
         Some((answer.distance?, answer.path?))
     }
 
@@ -194,8 +225,18 @@ impl FaultOracle {
     /// buffers and parallelizes across fault-set groups.
     #[must_use]
     pub fn answer(&self, query: &Query) -> Answer {
-        let mut scratch = DijkstraScratch::new();
-        self.answer_with_scratch(query, &mut scratch)
+        self.with_scratch(|scratch| self.answer_with_scratch(query, scratch))
+    }
+
+    /// Runs `f` with this thread's recycled [`DijkstraScratch`]. No lock, no
+    /// allocation; the buffers persist for the thread's lifetime. Must not
+    /// be nested (the query paths never do).
+    pub(crate) fn with_scratch<T>(&self, f: impl FnOnce(&mut DijkstraScratch) -> T) -> T {
+        QUERY_SCRATCH.with(|scratch| {
+            f(&mut scratch
+                .try_borrow_mut()
+                .expect("query scratch must not be borrowed re-entrantly"))
+        })
     }
 
     /// The shared single-query path: tree lookup / compute, then read.
@@ -204,35 +245,57 @@ impl FaultOracle {
         query: &Query,
         scratch: &mut DijkstraScratch,
     ) -> Answer {
-        let key = self.cache_key(&query.faults);
-        self.answer_with_key(query, &key, scratch)
+        let key = self.key_ref(&query.faults);
+        self.answer_with_key(query.u, query.v, query.kind, &key, scratch)
     }
 
-    /// Derives the cache key for a fault set under this oracle's namespace.
-    pub(crate) fn cache_key(&self, faults: &FaultSet) -> CacheKey {
-        CacheKey::namespaced(self.options.cache_namespace, faults)
+    /// Derives the borrowed (allocation-free) cache key for a fault set
+    /// under this oracle's namespace.
+    pub(crate) fn key_ref<'a>(&self, faults: &'a FaultSet) -> KeyRef<'a> {
+        KeyRef::new(self.options.cache_namespace, faults)
+    }
+
+    /// The cache namespace this oracle keys its trees under.
+    pub(crate) fn cache_namespace(&self) -> u64 {
+        self.options.cache_namespace
     }
 
     /// Like [`FaultOracle::answer_with_scratch`] but with the cache key
-    /// already derived — the batch path groups queries by key, so it passes
-    /// the group's key instead of re-deriving it per query.
+    /// already derived — the batch path computes one fingerprint per
+    /// fault-set group and reuses it per query.
     pub(crate) fn answer_with_key(
         &self,
-        query: &Query,
-        key: &CacheKey,
+        u: VertexId,
+        v: VertexId,
+        kind: QueryKind,
+        key: &KeyRef<'_>,
         scratch: &mut DijkstraScratch,
     ) -> Answer {
-        let (tree, cache_hit) = self.tree_for(key, &query.faults, query.u, query.v, scratch);
+        let (tree, cache_hit) = self.tree_for(key, u, v, scratch);
+        self.answer_from_tree(u, v, kind, &tree, cache_hit)
+    }
+
+    /// Reads one answer off an already-resolved tree rooted at `u` or `v`.
+    /// The batch path holds the group's last tree and short-circuits the
+    /// cache lookup entirely when consecutive queries share a root.
+    pub(crate) fn answer_from_tree(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        kind: QueryKind,
+        tree: &ShortestPathTree,
+        cache_hit: bool,
+    ) -> Answer {
         self.metrics.record_query(cache_hit);
         let root = tree.source();
-        let other = if root == query.u { query.v } else { query.u };
+        let other = if root == u { v } else { u };
 
         let distance = tree.distance_to(other);
-        let path = match (query.kind, distance) {
+        let path = match (kind, distance) {
             (QueryKind::Path, Some(_)) => tree.path_to(other).map(|mut p| {
                 // Orient the path u → v regardless of which endpoint the
                 // cached tree happens to be rooted at.
-                if root != query.u {
+                if root != u {
                     p.reverse();
                 }
                 p
@@ -248,10 +311,9 @@ impl FaultOracle {
 
     /// Fetches a cached shortest-path tree rooted at either endpoint of the
     /// query, or computes (and caches) one rooted at `u`.
-    fn tree_for(
+    pub(crate) fn tree_for(
         &self,
-        key: &CacheKey,
-        faults: &FaultSet,
+        key: &KeyRef<'_>,
         u: VertexId,
         v: VertexId,
         scratch: &mut DijkstraScratch,
@@ -260,15 +322,12 @@ impl FaultOracle {
             let mut cache = self.cache.lock().expect("tree cache poisoned");
             // The graph is undirected, so a tree rooted at either endpoint
             // answers the pair; hot-source traffic hits on `u`, symmetric
-            // repeat traffic hits on `v`.
-            if let Some(tree) = cache.get(key, u) {
-                return (tree, true);
-            }
-            if let Some(tree) = cache.get(key, v) {
+            // repeat traffic hits on `v`. One slot scan probes both roots.
+            if let Some(tree) = cache.get_either_ref(key, u, v) {
                 return (tree, true);
             }
         }
-        self.compute_tree(key, faults, u, scratch)
+        self.compute_tree(key, u, scratch)
     }
 
     /// Fetches or computes the shortest-path tree rooted at exactly `root`
@@ -277,37 +336,37 @@ impl FaultOracle {
     /// certificate, where a tree rooted at the "wrong" endpoint would not do.
     pub(crate) fn tree_rooted_at(
         &self,
-        key: &CacheKey,
-        faults: &FaultSet,
+        key: &KeyRef<'_>,
         root: VertexId,
         scratch: &mut DijkstraScratch,
     ) -> (Arc<ShortestPathTree>, bool) {
         if self.options.cache_capacity > 0 {
             let mut cache = self.cache.lock().expect("tree cache poisoned");
-            if let Some(tree) = cache.get(key, root) {
+            if let Some(tree) = cache.get_ref(key, root) {
                 return (tree, true);
             }
         }
-        self.compute_tree(key, faults, root, scratch)
+        self.compute_tree(key, root, scratch)
     }
 
     /// Computes (and caches) a tree rooted at `root` on the faulted spanner.
+    /// This is the miss path: translating edge faults and materializing the
+    /// owned cache key may allocate.
     fn compute_tree(
         &self,
-        key: &CacheKey,
-        faults: &FaultSet,
+        key: &KeyRef<'_>,
         root: VertexId,
         scratch: &mut DijkstraScratch,
     ) -> (Arc<ShortestPathTree>, bool) {
         // Compute outside the lock; concurrent workers may race on the same
         // tree, in which case the last insert simply wins.
-        let spanner_faults = faults.translate_edges(&self.graph, &self.spanner);
+        let spanner_faults = key.faults().translate_edges(&self.graph, &self.spanner);
         let view = spanner_faults.apply(&self.spanner);
         let tree = Arc::new(scratch.shortest_path_tree(&view, root));
         self.metrics.record_tree_built();
         if self.options.cache_capacity > 0 {
             let mut cache = self.cache.lock().expect("tree cache poisoned");
-            cache.insert(key.clone(), root, Arc::clone(&tree));
+            cache.insert(key.to_owned_key(), root, Arc::clone(&tree));
         }
         (tree, false)
     }

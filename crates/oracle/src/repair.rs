@@ -21,6 +21,20 @@ use ftspan_graph::{EdgeId, Graph, VertexId};
 #[must_use]
 pub fn neighborhood_candidates(graph: &Graph, seeds: &[VertexId], radius: u32) -> Vec<EdgeId> {
     let mut scratch = BfsScratch::new();
+    neighborhood_candidates_with(&mut scratch, graph, seeds, radius)
+}
+
+/// Like [`neighborhood_candidates`] but reusing caller-owned BFS buffers —
+/// the churn loop threads one scratch through every stage of a wave
+/// (violation detection, candidate collection, shard fan-out) instead of
+/// allocating per stage.
+#[must_use]
+pub fn neighborhood_candidates_with(
+    scratch: &mut BfsScratch,
+    graph: &Graph,
+    seeds: &[VertexId],
+    radius: u32,
+) -> Vec<EdgeId> {
     let dist = scratch.multi_source_hop_distances(graph, seeds.iter().copied(), radius);
     graph
         .edges()

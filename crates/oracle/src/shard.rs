@@ -249,6 +249,7 @@ impl Region {
                 }
             }
         }
+        local_spanner.compact();
         let frontier: Vec<VertexId> = remap
             .members()
             .iter()
@@ -310,15 +311,18 @@ impl Region {
     /// fallback.
     pub(crate) fn try_answer(
         &self,
-        query: &Query,
+        u: VertexId,
+        v: VertexId,
+        kind: QueryKind,
+        global_faults: &FaultSet,
         global_graph: &Graph,
         scratch: &mut DijkstraScratch,
     ) -> Option<Answer> {
-        let lu = self.remap.to_local(query.u)?;
-        let lv = self.remap.to_local(query.v)?;
-        let faults = self.localize_faults(&query.faults, global_graph);
-        let key = self.oracle.cache_key(&faults);
-        let (tree_u, cache_hit) = self.oracle.tree_rooted_at(&key, &faults, lu, scratch);
+        let lu = self.remap.to_local(u)?;
+        let lv = self.remap.to_local(v)?;
+        let faults = self.localize_faults(global_faults, global_graph);
+        let key = self.oracle.key_ref(&faults);
+        let (tree_u, cache_hit) = self.oracle.tree_rooted_at(&key, lu, scratch);
         let distance = tree_u.distance_to(lv);
 
         let exact = match self.frontier_distance(&tree_u) {
@@ -326,7 +330,7 @@ impl Region {
             // leaves the region, so the local answer is the global answer.
             None => true,
             Some(front_u) => {
-                let (tree_v, _) = self.oracle.tree_rooted_at(&key, &faults, lv, scratch);
+                let (tree_v, _) = self.oracle.tree_rooted_at(&key, lv, scratch);
                 match (distance, self.frontier_distance(&tree_v)) {
                     // Same escape-proofness, from the `v` side.
                     (_, None) => true,
@@ -343,7 +347,7 @@ impl Region {
             return None;
         }
 
-        let path = match (query.kind, distance) {
+        let path = match (kind, distance) {
             (QueryKind::Path, Some(_)) => tree_u.path_to(lv).map(|p| self.remap.globalize_path(&p)),
             _ => None,
         };
@@ -689,10 +693,13 @@ impl ShardedOracle {
     }
 
     /// Distance in `H ∖ F` — identical to [`FaultOracle::distance`] on the
-    /// same spanner.
+    /// same spanner. Like the single oracle, the borrowed fault set is never
+    /// cloned on the query path.
     #[must_use]
     pub fn distance(&self, u: VertexId, v: VertexId, faults: &FaultSet) -> Option<f64> {
-        self.answer(&Query::distance(u, v, faults.clone())).distance
+        self.global
+            .with_scratch(|scratch| self.answer_parts(u, v, QueryKind::Distance, faults, scratch))
+            .distance
     }
 
     /// Distance plus an explicit shortest path in `H ∖ F`.
@@ -703,7 +710,9 @@ impl ShardedOracle {
         v: VertexId,
         faults: &FaultSet,
     ) -> Option<(f64, Vec<VertexId>)> {
-        let answer = self.answer(&Query::path(u, v, faults.clone()));
+        let answer = self
+            .global
+            .with_scratch(|scratch| self.answer_parts(u, v, QueryKind::Path, faults, scratch));
         Some((answer.distance?, answer.path?))
     }
 
@@ -711,8 +720,8 @@ impl ShardedOracle {
     /// [`ShardedOracle::answer_batch`](crate::batch).
     #[must_use]
     pub fn answer(&self, query: &Query) -> Answer {
-        let mut scratch = DijkstraScratch::new();
-        self.answer_with_scratch(query, &mut scratch)
+        self.global
+            .with_scratch(|scratch| self.answer_with_scratch(query, scratch))
     }
 
     /// The shared single-query path: route to a region, certify, fall back.
@@ -721,25 +730,44 @@ impl ShardedOracle {
         query: &Query,
         scratch: &mut DijkstraScratch,
     ) -> Answer {
-        match self.route(query.u, query.v) {
+        self.answer_parts(query.u, query.v, query.kind, &query.faults, scratch)
+    }
+
+    fn answer_parts(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        kind: QueryKind,
+        faults: &FaultSet,
+        scratch: &mut DijkstraScratch,
+    ) -> Answer {
+        match self.route(u, v) {
             Route::Local(shard) => {
-                if let Some(answer) =
-                    self.regions[shard as usize].try_answer(query, self.global.graph(), scratch)
-                {
+                if let Some(answer) = self.regions[shard as usize].try_answer(
+                    u,
+                    v,
+                    kind,
+                    faults,
+                    self.global.graph(),
+                    scratch,
+                ) {
                     self.metrics.record_local();
                     return answer;
                 }
             }
             Route::Pair(a, b) => {
                 let region = self.pair_region(a, b);
-                if let Some(answer) = region.try_answer(query, self.global.graph(), scratch) {
+                if let Some(answer) =
+                    region.try_answer(u, v, kind, faults, self.global.graph(), scratch)
+                {
                     self.metrics.record_stitched();
                     return answer;
                 }
             }
         }
         self.metrics.record_global_fallback();
-        self.global.answer_with_scratch(query, scratch)
+        let key = self.global.key_ref(faults);
+        self.global.answer_with_key(u, v, kind, &key, scratch)
     }
 
     /// Which region a vertex pair is served from.

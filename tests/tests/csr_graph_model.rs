@@ -1,0 +1,202 @@
+//! Property tests pinning the CSR `Graph` core to a straightforward
+//! reference model.
+//!
+//! The graph stores adjacency as CSR slices plus a pending append buffer and
+//! compacts (explicitly or automatically) at layout-only boundaries. These
+//! properties assert that no observation — neighbor sets, edge ids, degrees,
+//! `has_edge_between`, BFS hop distances, Dijkstra distances, with or
+//! without faults — depends on *when* compaction happened, across all four
+//! random generator families and arbitrary interleavings of `add_edge` and
+//! `compact`.
+
+use std::collections::BTreeSet;
+
+use ftspan_graph::bfs::bfs_hop_distances;
+use ftspan_graph::dijkstra::{dijkstra_distances, DijkstraScratch};
+use ftspan_graph::{generators, vid, EdgeId, FaultView, Graph, GraphView, VertexId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The reference model: the dense edge table, which the CSR layers are
+/// derived from and which no refactor may disturb.
+fn edge_table(g: &Graph) -> Vec<(VertexId, VertexId, f64)> {
+    g.edges()
+        .map(|(_, e)| {
+            let (u, v) = e.endpoints();
+            (u, v, e.weight())
+        })
+        .collect()
+}
+
+/// Model adjacency rebuilt from the edge table alone.
+fn model_adjacency(g: &Graph) -> Vec<BTreeSet<(VertexId, EdgeId)>> {
+    let mut adj = vec![BTreeSet::new(); g.vertex_count()];
+    for (id, e) in g.edges() {
+        let (u, v) = e.endpoints();
+        adj[u.index()].insert((v, id));
+        adj[v.index()].insert((u, id));
+    }
+    adj
+}
+
+/// Asserts every observable of `g` against the reference model.
+fn assert_matches_model(g: &Graph) -> Result<(), TestCaseError> {
+    let adj = model_adjacency(g);
+    for (v, model) in adj.iter().enumerate() {
+        let observed: BTreeSet<(VertexId, EdgeId)> = g.neighbors(vid(v)).collect();
+        prop_assert_eq!(&observed, model);
+        prop_assert_eq!(g.degree(vid(v)), model.len());
+        for &(nbr, id) in model {
+            prop_assert_eq!(g.edge_between(vid(v), nbr), Some(id));
+            prop_assert!(g.has_edge_between(v, nbr.index()));
+        }
+    }
+    // Negative membership: every non-adjacent pair must answer None.
+    for (u, model) in adj.iter().enumerate() {
+        for w in 0..g.vertex_count() {
+            let expected = model
+                .iter()
+                .find(|&&(nbr, _)| nbr == vid(w))
+                .map(|&(_, id)| id);
+            prop_assert_eq!(g.edge_between(vid(u), vid(w)), expected);
+        }
+    }
+    Ok(())
+}
+
+/// One of the four random generator families, by index.
+fn family_graph(family: usize, n: usize, seed: u64) -> Graph {
+    let mut r = StdRng::seed_from_u64(seed);
+    match family {
+        0 => generators::connected_gnp(n, 0.25, &mut r),
+        1 => generators::barabasi_albert(n, 3, &mut r),
+        2 => generators::watts_strogatz(n, 4, 0.2, &mut r),
+        _ => {
+            // Geometric with Euclidean weights: the weighted family.
+            let mut g = generators::random_geometric(n, 0.35, &mut r);
+            generators::overlay_random_spanning_tree(&mut g, &mut r);
+            g
+        }
+    }
+}
+
+/// Rebuilds the same logical graph with `compact()` interleaved every
+/// `stride` insertions (stride 0 = never explicitly, exercising only
+/// self-compaction).
+fn rebuild_with_compactions(g: &Graph, stride: usize) -> Graph {
+    let mut out = Graph::new(g.vertex_count());
+    for (i, (u, v, w)) in edge_table(g).into_iter().enumerate() {
+        let id = out.add_edge(u.index(), v.index(), w);
+        assert_eq!(id.index(), i, "edge ids are insertion-ordered");
+        if stride > 0 && i % stride == stride - 1 {
+            out.compact();
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn csr_graph_matches_the_reference_model(
+        family in 0usize..4,
+        n in 10usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let g = family_graph(family, n, seed);
+        assert_matches_model(&g)?;
+        // A fully compacted copy observes identically.
+        let mut compacted = g.clone();
+        compacted.compact();
+        prop_assert!(compacted.is_compacted());
+        assert_matches_model(&compacted)?;
+        prop_assert_eq!(g.is_unit_weighted(), compacted.is_unit_weighted());
+        prop_assert_eq!(g.max_degree(), compacted.max_degree());
+    }
+
+    #[test]
+    fn interleaved_compaction_never_changes_observations(
+        family in 0usize..4,
+        n in 10usize..32,
+        seed in 0u64..1_000,
+        stride in 0usize..9,
+    ) {
+        let g = family_graph(family, n, seed);
+        let rebuilt = rebuild_with_compactions(&g, stride);
+        prop_assert_eq!(edge_table(&g), edge_table(&rebuilt));
+        assert_matches_model(&rebuilt)?;
+
+        // Traversal answers are layout-independent: BFS hop distances and
+        // Dijkstra distances agree between the two copies from every source.
+        for s in 0..g.vertex_count() {
+            prop_assert_eq!(
+                bfs_hop_distances(&g, vid(s)),
+                bfs_hop_distances(&rebuilt, vid(s))
+            );
+            prop_assert_eq!(
+                dijkstra_distances(&g, vid(s)),
+                dijkstra_distances(&rebuilt, vid(s))
+            );
+        }
+
+        // Same under a fault set: block a few vertices in both views.
+        let blocked: Vec<VertexId> = (0..n).step_by(5).map(vid).collect();
+        let view_a = FaultView::with_blocked_vertices(&g, blocked.iter().copied());
+        let view_b = FaultView::with_blocked_vertices(&rebuilt, blocked.iter().copied());
+        let source = vid(1);
+        prop_assert_eq!(
+            bfs_hop_distances(&view_a, source),
+            bfs_hop_distances(&view_b, source)
+        );
+        // The scratch-based tree builder (Dial lane on unit weights, heap
+        // lane otherwise) reports the same distances on both layouts.
+        let mut scratch = DijkstraScratch::new();
+        let tree_a = scratch.shortest_path_tree(&view_a, source);
+        let tree_b = scratch.shortest_path_tree(&view_b, source);
+        prop_assert_eq!(tree_a.distances(), tree_b.distances());
+    }
+
+    #[test]
+    fn scratch_tree_distances_match_one_shot_dijkstra(
+        family in 0usize..4,
+        n in 10usize..32,
+        seed in 0u64..1_000,
+    ) {
+        // The Dial (unit-weight) and heap lanes must both reproduce the
+        // one-shot reference distances bit-for-bit.
+        let g = family_graph(family, n, seed);
+        let mut scratch = DijkstraScratch::new();
+        for s in (0..g.vertex_count()).step_by(3) {
+            let tree = scratch.shortest_path_tree(&g, vid(s));
+            prop_assert_eq!(tree.distances(), &dijkstra_distances(&g, vid(s))[..]);
+        }
+    }
+}
+
+#[test]
+fn pending_and_core_layers_answer_identically() {
+    // Directed walk through the layering: a half-compacted graph must be
+    // indistinguishable from its fully compacted twin.
+    let mut g = Graph::new(12);
+    for i in 0..11 {
+        g.add_unit_edge(i, i + 1);
+    }
+    g.compact();
+    for i in 0..9 {
+        g.add_unit_edge(i, i + 3); // pending layer on top of the CSR core
+    }
+    let mut twin = g.clone();
+    twin.compact();
+    for v in 0..12 {
+        let a: BTreeSet<_> = g.neighbors(vid(v)).collect();
+        let b: BTreeSet<_> = twin.neighbors(vid(v)).collect();
+        assert_eq!(a, b);
+    }
+    assert_eq!(
+        bfs_hop_distances(&g, vid(0)),
+        bfs_hop_distances(&twin, vid(0))
+    );
+    assert_eq!(GraphView::live_vertex_count(&g), 12);
+}

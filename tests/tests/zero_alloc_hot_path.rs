@@ -1,0 +1,166 @@
+//! Verifies the oracle's cached-tree hit path performs **zero heap
+//! allocation** per query.
+//!
+//! A counting global allocator wraps the system allocator; the test warms
+//! the shortest-path-tree cache, arms the counter, and replays cached
+//! distance queries. Any allocation on that path (the pre-CSR implementation
+//! cloned the fault set into a `Query`, built an owned `CacheKey` with two
+//! vectors, and created a fresh `DijkstraScratch` per call) fails the test.
+//!
+//! The counter only *observes* — allocation behavior is unchanged. Because
+//! the counter is process-global, every test in this binary serializes its
+//! whole body through one mutex so a concurrently running test can never
+//! leak allocations into an armed window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use ftspan::{FaultSet, SpannerParams};
+use ftspan_graph::{generators, vid};
+use ftspan_oracle::{FaultOracle, OracleOptions, ShardPlanOptions, ShardedOptions, ShardedOracle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+/// Serializes test bodies: the counter is process-global, so no other test
+/// may allocate while one of them has the counter armed.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation verbatim to the system allocator; the
+// wrapper only increments counters.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Runs `f` with the counter armed and returns how many allocations it made.
+fn count_allocations(f: impl FnOnce()) -> u64 {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+fn small_oracle() -> FaultOracle {
+    let mut rng = StdRng::seed_from_u64(77);
+    let graph = generators::connected_gnp(60, 0.15, &mut rng);
+    FaultOracle::build(graph, SpannerParams::vertex(2, 2), OracleOptions::default())
+}
+
+#[test]
+fn cached_distance_queries_do_not_allocate() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let oracle = small_oracle();
+    let faults = FaultSet::vertices([vid(3), vid(9)]);
+    // Warm-up: computes and caches the tree (allocates, unarmed), and
+    // exercises the scratch pool so its vector is populated.
+    assert!(oracle.distance(vid(1), vid(20), &faults).is_some());
+    let allocations = count_allocations(|| {
+        for _ in 0..1_000 {
+            let d = oracle.distance(vid(1), vid(20), &faults);
+            assert!(d.is_some());
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "cached-tree distance hit path must not touch the heap"
+    );
+}
+
+#[test]
+fn cached_hits_on_either_endpoint_do_not_allocate() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let oracle = small_oracle();
+    let faults = FaultSet::vertices([vid(5)]);
+    assert!(oracle.distance(vid(2), vid(30), &faults).is_some());
+    let allocations = count_allocations(|| {
+        for _ in 0..500 {
+            // Symmetric query: served from the same tree, rooted at the
+            // other endpoint.
+            let d = oracle.distance(vid(30), vid(2), &faults);
+            assert!(d.is_some());
+            // A different target under the same fault set: same tree again.
+            let d = oracle.distance(vid(2), vid(31), &faults);
+            assert!(d.is_some());
+        }
+    });
+    assert_eq!(allocations, 0, "either-endpoint hits must not allocate");
+}
+
+#[test]
+fn edge_fault_cached_hits_do_not_allocate() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = StdRng::seed_from_u64(78);
+    let graph = generators::connected_gnp(40, 0.2, &mut rng);
+    let oracle = FaultOracle::build(graph, SpannerParams::edge(2, 1), OracleOptions::default());
+    let faults = FaultSet::edges([ftspan_graph::eid(0), ftspan_graph::eid(4)]);
+    assert!(oracle.distance(vid(1), vid(12), &faults).is_some());
+    let allocations = count_allocations(|| {
+        for _ in 0..500 {
+            let d = oracle.distance(vid(1), vid(12), &faults);
+            assert!(d.is_some());
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "edge-fault hits must not re-translate fault ids"
+    );
+}
+
+#[test]
+fn sharded_local_cached_hits_stay_lean() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // The sharded path localizes the fault set per query (one small vector),
+    // so it is not allocation-free — but a cached local hit must stay within
+    // that constant, far below a tree recomputation.
+    let mut rng = StdRng::seed_from_u64(79);
+    let graph = generators::connected_gnp(60, 0.15, &mut rng);
+    let options = ShardedOptions {
+        plan: ShardPlanOptions {
+            shards: 2,
+            ..ShardPlanOptions::default()
+        },
+        ..ShardedOptions::default()
+    };
+    let oracle = ShardedOracle::build(graph, SpannerParams::vertex(2, 2), options);
+    let (u, v) = {
+        let core = oracle.plan().core(0);
+        (core[0], core[core.len() - 1])
+    };
+    let faults = FaultSet::vertices([vid(3)]);
+    let _ = oracle.distance(u, v, &faults);
+    let queries = 200u64;
+    let allocations = count_allocations(|| {
+        for _ in 0..queries {
+            let _ = oracle.distance(u, v, &faults);
+        }
+    });
+    assert!(
+        allocations <= 4 * queries,
+        "sharded cached hits allocated {allocations} times for {queries} queries \
+         — expected only the per-query fault localization"
+    );
+}
