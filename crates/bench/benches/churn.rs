@@ -1,0 +1,90 @@
+//! Churn wave throughput: `apply_wave` on the single and sharded oracles —
+//! the repair path the incremental LBC engine and the pooled wave scratch
+//! serve. Runs in the CI `CRITERION_SMOKE` quick-mode step so repair-path
+//! compile regressions and panics surface on every push.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ftspan::{sample_fault_set, FaultModel, FaultSet, SpannerParams};
+use ftspan_bench::{gnp_workload, rng};
+use ftspan_graph::generators;
+use ftspan_oracle::{
+    ChurnConfig, FaultOracle, OracleOptions, ShardPlanOptions, ShardedOptions, ShardedOracle,
+};
+
+/// Pre-samples `count` waves against the oracle's current graph. Waves are
+/// applied cumulatively during measurement — exactly how a serving loop
+/// sees them — so the workload keeps its shape (damage stays a small
+/// fraction of the graph).
+fn sample_waves(
+    graph: &ftspan_graph::Graph,
+    count: usize,
+    size: usize,
+    seed: u64,
+) -> Vec<FaultSet> {
+    let mut r = rng(seed);
+    (0..count)
+        .map(|_| sample_fault_set(graph, FaultModel::Vertex, size, &[], &mut r))
+        .collect()
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn_wave");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(10));
+    group.throughput(Throughput::Elements(1));
+    let churn = ChurnConfig::default();
+
+    // E12-shaped single oracle: gnp, f = 2, rolling vertex waves.
+    {
+        let graph = gnp_workload(400, 8.0, 13);
+        let mut oracle =
+            FaultOracle::build(graph, SpannerParams::vertex(2, 2), OracleOptions::default());
+        let waves = sample_waves(oracle.graph(), 64, 3, 23);
+        let mut next = 0usize;
+        group.bench_function("single_gnp", |b| {
+            b.iter(|| {
+                let outcome = oracle.apply_wave(&waves[next % waves.len()], &churn);
+                next += 1;
+                outcome.edges_added
+            });
+        });
+    }
+
+    // E13-shaped sharded oracle: grid, 8 shards, fan-out repair.
+    {
+        let graph = generators::grid(20, 20);
+        let options = ShardedOptions {
+            plan: ShardPlanOptions {
+                shards: 8,
+                ..ShardPlanOptions::default()
+            },
+            ..ShardedOptions::default()
+        };
+        let mut oracle = ShardedOracle::build(graph, SpannerParams::vertex(2, 2), options);
+        let waves = sample_waves(oracle.global().graph(), 64, 2, 24);
+        let mut next = 0usize;
+        group.bench_function("sharded_grid", |b| {
+            b.iter(|| {
+                let outcome = oracle.apply_wave(&waves[next % waves.len()], &churn);
+                next += 1;
+                outcome.rebuilt_shards.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_churn
+}
+criterion_main!(benches);

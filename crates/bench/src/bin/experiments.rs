@@ -679,6 +679,13 @@ fn experiment_oracle() {
     );
 }
 
+/// Pre-optimization churn-wave baselines: measured by running the
+/// `churn_wave` / `churn_wave_sharded` scenarios below (identical seeds and
+/// shapes) against commit e2e03e0's from-scratch LBC repair path, on the
+/// same machine that recorded the scenarios' `after` values.
+const CHURN_WAVE_BASELINE: f64 = 3.22;
+const CHURN_WAVE_SHARDED_BASELINE: f64 = 6.05;
+
 /// One measured scenario of the bench trajectory.
 struct TrajectoryPoint {
     name: &'static str,
@@ -713,15 +720,19 @@ fn bench_trajectory() {
         ShardedOracle,
     };
 
-    // The pre-PR baseline recorded when the trajectory was first introduced,
-    // measured by running this exact harness against the adjacency-list
-    // graph core with the per-query-allocating hot path (commit f0adb20).
-    // Used only when no BENCH_oracle.json with a `before` field exists yet.
-    const RECORDED_BASELINE: [(&str, f64); 4] = [
+    // The pre-PR baseline recorded when each scenario was first introduced,
+    // measured by running this exact harness against the code the scenario's
+    // optimization PR started from (the query scenarios against the
+    // adjacency-list core of commit f0adb20; the churn-wave scenarios
+    // against the from-scratch LBC repair path of commit e2e03e0). Used only
+    // when the trajectory file does not record a `before` for the scenario.
+    const RECORDED_BASELINE: [(&str, f64); 6] = [
         ("single_cached_distance", 4_766_804.0),
         ("batch_cached", 2_665_970.0),
         ("batch_8_shards", 1_764_859.0),
         ("churn_repair", 6.25),
+        ("churn_wave", CHURN_WAVE_BASELINE),
+        ("churn_wave_sharded", CHURN_WAVE_SHARDED_BASELINE),
     ];
 
     println!("\n## Bench trajectory — serving throughput before/after\n");
@@ -734,14 +745,16 @@ fn bench_trajectory() {
     let previous = std::fs::read_to_string(&trajectory_path).unwrap_or_default();
     let baseline = |name: &str| {
         recorded_before(&previous, name).unwrap_or_else(|| {
-            if !previous.is_empty() {
-                // The file exists but this scenario's `before` was not
-                // found — formatting drift or a renamed scenario. Falling
+            if previous.contains(&format!("\"name\": \"{name}\"")) {
+                // The scenario is in the file but its `before` was not
+                // parsed — formatting drift or a renamed field. Falling
                 // back to the compile-time baseline loses any accumulated
-                // trajectory, so say so instead of doing it silently.
+                // trajectory, so say so instead of doing it silently. (A
+                // scenario absent from the file is just new; its recorded
+                // baseline applies without noise.)
                 eprintln!(
-                    "warning: BENCH_oracle.json exists but no `before` was parsed for \
-                     {name}; using the recorded pre-PR baseline instead"
+                    "warning: BENCH_oracle.json mentions {name} but no `before` was \
+                     parsed for it; using the recorded pre-PR baseline instead"
                 );
             }
             RECORDED_BASELINE
@@ -867,6 +880,69 @@ fn bench_trajectory() {
             name: "churn_repair",
             unit: "waves/s",
             before: baseline("churn_repair"),
+            after: waves.len() as f64 / secs,
+        });
+    }
+
+    // 5. Churn wave on the E12-shaped single oracle (gnp, f = 2, waves of
+    //    3 vertices): the repair path the incremental LBC engine serves.
+    {
+        let graph = gnp_workload(400, 8.0, 13);
+        let mut oracle =
+            FaultOracle::build(graph, SpannerParams::vertex(2, 2), OracleOptions::default());
+        let churn = ChurnConfig::default();
+        let mut wave_rng = rng(23);
+        let waves: Vec<FaultSet> = (0..10)
+            .map(|_| sample_fault_set(oracle.graph(), FaultModel::Vertex, 3, &[], &mut wave_rng))
+            .collect();
+        let (_, secs) = timed(|| {
+            for wave in &waves {
+                let _ = std::hint::black_box(oracle.apply_wave(wave, &churn));
+            }
+        });
+        points.push(TrajectoryPoint {
+            name: "churn_wave",
+            unit: "waves/s",
+            before: baseline("churn_wave"),
+            after: waves.len() as f64 / secs,
+        });
+    }
+
+    // 6. Churn wave fan-out on the E13-shaped sharded oracle (grid, 8
+    //    shards, waves of 2 vertices): global repair plus per-shard region
+    //    rebuilds.
+    {
+        let graph = ftspan_graph::generators::grid(20, 20);
+        let options = ShardedOptions {
+            plan: ShardPlanOptions {
+                shards: 8,
+                ..ShardPlanOptions::default()
+            },
+            ..ShardedOptions::default()
+        };
+        let mut oracle = ShardedOracle::build(graph, SpannerParams::vertex(2, 2), options);
+        let churn = ChurnConfig::default();
+        let mut wave_rng = rng(24);
+        let waves: Vec<FaultSet> = (0..10)
+            .map(|_| {
+                sample_fault_set(
+                    oracle.global().graph(),
+                    FaultModel::Vertex,
+                    2,
+                    &[],
+                    &mut wave_rng,
+                )
+            })
+            .collect();
+        let (_, secs) = timed(|| {
+            for wave in &waves {
+                let _ = std::hint::black_box(oracle.apply_wave(wave, &churn));
+            }
+        });
+        points.push(TrajectoryPoint {
+            name: "churn_wave_sharded",
+            unit: "waves/s",
+            before: baseline("churn_wave_sharded"),
             after: waves.len() as f64 / secs,
         });
     }

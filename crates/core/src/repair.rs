@@ -24,9 +24,39 @@ use std::time::Instant;
 
 use ftspan_graph::{EdgeId, Graph, VertexId};
 
-use crate::lbc::{decide_lbc, LbcDecision};
+use crate::lbc::{decide_lbc_with, LbcDecision, LbcScratch};
 use crate::stats::{EdgeCertificate, SpannerStats};
 use crate::{FaultSet, SpannerParams};
+
+/// Pooled state for repeated repair passes: the per-wave buffers of
+/// [`respan_candidates`] plus the incremental [`LbcScratch`] engine its
+/// candidate decisions run on.
+///
+/// Without pooling, every respan call allocated a sweep-event vector and a
+/// `seen` bitmap sized by the **graph's** edge count — per-wave heap churn
+/// proportional to the graph, not the damage — and every candidate decision
+/// allocated its own fault view and BFS buffers on top. A serving layer
+/// holds one `RepairScratch` and threads it through every wave
+/// ([`respan_candidates_with`]); the steady-state wave then allocates only
+/// for its outputs (the rebuilt spanner and any certificates).
+#[derive(Debug, Default)]
+pub struct RepairScratch {
+    lbc: LbcScratch,
+    /// Sweep events: `(weight, class, index)` with class 0 = force-included
+    /// spanner edge (index into the spanner), class 1 = candidate (index
+    /// into the graph).
+    events: Vec<(f64, u8, u32)>,
+    /// Epoch-stamped candidate dedup marks, indexed by graph edge id.
+    seen: ftspan_graph::EpochMarks,
+}
+
+impl RepairScratch {
+    /// Creates an empty scratch; all buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Options for [`respan_candidates`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -85,6 +115,35 @@ pub fn respan_candidates(
     candidates: &[EdgeId],
     options: &RepairOptions,
 ) -> RepairOutcome {
+    respan_candidates_with(
+        &mut RepairScratch::new(),
+        graph,
+        spanner,
+        params,
+        candidates,
+        options,
+    )
+}
+
+/// Like [`respan_candidates`] but running on pooled [`RepairScratch`] state
+/// — the form serving layers use, holding one scratch across every wave of
+/// a churn loop. The output is bit-identical to [`respan_candidates`]; only
+/// the per-call setup (sweep events, candidate dedup, LBC fault views and
+/// BFS buffers) stops being reallocated, and candidate decisions sharing a
+/// source reuse one first-round BFS tree (see [`LbcScratch`]).
+///
+/// # Panics
+///
+/// Panics if the vertex counts differ or a candidate id is out of range.
+#[must_use]
+pub fn respan_candidates_with(
+    scratch: &mut RepairScratch,
+    graph: &Graph,
+    spanner: &Graph,
+    params: SpannerParams,
+    candidates: &[EdgeId],
+    options: &RepairOptions,
+) -> RepairOutcome {
     assert_eq!(
         graph.vertex_count(),
         spanner.vertex_count(),
@@ -99,35 +158,30 @@ pub fn respan_candidates(
     // candidate's LBC decision always sees every previous commitment of the
     // same weight class — declining can only make the spanner sparser, never
     // invalid, because the force-included edge itself is a witness path.
-    #[derive(Clone, Copy)]
-    enum Event {
-        Keep(EdgeId),      // id into `spanner`
-        Candidate(EdgeId), // id into `graph`
-    }
-    let mut events: Vec<(f64, u8, usize, Event)> = Vec::new();
+    // Class 0 events index the spanner, class 1 events the graph.
+    scratch.events.clear();
     for (id, edge) in spanner.edges() {
-        events.push((edge.weight(), 0, id.index(), Event::Keep(id)));
+        scratch.events.push((edge.weight(), 0, id.as_u32()));
     }
-    let mut seen = vec![false; graph.edge_count()];
+    scratch.seen.begin(graph.edge_count());
     for &c in candidates {
         let edge = graph.edge(c);
-        if seen[c.index()] {
+        if !scratch.seen.set(c.index()) {
             continue;
         }
-        seen[c.index()] = true;
         let (u, v) = edge.endpoints();
         if spanner.edge_between(u, v).is_some() {
             continue;
         }
-        events.push((edge.weight(), 1, c.index(), Event::Candidate(c)));
+        scratch.events.push((edge.weight(), 1, c.as_u32()));
     }
-    events.sort_by(|a, b| {
+    scratch.events.sort_by(|a, b| {
         a.0.total_cmp(&b.0)
             .then_with(|| a.1.cmp(&b.1))
             .then_with(|| a.2.cmp(&b.2))
     });
 
-    let mut rebuilt = Graph::with_capacity(graph.vertex_count(), events.len());
+    let mut rebuilt = Graph::with_capacity(graph.vertex_count(), scratch.events.len());
     let mut added = Vec::new();
     let mut certificates = Vec::new();
     let mut stats = SpannerStats {
@@ -137,35 +191,38 @@ pub fn respan_candidates(
         ..SpannerStats::default()
     };
 
-    for (_, _, _, event) in events {
-        match event {
-            Event::Keep(id) => {
-                let edge = spanner.edge(id);
-                let (u, v) = edge.endpoints();
-                if rebuilt.edge_between(u, v).is_none() {
-                    rebuilt.add_edge(u.index(), v.index(), edge.weight());
-                }
+    scratch.lbc.reset();
+    for &(_, class, index) in &scratch.events {
+        if class == 0 {
+            let edge = spanner.edge(EdgeId::new(index as usize));
+            let (u, v) = edge.endpoints();
+            if rebuilt.edge_between(u, v).is_none() {
+                rebuilt.add_edge(u.index(), v.index(), edge.weight());
             }
-            Event::Candidate(id) => {
-                let edge = graph.edge(id);
-                let (u, v) = edge.endpoints();
-                let (decision, lbc_stats) = decide_lbc(&rebuilt, model, u, v, t, alpha);
-                stats.lbc_calls += 1;
-                stats.bfs_runs += lbc_stats.bfs_runs;
-                if let LbcDecision::Yes(cut) = decision {
-                    let spanner_edge = rebuilt.add_edge(u.index(), v.index(), edge.weight());
-                    added.push(id);
-                    if options.collect_certificates {
-                        certificates.push(EdgeCertificate {
-                            input_edge: id,
-                            spanner_edge,
-                            cut,
-                        });
-                    }
+        } else {
+            let id = EdgeId::new(index as usize);
+            let edge = graph.edge(id);
+            let (u, v) = edge.endpoints();
+            let (decision, lbc_stats) =
+                decide_lbc_with(&mut scratch.lbc, &rebuilt, model, u, v, t, alpha);
+            stats.lbc_calls += 1;
+            stats.bfs_runs += lbc_stats.bfs_runs;
+            if let LbcDecision::Yes(cut) = decision {
+                let spanner_edge = rebuilt.add_edge(u.index(), v.index(), edge.weight());
+                added.push(id);
+                if options.collect_certificates {
+                    certificates.push(EdgeCertificate {
+                        input_edge: id,
+                        spanner_edge,
+                        cut,
+                    });
                 }
             }
         }
     }
+    // The rebuilt graph dies with this frame; make sure no stale tree can
+    // alias a future graph at the same address and counts.
+    scratch.lbc.reset();
 
     stats.spanner_edges = rebuilt.edge_count();
     stats.elapsed = start.elapsed();
@@ -191,8 +248,21 @@ pub fn full_respan(
     params: SpannerParams,
     options: &RepairOptions,
 ) -> RepairOutcome {
+    full_respan_with(&mut RepairScratch::new(), graph, spanner, params, options)
+}
+
+/// Like [`full_respan`] but running on pooled [`RepairScratch`] state; see
+/// [`respan_candidates_with`].
+#[must_use]
+pub fn full_respan_with(
+    scratch: &mut RepairScratch,
+    graph: &Graph,
+    spanner: &Graph,
+    params: SpannerParams,
+    options: &RepairOptions,
+) -> RepairOutcome {
     let all: Vec<EdgeId> = graph.edge_ids().collect();
-    respan_candidates(graph, spanner, params, &all, options)
+    respan_candidates_with(scratch, graph, spanner, params, &all, options)
 }
 
 /// Returns the certificates whose recorded cut `F_e` intersects `damage`.
@@ -390,6 +460,41 @@ mod tests {
         let ids: Vec<EdgeId> = g.edge_ids().collect();
         let ends = candidate_endpoints(&g, &ids);
         assert_eq!(ends, (0..5).map(vid).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pooled_respan_matches_one_shot_respan_across_reuses() {
+        // One scratch, three different repair problems in sequence: every
+        // output must equal the one-shot (fresh-scratch) path's.
+        let mut scratch = RepairScratch::new();
+        for seed in [31u64, 32, 33] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = generators::connected_gnp(18, 0.3, &mut rng);
+            let params = SpannerParams::vertex(2, 1);
+            let built = poly_greedy_spanner(&g, params);
+            let keep: Vec<EdgeId> = built
+                .spanner
+                .edge_ids()
+                .filter(|e| e.index() % 2 == 0)
+                .collect();
+            let damaged = built.spanner.edge_subgraph(keep);
+            let candidates: Vec<EdgeId> = g.edge_ids().collect();
+            let options = RepairOptions {
+                collect_certificates: true,
+            };
+            let reference = respan_candidates(&g, &damaged, params, &candidates, &options);
+            let pooled =
+                respan_candidates_with(&mut scratch, &g, &damaged, params, &candidates, &options);
+            assert_eq!(pooled.added, reference.added);
+            assert_eq!(pooled.stats.lbc_calls, reference.stats.lbc_calls);
+            assert_eq!(pooled.spanner.edge_count(), reference.spanner.edge_count());
+            assert_eq!(pooled.certificates.len(), reference.certificates.len());
+            for (a, b) in pooled.certificates.iter().zip(&reference.certificates) {
+                assert_eq!(a.input_edge, b.input_edge);
+                assert_eq!(a.cut, b.cut);
+            }
+            assert!(reference.spanner.is_edge_subgraph_of(&pooled.spanner));
+        }
     }
 
     #[test]

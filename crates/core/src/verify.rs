@@ -11,7 +11,7 @@
 //! sampled mode mixing uniformly random fault sets with targeted "attack"
 //! sets that fault the interior of current shortest paths in `H`.
 
-use ftspan_graph::dijkstra::dijkstra_distances;
+use ftspan_graph::dijkstra::DijkstraScratch;
 use ftspan_graph::{FaultView, Graph, GraphView, VertexId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -28,7 +28,10 @@ pub enum VerificationMode {
     Exhaustive,
     /// Check `samples` fault sets: half drawn uniformly at random (size
     /// exactly `f`), half constructed adversarially by faulting the interior
-    /// of shortest paths in the spanner between random edge endpoints.
+    /// of shortest paths in the spanner between random edge endpoints. The
+    /// split is exact and deterministic: an odd count puts the extra sample
+    /// in the random half (see [`sampled_split`]), and all sampling derives
+    /// from `seed` alone.
     Sampled {
         /// Number of fault sets to try.
         samples: usize,
@@ -92,6 +95,26 @@ pub fn verify_spanner(
     params: SpannerParams,
     mode: VerificationMode,
 ) -> VerificationReport {
+    verify_spanner_with(&mut DijkstraScratch::new(), graph, spanner, params, mode)
+}
+
+/// Like [`verify_spanner`] but running every shortest-path computation on
+/// caller-owned [`DijkstraScratch`] buffers — the form churn loops use,
+/// verifying after every wave without re-growing per-run state. The report
+/// is identical to [`verify_spanner`]'s (unit-weight views take the
+/// bucket-queue lane either way; its distances are bit-identical).
+///
+/// # Panics
+///
+/// Panics if the two graphs have different vertex counts.
+#[must_use]
+pub fn verify_spanner_with(
+    scratch: &mut DijkstraScratch,
+    graph: &Graph,
+    spanner: &Graph,
+    params: SpannerParams,
+    mode: VerificationMode,
+) -> VerificationReport {
     assert_eq!(
         graph.vertex_count(),
         spanner.vertex_count(),
@@ -100,7 +123,7 @@ pub fn verify_spanner(
     let fault_sets = fault_sets_for_mode(graph, spanner, params, &mode);
     let mut report = VerificationReport::default();
     for fault_set in &fault_sets {
-        check_fault_set(graph, spanner, params, fault_set, &mut report);
+        check_fault_set(graph, spanner, params, fault_set, scratch, &mut report);
     }
     report
 }
@@ -115,7 +138,8 @@ pub fn verify_under_fault_set(
     fault_set: &FaultSet,
 ) -> VerificationReport {
     let mut report = VerificationReport::default();
-    check_fault_set(graph, spanner, params, fault_set, &mut report);
+    let mut scratch = DijkstraScratch::new();
+    check_fault_set(graph, spanner, params, fault_set, &mut scratch, &mut report);
     report
 }
 
@@ -126,14 +150,32 @@ pub fn verify_under_fault_set(
 pub fn fault_free_stretch(graph: &Graph, spanner: &Graph) -> f64 {
     let params = SpannerParams::vertex(1, 0);
     let mut report = VerificationReport::default();
+    let mut scratch = DijkstraScratch::new();
     check_fault_set(
         graph,
         spanner,
         params,
         &FaultSet::empty(FaultModel::Vertex),
+        &mut scratch,
         &mut report,
     );
     report.max_stretch
+}
+
+/// The exact random/adversarial split [`VerificationMode::Sampled`] uses
+/// for a given sample count: `(random, adversarial)`.
+///
+/// Always sums to `samples`; an odd count deterministically puts the extra
+/// sample in the **random** half. (An earlier revision derived the
+/// adversarial count from loop bounds, which silently handed the odd sample
+/// to the adversarial half — the opposite of the documented "half random,
+/// half adversarial" promise with no recorded tie-break. The split is part
+/// of [`crate::verify`]'s reproducibility contract: churn loops key their
+/// escalation decisions on these samples via `ChurnConfig::verify_seed`.)
+#[must_use]
+pub fn sampled_split(samples: usize) -> (usize, usize) {
+    let adversarial = samples / 2;
+    (samples - adversarial, adversarial)
 }
 
 fn fault_sets_for_mode(
@@ -148,9 +190,9 @@ fn fault_sets_for_mode(
         }
         VerificationMode::Sampled { samples, seed } => {
             let mut rng = StdRng::seed_from_u64(*seed);
+            let (uniform, adversarial) = sampled_split(*samples);
             let mut sets = Vec::with_capacity(*samples + 1);
             sets.push(FaultSet::empty(params.fault_model()));
-            let uniform = samples / 2;
             for _ in 0..uniform {
                 sets.push(sample_fault_set(
                     graph,
@@ -160,7 +202,7 @@ fn fault_sets_for_mode(
                     &mut rng,
                 ));
             }
-            for _ in uniform..*samples {
+            for _ in 0..adversarial {
                 sets.push(adversarial_fault_set(graph, spanner, params, &mut rng));
             }
             sets
@@ -239,6 +281,7 @@ fn check_fault_set(
     spanner: &Graph,
     params: SpannerParams,
     fault_set: &FaultSet,
+    scratch: &mut DijkstraScratch,
     report: &mut VerificationReport,
 ) {
     report.fault_sets_checked += 1;
@@ -267,13 +310,14 @@ fn check_fault_set(
         // Lemma 3: only edges that are themselves shortest paths in G \ F
         // need to be checked (for unit weights this is automatic).
         if !graph.is_unit_weighted() {
-            let dist_g =
-                g_dist_cache[u.index()].get_or_insert_with(|| dijkstra_distances(&view_g, u));
+            let dist_g = g_dist_cache[u.index()]
+                .get_or_insert_with(|| scratch.distances(&view_g, u).to_vec());
             if dist_g[v.index()] + 1e-9 < edge.weight() {
                 continue;
             }
         }
-        let dist_h = h_dist_cache[u.index()].get_or_insert_with(|| dijkstra_distances(&view_h, u));
+        let dist_h =
+            h_dist_cache[u.index()].get_or_insert_with(|| scratch.distances(&view_h, u).to_vec());
         let observed = dist_h[v.index()];
         let allowed = stretch * edge.weight();
         report.pairs_checked += 1;
@@ -410,6 +454,68 @@ mod tests {
         assert_eq!(a.fault_sets_checked, b.fault_sets_checked);
         assert_eq!(a.pairs_checked, b.pairs_checked);
         assert!(a.is_valid());
+    }
+
+    #[test]
+    fn sampled_split_is_exact_for_every_count() {
+        // Regression for the odd-count split: an earlier revision derived
+        // the adversarial count from loop bounds, silently handing every
+        // odd count's extra sample to the adversarial half. The split must
+        // sum exactly and put the documented extra in the random half.
+        for samples in 0..100 {
+            let (random, adversarial) = sampled_split(samples);
+            assert_eq!(
+                random + adversarial,
+                samples,
+                "no sample dropped or duplicated"
+            );
+            assert!(random >= adversarial, "odd counts favour the random half");
+            assert!(random - adversarial <= 1, "split is as even as possible");
+        }
+        assert_eq!(sampled_split(16), (8, 8));
+        assert_eq!(sampled_split(17), (9, 8));
+        assert_eq!(sampled_split(1), (1, 0));
+        assert_eq!(sampled_split(0), (0, 0));
+    }
+
+    #[test]
+    fn odd_sampled_counts_are_deterministic_under_the_seed() {
+        let g = generators::complete(12);
+        let params = SpannerParams::vertex(2, 2);
+        let mode = VerificationMode::Sampled {
+            samples: 13,
+            seed: 0x000C_4151_77AE,
+        };
+        let a = verify_spanner(&g, &g.clone(), params, mode.clone());
+        let b = verify_spanner(&g, &g.clone(), params, mode);
+        // samples + the always-checked empty set, twice over.
+        assert_eq!(a.fault_sets_checked, 14);
+        assert_eq!(b.fault_sets_checked, 14);
+        assert_eq!(a.pairs_checked, b.pairs_checked);
+        assert_eq!(a.max_stretch, b.max_stretch);
+    }
+
+    #[test]
+    fn pooled_verifier_matches_one_shot_reports() {
+        let g = generators::cycle(8);
+        let h = g.edge_subgraph(g.edge_ids().take(7));
+        let params = SpannerParams::vertex(2, 1);
+        let mode = VerificationMode::Sampled {
+            samples: 9,
+            seed: 4,
+        };
+        let one_shot = verify_spanner(&g, &h, params, mode.clone());
+        let mut scratch = DijkstraScratch::new();
+        // Two runs on one scratch: identical to each other and to one-shot.
+        let first = verify_spanner_with(&mut scratch, &g, &h, params, mode.clone());
+        let second = verify_spanner_with(&mut scratch, &g, &h, params, mode);
+        for report in [&first, &second] {
+            assert_eq!(report.is_valid(), one_shot.is_valid());
+            assert_eq!(report.fault_sets_checked, one_shot.fault_sets_checked);
+            assert_eq!(report.pairs_checked, one_shot.pairs_checked);
+            assert_eq!(report.max_stretch, one_shot.max_stretch);
+            assert_eq!(report.violations.len(), one_shot.violations.len());
+        }
     }
 
     #[test]

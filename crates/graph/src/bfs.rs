@@ -15,7 +15,7 @@ use crate::{EdgeId, GraphView, VertexId};
 /// `edges[i]` connects `vertices[i]` and `vertices[i + 1]`, so
 /// `edges.len() == vertices.len() - 1` and the hop length of the path is
 /// `edges.len()`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HopPath {
     /// Vertices along the path, source first, target last.
     pub vertices: Vec<VertexId>,
@@ -146,60 +146,14 @@ pub fn shortest_hop_path_within<V: GraphView>(
     target: VertexId,
     max_hops: u32,
 ) -> Option<HopPath> {
-    if !view.contains_vertex(source) || !view.contains_vertex(target) {
-        return None;
-    }
-    if source == target {
-        return Some(HopPath {
-            vertices: vec![source],
-            edges: Vec::new(),
-        });
-    }
-    if max_hops == 0 {
-        return None;
-    }
-    let n = view.vertex_count();
-    // parent[v] = (previous vertex, edge used to reach v)
-    let mut parent: Vec<Option<(VertexId, EdgeId)>> = vec![None; n];
-    let mut dist: Vec<Option<u32>> = vec![None; n];
-    let mut queue = VecDeque::new();
-    dist[source.index()] = Some(0);
-    queue.push_back(source);
-    'search: while let Some(u) = queue.pop_front() {
-        let du = dist[u.index()].expect("queued vertex must have a distance");
-        if du >= max_hops {
-            // Every vertex reached from here would exceed the hop budget.
-            continue;
-        }
-        for (v, e) in view.neighbors(u) {
-            if dist[v.index()].is_none() {
-                dist[v.index()] = Some(du + 1);
-                parent[v.index()] = Some((u, e));
-                if v == target {
-                    break 'search;
-                }
-                queue.push_back(v);
-            }
-        }
-    }
-    dist[target.index()]?;
-    // Reconstruct.
-    let mut vertices = vec![target];
-    let mut edges = Vec::new();
-    let mut cur = target;
-    while cur != source {
-        let (prev, e) = parent[cur.index()].expect("path reconstruction must reach the source");
-        edges.push(e);
-        vertices.push(prev);
-        cur = prev;
-    }
-    vertices.reverse();
-    edges.reverse();
-    debug_assert_eq!(vertices.len(), edges.len() + 1);
-    if edges.len() as u64 > u64::from(max_hops) {
-        return None;
-    }
-    Some(HopPath { vertices, edges })
+    // One implementation serves both this one-shot form and the pooled
+    // [`HopBfsScratch`] form — their exact agreement is a load-bearing
+    // contract for the incremental LBC engine, so there is nothing to
+    // drift.
+    let mut path = HopPath::default();
+    HopBfsScratch::new()
+        .find_path_into(view, source, target, max_hops, &mut path)
+        .then_some(path)
 }
 
 /// Computes the eccentricity (maximum hop distance to any reachable vertex)
@@ -306,6 +260,218 @@ impl BfsScratch {
             }
         }
         &self.dist
+    }
+}
+
+/// Reusable buffers for repeated hop-bounded *path* searches, plus a
+/// batched same-source mode.
+///
+/// [`shortest_hop_path_within`] allocates a distance array, a parent array,
+/// a queue, and two path vectors per call — `O(n)` setup for searches whose
+/// useful work is often a small ball. The Length-Bounded Cut decision runs
+/// up to `α + 1` such searches *per candidate edge*, so a repair wave pays
+/// that setup thousands of times. This scratch keeps every buffer alive
+/// across searches and clears in `O(1)` via epoch stamps.
+///
+/// Two modes are provided:
+///
+/// * [`HopBfsScratch::find_path_into`] — one early-exit search, reusing the
+///   buffers; the found path is bit-identical to
+///   [`shortest_hop_path_within`]'s.
+/// * [`HopBfsScratch::build_tree`] + [`HopBfsScratch::tree_path_into`] — one
+///   hop-bounded BFS **tree** from a source, from which paths to *many*
+///   targets can be extracted without further traversals. This is the
+///   batched primitive behind the incremental LBC engine: consecutive
+///   candidates sharing a source (and an unchanged graph) are all decided
+///   against one pass.
+///
+/// Bit-identity of the two modes: BFS assigns each vertex its parent at
+/// first discovery and never reassigns it, and the discovery order is fully
+/// determined by the view's neighbor order. The early-exit search merely
+/// stops expanding once the target is discovered, so every vertex discovered
+/// before that point — in particular the whole parent chain of the target —
+/// carries exactly the parent the full tree records. Paths extracted from
+/// either mode are therefore identical, which is what lets the incremental
+/// engine swap one for the other without changing any decision.
+#[derive(Clone, Debug, Default)]
+pub struct HopBfsScratch {
+    /// Set ⇔ the vertex was discovered by the current search.
+    mark: crate::EpochMarks,
+    dist: Vec<u32>,
+    parent_vertex: Vec<u32>,
+    parent_edge: Vec<u32>,
+    queue: VecDeque<VertexId>,
+    /// Source of the tree currently held (see [`HopBfsScratch::build_tree`]).
+    tree_source: Option<VertexId>,
+}
+
+impl HopBfsScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new search: bumps the mark epoch (O(1) clear) and resizes
+    /// the per-vertex arrays for `n` vertices.
+    fn begin(&mut self, n: usize) {
+        self.mark.begin(n);
+        let backed = self.mark.len();
+        if self.dist.len() < backed {
+            self.dist.resize(backed, 0);
+            self.parent_vertex.resize(backed, 0);
+            self.parent_edge.resize(backed, 0);
+        }
+        self.queue.clear();
+        self.tree_source = None;
+    }
+
+    #[inline]
+    fn discovered(&self, v: VertexId) -> bool {
+        self.mark.is_set(v.index())
+    }
+
+    #[inline]
+    fn discover(&mut self, v: VertexId, dist: u32, parent: Option<(VertexId, EdgeId)>) {
+        let i = v.index();
+        self.mark.set(i);
+        self.dist[i] = dist;
+        if let Some((pv, pe)) = parent {
+            self.parent_vertex[i] = pv.as_u32();
+            self.parent_edge[i] = pe.index() as u32;
+        }
+    }
+
+    /// Finds a shortest hop path of at most `max_hops` edges from `source`
+    /// to `target`, writing it into `out` and returning `true`, or returns
+    /// `false` when no such path exists. The search and the found path are
+    /// bit-identical to [`shortest_hop_path_within`]; only the storage is
+    /// pooled.
+    pub fn find_path_into<V: GraphView>(
+        &mut self,
+        view: &V,
+        source: VertexId,
+        target: VertexId,
+        max_hops: u32,
+        out: &mut HopPath,
+    ) -> bool {
+        out.vertices.clear();
+        out.edges.clear();
+        if !view.contains_vertex(source) || !view.contains_vertex(target) {
+            return false;
+        }
+        if source == target {
+            out.vertices.push(source);
+            return true;
+        }
+        if max_hops == 0 {
+            return false;
+        }
+        self.begin(view.vertex_count());
+        self.discover(source, 0, None);
+        self.queue.push_back(source);
+        'search: while let Some(u) = self.queue.pop_front() {
+            let du = self.dist[u.index()];
+            if du >= max_hops {
+                continue;
+            }
+            for (v, e) in view.neighbors(u) {
+                if !self.discovered(v) {
+                    self.discover(v, du + 1, Some((u, e)));
+                    if v == target {
+                        break 'search;
+                    }
+                    self.queue.push_back(v);
+                }
+            }
+        }
+        if !self.discovered(target) {
+            return false;
+        }
+        self.reconstruct_into(source, target, out);
+        true
+    }
+
+    /// Runs one hop-bounded BFS from `source`, keeping the whole tree in the
+    /// scratch. Afterwards [`HopBfsScratch::tree_dist`] answers the hop
+    /// distance to every vertex and [`HopBfsScratch::tree_path_into`]
+    /// extracts paths — this is the "decide several same-source candidates
+    /// per pass" primitive. The tree is valid until the next search on this
+    /// scratch.
+    pub fn build_tree<V: GraphView>(&mut self, view: &V, source: VertexId, max_hops: u32) {
+        self.begin(view.vertex_count());
+        if !view.contains_vertex(source) {
+            return;
+        }
+        self.discover(source, 0, None);
+        self.tree_source = Some(source);
+        self.queue.push_back(source);
+        while let Some(u) = self.queue.pop_front() {
+            let du = self.dist[u.index()];
+            if du >= max_hops {
+                continue;
+            }
+            for (v, e) in view.neighbors(u) {
+                if !self.discovered(v) {
+                    self.discover(v, du + 1, Some((u, e)));
+                    self.queue.push_back(v);
+                }
+            }
+        }
+    }
+
+    /// Source of the currently held tree, if any.
+    #[must_use]
+    pub fn tree_source(&self) -> Option<VertexId> {
+        self.tree_source
+    }
+
+    /// Hop distance from the tree's source to `v`, or `None` when `v` was
+    /// out of the hop budget (or unreachable, or faulted, or no tree is
+    /// held).
+    #[must_use]
+    pub fn tree_dist(&self, v: VertexId) -> Option<u32> {
+        self.tree_source?;
+        (v.index() < self.mark.len() && self.discovered(v)).then(|| self.dist[v.index()])
+    }
+
+    /// Extracts the tree path from the source to `target` into `out`,
+    /// returning `true` on success (`false` when `target` is outside the
+    /// tree). The path equals the one an early-exit search
+    /// ([`HopBfsScratch::find_path_into`] / [`shortest_hop_path_within`])
+    /// from the same source would find.
+    pub fn tree_path_into(&self, target: VertexId, out: &mut HopPath) -> bool {
+        out.vertices.clear();
+        out.edges.clear();
+        let Some(source) = self.tree_source else {
+            return false;
+        };
+        if target.index() >= self.mark.len() || !self.discovered(target) {
+            return false;
+        }
+        if source == target {
+            out.vertices.push(source);
+            return true;
+        }
+        self.reconstruct_into(source, target, out);
+        true
+    }
+
+    /// Walks parent pointers from `target` back to `source`, writing the
+    /// forward-ordered path into `out`.
+    fn reconstruct_into(&self, source: VertexId, target: VertexId, out: &mut HopPath) {
+        out.vertices.push(target);
+        let mut cur = target;
+        while cur != source {
+            let prev = VertexId::new(self.parent_vertex[cur.index()] as usize);
+            out.edges
+                .push(EdgeId::new(self.parent_edge[cur.index()] as usize));
+            out.vertices.push(prev);
+            cur = prev;
+        }
+        out.vertices.reverse();
+        out.edges.reverse();
+        debug_assert_eq!(out.vertices.len(), out.edges.len() + 1);
     }
 }
 
@@ -509,6 +675,93 @@ mod tests {
         assert_eq!(dist[2], Some(1));
         let dist = scratch.multi_source_hop_distances(&g, [], 5);
         assert!(dist.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn hop_bfs_scratch_find_path_matches_free_function() {
+        let g = grid3x3();
+        let mut scratch = HopBfsScratch::new();
+        let mut out = HopPath::default();
+        for s in 0..9 {
+            for t in 0..9 {
+                for budget in [0u32, 1, 2, 4, u32::MAX] {
+                    let reference = shortest_hop_path_within(&g, vid(s), vid(t), budget);
+                    let found = scratch.find_path_into(&g, vid(s), vid(t), budget, &mut out);
+                    assert_eq!(found, reference.is_some());
+                    if let Some(p) = reference {
+                        assert_eq!(out, p, "s={s} t={t} budget={budget}");
+                    }
+                }
+            }
+        }
+        // Under faults too.
+        let mut view = FaultView::new(&g);
+        view.block_vertex(vid(4));
+        let reference = shortest_hop_path_within(&view, vid(0), vid(8), 6).unwrap();
+        assert!(scratch.find_path_into(&view, vid(0), vid(8), 6, &mut out));
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn hop_bfs_tree_paths_equal_early_exit_paths() {
+        // The batched mode's contract: a tree path to any target equals the
+        // early-exit search's path from the same source.
+        let g = grid3x3();
+        let mut tree = HopBfsScratch::new();
+        tree.build_tree(&g, vid(0), 3);
+        assert_eq!(tree.tree_source(), Some(vid(0)));
+        let mut out = HopPath::default();
+        for t in 0..9 {
+            let reference = shortest_hop_path_within(&g, vid(0), vid(t), 3);
+            assert_eq!(
+                tree.tree_dist(vid(t)),
+                reference.as_ref().map(|p| p.hop_count() as u32)
+            );
+            let found = tree.tree_path_into(vid(t), &mut out);
+            assert_eq!(found, reference.is_some());
+            if let Some(p) = reference {
+                assert_eq!(out, p);
+            }
+        }
+    }
+
+    #[test]
+    fn hop_bfs_tree_respects_budget_and_faults() {
+        let g = path_graph(6);
+        let mut tree = HopBfsScratch::new();
+        tree.build_tree(&g, vid(0), 3);
+        assert_eq!(tree.tree_dist(vid(3)), Some(3));
+        assert_eq!(tree.tree_dist(vid(4)), None);
+
+        let mut view = FaultView::new(&g);
+        view.block_vertex(vid(2));
+        tree.build_tree(&view, vid(0), 5);
+        assert_eq!(tree.tree_dist(vid(1)), Some(1));
+        assert_eq!(tree.tree_dist(vid(3)), None);
+
+        // Faulted source: empty tree.
+        tree.build_tree(&view, vid(2), 5);
+        assert_eq!(tree.tree_dist(vid(2)), None);
+        let mut out = HopPath::default();
+        assert!(!tree.tree_path_into(vid(2), &mut out));
+    }
+
+    #[test]
+    fn hop_bfs_scratch_reuses_buffers_across_searches_and_sizes() {
+        let small = path_graph(3);
+        let big = path_graph(12);
+        let mut scratch = HopBfsScratch::new();
+        let mut out = HopPath::default();
+        assert!(scratch.find_path_into(&big, vid(0), vid(11), 20, &mut out));
+        assert_eq!(out.hop_count(), 11);
+        assert!(scratch.find_path_into(&small, vid(2), vid(0), 20, &mut out));
+        assert_eq!(out.hop_count(), 2);
+        // A fresh search invalidates the previous tree.
+        scratch.build_tree(&big, vid(0), 4);
+        assert_eq!(scratch.tree_dist(vid(4)), Some(4));
+        assert!(scratch.find_path_into(&big, vid(1), vid(2), 3, &mut out));
+        assert_eq!(scratch.tree_source(), None);
+        assert_eq!(scratch.tree_dist(vid(4)), None);
     }
 
     #[test]

@@ -290,12 +290,27 @@ impl DijkstraScratch {
         view: &V,
         source: VertexId,
     ) -> ShortestPathTree {
+        let _ = self.distances(view, source);
+        ShortestPathTree {
+            source,
+            dist: self.dist.clone(),
+            parent: self.parent.clone(),
+        }
+    }
+
+    /// Like [`DijkstraScratch::shortest_path_tree`] but returning a borrow
+    /// of the scratch's distance array instead of cloning it into an owned
+    /// tree — the form bulk consumers (the spanner verifier, broken-pair
+    /// detection) use when they only need distances. The slice is valid
+    /// until the next run; distances are identical to
+    /// [`dijkstra_distances`] (the Dial lane's are bit-identical by the
+    /// argument in the type docs).
+    pub fn distances<V: GraphView>(&mut self, view: &V, source: VertexId) -> &[f64] {
         let n = view.vertex_count();
         self.dist.clear();
         self.dist.resize(n, f64::INFINITY);
         self.parent.clear();
         self.parent.resize(n, None);
-
         if view.contains_vertex(source) {
             if view.unit_weighted() {
                 self.run_dial(view, source);
@@ -303,12 +318,7 @@ impl DijkstraScratch {
                 self.run_dijkstra(view, source);
             }
         }
-
-        ShortestPathTree {
-            source,
-            dist: self.dist.clone(),
-            parent: self.parent.clone(),
-        }
+        &self.dist
     }
 
     /// The Dial lane: with every weight exactly 1 the bucket queue has one

@@ -1,0 +1,133 @@
+//! Epoch-stamped marks: a dense boolean set with `O(1)` bulk clear.
+//!
+//! Pooled scratch state all over this workspace needs the same primitive —
+//! "mark elements of `0..n`, then forget everything instantly on the next
+//! run" — for fault views, BFS visited sets, candidate dedup, and
+//! per-source cache validity. Hand-rolling it repeats a subtle wrap-safety
+//! invariant (stamps must be reset when the epoch counter wraps, and slots
+//! grown later must never alias a live epoch), so the pattern lives here
+//! once.
+
+/// A set over `0..len` whose `clear` is an epoch bump.
+///
+/// `begin(n)` starts a new empty generation in `O(1)` (amortized: growing
+/// to a larger `n` and the once-per-`u32::MAX` wrap reset are the only
+/// linear steps). `set`/`is_set` then behave like a boolean array scoped to
+/// the current generation.
+///
+/// # Examples
+///
+/// ```
+/// use ftspan_graph::EpochMarks;
+///
+/// let mut marks = EpochMarks::new();
+/// marks.begin(4);
+/// assert!(marks.set(2));
+/// assert!(!marks.set(2), "already set this generation");
+/// assert!(marks.is_set(2));
+/// marks.begin(4); // O(1) clear
+/// assert!(!marks.is_set(2));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct EpochMarks {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl EpochMarks {
+    /// Creates an empty set; storage grows on first [`EpochMarks::begin`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new, empty generation over `0..n`.
+    ///
+    /// Growing fills new slots with stamp `0`, which can never equal the
+    /// (post-bump, non-zero) current epoch; on the rare epoch wrap every
+    /// stamp is reset so stale marks cannot alias the restarted counter.
+    pub fn begin(&mut self, n: usize) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+    }
+
+    /// Number of slots currently backed (the high-water `n`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// Returns `true` when no slots are backed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stamp.is_empty()
+    }
+
+    /// Returns `true` if `i` was marked in the current generation.
+    #[inline]
+    #[must_use]
+    pub fn is_set(&self, i: usize) -> bool {
+        self.stamp[i] == self.epoch
+    }
+
+    /// Marks `i` in the current generation; returns `true` if newly marked.
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        let slot = &mut self.stamp[i];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_clears_and_grows() {
+        let mut marks = EpochMarks::new();
+        marks.begin(3);
+        assert_eq!(marks.len(), 3);
+        assert!(marks.set(0));
+        assert!(marks.set(2));
+        assert!(!marks.set(2));
+        marks.begin(3);
+        assert!(!marks.is_set(0));
+        assert!(!marks.is_set(2));
+        // Growing keeps earlier slots usable and new slots unmarked.
+        marks.begin(6);
+        assert_eq!(marks.len(), 6);
+        assert!(!marks.is_set(5));
+        assert!(marks.set(5));
+        // Shrinking requests keep the high-water backing.
+        marks.begin(2);
+        assert_eq!(marks.len(), 6);
+    }
+
+    #[test]
+    fn wrap_resets_every_stamp() {
+        // One generation before the wrap: slot 0 marked, slot 1 untouched.
+        let mut marks = EpochMarks {
+            stamp: vec![u32::MAX - 1, 0],
+            epoch: u32::MAX - 1,
+        };
+        assert!(marks.is_set(0));
+        marks.begin(2); // epoch becomes u32::MAX
+        assert!(!marks.is_set(0));
+        assert!(marks.set(1)); // stamps a slot with u32::MAX
+        marks.begin(2); // wrap: full reset, epoch restarts at 1
+        assert!(!marks.is_set(0));
+        assert!(!marks.is_set(1), "wrap must clear slots stamped u32::MAX");
+        assert!(marks.set(0));
+    }
+}

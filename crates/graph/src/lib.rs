@@ -45,6 +45,7 @@
 pub mod bfs;
 pub mod dijkstra;
 mod edge;
+mod epoch;
 mod error;
 pub mod generators;
 pub mod girth;
@@ -56,9 +57,11 @@ pub mod traversal;
 mod view;
 
 pub use edge::Edge;
+pub use epoch::EpochMarks;
 pub use error::{GraphError, Result};
 pub use graph::{Graph, GraphBuilder};
 pub use ids::{eid, vid, EdgeId, IdRemap, VertexId};
 pub use view::{
-    fault_fingerprint, fault_fingerprint_namespaced, namespace_fingerprint, FaultView, GraphView,
+    fault_fingerprint, fault_fingerprint_namespaced, namespace_fingerprint, FaultScratch,
+    FaultView, GraphView, ScratchFaultView,
 };

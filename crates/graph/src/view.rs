@@ -507,6 +507,168 @@ impl GraphView for FaultView<'_> {
     }
 }
 
+/// Pooled storage for short-lived fault views.
+///
+/// [`FaultView::new`] allocates two bitmaps sized by the graph — fine for a
+/// long-lived view, but the Length-Bounded Cut decision builds a fresh view
+/// *per candidate edge*, thousands of times per repair wave. A
+/// `FaultScratch` keeps epoch-stamped marks ([`crate::EpochMarks`]) alive
+/// across those views: starting a new view ([`FaultScratch::view`]) bumps
+/// the epoch instead of clearing, so view setup is `O(1)` after the first
+/// use on a graph size.
+///
+/// The produced [`ScratchFaultView`] filters traversal exactly like a
+/// [`FaultView`] with the same blocked set, so algorithms generic over
+/// [`GraphView`] behave identically on either.
+///
+/// # Examples
+///
+/// ```
+/// use ftspan_graph::{vid, FaultScratch, Graph, GraphView};
+///
+/// let mut g = Graph::new(3);
+/// g.add_unit_edge(0, 1);
+/// g.add_unit_edge(1, 2);
+/// let mut scratch = FaultScratch::new();
+/// let mut view = scratch.view(&g);
+/// view.block_vertex(vid(1));
+/// assert_eq!(view.neighbors(vid(0)).count(), 0);
+/// // The next view starts empty again, without touching the marks.
+/// let view = scratch.view(&g);
+/// assert_eq!(view.neighbors(vid(0)).count(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultScratch {
+    vertices: crate::EpochMarks,
+    edges: crate::EpochMarks,
+    blocked_vertices: usize,
+}
+
+impl FaultScratch {
+    /// Creates an empty scratch; the marks grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a fresh, empty fault view over `graph`, reusing the pooled
+    /// marks (`O(1)` apart from growing them the first time a larger graph
+    /// is seen).
+    pub fn view<'s, 'g>(&'s mut self, graph: &'g Graph) -> ScratchFaultView<'s, 'g> {
+        self.vertices.begin(graph.vertex_count());
+        self.edges.begin(graph.edge_count());
+        self.blocked_vertices = 0;
+        ScratchFaultView { graph, marks: self }
+    }
+}
+
+/// A borrowed fault view over pooled [`FaultScratch`] marks.
+///
+/// Supports the same grow-only blocking operations the Length-Bounded Cut
+/// decision needs ([`ScratchFaultView::block_vertex`],
+/// [`ScratchFaultView::block_edge`]) and implements [`GraphView`] with the
+/// same filtering semantics as [`FaultView`]. Dropping the view leaves the
+/// marks in the scratch for the next one.
+#[derive(Debug)]
+pub struct ScratchFaultView<'s, 'g> {
+    graph: &'g Graph,
+    marks: &'s mut FaultScratch,
+}
+
+impl ScratchFaultView<'_, '_> {
+    /// The underlying graph.
+    #[inline]
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Blocks (removes) vertex `v`. Returns `true` if newly blocked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for the underlying graph.
+    pub fn block_vertex(&mut self, v: VertexId) -> bool {
+        assert!(v.index() < self.graph.vertex_count(), "vertex out of range");
+        let newly = self.marks.vertices.set(v.index());
+        self.marks.blocked_vertices += usize::from(newly);
+        newly
+    }
+
+    /// Blocks (removes) edge `e`. Returns `true` if newly blocked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range for the underlying graph.
+    pub fn block_edge(&mut self, e: EdgeId) -> bool {
+        assert!(e.index() < self.graph.edge_count(), "edge out of range");
+        self.marks.edges.set(e.index())
+    }
+
+    /// Returns `true` if vertex `v` is blocked.
+    #[inline]
+    #[must_use]
+    pub fn is_vertex_blocked(&self, v: VertexId) -> bool {
+        self.marks.vertices.is_set(v.index())
+    }
+
+    /// Returns `true` if edge `e` is blocked (directly, not via endpoints).
+    #[inline]
+    #[must_use]
+    pub fn is_edge_blocked(&self, e: EdgeId) -> bool {
+        self.marks.edges.is_set(e.index())
+    }
+}
+
+impl GraphView for ScratchFaultView<'_, '_> {
+    #[inline]
+    fn vertex_count(&self) -> usize {
+        self.graph.vertex_count()
+    }
+
+    #[inline]
+    fn contains_vertex(&self, v: VertexId) -> bool {
+        v.index() < self.graph.vertex_count() && !self.is_vertex_blocked(v)
+    }
+
+    #[inline]
+    fn contains_edge(&self, e: EdgeId) -> bool {
+        if e.index() >= self.graph.edge_count() || self.is_edge_blocked(e) {
+            return false;
+        }
+        let (u, v) = self.graph.edge(e).endpoints();
+        !self.is_vertex_blocked(u) && !self.is_vertex_blocked(v)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        let blocked_self = self.is_vertex_blocked(v);
+        self.graph.neighbors(v).filter(move |&(nbr, e)| {
+            !blocked_self && !self.is_vertex_blocked(nbr) && !self.is_edge_blocked(e)
+        })
+    }
+
+    #[inline]
+    fn edge_weight(&self, e: EdgeId) -> f64 {
+        self.graph.weight(e)
+    }
+
+    #[inline]
+    fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.graph.edge(e).endpoints()
+    }
+
+    #[inline]
+    fn unit_weighted(&self) -> bool {
+        self.graph.is_unit_weighted()
+    }
+
+    #[inline]
+    fn live_vertex_count(&self) -> usize {
+        self.graph.vertex_count() - self.marks.blocked_vertices
+    }
+}
+
 /// Region extraction: induced subgraphs with a halo, the building block of
 /// sharded serving. A *region* is a vertex subset (a shard's core) expanded
 /// by every vertex within a hop radius (the halo), re-indexed densely via
@@ -806,6 +968,59 @@ mod tests {
         let (sub2, remap2) = g.induced_subgraph_remap(&[vid(0), vid(1), vid(2)]);
         assert_eq!(sub2.edge_count(), sub.edge_count());
         assert_eq!(remap2.members(), remap.members());
+    }
+
+    #[test]
+    fn fault_scratch_views_filter_like_fault_views() {
+        let g = cycle(6);
+        let e12 = g.edge_between(vid(1), vid(2)).unwrap();
+        let mut reference = FaultView::new(&g);
+        reference.block_vertex(vid(0));
+        reference.block_edge(e12);
+
+        let mut scratch = FaultScratch::new();
+        let mut view = scratch.view(&g);
+        assert!(view.block_vertex(vid(0)));
+        assert!(!view.block_vertex(vid(0)), "re-blocking reports false");
+        assert!(view.block_edge(e12));
+        for v in 0..6 {
+            assert_eq!(
+                view.contains_vertex(vid(v)),
+                reference.contains_vertex(vid(v))
+            );
+            let a: Vec<_> = view.neighbors(vid(v)).collect();
+            let b: Vec<_> = reference.neighbors(vid(v)).collect();
+            assert_eq!(a, b, "neighbors of {v}");
+        }
+        for e in 0..g.edge_count() {
+            assert_eq!(
+                view.contains_edge(crate::eid(e)),
+                reference.contains_edge(crate::eid(e))
+            );
+        }
+        assert!(view.is_vertex_blocked(vid(0)));
+        assert!(view.is_edge_blocked(e12));
+        assert_eq!(view.live_vertex_count(), reference.live_vertex_count());
+    }
+
+    #[test]
+    fn fault_scratch_epoch_clears_between_views() {
+        let g = cycle(4);
+        let mut scratch = FaultScratch::new();
+        let mut view = scratch.view(&g);
+        view.block_vertex(vid(1));
+        assert!(!view.contains_vertex(vid(1)));
+        // The next view starts with no faults, in O(1).
+        let view = scratch.view(&g);
+        assert!(view.contains_vertex(vid(1)));
+        assert_eq!(view.neighbors(vid(0)).count(), 2);
+        // And works on a larger graph afterwards (marks regrow).
+        let big = cycle(9);
+        let mut view = scratch.view(&big);
+        view.block_vertex(vid(8));
+        assert!(!view.contains_vertex(vid(8)));
+        assert!(view.contains_vertex(vid(1)));
+        assert_eq!(view.graph().vertex_count(), 9);
     }
 
     #[test]

@@ -20,17 +20,101 @@
 //! proportional to the damaged region, not the graph, with the global pass
 //! kept only as a correctness backstop.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use ftspan::repair::{
-    candidate_endpoints, certificates_touching, full_respan, respan_candidates, RepairOptions,
+    candidate_endpoints, certificates_touching, full_respan_with, respan_candidates_with,
+    RepairOptions, RepairScratch,
 };
-use ftspan::verify::{verify_spanner, VerificationMode};
+use ftspan::verify::{verify_spanner_with, VerificationMode};
 use ftspan::{EdgeCertificate, FaultSet};
 use ftspan_graph::bfs::BfsScratch;
 use ftspan_graph::dijkstra::DijkstraScratch;
 use ftspan_graph::{EdgeId, Graph, VertexId};
+
+/// Pooled buffers for one oracle's churn loop, owned by the
+/// [`FaultOracle`] and reused across waves: BFS frontiers (seeding, halo
+/// and candidate collection), Dijkstra/Dial state (violation detection),
+/// per-source distance caches, and the incremental-LBC
+/// [`RepairScratch`] the localized respan runs on.
+///
+/// Before this existed, every wave re-allocated all of the above
+/// proportionally to the *graph* — the damage-proportional work Rozhoň–
+/// Ghaffari-style locality promises was being drowned by setup. The scratch
+/// makes wave cost scale with the damaged region (plus the sampled spot
+/// check).
+#[derive(Debug, Default)]
+pub(crate) struct WaveScratch {
+    bfs: BfsScratch,
+    dijkstra: DijkstraScratch,
+    repair: RepairScratch,
+    /// Lazily filled per-source distance caches of broken-pair detection,
+    /// indexed by source vertex. Epoch-stamped so each wave starts empty in
+    /// `O(1)` while the per-source buffers keep their capacity.
+    spanner_dist: DistCache,
+    graph_dist: DistCache,
+}
+
+/// A pooled per-source distance cache: `get` computes distances at most
+/// once per source per epoch, writing them into a reusable buffer.
+///
+/// Buffer capacity is retained across epochs (that is the pooling win),
+/// but bounded: the cache lives on the oracle for its whole lifetime, and
+/// without a cap a long churn history would pin one vertex-count-sized
+/// buffer per source ever touched — `O(n²)` retained heap in the worst
+/// case. Once the filled buffers would exceed
+/// [`DistCache::MAX_RETAINED_DISTANCES`] entries in total, `begin` frees
+/// them all and lets the next wave's working set repopulate.
+#[derive(Debug, Default)]
+struct DistCache {
+    bufs: Vec<Vec<f64>>,
+    filled: ftspan_graph::EpochMarks,
+    /// Sources whose buffer currently holds capacity, across epochs (may
+    /// contain duplicates; used only to bound and free retained memory).
+    retained: Vec<u32>,
+}
+
+impl DistCache {
+    /// Upper bound on `f64` distance entries kept alive across epochs
+    /// (~8 MB) before `begin` releases the pooled buffers.
+    const MAX_RETAINED_DISTANCES: usize = 1 << 20;
+
+    /// Starts a new epoch over `n` sources; previously cached distances
+    /// become stale, and the pooled capacity is released once it exceeds
+    /// the retention bound.
+    fn begin(&mut self, n: usize) {
+        if self.retained.len().saturating_mul(n) > Self::MAX_RETAINED_DISTANCES {
+            for &i in &self.retained {
+                self.bufs[i as usize] = Vec::new();
+            }
+            self.retained.clear();
+        }
+        self.filled.begin(n);
+        if self.bufs.len() < self.filled.len() {
+            self.bufs.resize_with(self.filled.len(), Vec::new);
+        }
+    }
+
+    /// Distances from `u` over `view`, computed via `scratch` on first use
+    /// this epoch.
+    fn get<V: ftspan_graph::GraphView>(
+        &mut self,
+        scratch: &mut DijkstraScratch,
+        view: &V,
+        u: VertexId,
+    ) -> &[f64] {
+        if self.filled.set(u.index()) {
+            let buf = &mut self.bufs[u.index()];
+            if buf.capacity() == 0 {
+                self.retained.push(u.as_u32());
+            }
+            buf.clear();
+            buf.extend_from_slice(scratch.distances(view, u));
+        }
+        &self.bufs[u.index()]
+    }
+}
 
 use crate::boundary::BoundaryIndex;
 use crate::oracle::FaultOracle;
@@ -44,8 +128,11 @@ pub struct ChurnConfig {
     /// `0` means "use the stretch `2k − 1`", the distance within which a
     /// broken witness path must have passed the damage.
     pub repair_radius: u32,
-    /// Samples for the post-repair spot check (half random, half
-    /// adversarial); `0` skips verification and never escalates.
+    /// Samples for the post-repair spot check: half uniformly random, half
+    /// adversarial, split exactly and deterministically (an odd count puts
+    /// the extra sample in the random half — see
+    /// [`ftspan::verify::sampled_split`]); `0` skips verification and never
+    /// escalates.
     pub verify_samples: usize,
     /// Seed of the post-repair spot check, for reproducibility.
     pub verify_seed: u64,
@@ -98,10 +185,12 @@ impl FaultOracle {
         } else {
             config.repair_radius
         };
-        // One scratch pair serves every BFS/Dijkstra of the wave: violation
-        // detection, candidate collection, and the respan hooks.
-        let mut bfs_scratch = BfsScratch::new();
-        let mut dijkstra_scratch = DijkstraScratch::new();
+        // The oracle-owned scratch serves every stage of the wave —
+        // violation detection, candidate collection, the incremental-LBC
+        // respan — and survives to the next wave, so steady-state churn
+        // stops re-paying graph-sized setup allocations. Taken out of
+        // `self` for the duration to keep `&self` reads available.
+        let mut scratch = std::mem::take(&mut self.wave_scratch);
 
         // 1. Seeds, in the pre-wave id space (vertex ids are stable).
         let mut seeds: Vec<VertexId> = Vec::new();
@@ -144,8 +233,7 @@ impl FaultOracle {
             self.stretch_bound(),
             &seeds,
             radius,
-            &mut bfs_scratch,
-            &mut dijkstra_scratch,
+            &mut scratch,
         );
         let mut all_seeds = seeds;
         for &(u, v) in &broken_pairs {
@@ -155,13 +243,14 @@ impl FaultOracle {
         all_seeds.sort_unstable();
         all_seeds.dedup();
 
-        // 4. Localized repair.
+        // 4. Localized repair on the incremental LBC engine.
         let candidates =
-            neighborhood_candidates_with(&mut bfs_scratch, &new_graph, &all_seeds, radius);
+            neighborhood_candidates_with(&mut scratch.bfs, &new_graph, &all_seeds, radius);
         let repair_options = RepairOptions {
             collect_certificates: self.options.collect_certificates,
         };
-        let mut outcome = respan_candidates(
+        let mut outcome = respan_candidates_with(
+            &mut scratch.repair,
             &new_graph,
             &new_spanner,
             self.params,
@@ -174,7 +263,8 @@ impl FaultOracle {
         //    the local neighbourhood was too small.
         let mut escalated = false;
         if config.verify_samples > 0 {
-            let report = verify_spanner(
+            let report = verify_spanner_with(
+                &mut scratch.dijkstra,
                 &new_graph,
                 &outcome.spanner,
                 self.params,
@@ -185,8 +275,13 @@ impl FaultOracle {
             );
             if !report.is_valid() && config.escalate {
                 escalated = true;
-                let mut fixed =
-                    full_respan(&new_graph, &outcome.spanner, self.params, &repair_options);
+                let mut fixed = full_respan_with(
+                    &mut scratch.repair,
+                    &new_graph,
+                    &outcome.spanner,
+                    self.params,
+                    &repair_options,
+                );
                 edges_added += fixed.edges_added();
                 // The warm start keeps every locally-repaired edge; carry
                 // their certificates over (re-resolving spanner ids against
@@ -212,6 +307,7 @@ impl FaultOracle {
         self.certificates = certificates;
         self.graph = new_graph;
         self.spanner = outcome.spanner;
+        self.wave_scratch = scratch;
         self.invalidate_serving_state();
         self.metrics.record_wave(edges_added as u64, escalated);
 
@@ -380,10 +476,9 @@ impl ShardedOracle {
         };
 
         let mut rebuilt_shards = Vec::new();
-        let mut halo_scratch = BfsScratch::new();
         for shard in 0..self.plan.shard_count() {
             let members = self.global.spanner().halo_members_with(
-                &mut halo_scratch,
+                &mut self.wave_bfs,
                 self.plan.core(shard),
                 self.halo_radius,
             );
@@ -420,47 +515,41 @@ impl ShardedOracle {
 /// within `radius` hops of a seed: a pair is broken when
 /// `d_{H'}(u, v) > (2k − 1) · w(u, v)` (with the usual weighted restriction
 /// to edges that are themselves shortest paths).
-#[allow(clippy::too_many_arguments)]
+///
+/// All shortest-path state runs on the pooled [`WaveScratch`]: the Dial
+/// lane for unit-weight graphs, epoch-stamped per-source distance caches
+/// instead of per-wave hash maps of cloned trees. The reported pairs are
+/// identical to a from-scratch computation.
 fn detect_broken_pairs(
     graph: &Graph,
     spanner: &Graph,
     stretch: f64,
     seeds: &[VertexId],
     radius: u32,
-    bfs: &mut BfsScratch,
-    scratch: &mut DijkstraScratch,
+    scratch: &mut WaveScratch,
 ) -> Vec<(VertexId, VertexId)> {
-    let near: Vec<bool> = bfs
-        .multi_source_hop_distances(graph, seeds.iter().copied(), radius)
-        .iter()
-        .map(Option::is_some)
-        .collect();
+    let near = scratch
+        .bfs
+        .multi_source_hop_distances(graph, seeds.iter().copied(), radius);
 
-    let mut spanner_trees: HashMap<VertexId, ftspan_graph::dijkstra::ShortestPathTree> =
-        HashMap::new();
-    let mut graph_trees: HashMap<VertexId, ftspan_graph::dijkstra::ShortestPathTree> =
-        HashMap::new();
+    scratch.spanner_dist.begin(graph.vertex_count());
+    scratch.graph_dist.begin(graph.vertex_count());
     let mut broken = Vec::new();
     for (_, edge) in graph.edges() {
         let (u, v) = edge.endpoints();
-        if !near[u.index()] && !near[v.index()] {
+        if near[u.index()].is_none() && near[v.index()].is_none() {
             continue;
         }
         // Weighted Lemma-3 restriction: only edges that are shortest paths
         // in G' constrain the spanner.
         if !graph.is_unit_weighted() {
-            let tree = graph_trees
-                .entry(u)
-                .or_insert_with(|| scratch.shortest_path_tree(graph, u));
-            if tree.distances()[v.index()] + 1e-9 < edge.weight() {
+            let dist = scratch.graph_dist.get(&mut scratch.dijkstra, graph, u);
+            if dist[v.index()] + 1e-9 < edge.weight() {
                 continue;
             }
         }
-        let tree = spanner_trees
-            .entry(u)
-            .or_insert_with(|| scratch.shortest_path_tree(spanner, u));
-        let observed = tree.distances()[v.index()];
-        if observed > stretch * edge.weight() + 1e-9 {
+        let dist = scratch.spanner_dist.get(&mut scratch.dijkstra, spanner, u);
+        if dist[v.index()] > stretch * edge.weight() + 1e-9 {
             broken.push((u, v));
         }
     }
@@ -704,11 +793,10 @@ mod tests {
         let g = generators::cycle(6);
         let spanner = g.edge_subgraph(g.edge_ids().take(5));
         let seeds = vec![vid(0), vid(5)];
-        let mut bfs = BfsScratch::new();
-        let mut dij = DijkstraScratch::new();
-        let broken = detect_broken_pairs(&g, &spanner, 3.0, &seeds, 2, &mut bfs, &mut dij);
+        let mut scratch = WaveScratch::default();
+        let broken = detect_broken_pairs(&g, &spanner, 3.0, &seeds, 2, &mut scratch);
         assert!(broken.contains(&(vid(5), vid(0))) || broken.contains(&(vid(0), vid(5))));
         // With the full cycle as spanner nothing is broken.
-        assert!(detect_broken_pairs(&g, &g, 3.0, &seeds, 2, &mut bfs, &mut dij).is_empty());
+        assert!(detect_broken_pairs(&g, &g, 3.0, &seeds, 2, &mut scratch).is_empty());
     }
 }

@@ -73,6 +73,10 @@ pub struct FaultOracle {
     pub(crate) epoch: u64,
     pub(crate) cache: Mutex<TreeCache>,
     pub(crate) metrics: OracleMetrics,
+    /// Pooled buffers for the churn loop, alive across waves so steady-state
+    /// repair never re-pays graph-sized setup allocations (see
+    /// [`crate::churn::WaveScratch`]).
+    pub(crate) wave_scratch: crate::churn::WaveScratch,
 }
 
 std::thread_local! {
@@ -129,6 +133,7 @@ impl FaultOracle {
             epoch: 0,
             cache,
             metrics: OracleMetrics::default(),
+            wave_scratch: crate::churn::WaveScratch::default(),
         }
     }
 

@@ -523,6 +523,9 @@ pub struct ShardedOracle {
     pub(crate) halo_radius: u32,
     pub(crate) options: ShardedOptions,
     pub(crate) metrics: ShardedMetrics,
+    /// Pooled BFS buffers for the per-shard region sweep of the churn
+    /// fan-out, alive across waves.
+    pub(crate) wave_bfs: ftspan_graph::bfs::BfsScratch,
 }
 
 impl ShardedOracle {
@@ -601,6 +604,7 @@ impl ShardedOracle {
             halo_radius,
             options,
             metrics: ShardedMetrics::default(),
+            wave_bfs: ftspan_graph::bfs::BfsScratch::default(),
         }
     }
 
