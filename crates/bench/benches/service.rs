@@ -1,0 +1,83 @@
+//! Service front-end throughput: the same duplicate-heavy request stream
+//! served directly by `answer_batch` vs through the [`OracleService`]
+//! (coalescing on and off), over both backends.
+//!
+//! Bursty service traffic repeats itself — hot `(u, v)` pairs under a
+//! small pool of active fault sets — so the front-end's coalescing merges
+//! real duplicates before they reach the workers; this bench measures what
+//! that buys (and what the front-end costs when every request is unique
+//! to its round). Runs in the `CRITERION_SMOKE=1` CI step like every other
+//! bench, which is the service smoke test.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ftspan::SpannerParams;
+use ftspan_bench::{gnp_workload, serve_request_stream, service_request_stream};
+use ftspan_oracle::{
+    FaultOracle, OracleOptions, OracleService, ServiceConfig, ShardPlanOptions, ShardedOptions,
+    ShardedOracle,
+};
+
+fn bench_service(c: &mut Criterion) {
+    let n = 400;
+    let batch = 2_000;
+    let graph = gnp_workload(n, 6.0, 7);
+    let params = SpannerParams::vertex(2, 2);
+    // The exact stream the `service_batch` trajectory scenario records.
+    let stream = service_request_stream(n, batch, 300, 19);
+
+    let mut group = c.benchmark_group("service_batch");
+    group.throughput(Throughput::Elements(batch as u64));
+
+    // The no-front-end baseline the trajectory compares against.
+    let direct = FaultOracle::build(graph.clone(), params, OracleOptions::default());
+    group.bench_with_input(BenchmarkId::from_parameter("direct"), &stream, |b, s| {
+        b.iter(|| direct.answer_batch(s));
+    });
+
+    for (label, coalesce) in [("coalesce_on", true), ("coalesce_off", false)] {
+        let oracle = FaultOracle::build(graph.clone(), params, OracleOptions::default());
+        let mut service =
+            OracleService::new(oracle, ServiceConfig::default().with_coalesce(coalesce));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &stream, |b, s| {
+            b.iter(|| serve_request_stream(&mut service, s));
+        });
+    }
+
+    // The same front-end over the sharded backend (per-shard lanes).
+    let sharded = ShardedOracle::build(
+        graph,
+        params,
+        ShardedOptions {
+            plan: ShardPlanOptions {
+                shards: 8,
+                ..ShardPlanOptions::default()
+            },
+            ..ShardedOptions::default()
+        },
+    );
+    let mut service = OracleService::new(sharded, ServiceConfig::default());
+    group.bench_with_input(
+        BenchmarkId::from_parameter("sharded_coalesce_on"),
+        &stream,
+        |b, s| {
+            b.iter(|| serve_request_stream(&mut service, s));
+        },
+    );
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_service
+}
+criterion_main!(benches);

@@ -686,6 +686,17 @@ fn experiment_oracle() {
 const CHURN_WAVE_BASELINE: f64 = 3.22;
 const CHURN_WAVE_SHARDED_BASELINE: f64 = 6.05;
 
+/// Pre-front-end baseline of the `service_batch` scenario: the same
+/// duplicate-heavy 2 000-request stream served by a direct
+/// `answer_batch` call (no tickets, no coalescing, no admission) on the
+/// machine that recorded the scenario's `after` value. A speedup below
+/// 1.0 is therefore not a regression — it is the recorded *price* of the
+/// front-end (queue, tickets, coalescing bookkeeping) on a purely
+/// in-memory hot loop, the number future front-end optimization PRs move.
+/// The harness re-measures and prints the direct throughput on every run
+/// as a drift check.
+const SERVICE_BATCH_BASELINE: f64 = 7_580_961.0;
+
 /// One measured scenario of the bench trajectory.
 struct TrajectoryPoint {
     name: &'static str,
@@ -726,13 +737,14 @@ fn bench_trajectory() {
     // adjacency-list core of commit f0adb20; the churn-wave scenarios
     // against the from-scratch LBC repair path of commit e2e03e0). Used only
     // when the trajectory file does not record a `before` for the scenario.
-    const RECORDED_BASELINE: [(&str, f64); 6] = [
+    const RECORDED_BASELINE: [(&str, f64); 7] = [
         ("single_cached_distance", 4_766_804.0),
         ("batch_cached", 2_665_970.0),
         ("batch_8_shards", 1_764_859.0),
         ("churn_repair", 6.25),
         ("churn_wave", CHURN_WAVE_BASELINE),
         ("churn_wave_sharded", CHURN_WAVE_SHARDED_BASELINE),
+        ("service_batch", SERVICE_BATCH_BASELINE),
     ];
 
     println!("\n## Bench trajectory — serving throughput before/after\n");
@@ -944,6 +956,49 @@ fn bench_trajectory() {
             unit: "waves/s",
             before: baseline("churn_wave_sharded"),
             after: waves.len() as f64 / secs,
+        });
+    }
+
+    // 7. Service front-end throughput: a duplicate-heavy request stream
+    //    (2 000 requests drawn from 300 distinct queries — bursty traffic
+    //    repeats itself) through `OracleService` with coalescing, vs the
+    //    recorded direct `answer_batch` baseline on the same stream.
+    {
+        use ftspan_bench::{serve_request_stream, service_request_stream};
+        use ftspan_oracle::{OracleService, ServiceConfig};
+        // The exact stream the `service` criterion bench runs (shared via
+        // ftspan_bench::service_request_stream, so the recorded series and
+        // the smoke bench can never drift apart).
+        let stream: Vec<Query> = service_request_stream(n, batch_size, 300, 19);
+        let reps = 20;
+
+        // Drift check: the direct path on the same stream, printed but not
+        // recorded (its recorded value is the scenario's `before`).
+        let direct = FaultOracle::build(graph.clone(), params, OracleOptions::default());
+        let _ = direct.answer_batch(&stream); // warm
+        let (_, direct_secs) = timed(|| {
+            for _ in 0..reps {
+                let _ = std::hint::black_box(direct.answer_batch(&stream));
+            }
+        });
+        println!(
+            "(service_batch drift check: direct answer_batch on this stream: {:.0} queries/s)",
+            (reps * batch_size) as f64 / direct_secs
+        );
+
+        let oracle = FaultOracle::build(graph.clone(), params, OracleOptions::default());
+        let mut service = OracleService::new(oracle, ServiceConfig::default());
+        serve_request_stream(&mut service, &stream); // warm
+        let (_, secs) = timed(|| {
+            for _ in 0..reps {
+                serve_request_stream(std::hint::black_box(&mut service), &stream);
+            }
+        });
+        points.push(TrajectoryPoint {
+            name: "service_batch",
+            unit: "queries/s",
+            before: baseline("service_batch"),
+            after: (reps * batch_size) as f64 / secs,
         });
     }
 

@@ -432,6 +432,32 @@ impl FaultOracle {
     }
 }
 
+/// Backend-agnostic summary of one wave application — the shape
+/// [`SpannerOracle::apply_wave`](crate::SpannerOracle::apply_wave) reports,
+/// so generic callers (most importantly the
+/// [`OracleService`](crate::service::OracleService) front-end) see one wave
+/// vocabulary over both backends. Backend-specific detail stays on the
+/// concrete outcomes ([`WaveOutcome`], [`ShardWaveOutcome`]).
+#[derive(Clone, Debug)]
+pub struct WaveReport {
+    /// The repair outcome of the oracle whose churn loop carries the
+    /// provable guarantees (the single oracle itself, or the sharded
+    /// backend's global oracle).
+    pub outcome: WaveOutcome,
+    /// Admission lanes whose serving state (and therefore caches) the wave
+    /// rebuilt. The single oracle is one lane and every wave rebuilds it;
+    /// a sharded backend lists exactly the wave-touched shards. The
+    /// front-end uses this to shed or queue traffic headed for a region
+    /// that is mid-rebuild. Note the lane list covers *shard* regions
+    /// only: a sharded backend drops every lazily-stitched pair region on
+    /// every wave, so the first cross-shard query afterwards pays a pair
+    /// rebuild even when neither endpoint's lane appears here.
+    pub rebuilt_lanes: Vec<usize>,
+    /// Shard pairs whose portals the wave completely severed (always empty
+    /// for the single oracle) — see [`ShardWaveOutcome::severed_pairs`].
+    pub severed_pairs: Vec<(u32, u32)>,
+}
+
 /// What one [`ShardedOracle::apply_wave`] call did.
 #[derive(Clone, Debug)]
 pub struct ShardWaveOutcome {
@@ -486,6 +512,11 @@ impl ShardedOracle {
             if signature == self.regions[shard].signature {
                 continue;
             }
+            // The rebuilt region starts with fresh metrics; fold the retired
+            // oracle's counters into the lifetime cache statistics first.
+            let retired = self.regions[shard].oracle.metrics().snapshot();
+            self.retired_cache_stats.0 += retired.cache_hits;
+            self.retired_cache_stats.1 += retired.trees_built;
             self.regions[shard] = Region::build(
                 self.global.graph(),
                 self.global.spanner(),
@@ -497,10 +528,18 @@ impl ShardedOracle {
             self.shard_epochs[shard] += 1;
             rebuilt_shards.push(shard);
         }
-        self.pair_regions
-            .lock()
-            .expect("pair region cache poisoned")
-            .clear();
+        {
+            let mut pairs = self
+                .pair_regions
+                .lock()
+                .expect("pair region cache poisoned");
+            for region in pairs.values() {
+                let retired = region.oracle.metrics().snapshot();
+                self.retired_cache_stats.0 += retired.cache_hits;
+                self.retired_cache_stats.1 += retired.trees_built;
+            }
+            pairs.clear();
+        }
         self.metrics.record_wave();
 
         ShardWaveOutcome {

@@ -27,7 +27,16 @@
 //!   shard's core plus a `2k − 1` halo, stitches cross-shard queries through
 //!   the [`BoundaryIndex`]'s portals, and falls back to a global oracle only
 //!   when locality cannot be certified — so sharded answers are *identical*
-//!   to single-oracle answers (see the [`shard`] module docs).
+//!   to single-oracle answers (see the [`shard`] module docs);
+//! * both backends implement the [`SpannerOracle`] trait — one algorithmic
+//!   interface (queries, batches, waves, unified [`ServiceMetrics`]) with an
+//!   exactness contract (see the [`traits`] module docs) — and the
+//!   [`OracleService`] front-end is written once against it: a non-blocking
+//!   submit / pump / drain request loop with bounded **admission control**
+//!   (global for the single oracle, per-shard lanes for the sharded one,
+//!   with shed-or-queue handling of lanes mid-rebuild after a wave) and
+//!   per-fault-set **request coalescing**, waves included as FIFO barriers
+//!   ([`service::ServiceCommand::Wave`]).
 //!
 //! ## Example
 //!
@@ -49,10 +58,18 @@
 //! // A small batch; answers come back in request order.
 //! let batch = vec![
 //!     Query::distance(vid(0), vid(5), faults.clone()),
-//!     Query::path(vid(5), vid(9), faults),
+//!     Query::path(vid(5), vid(9), faults.clone()),
 //! ];
 //! let answers = oracle.answer_batch(&batch);
 //! assert_eq!(answers.len(), 2);
+//!
+//! // Or put the oracle behind the service front-end: submit / drain /
+//! // wave / snapshot, with coalescing and admission control built in.
+//! use ftspan_oracle::{OracleService, ServiceConfig};
+//! let mut service = OracleService::new(oracle, ServiceConfig::default());
+//! let ticket = service.submit(Query::distance(vid(0), vid(5), faults));
+//! service.drain();
+//! assert!(service.answer(ticket).is_some());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -67,15 +84,21 @@ pub mod metrics;
 mod oracle;
 pub mod query;
 pub mod repair;
+pub mod service;
 pub mod shard;
+pub mod traits;
 
 pub use boundary::{BoundaryIndex, CutEdge};
 pub use cache::{CacheKey, TreeCache};
-pub use churn::{ChurnConfig, ShardWaveOutcome, WaveOutcome};
-pub use metrics::{MetricsSnapshot, OracleMetrics};
+pub use churn::{ChurnConfig, ShardWaveOutcome, WaveOutcome, WaveReport};
+pub use metrics::{LocalitySplit, MetricsSnapshot, OracleMetrics, ServiceMetrics};
 pub use oracle::{FaultOracle, OracleOptions};
 pub use query::{Answer, Query, QueryKind};
+pub use service::{
+    OracleService, PumpOutcome, RebuildPolicy, ServiceCommand, ServiceConfig, TicketId, TicketState,
+};
 pub use shard::{
     ShardPlan, ShardPlanOptions, ShardedMetrics, ShardedMetricsSnapshot, ShardedOptions,
     ShardedOracle,
 };
+pub use traits::SpannerOracle;

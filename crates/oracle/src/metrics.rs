@@ -92,6 +92,94 @@ impl MetricsSnapshot {
     }
 }
 
+/// The sharded locality split of a [`ServiceMetrics`] view: how routed
+/// traffic was served. Present only for backends that route (the single
+/// oracle has nothing to route).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LocalitySplit {
+    /// Queries answered from a single shard's region.
+    pub local: u64,
+    /// Cross-shard queries answered from a stitched pair region.
+    pub stitched: u64,
+    /// Queries that fell back to the global oracle.
+    pub global_fallbacks: u64,
+}
+
+impl LocalitySplit {
+    /// Fraction of routed queries served without touching the global
+    /// oracle (0 when nothing was routed).
+    #[must_use]
+    pub fn locality_rate(&self) -> f64 {
+        let total = self.local + self.stitched + self.global_fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            (self.local + self.stitched) as f64 / total as f64
+        }
+    }
+}
+
+/// The unified metrics view every serving surface reports — one shape for
+/// dashboards regardless of backend or front-end.
+///
+/// [`MetricsSnapshot`] and
+/// [`ShardedMetricsSnapshot`](crate::ShardedMetricsSnapshot) describe the
+/// two backends in their own vocabulary; `ServiceMetrics` is the common
+/// projection both map onto via
+/// [`SpannerOracle::service_metrics`](crate::SpannerOracle::service_metrics).
+/// Backend fields (`queries`, `cache_hits`, …) are filled by the oracle;
+/// front-end fields (`submitted`, `coalesced`, `shed`, `rounds`) are zero
+/// until an [`OracleService`](crate::service::OracleService) fills them in
+/// from its own counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServiceMetrics {
+    /// Queries the backend answered (single and batched).
+    pub queries: u64,
+    /// Queries served from a cached shortest-path tree. For a sharded
+    /// backend this aggregates the global oracle, every shard region, and
+    /// the live pair regions.
+    pub cache_hits: u64,
+    /// Shortest-path trees computed (same aggregation).
+    pub trees_built: u64,
+    /// Batch calls the backend served.
+    pub batches: u64,
+    /// Fault waves applied.
+    pub waves: u64,
+    /// How routed traffic was served; `None` for backends that do not
+    /// route (the single oracle).
+    pub locality: Option<LocalitySplit>,
+    /// Requests submitted to the service front-end (including shed ones).
+    pub submitted: u64,
+    /// Requests the front-end completed with an answer.
+    pub answered: u64,
+    /// Duplicate requests coalesced away before reaching the backend.
+    pub coalesced: u64,
+    /// Requests shed by admission control (queue overflow or a lane
+    /// mid-rebuild under the shed policy).
+    pub shed: u64,
+    /// Front-end pump rounds executed.
+    pub rounds: u64,
+}
+
+impl ServiceMetrics {
+    /// Fraction of backend queries served from cache (0 when nothing was
+    /// served).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+
+    /// Locality rate where applicable (`None` for non-routing backends).
+    #[must_use]
+    pub fn locality_rate(&self) -> Option<f64> {
+        self.locality.as_ref().map(LocalitySplit::locality_rate)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +209,24 @@ mod tests {
     #[test]
     fn empty_snapshot_hit_rate_is_zero() {
         assert_eq!(OracleMetrics::default().snapshot().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn service_metrics_rates() {
+        let mut m = ServiceMetrics {
+            queries: 10,
+            cache_hits: 4,
+            ..ServiceMetrics::default()
+        };
+        assert!((m.hit_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(m.locality_rate(), None, "single oracle has no locality");
+        m.locality = Some(LocalitySplit {
+            local: 6,
+            stitched: 2,
+            global_fallbacks: 2,
+        });
+        assert!((m.locality_rate().unwrap() - 0.8).abs() < 1e-12);
+        assert_eq!(ServiceMetrics::default().hit_rate(), 0.0);
+        assert_eq!(LocalitySplit::default().locality_rate(), 0.0);
     }
 }

@@ -54,14 +54,21 @@ impl Query {
 }
 
 /// The oracle's response to one [`Query`].
+///
+/// Trait-generic callers (anything written against
+/// [`SpannerOracle`](crate::SpannerOracle)) should read answers through the
+/// [`Answer::distance`] / [`Answer::path`] / [`Answer::is_reachable`]
+/// accessors rather than matching on the fields; the fields stay public for
+/// construction and destructuring inside the serving layer.
 #[derive(Clone, Debug)]
 pub struct Answer {
     /// The distance in the surviving spanner `H ∖ F`, or `None` when the
     /// endpoints are disconnected by the faults (or an endpoint itself
-    /// failed).
+    /// failed). Prefer [`Answer::distance`] outside the serving layer.
     pub distance: Option<f64>,
     /// The witness path (source first), for [`QueryKind::Path`] queries that
-    /// are reachable; `None` otherwise.
+    /// are reachable; `None` otherwise. Prefer [`Answer::path`] outside the
+    /// serving layer.
     pub path: Option<Vec<VertexId>>,
     /// Whether the answer was served from a cached shortest-path tree.
     pub cache_hit: bool,
@@ -72,6 +79,29 @@ impl Answer {
     #[must_use]
     pub fn is_reachable(&self) -> bool {
         self.distance.is_some()
+    }
+
+    /// The distance in `H ∖ F`, or `None` when the faults disconnect the
+    /// pair (or fault an endpoint).
+    #[inline]
+    #[must_use]
+    pub fn distance(&self) -> Option<f64> {
+        self.distance
+    }
+
+    /// The witness path (source first), present only for
+    /// [`QueryKind::Path`] queries whose pair is reachable.
+    #[inline]
+    #[must_use]
+    pub fn path(&self) -> Option<&[VertexId]> {
+        self.path.as_deref()
+    }
+
+    /// Whether the answer was served from a cached shortest-path tree.
+    #[inline]
+    #[must_use]
+    pub fn cache_hit(&self) -> bool {
+        self.cache_hit
     }
 }
 
@@ -104,5 +134,20 @@ mod tests {
         };
         assert!(yes.is_reachable());
         assert!(!no.is_reachable());
+        assert_eq!(yes.distance(), Some(2.0));
+        assert_eq!(no.distance(), None);
+        assert_eq!(yes.path(), None);
+        assert!(!yes.cache_hit());
+        assert!(no.cache_hit());
+    }
+
+    #[test]
+    fn path_accessor_borrows_the_witness() {
+        let a = Answer {
+            distance: Some(2.0),
+            path: Some(vec![vid(0), vid(3), vid(2)]),
+            cache_hit: false,
+        };
+        assert_eq!(a.path(), Some(&[vid(0), vid(3), vid(2)][..]));
     }
 }

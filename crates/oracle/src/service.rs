@@ -1,0 +1,929 @@
+//! The [`OracleService`] front-end: one lifecycle API — submit, pump/drain,
+//! wave, snapshot — over any [`SpannerOracle`] backend.
+//!
+//! The backends answer batches; a *service* has to decide what reaches
+//! them. This module adds the three serving behaviours both backends would
+//! otherwise have to duplicate:
+//!
+//! * **A non-blocking request loop.** [`OracleService::submit`] never
+//!   blocks and never touches the backend: it enqueues a command and
+//!   returns a [`TicketId`]. [`OracleService::pump`] makes one bounded
+//!   round of progress — admit, coalesce, one [`answer_batch`] call,
+//!   complete tickets — and returns; [`OracleService::drain`] pumps until
+//!   the queue is empty. Fault waves go through the same front door
+//!   ([`OracleService::submit_wave`], [`ServiceCommand::Wave`]) and act as
+//!   FIFO **barriers**: every request submitted before a wave is resolved
+//!   against the pre-wave epoch, every request after it against the
+//!   repaired spanner.
+//! * **Bounded admission.** [`ServiceConfig::max_in_flight`] caps how many
+//!   queries one round hands the backend, and
+//!   [`ServiceConfig::lane_in_flight`] caps them **per admission lane** —
+//!   the whole oracle for [`FaultOracle`], one lane per shard for
+//!   [`ShardedOracle`] (see [`SpannerOracle::admission_lane`]). After a
+//!   wave, the lanes the wave rebuilt *cool down* for
+//!   [`ServiceConfig::rebuild_cooldown`] rounds: requests charged to a
+//!   cooling lane are shed ([`RebuildPolicy::Shed`]) or parked in the
+//!   queue ([`RebuildPolicy::Queue`]) until the region's caches have had
+//!   rounds to re-warm, while untouched lanes keep serving.
+//! * **Request coalescing.** Bursty traffic repeats itself: the same
+//!   `(u, v, kind, F)` arrives many times while a fault set is hot. With
+//!   [`ServiceConfig::coalesce`] on, duplicates within a round collapse to
+//!   one backend query whose answer fans back out to every ticket —
+//!   exactness is untouched (the backend is deterministic at a fixed
+//!   epoch), the backend just sees each distinct question once.
+//!
+//! The `service_vs_direct` differential suite pins the contract: every
+//! answered ticket carries the distance and path a direct
+//! [`answer_batch`] call on the same backend would have returned —
+//! bit-identical on unit-weight inputs — across interleaved waves, with
+//! coalescing and admission enabled. Only the diagnostic
+//! [`Answer::cache_hit`](crate::Answer::cache_hit) flag may differ: a
+//! coalesced duplicate receives a clone of its group's first answer
+//! instead of the cache hit the duplicate itself would have scored.
+//!
+//! [`answer_batch`]: SpannerOracle::answer_batch
+//! [`FaultOracle`]: crate::FaultOracle
+//! [`ShardedOracle`]: crate::ShardedOracle
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ftspan::FaultSet;
+use ftspan_graph::VertexId;
+
+use crate::churn::{ChurnConfig, WaveReport};
+use crate::metrics::ServiceMetrics;
+use crate::query::{Answer, Query, QueryKind};
+use crate::traits::SpannerOracle;
+
+/// What happens to requests charged to an admission lane whose region is
+/// cooling down after a wave rebuilt it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RebuildPolicy {
+    /// Park the request in the queue; it is admitted once the lane's
+    /// cooldown expires. No request is lost (the default).
+    #[default]
+    Queue,
+    /// Complete the ticket as [`TicketState::Shed`] immediately — load
+    /// shedding for deployments that prefer fast failure over queueing
+    /// behind a rebuild.
+    Shed,
+}
+
+/// Builder-style configuration of an [`OracleService`].
+///
+/// `ServiceConfig::default()` is a pass-through front-end: unbounded
+/// admission, coalescing on, no rebuild cooldown. Every knob has a
+/// consuming `with_*` setter:
+///
+/// ```
+/// use ftspan_oracle::{RebuildPolicy, ServiceConfig};
+///
+/// let config = ServiceConfig::default()
+///     .with_max_in_flight(512)
+///     .with_lane_in_flight(64)
+///     .with_rebuild_cooldown(2)
+///     .with_rebuild_policy(RebuildPolicy::Shed);
+/// assert_eq!(config.max_in_flight, 512);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Maximum queries admitted into one backend round across all lanes;
+    /// `0` means unbounded. Requests over the cap stay queued for the next
+    /// round.
+    pub max_in_flight: usize,
+    /// Maximum queries admitted per lane per round; `0` means unbounded.
+    /// Under [`ShardedOracle`](crate::ShardedOracle) this bounds in-flight
+    /// work **per shard**, so one hot shard cannot starve the rest of a
+    /// round's budget.
+    pub lane_in_flight: usize,
+    /// Coalesce exact-duplicate `(u, v, kind, F)` requests within a round
+    /// into one backend query (default `true`).
+    pub coalesce: bool,
+    /// How many pump rounds a lane stays cooling after a wave rebuilds it;
+    /// `0` disables cooldowns (the default).
+    pub rebuild_cooldown: u32,
+    /// Shed or queue requests charged to a cooling lane.
+    pub rebuild_policy: RebuildPolicy,
+    /// Cap on queued commands; submissions past it are shed on arrival.
+    /// `0` means unbounded. Waves are control plane and are never shed.
+    pub max_pending: usize,
+    /// Churn configuration used when a [`ServiceCommand::Wave`] is applied.
+    pub churn: ChurnConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            max_in_flight: 0,
+            lane_in_flight: 0,
+            coalesce: true,
+            rebuild_cooldown: 0,
+            rebuild_policy: RebuildPolicy::default(),
+            max_pending: 0,
+            churn: ChurnConfig::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the global per-round admission cap (`0` = unbounded).
+    #[must_use]
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight;
+        self
+    }
+
+    /// Sets the per-lane per-round admission cap (`0` = unbounded).
+    #[must_use]
+    pub fn with_lane_in_flight(mut self, lane_in_flight: usize) -> Self {
+        self.lane_in_flight = lane_in_flight;
+        self
+    }
+
+    /// Enables or disables duplicate-request coalescing.
+    #[must_use]
+    pub fn with_coalesce(mut self, coalesce: bool) -> Self {
+        self.coalesce = coalesce;
+        self
+    }
+
+    /// Sets how many rounds a rebuilt lane cools down (`0` = off).
+    #[must_use]
+    pub fn with_rebuild_cooldown(mut self, rounds: u32) -> Self {
+        self.rebuild_cooldown = rounds;
+        self
+    }
+
+    /// Sets the cooling-lane policy.
+    #[must_use]
+    pub fn with_rebuild_policy(mut self, policy: RebuildPolicy) -> Self {
+        self.rebuild_policy = policy;
+        self
+    }
+
+    /// Sets the pending-queue cap (`0` = unbounded).
+    #[must_use]
+    pub fn with_max_pending(mut self, max_pending: usize) -> Self {
+        self.max_pending = max_pending;
+        self
+    }
+
+    /// Sets the churn configuration applied to submitted waves.
+    #[must_use]
+    pub fn with_churn(mut self, churn: ChurnConfig) -> Self {
+        self.churn = churn;
+        self
+    }
+}
+
+/// One command in the service's FIFO queue.
+#[derive(Clone, Debug)]
+pub enum ServiceCommand {
+    /// Answer one query.
+    Query(Query),
+    /// Apply a permanent fault wave. Acts as a barrier: processed only once
+    /// every command submitted before it has been resolved.
+    Wave(FaultSet),
+}
+
+/// Handle to one submitted command; redeem it with
+/// [`OracleService::state`], [`OracleService::answer`], or
+/// [`OracleService::wave_report`]. Carries the issuing service's recycle
+/// generation (seeded per instance from a process-wide counter), so a
+/// ticket retained across [`OracleService::recycle`] — or redeemed
+/// against a different service instance — can never silently alias
+/// another request's slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TicketId {
+    slot: usize,
+    generation: u64,
+}
+
+impl TicketId {
+    /// The ticket's slot index (stable until [`OracleService::recycle`]).
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.slot
+    }
+}
+
+/// Lifecycle of one submitted command.
+#[derive(Clone, Debug)]
+pub enum TicketState {
+    /// Still queued (or deferred by admission control).
+    Pending,
+    /// Answered by the backend.
+    Answered(Answer),
+    /// Dropped by admission control (queue overflow, or a cooling lane
+    /// under [`RebuildPolicy::Shed`]). The request never reached the
+    /// backend; resubmit if the answer is still wanted.
+    Shed,
+    /// A wave that has been applied, with its report.
+    Waved(WaveReport),
+}
+
+/// What one [`OracleService::pump`] (or accumulated
+/// [`OracleService::drain`]) round did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PumpOutcome {
+    /// Tickets completed with an answer.
+    pub answered: usize,
+    /// Duplicate requests coalesced away before the backend call.
+    pub coalesced: usize,
+    /// Tickets shed by admission control.
+    pub shed: usize,
+    /// Waves applied.
+    pub waves: usize,
+}
+
+impl PumpOutcome {
+    /// Accumulates another round's outcome into this one, for callers
+    /// interleaving [`OracleService::pump`] and [`OracleService::drain`].
+    pub fn absorb(&mut self, other: PumpOutcome) {
+        self.answered += other.answered;
+        self.coalesced += other.coalesced;
+        self.shed += other.shed;
+        self.waves += other.waves;
+    }
+
+    /// Whether the round completed any ticket at all.
+    #[must_use]
+    pub fn made_progress(&self) -> bool {
+        self.answered + self.shed + self.waves > 0
+    }
+}
+
+/// Seeds each service's ticket generation: the high 32 bits identify the
+/// instance, the low 32 count its recycles, so tickets cannot cross
+/// service instances undetected.
+static NEXT_SERVICE_GENERATION: AtomicU64 = AtomicU64::new(0);
+
+#[derive(Debug, Default)]
+struct FrontendCounters {
+    submitted: u64,
+    answered: u64,
+    coalesced: u64,
+    shed: u64,
+    rounds: u64,
+}
+
+/// The serving front-end over any [`SpannerOracle`] backend.
+///
+/// See the [module docs](crate::service) for the architecture (request
+/// loop, admission, coalescing, wave barriers) and the crate docs for an
+/// end-to-end example.
+#[derive(Debug)]
+pub struct OracleService<O: SpannerOracle> {
+    oracle: O,
+    config: ServiceConfig,
+    queue: VecDeque<(TicketId, ServiceCommand)>,
+    tickets: Vec<TicketState>,
+    /// Bumped by [`OracleService::recycle`] and seeded per instance from
+    /// [`NEXT_SERVICE_GENERATION`]; tickets from an older generation or
+    /// another service instance are rejected instead of read from reused
+    /// slots.
+    generation: u64,
+    /// Rounds each admission lane keeps cooling after a wave rebuilt it.
+    lane_cooldown: Vec<u32>,
+    /// Tickets shed per lane, for per-shard shedding dashboards and tests.
+    lane_shed: Vec<u64>,
+    counters: FrontendCounters,
+}
+
+impl<O: SpannerOracle> OracleService<O> {
+    /// Wraps a backend in a service front-end.
+    #[must_use]
+    pub fn new(oracle: O, config: ServiceConfig) -> Self {
+        let lanes = oracle.admission_lanes().max(1);
+        Self {
+            oracle,
+            config,
+            queue: VecDeque::new(),
+            tickets: Vec::new(),
+            generation: NEXT_SERVICE_GENERATION.fetch_add(1 << 32, Ordering::Relaxed),
+            lane_cooldown: vec![0; lanes],
+            lane_shed: vec![0; lanes],
+            counters: FrontendCounters::default(),
+        }
+    }
+
+    /// The backend being served. Mutable access is deliberately absent:
+    /// structural changes must go through [`OracleService::submit_wave`] so
+    /// the queue's barrier ordering stays truthful.
+    #[inline]
+    #[must_use]
+    pub fn oracle(&self) -> &O {
+        &self.oracle
+    }
+
+    /// Dissolves the front-end and returns the backend.
+    #[must_use]
+    pub fn into_oracle(self) -> O {
+        self.oracle
+    }
+
+    /// The configuration in force.
+    #[inline]
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Number of queued (not yet resolved) commands.
+    #[inline]
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Remaining cooldown rounds per admission lane.
+    #[must_use]
+    pub fn lane_cooldowns(&self) -> &[u32] {
+        &self.lane_cooldown
+    }
+
+    /// Tickets shed per admission lane (per shard under a sharded backend).
+    #[must_use]
+    pub fn shed_by_lane(&self) -> &[u64] {
+        &self.lane_shed
+    }
+
+    /// Submits one query; never blocks, never touches the backend. If the
+    /// pending queue is at [`ServiceConfig::max_pending`], the ticket comes
+    /// back already [`TicketState::Shed`].
+    pub fn submit(&mut self, query: Query) -> TicketId {
+        self.counters.submitted += 1;
+        if self.config.max_pending > 0 && self.queue.len() >= self.config.max_pending {
+            let lane = self.lane_of(&query);
+            let ticket = self.alloc(TicketState::Shed);
+            self.counters.shed += 1;
+            self.lane_shed[lane] += 1;
+            return ticket;
+        }
+        let ticket = self.alloc(TicketState::Pending);
+        self.queue.push_back((ticket, ServiceCommand::Query(query)));
+        ticket
+    }
+
+    /// Submits a permanent fault wave through the same front door as
+    /// queries. The wave is a FIFO barrier: it is applied only after every
+    /// earlier command has been resolved, and everything submitted after it
+    /// is answered against the repaired spanner. Waves are never shed.
+    pub fn submit_wave(&mut self, wave: FaultSet) -> TicketId {
+        let ticket = self.alloc(TicketState::Pending);
+        self.queue.push_back((ticket, ServiceCommand::Wave(wave)));
+        ticket
+    }
+
+    /// The state of a ticket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ticket was issued by another service instance or was
+    /// invalidated by [`OracleService::recycle`] (the ticket's generation
+    /// no longer matches this service's).
+    #[must_use]
+    pub fn state(&self, ticket: TicketId) -> &TicketState {
+        assert_eq!(
+            ticket.generation, self.generation,
+            "ticket was issued by another service instance or invalidated by \
+             OracleService::recycle"
+        );
+        &self.tickets[ticket.slot]
+    }
+
+    /// The ticket's answer, if it has one ([`TicketState::Answered`]).
+    #[must_use]
+    pub fn answer(&self, ticket: TicketId) -> Option<&Answer> {
+        match self.state(ticket) {
+            TicketState::Answered(answer) => Some(answer),
+            _ => None,
+        }
+    }
+
+    /// The ticket's wave report, if it was a wave and has been applied.
+    #[must_use]
+    pub fn wave_report(&self, ticket: TicketId) -> Option<&WaveReport> {
+        match self.state(ticket) {
+            TicketState::Waved(report) => Some(report),
+            _ => None,
+        }
+    }
+
+    /// One round of the request loop: admit queued queries up to the
+    /// configured bounds (shedding or parking those on cooling lanes),
+    /// coalesce duplicates, hand the backend **one** batch, and complete
+    /// the tickets — or, when a wave barrier has reached the head of the
+    /// queue, apply that wave instead. Non-blocking in the serving sense:
+    /// each call does one bounded unit of work and returns.
+    pub fn pump(&mut self) -> PumpOutcome {
+        let mut outcome = PumpOutcome::default();
+        if self.queue.is_empty() {
+            return outcome;
+        }
+        self.counters.rounds += 1;
+
+        let mut admitted: Vec<(TicketId, Query)> = Vec::new();
+        let mut deferred: Vec<(TicketId, ServiceCommand)> = Vec::new();
+        let mut lane_load = vec![0usize; self.lane_cooldown.len()];
+        let mut wave_round = false;
+
+        // With only per-lane caps, a hot lane would otherwise force a full
+        // scan (pop + re-queue) of the backlog every round to admit a
+        // handful of queries — a drain quadratic in queue depth. Bound the
+        // commands examined per round to a small multiple of the round's
+        // per-lane admission capacity instead; unexamined entries stay in
+        // the queue, untouched and in order, for later rounds.
+        let scan_budget = if self.config.lane_in_flight > 0 {
+            (self.lane_cooldown.len() * self.config.lane_in_flight)
+                .saturating_mul(4)
+                .max(256)
+        } else {
+            usize::MAX
+        };
+        let mut scanned = 0usize;
+
+        while let Some((ticket, command)) = self.queue.pop_front() {
+            scanned += 1;
+            if scanned > scan_budget {
+                self.queue.push_front((ticket, command));
+                break;
+            }
+            match command {
+                ServiceCommand::Wave(wave) => {
+                    if admitted.is_empty() && deferred.is_empty() {
+                        // True head of the line: every earlier command is
+                        // resolved, the barrier may fire.
+                        let report = self.oracle.apply_wave(&wave, &self.config.churn);
+                        for &lane in &report.rebuilt_lanes {
+                            self.lane_cooldown[lane] = self.config.rebuild_cooldown;
+                        }
+                        self.tickets[ticket.slot] = TicketState::Waved(report);
+                        // The backend's own wave counter is authoritative;
+                        // `metrics()` reads waves from there.
+                        outcome.waves += 1;
+                        wave_round = true;
+                    } else {
+                        deferred.push((ticket, ServiceCommand::Wave(wave)));
+                    }
+                    break;
+                }
+                ServiceCommand::Query(query) => {
+                    let lane = self.lane_of(&query);
+                    if self.lane_cooldown[lane] > 0 {
+                        match self.config.rebuild_policy {
+                            RebuildPolicy::Shed => {
+                                self.tickets[ticket.slot] = TicketState::Shed;
+                                self.counters.shed += 1;
+                                self.lane_shed[lane] += 1;
+                                outcome.shed += 1;
+                            }
+                            RebuildPolicy::Queue => {
+                                deferred.push((ticket, ServiceCommand::Query(query)));
+                            }
+                        }
+                        continue;
+                    }
+                    if self.config.max_in_flight > 0 && admitted.len() >= self.config.max_in_flight
+                    {
+                        deferred.push((ticket, ServiceCommand::Query(query)));
+                        break;
+                    }
+                    if self.config.lane_in_flight > 0
+                        && lane_load[lane] >= self.config.lane_in_flight
+                    {
+                        deferred.push((ticket, ServiceCommand::Query(query)));
+                        continue;
+                    }
+                    lane_load[lane] += 1;
+                    admitted.push((ticket, query));
+                }
+            }
+        }
+        // Deferred commands go back to the front, in their original order,
+        // ahead of everything not yet scanned.
+        for entry in deferred.into_iter().rev() {
+            self.queue.push_front(entry);
+        }
+
+        if !admitted.is_empty() {
+            let (batch, fanout) = self.coalesce(admitted);
+            let answers = self.oracle.answer_batch(&batch);
+            outcome.coalesced += fanout.len() - batch.len();
+            self.counters.coalesced += (fanout.len() - batch.len()) as u64;
+            for (ticket, backend_index) in fanout {
+                self.tickets[ticket.slot] = TicketState::Answered(answers[backend_index].clone());
+                self.counters.answered += 1;
+                outcome.answered += 1;
+            }
+        }
+
+        // Cooldowns measure query rounds *after* the wave, so the round
+        // that applied a wave does not consume one.
+        if !wave_round {
+            for cooldown in &mut self.lane_cooldown {
+                *cooldown = cooldown.saturating_sub(1);
+            }
+        }
+        outcome
+    }
+
+    /// Pumps until the queue is empty, returning the accumulated outcome.
+    /// Terminates even under [`RebuildPolicy::Queue`]: cooldowns decrement
+    /// every non-wave round, so parked requests are eventually admitted.
+    pub fn drain(&mut self) -> PumpOutcome {
+        let mut total = PumpOutcome::default();
+        while !self.queue.is_empty() {
+            let cooling = self.lane_cooldown.iter().any(|&c| c > 0);
+            let round = self.pump();
+            debug_assert!(
+                round.made_progress() || cooling,
+                "a round with no cooling lanes must complete at least one ticket"
+            );
+            total.absorb(round);
+        }
+        total
+    }
+
+    /// The unified metrics view: the backend's
+    /// [`SpannerOracle::service_metrics`] with the front-end counters
+    /// (submitted / answered / coalesced / shed / rounds) filled in.
+    #[must_use]
+    pub fn metrics(&self) -> ServiceMetrics {
+        let mut metrics = self.oracle.service_metrics();
+        metrics.submitted = self.counters.submitted;
+        metrics.answered = self.counters.answered;
+        metrics.coalesced = self.counters.coalesced;
+        metrics.shed = self.counters.shed;
+        metrics.rounds = self.counters.rounds;
+        metrics
+    }
+
+    /// Frees completed ticket storage. Only permitted between bursts (an
+    /// empty queue); every previously issued [`TicketId`] becomes invalid.
+    /// Returns how many slots were freed (`0` when commands are pending).
+    pub fn recycle(&mut self) -> usize {
+        if !self.queue.is_empty() {
+            return 0;
+        }
+        let freed = self.tickets.len();
+        self.tickets.clear();
+        self.generation += 1;
+        freed
+    }
+
+    fn alloc(&mut self, state: TicketState) -> TicketId {
+        let ticket = TicketId {
+            slot: self.tickets.len(),
+            generation: self.generation,
+        };
+        self.tickets.push(state);
+        ticket
+    }
+
+    fn lane_of(&self, query: &Query) -> usize {
+        self.oracle
+            .admission_lane(query.u, query.v)
+            .min(self.lane_cooldown.len() - 1)
+    }
+
+    /// Collapses exact duplicates in one admitted round. Returns the
+    /// deduplicated backend batch (first occurrences, in admission order)
+    /// and the ticket → batch-index fan-out. Keyed by
+    /// `(u, v, kind, fault fingerprint)` with an exact fault-set
+    /// comparison on the hit path, so a fingerprint collision degrades to
+    /// an extra backend query, never to a wrong answer.
+    fn coalesce(&self, admitted: Vec<(TicketId, Query)>) -> (Vec<Query>, Vec<(TicketId, usize)>) {
+        let mut fanout = Vec::with_capacity(admitted.len());
+        if !self.config.coalesce {
+            let batch = admitted
+                .into_iter()
+                .enumerate()
+                .map(|(i, (ticket, query))| {
+                    fanout.push((ticket, i));
+                    query
+                })
+                .collect();
+            return (batch, fanout);
+        }
+        let mut batch: Vec<Query> = Vec::new();
+        let mut seen: HashMap<(VertexId, VertexId, QueryKind, u64), Vec<usize>> = HashMap::new();
+        for (ticket, query) in admitted {
+            let fingerprint = crate::cache::KeyRef::new(0, &query.faults).fingerprint();
+            let key = (query.u, query.v, query.kind, fingerprint);
+            let candidates = seen.entry(key).or_default();
+            if let Some(&index) = candidates
+                .iter()
+                .find(|&&index| batch[index].faults == query.faults)
+            {
+                fanout.push((ticket, index));
+                continue;
+            }
+            candidates.push(batch.len());
+            fanout.push((ticket, batch.len()));
+            batch.push(query);
+        }
+        (batch, fanout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{FaultOracle, OracleOptions};
+    use crate::shard::{ShardPlan, ShardedOptions, ShardedOracle};
+    use ftspan::{FaultModel, SpannerParams};
+    use ftspan_graph::{generators, vid, Graph};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn backend(seed: u64) -> FaultOracle {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = generators::connected_gnp(30, 0.25, &mut rng);
+        FaultOracle::build(graph, SpannerParams::vertex(2, 1), OracleOptions::default())
+    }
+
+    fn queries(n: usize, vertices: usize, seed: u64) -> Vec<Query> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let u = vid(rng.gen_range(0..vertices));
+                let mut v = vid(rng.gen_range(0..vertices));
+                while v == u {
+                    v = vid(rng.gen_range(0..vertices));
+                }
+                let faults = FaultSet::vertices([vid(rng.gen_range(0..4usize) + 20)]);
+                if i % 3 == 0 {
+                    Query::path(u, v, faults)
+                } else {
+                    Query::distance(u, v, faults)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn submit_drain_answers_match_direct_batch() {
+        let direct = backend(1);
+        let mut service = OracleService::new(backend(1), ServiceConfig::default());
+        let batch = queries(60, 30, 2);
+        let expected = direct.answer_batch(&batch);
+        let tickets: Vec<TicketId> = batch.iter().cloned().map(|q| service.submit(q)).collect();
+        assert_eq!(service.pending(), 60);
+        let outcome = service.drain();
+        assert_eq!(outcome.answered, 60);
+        assert_eq!(service.pending(), 0);
+        for (ticket, want) in tickets.iter().zip(&expected) {
+            let got = service.answer(*ticket).expect("drained tickets answered");
+            assert_eq!(got.distance(), want.distance());
+            assert_eq!(got.path(), want.path());
+        }
+    }
+
+    #[test]
+    fn duplicates_coalesce_to_one_backend_query() {
+        let mut service = OracleService::new(backend(3), ServiceConfig::default());
+        let faults = FaultSet::vertices([vid(7)]);
+        let query = Query::distance(vid(0), vid(5), faults.clone());
+        let tickets: Vec<TicketId> = (0..10).map(|_| service.submit(query.clone())).collect();
+        // A distinct query in the same round must not be merged.
+        let other = service.submit(Query::distance(vid(1), vid(5), faults));
+        let outcome = service.pump();
+        assert_eq!(outcome.answered, 11);
+        assert_eq!(outcome.coalesced, 9);
+        let metrics = service.metrics();
+        assert_eq!(metrics.coalesced, 9);
+        assert_eq!(metrics.submitted, 11);
+        assert_eq!(
+            metrics.queries, 2,
+            "the backend must see each distinct question once"
+        );
+        let first = service.answer(tickets[0]).unwrap().distance();
+        for t in &tickets {
+            assert_eq!(service.answer(*t).unwrap().distance(), first);
+        }
+        assert!(service.answer(other).is_some());
+    }
+
+    #[test]
+    fn coalescing_distinguishes_kind_and_faults() {
+        let mut service = OracleService::new(backend(4), ServiceConfig::default());
+        let f1 = FaultSet::vertices([vid(7)]);
+        let f2 = FaultSet::vertices([vid(8)]);
+        let d = service.submit(Query::distance(vid(0), vid(5), f1.clone()));
+        let p = service.submit(Query::path(vid(0), vid(5), f1));
+        let other = service.submit(Query::distance(vid(0), vid(5), f2));
+        let outcome = service.pump();
+        assert_eq!(outcome.coalesced, 0);
+        assert!(service.answer(p).unwrap().path().is_some());
+        assert!(service.answer(d).unwrap().path().is_none());
+        assert!(service.answer(other).is_some());
+    }
+
+    #[test]
+    fn admission_caps_split_a_burst_into_rounds() {
+        let config = ServiceConfig::default()
+            .with_max_in_flight(16)
+            .with_coalesce(false);
+        let direct = backend(5);
+        let mut service = OracleService::new(backend(5), config);
+        let batch = queries(50, 30, 6);
+        let expected = direct.answer_batch(&batch);
+        let tickets: Vec<TicketId> = batch.iter().cloned().map(|q| service.submit(q)).collect();
+        let first = service.pump();
+        assert_eq!(first.answered, 16, "one round admits at most the cap");
+        assert_eq!(service.pending(), 34);
+        service.drain();
+        assert!(service.metrics().rounds >= 4);
+        for (ticket, want) in tickets.iter().zip(&expected) {
+            assert_eq!(service.answer(*ticket).unwrap().distance(), want.distance());
+        }
+    }
+
+    #[test]
+    fn wave_is_a_fifo_barrier() {
+        let mut direct = backend(7);
+        let mut service = OracleService::new(backend(7), ServiceConfig::default());
+        let faults = FaultSet::empty(FaultModel::Vertex);
+        let before = service.submit(Query::distance(vid(0), vid(9), faults.clone()));
+        let wave = FaultSet::vertices([vid(4), vid(11)]);
+        let wave_ticket = service.submit_wave(wave.clone());
+        let after = service.submit(Query::distance(vid(0), vid(9), faults.clone()));
+
+        let pre = direct.distance(vid(0), vid(9), &faults);
+        let outcome = direct.apply_wave(&wave, &ChurnConfig::default());
+        let post = direct.distance(vid(0), vid(9), &faults);
+
+        service.drain();
+        assert_eq!(
+            service.answer(before).unwrap().distance(),
+            pre,
+            "pre-wave submissions answer against the pre-wave epoch"
+        );
+        assert_eq!(service.answer(after).unwrap().distance(), post);
+        let report = service.wave_report(wave_ticket).expect("wave applied");
+        assert_eq!(report.outcome.edges_added, outcome.edges_added);
+        assert_eq!(service.oracle().epoch(), 1);
+        assert_eq!(service.metrics().waves, 1);
+    }
+
+    /// Two explicit shards over a path graph so lane membership is obvious.
+    fn two_lane_sharded() -> ShardedOracle {
+        let mut graph = Graph::new(12);
+        for i in 0..11 {
+            graph.add_unit_edge(i, i + 1);
+        }
+        let plan = ShardPlan::from_shard_of((0..12).map(|i| u32::from(i >= 6)).collect());
+        ShardedOracle::build_with_plan(
+            graph,
+            SpannerParams::vertex(2, 1),
+            plan,
+            ShardedOptions::default(),
+        )
+    }
+
+    #[test]
+    fn cooling_lane_sheds_while_other_lanes_serve() {
+        let config = ServiceConfig::default()
+            .with_rebuild_cooldown(1)
+            .with_rebuild_policy(RebuildPolicy::Shed);
+        let mut service = OracleService::new(two_lane_sharded(), config);
+        // A wave deep in lane 0's half; lane 1's region (vertices ≥ 6 plus
+        // halo) is far enough to stay untouched.
+        let wave_ticket = service.submit_wave(FaultSet::vertices([vid(0)]));
+        assert_eq!(service.pump().waves, 1);
+        let report = service.wave_report(wave_ticket).unwrap();
+        assert!(report.rebuilt_lanes.contains(&0));
+        assert!(!report.rebuilt_lanes.contains(&1));
+        assert_eq!(service.lane_cooldowns()[0], 1);
+        assert_eq!(service.lane_cooldowns()[1], 0);
+
+        let faults = FaultSet::empty(FaultModel::Vertex);
+        let cooling = service.submit(Query::distance(vid(2), vid(4), faults.clone()));
+        let warm = service.submit(Query::distance(vid(8), vid(10), faults.clone()));
+        let outcome = service.pump();
+        assert_eq!(outcome.shed, 1);
+        assert_eq!(outcome.answered, 1);
+        assert!(matches!(service.state(cooling), TicketState::Shed));
+        assert!(service.answer(warm).is_some());
+        assert_eq!(service.shed_by_lane(), &[1, 0]);
+
+        // The cooldown expired with that round; a resubmission is served.
+        let retry = service.submit(Query::distance(vid(2), vid(4), faults));
+        service.drain();
+        assert!(service.answer(retry).is_some());
+        assert_eq!(service.metrics().shed, 1);
+    }
+
+    #[test]
+    fn queue_policy_parks_and_then_serves_cooling_traffic() {
+        let config = ServiceConfig::default()
+            .with_rebuild_cooldown(2)
+            .with_rebuild_policy(RebuildPolicy::Queue);
+        let mut service = OracleService::new(two_lane_sharded(), config);
+        service.submit_wave(FaultSet::vertices([vid(0)]));
+        service.pump();
+        let faults = FaultSet::empty(FaultModel::Vertex);
+        let parked = service.submit(Query::distance(vid(2), vid(4), faults));
+        let outcome = service.pump();
+        assert_eq!(outcome.answered, 0, "cooling lane parks the request");
+        assert_eq!(service.pending(), 1);
+        assert!(matches!(service.state(parked), TicketState::Pending));
+        let total = service.drain();
+        assert_eq!(total.answered, 1);
+        assert_eq!(total.shed, 0, "queue policy never sheds");
+        assert!(service.answer(parked).is_some());
+    }
+
+    #[test]
+    fn max_pending_sheds_on_arrival() {
+        let config = ServiceConfig::default().with_max_pending(2);
+        let mut service = OracleService::new(backend(9), config);
+        let faults = FaultSet::empty(FaultModel::Vertex);
+        let a = service.submit(Query::distance(vid(0), vid(1), faults.clone()));
+        let b = service.submit(Query::distance(vid(0), vid(2), faults.clone()));
+        let c = service.submit(Query::distance(vid(0), vid(3), faults.clone()));
+        assert!(matches!(service.state(c), TicketState::Shed));
+        // Waves bypass the cap entirely.
+        let w = service.submit_wave(FaultSet::vertices([vid(5)]));
+        service.drain();
+        assert!(service.answer(a).is_some());
+        assert!(service.answer(b).is_some());
+        assert!(service.wave_report(w).is_some());
+        assert_eq!(service.metrics().shed, 1);
+    }
+
+    #[test]
+    fn recycle_frees_slots_only_between_bursts() {
+        let mut service = OracleService::new(backend(10), ServiceConfig::default());
+        let faults = FaultSet::empty(FaultModel::Vertex);
+        service.submit(Query::distance(vid(0), vid(1), faults.clone()));
+        assert_eq!(service.recycle(), 0, "pending commands pin the slots");
+        service.drain();
+        assert_eq!(service.recycle(), 1);
+        let t = service.submit(Query::distance(vid(0), vid(2), faults));
+        assert_eq!(t.index(), 0, "slots restart after a recycle");
+        service.drain();
+        assert!(service.answer(t).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalidated by")]
+    fn stale_tickets_panic_after_recycle() {
+        let mut service = OracleService::new(backend(12), ServiceConfig::default());
+        let faults = FaultSet::empty(FaultModel::Vertex);
+        let stale = service.submit(Query::distance(vid(0), vid(1), faults.clone()));
+        service.drain();
+        service.recycle();
+        let fresh = service.submit(Query::distance(vid(0), vid(2), faults));
+        assert_eq!(fresh.index(), stale.index(), "slot is reused");
+        service.drain();
+        let _ = service.answer(stale); // must panic, not alias `fresh`
+    }
+
+    #[test]
+    #[should_panic(expected = "issued by another service instance")]
+    fn foreign_tickets_are_rejected() {
+        let mut a = OracleService::new(backend(13), ServiceConfig::default());
+        let mut b = OracleService::new(backend(13), ServiceConfig::default());
+        let faults = FaultSet::empty(FaultModel::Vertex);
+        let from_a = a.submit(Query::distance(vid(0), vid(1), faults.clone()));
+        let _ = b.submit(Query::distance(vid(0), vid(2), faults));
+        a.drain();
+        b.drain();
+        let _ = b.answer(from_a); // must panic, not read b's slot 0
+    }
+
+    #[test]
+    fn lane_caps_bound_the_scan_but_drain_completes() {
+        // One hot lane far beyond its per-round cap: pump must not admit
+        // past the cap, and drain must still answer everything the backend
+        // would have.
+        let config = ServiceConfig::default()
+            .with_lane_in_flight(4)
+            .with_coalesce(false);
+        let direct = backend(14);
+        let mut service = OracleService::new(backend(14), config);
+        let batch = queries(300, 30, 15);
+        let expected = direct.answer_batch(&batch);
+        let tickets: Vec<TicketId> = batch.iter().cloned().map(|q| service.submit(q)).collect();
+        let first = service.pump();
+        assert!(first.answered <= 4, "single lane admits at most its cap");
+        let total = service.drain();
+        assert_eq!(total.answered + first.answered, 300);
+        for (ticket, want) in tickets.iter().zip(&expected) {
+            assert_eq!(service.answer(*ticket).unwrap().distance(), want.distance());
+        }
+    }
+
+    #[test]
+    fn pump_on_an_empty_queue_is_a_no_op() {
+        let mut service = OracleService::new(backend(11), ServiceConfig::default());
+        let outcome = service.pump();
+        assert_eq!(outcome, PumpOutcome::default());
+        assert_eq!(service.metrics().rounds, 0);
+        assert_eq!(service.drain(), PumpOutcome::default());
+    }
+}

@@ -351,6 +351,11 @@ impl Region {
             (QueryKind::Path, Some(_)) => tree_u.path_to(lv).map(|p| self.remap.globalize_path(&p)),
             _ => None,
         };
+        // Record on the region oracle's own metrics so the sharded
+        // backend's aggregated cache statistics (`ShardedOracle::cache_stats`)
+        // see every served query exactly once — certificate failures are
+        // recorded by the global fallback instead.
+        self.oracle.metrics().record_query(cache_hit);
         Some(Answer {
             distance,
             path,
@@ -523,6 +528,11 @@ pub struct ShardedOracle {
     pub(crate) halo_radius: u32,
     pub(crate) options: ShardedOptions,
     pub(crate) metrics: ShardedMetrics,
+    /// Cache statistics `(hits, trees built)` of region oracles that have
+    /// been retired — replaced by a churn rebuild or dropped with the pair
+    /// cache — folded in so [`ShardedOracle::cache_stats`] spans the
+    /// oracle's whole lifetime, not just the current regions.
+    pub(crate) retired_cache_stats: (u64, u64),
     /// Pooled BFS buffers for the per-shard region sweep of the churn
     /// fan-out, alive across waves.
     pub(crate) wave_bfs: ftspan_graph::bfs::BfsScratch,
@@ -604,6 +614,7 @@ impl ShardedOracle {
             halo_radius,
             options,
             metrics: ShardedMetrics::default(),
+            retired_cache_stats: (0, 0),
             wave_bfs: ftspan_graph::bfs::BfsScratch::default(),
         }
     }
@@ -676,6 +687,44 @@ impl ShardedOracle {
     #[must_use]
     pub fn metrics(&self) -> &ShardedMetrics {
         &self.metrics
+    }
+
+    /// The number of structural changes (fault waves) applied so far,
+    /// mirroring [`FaultOracle::epoch`] so both backends expose one epoch
+    /// through [`SpannerOracle`](crate::SpannerOracle). Per-shard rebuild
+    /// counts are in [`ShardedOracle::shard_epochs`].
+    #[inline]
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.global.epoch()
+    }
+
+    /// Aggregated tree-cache statistics `(cache_hits, trees_built)` across
+    /// the global oracle, every shard region, the live pair regions, and
+    /// every region already retired by churn rebuilds — the numbers behind
+    /// the unified [`ServiceMetrics`](crate::ServiceMetrics) hit rate.
+    /// Every routed query is recorded exactly once: on the region that
+    /// certified its answer, or on the global oracle when it fell back.
+    #[must_use]
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let (mut hits, mut built) = self.retired_cache_stats;
+        let mut add = |snap: crate::metrics::MetricsSnapshot| {
+            hits += snap.cache_hits;
+            built += snap.trees_built;
+        };
+        add(self.global.metrics().snapshot());
+        for region in &self.regions {
+            add(region.oracle.metrics().snapshot());
+        }
+        for region in self
+            .pair_regions
+            .lock()
+            .expect("pair region cache poisoned")
+            .values()
+        {
+            add(region.oracle.metrics().snapshot());
+        }
+        (hits, built)
     }
 
     /// Per-shard rebuild epochs: entry `s` counts how many fault waves

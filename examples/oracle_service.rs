@@ -1,21 +1,30 @@
-//! A fault-tolerant distance service under rolling fault waves.
+//! A fault-tolerant distance service under rolling fault waves, behind the
+//! [`OracleService`] front-end.
 //!
-//! Builds an `f = 2` fault-tolerant 3-spanner of a 1 000-node network, then
-//! serves 10 000 mixed distance/path queries while waves of vertices fail
-//! permanently between batches. After every wave the oracle repairs the
-//! spanner locally around the damage (escalating to a full warm-start respan
-//! only when needed) and keeps serving. The run prints throughput, the
-//! shortest-path-tree cache hit rate, and the maximum stretch actually
-//! observed against exact distances in the surviving network.
+//! Builds an `f = 2` fault-tolerant 3-spanner of a 1 000-node network and
+//! serves five bursts of 2 000 mixed distance/path requests while waves of
+//! vertices fail permanently between bursts. Everything goes through the
+//! service's one lifecycle API — submit, drain, wave, snapshot: requests
+//! are admitted at most 512 per round, exact duplicates (hot sources ×
+//! hot targets over a small pool of transient fault sets — bursty traffic
+//! repeats itself) are coalesced into one backend query each, and waves
+//! are FIFO barriers handled by the same loop. The run prints throughput,
+//! the coalesced/shed counts, the tree-cache hit rate, and the maximum
+//! stretch actually observed against exact distances in the surviving
+//! network.
+//!
+//! The sharded variant of this demo (`sharded_service`) runs the *same
+//! driver* over a `ShardedOracle` — the whole loop is written once against
+//! the `SpannerOracle` trait (see `examples/src/lib.rs`).
 //!
 //! Run with `cargo run --release -p ftspan-examples --bin oracle_service`.
 
 use std::time::Instant;
 
 use ftspan::{sample_fault_set, FaultModel, FaultSet, SpannerParams};
-use ftspan_graph::dijkstra::DijkstraScratch;
+use ftspan_examples::{run_service_demo, DemoConfig};
 use ftspan_graph::{generators, vid};
-use ftspan_oracle::{ChurnConfig, FaultOracle, OracleOptions, Query};
+use ftspan_oracle::{FaultOracle, OracleOptions, Query, ServiceConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,7 +39,7 @@ fn main() {
         graph.edge_count()
     );
     let build_start = Instant::now();
-    let mut oracle = FaultOracle::build(graph, params, OracleOptions::default());
+    let oracle = FaultOracle::build(graph, params, OracleOptions::default());
     println!(
         "spanner: {} edges ({:.1}% of the network) in {:.1}s",
         oracle.spanner().edge_count(),
@@ -38,48 +47,32 @@ fn main() {
         build_start.elapsed().as_secs_f64()
     );
 
-    let waves = 5;
     let queries_per_wave = 2_000;
-    let churn = ChurnConfig::default();
-    let mut total_queries = 0usize;
-    let mut total_secs = 0.0f64;
-    let mut max_stretch = 0.0f64;
-    let mut audits = 0usize;
-    let mut scratch = DijkstraScratch::new();
+    let config = ServiceConfig::default().with_max_in_flight(512);
+    let demo = DemoConfig {
+        waves: 5,
+        wave_size: 6,
+        seed: 2021,
+        chunk: 0,
+    };
 
-    for wave_no in 0..waves {
-        if wave_no > 0 {
-            // Six more vertices fail for good — well beyond the f = 2 design
-            // tolerance, so repair has real work to do.
-            let wave = sample_fault_set(oracle.graph(), FaultModel::Vertex, 6, &[], &mut rng);
-            let outcome = oracle.apply_wave(&wave, &churn);
-            println!(
-                "wave {wave_no}: {} failed, {} spanner edges survived, \
-                 {} broken pairs, {} edges repaired{} in {:.2}s",
-                outcome.wave.len(),
-                outcome.surviving_spanner_edges,
-                outcome.broken_pairs.len(),
-                outcome.edges_added,
-                if outcome.escalated {
-                    " (escalated)"
-                } else {
-                    ""
-                },
-                outcome.elapsed.as_secs_f64()
-            );
-        }
-
-        // A bursty batch: a small pool of transient fault sets shared by
-        // many queries, and a pool of hot sources (popular service
-        // endpoints) mixing distance and path requests.
+    let metrics = run_service_demo(oracle, config, demo, move |oracle, rng| {
+        // Bursty traffic: hot sources and hot targets over a small pool of
+        // transient fault sets, so exact repeats occur and coalescing has
+        // real duplicates to merge.
         let fault_pool: Vec<FaultSet> = (0..8)
-            .map(|_| sample_fault_set(oracle.graph(), FaultModel::Vertex, 2, &[], &mut rng))
+            .map(|_| sample_fault_set(oracle.graph(), FaultModel::Vertex, 2, &[], rng))
             .collect();
-        let hot_sources: Vec<usize> = (0..32).map(|_| rng.gen_range(0..n)).collect();
-        let queries: Vec<Query> = (0..queries_per_wave)
+        let hot_sources: Vec<usize> = (0..24).map(|_| rng.gen_range(0..n)).collect();
+        let hot_targets: Vec<usize> = (0..32).map(|_| rng.gen_range(0..n)).collect();
+        (0..queries_per_wave)
             .map(|i| {
                 let u = vid(hot_sources[rng.gen_range(0..hot_sources.len())]);
-                let mut v = vid(rng.gen_range(0..n));
+                let mut v = if i % 2 == 0 {
+                    vid(hot_targets[rng.gen_range(0..hot_targets.len())])
+                } else {
+                    vid(rng.gen_range(0..n))
+                };
                 while v == u {
                     v = vid(rng.gen_range(0..n));
                 }
@@ -90,58 +83,12 @@ fn main() {
                     Query::distance(u, v, faults)
                 }
             })
-            .collect();
+            .collect()
+    });
 
-        let start = Instant::now();
-        let answers = oracle.answer_batch(&queries);
-        let secs = start.elapsed().as_secs_f64();
-        total_queries += queries.len();
-        total_secs += secs;
-
-        // Audit a sample of answers against exact distances in G \ F.
-        for (query, answer) in queries.iter().zip(&answers).step_by(97) {
-            let Some(d_h) = answer.distance else { continue };
-            let view = query.faults.apply(oracle.graph());
-            let tree = scratch.shortest_path_tree(&view, query.u);
-            if let Some(d_g) = tree.distance_to(query.v) {
-                if d_g > 0.0 {
-                    max_stretch = max_stretch.max(d_h / d_g);
-                    audits += 1;
-                }
-            }
-        }
-        println!(
-            "wave {wave_no}: {} queries in {:.2}s ({:.0} queries/s)",
-            queries.len(),
-            secs,
-            queries.len() as f64 / secs
-        );
-    }
-
-    let snapshot = oracle.metrics().snapshot();
-    println!();
-    println!("== service summary ==");
-    println!(
-        "throughput:       {:.0} queries/s over {} queries",
-        total_queries as f64 / total_secs,
-        total_queries
-    );
-    println!(
-        "cache:            {:.1}% hit rate ({} trees built for {} queries)",
-        100.0 * snapshot.hit_rate(),
-        snapshot.trees_built,
-        snapshot.queries
-    );
-    println!(
-        "churn:            {} waves, {} edges repaired, {} escalations",
-        snapshot.waves_applied, snapshot.edges_added_by_repair, snapshot.repairs_escalated
-    );
-    println!(
-        "max stretch:      {max_stretch:.2} over {audits} audited answers (bound: {})",
-        oracle.params().stretch()
-    );
     assert!(
-        max_stretch <= oracle.stretch_bound() + 1e-9,
-        "stretch bound violated"
+        metrics.coalesced > 0,
+        "hot-pool traffic must contain duplicates for the front-end to merge"
     );
+    assert_eq!(metrics.shed, 0, "no cooldown configured, nothing sheds");
 }

@@ -1,13 +1,37 @@
-//! Quickstart: build a fault-tolerant spanner of a random network, verify it,
-//! and compare its size against the paper's bound.
+//! Quickstart: build a fault-tolerant spanner of a random network, verify
+//! it, compare its size against the paper's bound, and serve a few queries
+//! through the [`SpannerOracle`] trait — the one interface every serving
+//! backend implements.
 //!
 //! Run with `cargo run -p ftspan-examples --bin quickstart`.
 
 use ftspan::verify::{verify_spanner, VerificationMode};
-use ftspan::{bounds, poly_greedy_spanner, SpannerParams};
-use ftspan_graph::{generators, metrics};
+use ftspan::{bounds, poly_greedy_spanner, FaultSet, SpannerParams};
+use ftspan_graph::{generators, metrics, vid};
+use ftspan_oracle::{FaultOracle, OracleOptions, Query, SpannerOracle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Serves a couple of probes through the trait. Written against
+/// `SpannerOracle`, this function works unchanged over a [`FaultOracle`],
+/// a `ShardedOracle`, or anything else that upholds the exactness contract.
+fn probe<O: SpannerOracle>(oracle: &O) {
+    let faults = FaultSet::vertices([vid(7), vid(19)]);
+    let answer = oracle.answer(&Query::distance(vid(0), vid(42), faults.clone()));
+    println!(
+        "d(0, 42) avoiding {{7, 19}}: {:?} (reachable: {})",
+        answer.distance(),
+        answer.is_reachable()
+    );
+    if let Some((d, path)) = oracle.path(vid(0), vid(42), &faults) {
+        println!("  witness path: {} hops, length {d:.0}", path.len() - 1);
+    }
+    println!(
+        "  served at epoch {} under stretch bound {}",
+        oracle.epoch(),
+        oracle.stretch_bound()
+    );
+}
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(42);
@@ -57,4 +81,9 @@ fn main() {
         report.is_valid()
     );
     assert!(report.is_valid(), "the spanner must satisfy Definition 1");
+
+    // Wrap the verified spanner in a serving oracle and query it through
+    // the backend-agnostic trait.
+    let oracle = FaultOracle::from_result(graph, result, OracleOptions::default());
+    probe(&oracle);
 }

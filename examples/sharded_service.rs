@@ -1,31 +1,32 @@
-//! A sharded fault-tolerant distance service.
+//! A sharded fault-tolerant distance service behind the [`OracleService`]
+//! front-end, with **per-shard admission control**.
 //!
 //! Builds an `f = 2` fault-tolerant 3-spanner of a 990-node grid network,
-//! partitions it into shards with the padded-decomposition plan, and serves
-//! locality-biased traffic from per-shard oracles: intra-shard queries hit
-//! the shard's own region (core plus a `2k − 1` halo), cross-shard queries
-//! are stitched through the boundary index's portals, and only queries whose
-//! shortest path provably might wander outside a region fall back to the
-//! global oracle. Between batches, fault waves hit the network; the churn
-//! fan-out repairs globally but rebuilds only the shard regions the damage
-//! actually touched, so untouched shards keep their warm caches.
-//!
-//! Every printed answer is identical to what the single global oracle would
-//! return — sharding is a scaling layer, not an approximation.
+//! partitions it into 6 shards with the padded-decomposition plan, and
+//! serves locality-biased traffic through the *same generic driver* the
+//! single-oracle demo uses (`examples/src/lib.rs`) — the backend is just a
+//! `ShardedOracle` this time, so the service's admission lanes become the
+//! shards: in-flight work is bounded per shard (96 per round), and after a
+//! fault wave the shards the wave rebuilt *cool down* for one round, during
+//! which their traffic is shed while untouched shards keep serving from
+//! warm caches. Every answered request is identical to what the single
+//! global oracle would return — sharding is a scaling layer, not an
+//! approximation.
 //!
 //! Run with `cargo run --release -p ftspan-examples --bin sharded_service`.
 
 use std::time::Instant;
 
-use ftspan::{sample_fault_set, FaultModel, SpannerParams};
+use ftspan::{sample_fault_set, FaultModel, FaultSet, SpannerParams};
+use ftspan_examples::{run_service_demo, DemoConfig};
 use ftspan_graph::bfs::BfsScratch;
 use ftspan_graph::{generators, vid};
-use ftspan_oracle::{ChurnConfig, Query, ShardPlanOptions, ShardedOptions, ShardedOracle};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ftspan_oracle::{
+    Query, RebuildPolicy, ServiceConfig, ShardPlanOptions, ShardedOptions, ShardedOracle,
+};
+use rand::Rng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2027);
     let graph = generators::grid(33, 30);
     let n = graph.vertex_count();
     let params = SpannerParams::vertex(2, 2);
@@ -42,7 +43,7 @@ fn main() {
         },
         ..ShardedOptions::default()
     };
-    let mut oracle = ShardedOracle::build(graph.clone(), params, options);
+    let oracle = ShardedOracle::build(graph, params, options);
     println!(
         "spanner: {} edges; {} shards, largest region {} vertices, {} cut edges; built in {:.1}s",
         oracle.spanner().edge_count(),
@@ -55,42 +56,29 @@ fn main() {
         build_start.elapsed().as_secs_f64()
     );
 
-    let waves = 4;
     let queries_per_wave = 2_500;
-    let churn = ChurnConfig::default();
+    // Per-shard admission: at most 96 queries per shard per round, and
+    // shards rebuilt by a wave shed their traffic for one round while their
+    // caches re-warm.
+    let config = ServiceConfig::default()
+        .with_lane_in_flight(96)
+        .with_rebuild_cooldown(1)
+        .with_rebuild_policy(RebuildPolicy::Shed);
+    let demo = DemoConfig {
+        waves: 4,
+        wave_size: 4,
+        seed: 2027,
+        chunk: 500,
+    };
+
     let mut bfs = BfsScratch::new();
-    let mut total_queries = 0usize;
-    let mut total_secs = 0.0f64;
-
-    for wave_no in 0..waves {
-        if wave_no > 0 {
-            let wave = sample_fault_set(oracle.graph(), FaultModel::Vertex, 4, &[], &mut rng);
-            let outcome = oracle.apply_wave(&wave, &churn);
-            println!(
-                "wave {wave_no}: {} failed, {} spanner edges repaired{}; rebuilt shards {:?} \
-                 (the rest kept their caches){}",
-                outcome.global.wave.len(),
-                outcome.global.edges_added,
-                if outcome.global.escalated {
-                    " (escalated)"
-                } else {
-                    ""
-                },
-                outcome.rebuilt_shards,
-                if outcome.severed_pairs.is_empty() {
-                    String::new()
-                } else {
-                    format!("; severed shard pairs {:?}", outcome.severed_pairs)
-                },
-            );
-        }
-
-        // Locality-biased traffic: most queries stay near their source, with
-        // a fresh fault set pool per wave.
-        let fault_pool: Vec<_> = (0..8)
-            .map(|_| sample_fault_set(oracle.graph(), FaultModel::Vertex, 2, &[], &mut rng))
+    let metrics = run_service_demo(oracle, config, demo, move |oracle, rng| {
+        // Locality-biased traffic: most queries stay near their source,
+        // with a fresh fault-set pool per burst.
+        let fault_pool: Vec<FaultSet> = (0..8)
+            .map(|_| sample_fault_set(oracle.graph(), FaultModel::Vertex, 2, &[], rng))
             .collect();
-        let queries: Vec<Query> = (0..queries_per_wave)
+        (0..queries_per_wave)
             .map(|i| {
                 let u = vid(rng.gen_range(0..n));
                 let near = bfs.hop_distances_within(oracle.graph(), u, 5);
@@ -112,47 +100,18 @@ fn main() {
                     Query::distance(u, v, faults)
                 }
             })
-            .collect();
+            .collect()
+    });
 
-        let start = Instant::now();
-        let answers = oracle.answer_batch(&queries);
-        let secs = start.elapsed().as_secs_f64();
-        total_queries += answers.len();
-        total_secs += secs;
-
-        let served = answers.iter().filter(|a| a.is_reachable()).count();
-        let snap = oracle.metrics().snapshot();
-        println!(
-            "batch {wave_no}: {} queries in {:.2}s ({:.0}/s), {served} reachable; \
-             cumulative locality {:.1}% ({} local, {} stitched, {} fallbacks)",
-            answers.len(),
-            secs,
-            answers.len() as f64 / secs,
-            100.0 * snap.locality_rate(),
-            snap.local,
-            snap.stitched,
-            snap.global_fallbacks,
-        );
-    }
-
-    // Spot-audit: sharded answers equal the global oracle's.
-    let mut audited = 0usize;
-    for _ in 0..200 {
-        let u = vid(rng.gen_range(0..n));
-        let v = vid(rng.gen_range(0..n));
-        let faults = sample_fault_set(oracle.graph(), FaultModel::Vertex, 2, &[], &mut rng);
-        assert_eq!(
-            oracle.distance(u, v, &faults),
-            oracle.global().distance(u, v, &faults),
-            "sharded and global answers must agree"
-        );
-        audited += 1;
-    }
-    println!(
-        "done: {total_queries} queries in {total_secs:.2}s ({:.0}/s overall); \
-         {audited} answers audited against the global oracle, all identical; \
-         shard epochs {:?}",
-        total_queries as f64 / total_secs,
-        oracle.shard_epochs(),
+    let split = metrics
+        .locality
+        .expect("sharded backends report a locality split");
+    assert!(
+        split.local + split.stitched > 0,
+        "some traffic must be served from shard state"
+    );
+    assert!(
+        metrics.shed > 0,
+        "waves rebuild shards, so the shed policy must have fired"
     );
 }
