@@ -1,0 +1,74 @@
+//! Wire-API throughput: the `service_batch` request stream served through
+//! `ftspan-server` over a loopback TCP connection, next to the in-process
+//! `OracleService` on the same stream.
+//!
+//! The gap between the two series is the **loopback tax** — framing,
+//! encode/decode, two socket hops, and the handoff into the service
+//! thread — which is exactly what the `server_batch` trajectory scenario
+//! records. Runs under `CRITERION_SMOKE=1` in CI like every other bench,
+//! which doubles as a smoke test that the server starts, serves a real
+//! socket, and shuts down cleanly.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ftspan::SpannerParams;
+use ftspan_bench::{gnp_workload, serve_request_stream, service_request_stream};
+use ftspan_oracle::{FaultOracle, OracleOptions, OracleService, ServiceConfig};
+use ftspan_server::{Client, Server, ServerConfig};
+
+fn bench_api_throughput(c: &mut Criterion) {
+    let n = 400;
+    let batch = 2_000;
+    let graph = gnp_workload(n, 6.0, 7);
+    let params = SpannerParams::vertex(2, 2);
+    // The exact stream the `service_batch` / `server_batch` trajectory
+    // scenarios record.
+    let stream = service_request_stream(n, batch, 300, 19);
+
+    let mut group = c.benchmark_group("api_throughput");
+    group.throughput(Throughput::Elements(batch as u64));
+
+    // In-process front-end: the number the wire pays its tax against.
+    let oracle = FaultOracle::build(graph.clone(), params, OracleOptions::default());
+    let mut service = OracleService::new(oracle, ServiceConfig::default());
+    group.bench_with_input(
+        BenchmarkId::from_parameter("in_process"),
+        &stream,
+        |b, s| {
+            b.iter(|| serve_request_stream(&mut service, s));
+        },
+    );
+
+    // The same stream as one BATCH frame per iteration over loopback TCP.
+    let oracle = FaultOracle::build(graph, params, OracleOptions::default());
+    let service = OracleService::new(oracle, ServiceConfig::default());
+    let server =
+        Server::start(service, "127.0.0.1:0", ServerConfig::default()).expect("server starts");
+    let mut client = Client::connect(server.local_addr()).expect("client connects");
+    group.bench_with_input(
+        BenchmarkId::from_parameter("server_batch"),
+        &stream,
+        |b, s| {
+            b.iter(|| client.batch(s.clone()).expect("batch served"));
+        },
+    );
+    group.finish();
+
+    drop(client);
+    let _ = server.shutdown();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_api_throughput
+}
+criterion_main!(benches);

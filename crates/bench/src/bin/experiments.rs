@@ -1002,6 +1002,95 @@ fn bench_trajectory() {
         });
     }
 
+    // 8. The same stream through `ftspan-server` over loopback TCP, one
+    //    BATCH frame per rep. Its `before` is the in-process service
+    //    throughput measured *this run* (scenario 7), so the speedup column
+    //    is the honest wire tax — framing, codec, two socket hops, and the
+    //    service-thread handoff — and is expected to sit below 1.0.
+    {
+        use ftspan_server::{Client, Server, ServerConfig};
+        let stream: Vec<Query> = ftspan_bench::service_request_stream(n, batch_size, 300, 19);
+        let reps = 20;
+        let in_process = points
+            .iter()
+            .find(|p| p.name == "service_batch")
+            .expect("scenario 7 recorded")
+            .after;
+
+        let oracle = FaultOracle::build(graph.clone(), params, OracleOptions::default());
+        let service =
+            ftspan_oracle::OracleService::new(oracle, ftspan_oracle::ServiceConfig::default());
+        let server = Server::start(service, "127.0.0.1:0", ServerConfig::default())
+            .expect("loopback server starts");
+        let mut client = Client::connect(server.local_addr()).expect("client connects");
+        let _ = client.batch(stream.clone()).expect("warm batch"); // warm
+        let (_, secs) = timed(|| {
+            for _ in 0..reps {
+                let _ = std::hint::black_box(client.batch(stream.clone()).expect("batch served"));
+            }
+        });
+        drop(client);
+        let _ = server.shutdown();
+        points.push(TrajectoryPoint {
+            name: "server_batch",
+            unit: "queries/s",
+            before: in_process,
+            after: (reps * batch_size) as f64 / secs,
+        });
+    }
+
+    // 9. Warm restart: restoring a 1 000-node sharded oracle from a
+    //    `Snapshot` vs building it cold. The restore skips greedy spanner
+    //    construction entirely (it replays the recorded spanner and
+    //    rebuilds only the deterministic per-shard serving state), so the
+    //    speedup column is the warm-restart win — the issue's floor is 10x.
+    //    The workload is deliberately dense (avg degree 20, f = 4): warm
+    //    restart matters exactly when construction is expensive, and at
+    //    this density the greedy pass dominates the cold build.
+    {
+        use ftspan_oracle::Snapshot;
+        let graph = gnp_workload(1_000, 20.0, 29);
+        let snap_params = SpannerParams::vertex(2, 4);
+        let options = ShardedOptions {
+            plan: ShardPlanOptions {
+                shards: 8,
+                ..ShardPlanOptions::default()
+            },
+            ..ShardedOptions::default()
+        };
+        let (oracle, cold_secs) =
+            timed(|| ShardedOracle::build(graph.clone(), snap_params, options.clone()));
+        let bytes = Snapshot::capture(&oracle);
+        let (restored, restore_secs) =
+            timed(|| Snapshot::restore::<ShardedOracle>(&bytes).expect("snapshot restores"));
+        assert_eq!(restored.epoch(), oracle.epoch(), "restore sanity");
+        assert_eq!(
+            restored.global().spanner().edge_count(),
+            oracle.global().spanner().edge_count(),
+            "restore sanity"
+        );
+        println!(
+            "(snapshot: {} bytes for n=1000; cold build {:.3} s, restore {:.4} s, {:.1}x)",
+            bytes.len(),
+            cold_secs,
+            restore_secs,
+            cold_secs / restore_secs
+        );
+        if cold_secs / restore_secs < 10.0 {
+            eprintln!(
+                "warning: snapshot restore is less than 10x faster than a cold build \
+                 ({:.1}x) — the warm-restart win has regressed",
+                cold_secs / restore_secs
+            );
+        }
+        points.push(TrajectoryPoint {
+            name: "snapshot_restore_sharded",
+            unit: "restores/s",
+            before: 1.0 / cold_secs,
+            after: 1.0 / restore_secs,
+        });
+    }
+
     // Small rates (waves/s) keep two decimals; large ones round to integers.
     let fmt = |v: f64| {
         if v < 1_000.0 {

@@ -73,6 +73,7 @@ mod params;
 pub mod repair;
 mod stats;
 pub mod verify;
+pub mod wire;
 
 pub use builder::{Algorithm, SpannerBuilder};
 pub use error::{Result, SpannerError};

@@ -17,6 +17,8 @@
 //!   summary statistics used by the analyses and the experiment harness.
 //! * [`generators`] — deterministic, seedable random-graph workloads.
 //! * [`io`] — plain-text edge-list serialization.
+//! * [`wire`] — compact binary encoding with bit-exact weights, the
+//!   substrate of oracle snapshots and the `ftspan-server` protocol.
 //!
 //! ## Example
 //!
@@ -55,6 +57,7 @@ pub mod io;
 pub mod metrics;
 pub mod traversal;
 mod view;
+pub mod wire;
 
 pub use edge::Edge;
 pub use epoch::EpochMarks;
@@ -65,3 +68,4 @@ pub use view::{
     fault_fingerprint, fault_fingerprint_namespaced, namespace_fingerprint, FaultScratch,
     FaultView, GraphView, ScratchFaultView,
 };
+pub use wire::{fnv1a64, WireError, WireReader, WireWriter};

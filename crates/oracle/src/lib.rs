@@ -86,6 +86,7 @@ pub mod query;
 pub mod repair;
 pub mod service;
 pub mod shard;
+pub mod snapshot;
 pub mod traits;
 
 pub use boundary::{BoundaryIndex, CutEdge};
@@ -101,4 +102,5 @@ pub use shard::{
     ShardPlan, ShardPlanOptions, ShardedMetrics, ShardedMetricsSnapshot, ShardedOptions,
     ShardedOracle,
 };
+pub use snapshot::{Snapshot, SnapshotError, SnapshotKind, Snapshottable};
 pub use traits::SpannerOracle;

@@ -96,6 +96,7 @@ impl MetricsSnapshot {
 /// traffic was served. Present only for backends that route (the single
 /// oracle has nothing to route).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LocalitySplit {
     /// Queries answered from a single shard's region.
     pub local: u64,
@@ -132,6 +133,7 @@ impl LocalitySplit {
 /// until an [`OracleService`](crate::service::OracleService) fills them in
 /// from its own counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ServiceMetrics {
     /// Queries the backend answered (single and batched).
     pub queries: u64,
@@ -177,6 +179,126 @@ impl ServiceMetrics {
     #[must_use]
     pub fn locality_rate(&self) -> Option<f64> {
         self.locality.as_ref().map(LocalitySplit::locality_rate)
+    }
+
+    /// Renders the metrics as Prometheus-style exposition text — the body
+    /// the `ftspan-server` `METRICS` endpoint returns.
+    ///
+    /// The format is **stable** (pinned by a unit test): counters first, the
+    /// derived gauges after, one `ftspan_lane_shed_total{lane="i"}` line per
+    /// admission lane in `lane_shed`, and the locality block only for
+    /// routing backends. Ratios are printed with six decimals; every line
+    /// ends in `\n`.
+    #[must_use]
+    pub fn render_prometheus(&self, lane_shed: &[u64]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter(
+            &mut out,
+            "ftspan_queries_total",
+            "Queries the backend answered.",
+            self.queries,
+        );
+        counter(
+            &mut out,
+            "ftspan_cache_hits_total",
+            "Queries served from a cached shortest-path tree.",
+            self.cache_hits,
+        );
+        counter(
+            &mut out,
+            "ftspan_trees_built_total",
+            "Shortest-path trees computed.",
+            self.trees_built,
+        );
+        counter(
+            &mut out,
+            "ftspan_batches_total",
+            "Batch calls the backend served.",
+            self.batches,
+        );
+        counter(
+            &mut out,
+            "ftspan_waves_total",
+            "Fault waves applied.",
+            self.waves,
+        );
+        counter(
+            &mut out,
+            "ftspan_submitted_total",
+            "Requests submitted to the service front-end.",
+            self.submitted,
+        );
+        counter(
+            &mut out,
+            "ftspan_answered_total",
+            "Requests completed with an answer.",
+            self.answered,
+        );
+        counter(
+            &mut out,
+            "ftspan_coalesced_total",
+            "Duplicate requests coalesced before the backend.",
+            self.coalesced,
+        );
+        counter(
+            &mut out,
+            "ftspan_shed_total",
+            "Requests shed by admission control.",
+            self.shed,
+        );
+        counter(
+            &mut out,
+            "ftspan_rounds_total",
+            "Front-end pump rounds executed.",
+            self.rounds,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP ftspan_lane_shed_total Requests shed per admission lane."
+        );
+        let _ = writeln!(out, "# TYPE ftspan_lane_shed_total counter");
+        for (lane, &shed) in lane_shed.iter().enumerate() {
+            let _ = writeln!(out, "ftspan_lane_shed_total{{lane=\"{lane}\"}} {shed}");
+        }
+        let _ = writeln!(
+            out,
+            "# HELP ftspan_cache_hit_ratio Fraction of queries served from cache."
+        );
+        let _ = writeln!(out, "# TYPE ftspan_cache_hit_ratio gauge");
+        let _ = writeln!(out, "ftspan_cache_hit_ratio {:.6}", self.hit_rate());
+        if let Some(split) = &self.locality {
+            counter(
+                &mut out,
+                "ftspan_locality_local_total",
+                "Queries answered from a single shard region.",
+                split.local,
+            );
+            counter(
+                &mut out,
+                "ftspan_locality_stitched_total",
+                "Cross-shard queries answered from a stitched pair region.",
+                split.stitched,
+            );
+            counter(
+                &mut out,
+                "ftspan_locality_global_fallbacks_total",
+                "Queries that fell back to the global oracle.",
+                split.global_fallbacks,
+            );
+            let _ = writeln!(
+                out,
+                "# HELP ftspan_locality_rate Fraction of routed queries served without the global oracle."
+            );
+            let _ = writeln!(out, "# TYPE ftspan_locality_rate gauge");
+            let _ = writeln!(out, "ftspan_locality_rate {:.6}", split.locality_rate());
+        }
+        out
     }
 }
 
@@ -228,5 +350,88 @@ mod tests {
         assert!((m.locality_rate().unwrap() - 0.8).abs() < 1e-12);
         assert_eq!(ServiceMetrics::default().hit_rate(), 0.0);
         assert_eq!(LocalitySplit::default().locality_rate(), 0.0);
+    }
+
+    /// Pins the Prometheus exposition format byte for byte. Dashboards and
+    /// scrapers parse these lines — any change here is a breaking change to
+    /// the `METRICS` endpoint and must be deliberate.
+    #[test]
+    fn prometheus_rendering_is_pinned() {
+        let metrics = ServiceMetrics {
+            queries: 123,
+            cache_hits: 100,
+            trees_built: 23,
+            batches: 4,
+            waves: 2,
+            locality: None,
+            submitted: 130,
+            answered: 123,
+            coalesced: 5,
+            shed: 2,
+            rounds: 7,
+        };
+        let text = metrics.render_prometheus(&[1, 0]);
+        let expected = "\
+# HELP ftspan_queries_total Queries the backend answered.
+# TYPE ftspan_queries_total counter
+ftspan_queries_total 123
+# HELP ftspan_cache_hits_total Queries served from a cached shortest-path tree.
+# TYPE ftspan_cache_hits_total counter
+ftspan_cache_hits_total 100
+# HELP ftspan_trees_built_total Shortest-path trees computed.
+# TYPE ftspan_trees_built_total counter
+ftspan_trees_built_total 23
+# HELP ftspan_batches_total Batch calls the backend served.
+# TYPE ftspan_batches_total counter
+ftspan_batches_total 4
+# HELP ftspan_waves_total Fault waves applied.
+# TYPE ftspan_waves_total counter
+ftspan_waves_total 2
+# HELP ftspan_submitted_total Requests submitted to the service front-end.
+# TYPE ftspan_submitted_total counter
+ftspan_submitted_total 130
+# HELP ftspan_answered_total Requests completed with an answer.
+# TYPE ftspan_answered_total counter
+ftspan_answered_total 123
+# HELP ftspan_coalesced_total Duplicate requests coalesced before the backend.
+# TYPE ftspan_coalesced_total counter
+ftspan_coalesced_total 5
+# HELP ftspan_shed_total Requests shed by admission control.
+# TYPE ftspan_shed_total counter
+ftspan_shed_total 2
+# HELP ftspan_rounds_total Front-end pump rounds executed.
+# TYPE ftspan_rounds_total counter
+ftspan_rounds_total 7
+# HELP ftspan_lane_shed_total Requests shed per admission lane.
+# TYPE ftspan_lane_shed_total counter
+ftspan_lane_shed_total{lane=\"0\"} 1
+ftspan_lane_shed_total{lane=\"1\"} 0
+# HELP ftspan_cache_hit_ratio Fraction of queries served from cache.
+# TYPE ftspan_cache_hit_ratio gauge
+ftspan_cache_hit_ratio 0.813008
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn prometheus_rendering_includes_locality_for_routing_backends() {
+        let metrics = ServiceMetrics {
+            queries: 10,
+            locality: Some(LocalitySplit {
+                local: 6,
+                stitched: 2,
+                global_fallbacks: 2,
+            }),
+            ..ServiceMetrics::default()
+        };
+        let text = metrics.render_prometheus(&[]);
+        assert!(text.contains("ftspan_locality_local_total 6\n"));
+        assert!(text.contains("ftspan_locality_stitched_total 2\n"));
+        assert!(text.contains("ftspan_locality_global_fallbacks_total 2\n"));
+        assert!(text.contains("ftspan_locality_rate 0.800000\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "bad exposition line: {line}");
+        }
     }
 }

@@ -17,7 +17,7 @@ pub enum QueryKind {
 ///
 /// Edge fault identifiers follow the workspace convention: they refer to the
 /// oracle's *input graph* and are translated to the spanner by endpoints.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Query {
     /// One endpoint.
     pub u: VertexId,

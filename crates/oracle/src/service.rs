@@ -561,6 +561,14 @@ impl<O: SpannerOracle> OracleService<O> {
         metrics
     }
 
+    /// The unified metrics rendered as Prometheus exposition text — the
+    /// body the `ftspan-server` `METRICS` endpoint serves. Stable format;
+    /// see [`ServiceMetrics::render_prometheus`].
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        self.metrics().render_prometheus(self.shed_by_lane())
+    }
+
     /// Frees completed ticket storage. Only permitted between bursts (an
     /// empty queue); every previously issued [`TicketId`] becomes invalid.
     /// Returns how many slots were freed (`0` when commands are pending).

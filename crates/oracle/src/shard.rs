@@ -49,6 +49,7 @@ use crate::query::{Answer, Query, QueryKind};
 
 /// How a [`ShardPlan`] is derived from the padded decomposition.
 #[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ShardPlanOptions {
     /// Desired number of shards (the plan never produces more; tiny graphs
     /// may fill fewer).

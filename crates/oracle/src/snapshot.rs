@@ -1,0 +1,605 @@
+//! Warm-restart snapshots: serialize an oracle's expensive state, restore it
+//! without re-running construction.
+//!
+//! The paper's greedy construction dominates the cost of standing up an
+//! oracle — on a thousand-vertex sharded deployment it is minutes of CPU,
+//! while everything the serving layer derives from it (regions, boundary
+//! index, frontiers) is a cheap pure function of the constructed state. A
+//! [`Snapshot`] therefore persists exactly the expensive, non-derivable
+//! state — graphs, spanner, parameters, certificates, accumulated damage,
+//! shard plan, epochs — and [`Snapshot::restore`] rebuilds the derived
+//! serving structures deterministically. Restored oracles give **bit-
+//! identical answers**: the graphs round-trip through
+//! [`ftspan_graph::wire`] with exact weight bits and identical CSR layout,
+//! and every downstream structure is deterministic in them.
+//!
+//! Transient serving state — tree caches, metrics, scratch buffers — is
+//! deliberately *not* captured; a restored oracle starts with cold caches
+//! and zeroed counters, exactly like a freshly built one.
+//!
+//! ## Wire format
+//!
+//! ```text
+//! magic "FTSPANSS" (8) · version u32 · kind u8 · payload_len u64 ·
+//! checksum u64 (FNV-1a-64 of payload) · payload
+//! ```
+//!
+//! `kind` is `0` for a [`FaultOracle`], `1` for a [`ShardedOracle`]. The
+//! version is bumped on any payload layout change; [`Snapshot::restore`]
+//! rejects unknown versions, foreign magic, checksum mismatches, and
+//! snapshots of the wrong kind with a typed [`SnapshotError`] — never a
+//! panic, since these bytes cross process boundaries.
+//!
+//! ```
+//! use ftspan::SpannerParams;
+//! use ftspan_graph::generators;
+//! use ftspan_oracle::{FaultOracle, OracleOptions, Snapshot};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let graph = generators::connected_gnp(24, 0.3, &mut rng);
+//! let oracle = FaultOracle::build(graph, SpannerParams::vertex(2, 1), OracleOptions::default());
+//!
+//! let bytes = Snapshot::capture(&oracle);
+//! let warm: FaultOracle = Snapshot::restore(&bytes).unwrap();
+//! assert_eq!(warm.spanner().edge_count(), oracle.spanner().edge_count());
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use ftspan::wire::{decode_certificate, decode_params, encode_certificate, encode_params};
+use ftspan_graph::wire::{fnv1a64, WireError, WireReader, WireWriter};
+use ftspan_graph::{vid, Graph, VertexId};
+
+use crate::boundary::BoundaryIndex;
+use crate::cache::TreeCache;
+use crate::metrics::OracleMetrics;
+use crate::oracle::{FaultOracle, OracleOptions};
+use crate::shard::{
+    shard_namespace, Region, ShardPlan, ShardPlanOptions, ShardedMetrics, ShardedOptions,
+    ShardedOracle,
+};
+
+/// Errors produced when restoring a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The bytes do not start with the snapshot magic.
+    BadMagic,
+    /// The snapshot was written by an unknown format version.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The header names a kind this build does not know.
+    UnknownKind {
+        /// The kind byte found in the header.
+        tag: u8,
+    },
+    /// The snapshot holds a different oracle kind than the one requested.
+    WrongKind {
+        /// The kind the caller asked to restore.
+        expected: SnapshotKind,
+        /// The kind recorded in the header.
+        found: SnapshotKind,
+    },
+    /// The payload checksum does not match the header — the bytes were
+    /// truncated or corrupted in storage or transit.
+    ChecksumMismatch,
+    /// The payload failed structural decoding.
+    Wire(WireError),
+}
+
+impl core::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not an ftspan snapshot (bad magic)"),
+            Self::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (this build reads version {})",
+                    Snapshot::VERSION
+                )
+            }
+            Self::UnknownKind { tag } => write!(f, "unknown snapshot kind tag {tag}"),
+            Self::WrongKind { expected, found } => {
+                write!(
+                    f,
+                    "snapshot holds a {found:?} oracle, expected {expected:?}"
+                )
+            }
+            Self::ChecksumMismatch => write!(f, "snapshot payload checksum mismatch"),
+            Self::Wire(e) => write!(f, "snapshot payload malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for SnapshotError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+/// Which oracle backend a snapshot holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotKind {
+    /// A [`FaultOracle`].
+    Single,
+    /// A [`ShardedOracle`].
+    Sharded,
+}
+
+impl SnapshotKind {
+    fn tag(self) -> u8 {
+        match self {
+            Self::Single => 0,
+            Self::Sharded => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, SnapshotError> {
+        match tag {
+            0 => Ok(Self::Single),
+            1 => Ok(Self::Sharded),
+            tag => Err(SnapshotError::UnknownKind { tag }),
+        }
+    }
+}
+
+mod sealed {
+    /// Restricts [`Snapshottable`](super::Snapshottable) to the two oracle
+    /// backends — the payload codecs reassemble crate-private state.
+    pub trait Sealed {}
+    impl Sealed for crate::oracle::FaultOracle {}
+    impl Sealed for crate::shard::ShardedOracle {}
+}
+
+/// An oracle backend that can be captured into and restored from snapshot
+/// bytes. Sealed: implemented by [`FaultOracle`] and [`ShardedOracle`] only.
+pub trait Snapshottable: sealed::Sealed + Sized {
+    /// The kind tag written into the snapshot header.
+    #[doc(hidden)]
+    const KIND: SnapshotKind;
+
+    /// Encodes the non-derivable state onto `w`.
+    #[doc(hidden)]
+    fn encode_payload(&self, w: &mut WireWriter);
+
+    /// Decodes a payload written by [`Snapshottable::encode_payload`] and
+    /// rebuilds the derived serving state.
+    #[doc(hidden)]
+    fn decode_payload(r: &mut WireReader<'_>) -> Result<Self, SnapshotError>;
+}
+
+/// Capture and restore entry points for oracle snapshots. See the
+/// [module docs](self) for the format and guarantees.
+#[derive(Debug)]
+pub struct Snapshot;
+
+impl Snapshot {
+    /// The magic bytes every snapshot starts with.
+    pub const MAGIC: [u8; 8] = *b"FTSPANSS";
+    /// The format version this build writes and reads.
+    pub const VERSION: u32 = 1;
+
+    /// Serializes an oracle into self-contained snapshot bytes.
+    #[must_use]
+    pub fn capture<O: Snapshottable>(oracle: &O) -> Vec<u8> {
+        let mut payload = WireWriter::new();
+        oracle.encode_payload(&mut payload);
+        let payload = payload.into_vec();
+        let mut out = WireWriter::with_capacity(payload.len() + 64);
+        for b in Self::MAGIC {
+            out.put_u8(b);
+        }
+        out.put_u32(Self::VERSION);
+        out.put_u8(O::KIND.tag());
+        out.put_len(payload.len());
+        out.put_u64(fnv1a64(&payload));
+        let mut bytes = out.into_vec();
+        bytes.extend_from_slice(&payload);
+        bytes
+    }
+
+    /// Reads the kind of oracle a snapshot holds without decoding its
+    /// payload, so a generic loader can dispatch.
+    pub fn peek_kind(bytes: &[u8]) -> Result<SnapshotKind, SnapshotError> {
+        Ok(Self::read_header(&mut WireReader::new(bytes))?.0)
+    }
+
+    /// Deserializes snapshot bytes back into a warm oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] when the bytes are not a snapshot, were
+    /// written by an unknown version, hold the wrong oracle kind, fail the
+    /// checksum, or decode to structurally invalid state.
+    pub fn restore<O: Snapshottable>(bytes: &[u8]) -> Result<O, SnapshotError> {
+        let mut r = WireReader::new(bytes);
+        let (kind, payload) = Self::read_header(&mut r)?;
+        if kind != O::KIND {
+            return Err(SnapshotError::WrongKind {
+                expected: O::KIND,
+                found: kind,
+            });
+        }
+        let mut payload = WireReader::new(payload);
+        let oracle = O::decode_payload(&mut payload)?;
+        payload.finish()?;
+        Ok(oracle)
+    }
+
+    /// Validates magic, version, length, and checksum; returns the kind and
+    /// the checksummed payload slice.
+    fn read_header<'a>(r: &mut WireReader<'a>) -> Result<(SnapshotKind, &'a [u8]), SnapshotError> {
+        if r.take(Self::MAGIC.len())
+            .map_err(|_| SnapshotError::BadMagic)?
+            != Self::MAGIC
+        {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != Self::VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: version });
+        }
+        let kind = SnapshotKind::from_tag(r.u8()?)?;
+        let len = r.len(1)?;
+        let checksum = r.u64()?;
+        let payload = r.take(len)?;
+        r.finish()?;
+        if fnv1a64(payload) != checksum {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        Ok((kind, payload))
+    }
+}
+
+fn encode_oracle_options(options: &OracleOptions, w: &mut WireWriter) {
+    w.put_len(options.cache_capacity);
+    w.put_len(options.workers);
+    w.put_u8(u8::from(options.collect_certificates));
+    w.put_u64(options.cache_namespace);
+}
+
+fn decode_oracle_options(r: &mut WireReader<'_>) -> Result<OracleOptions, SnapshotError> {
+    Ok(OracleOptions {
+        cache_capacity: r.len(0)?,
+        workers: r.len(0)?,
+        collect_certificates: r.u8()? != 0,
+        cache_namespace: r.u64()?,
+    })
+}
+
+fn decode_graph(r: &mut WireReader<'_>) -> Result<Graph, SnapshotError> {
+    Ok(Graph::decode_wire(r)?)
+}
+
+impl Snapshottable for FaultOracle {
+    const KIND: SnapshotKind = SnapshotKind::Single;
+
+    fn encode_payload(&self, w: &mut WireWriter) {
+        self.base_graph.encode_wire(w);
+        self.graph.encode_wire(w);
+        self.spanner.encode_wire(w);
+        encode_params(self.params, w);
+        encode_oracle_options(&self.options, w);
+        w.put_len(self.certificates.len());
+        for cert in &self.certificates {
+            encode_certificate(cert, w);
+        }
+        w.put_len(self.damage_vertices.len());
+        for &v in &self.damage_vertices {
+            w.put_u32(v.as_u32());
+        }
+        w.put_len(self.damage_edges.len());
+        for &(u, v) in &self.damage_edges {
+            w.put_u32(u.as_u32());
+            w.put_u32(v.as_u32());
+        }
+        w.put_u64(self.epoch);
+    }
+
+    fn decode_payload(r: &mut WireReader<'_>) -> Result<Self, SnapshotError> {
+        let base_graph = decode_graph(r)?;
+        let graph = decode_graph(r)?;
+        let spanner = decode_graph(r)?;
+        let n = graph.vertex_count();
+        if base_graph.vertex_count() != n || spanner.vertex_count() != n {
+            return Err(
+                WireError::malformed("base graph, graph, and spanner vertex sets differ").into(),
+            );
+        }
+        let params = decode_params(r)?;
+        let options = decode_oracle_options(r)?;
+        let cert_count = r.len(9)?;
+        let mut certificates = Vec::with_capacity(cert_count);
+        for _ in 0..cert_count {
+            certificates.push(decode_certificate(r)?);
+        }
+        let dv_count = r.len(4)?;
+        let mut damage_vertices = Vec::with_capacity(dv_count);
+        for _ in 0..dv_count {
+            damage_vertices.push(read_vertex(r, n)?);
+        }
+        let de_count = r.len(8)?;
+        let mut damage_edges = Vec::with_capacity(de_count);
+        for _ in 0..de_count {
+            damage_edges.push((read_vertex(r, n)?, read_vertex(r, n)?));
+        }
+        let epoch = r.u64()?;
+        let cache = Mutex::new(TreeCache::new(options.cache_capacity));
+        Ok(Self {
+            base_graph,
+            graph,
+            spanner,
+            params,
+            options,
+            certificates,
+            damage_vertices,
+            damage_edges,
+            epoch,
+            cache,
+            metrics: OracleMetrics::default(),
+            wave_scratch: crate::churn::WaveScratch::default(),
+        })
+    }
+}
+
+fn read_vertex(r: &mut WireReader<'_>, n: usize) -> Result<VertexId, SnapshotError> {
+    let raw = r.u32()? as usize;
+    if raw >= n {
+        return Err(
+            WireError::malformed(format!("vertex id {raw} out of range for {n} vertices")).into(),
+        );
+    }
+    Ok(vid(raw))
+}
+
+impl Snapshottable for ShardedOracle {
+    const KIND: SnapshotKind = SnapshotKind::Sharded;
+
+    fn encode_payload(&self, w: &mut WireWriter) {
+        self.global.encode_payload(w);
+        w.put_len(self.plan.vertex_count());
+        for i in 0..self.plan.vertex_count() {
+            w.put_u32(self.plan.shard_of(vid(i)));
+        }
+        w.put_len(self.options.plan.shards);
+        w.put_u64(self.options.plan.seed);
+        w.put_f64(self.options.plan.beta);
+        w.put_len(self.options.plan.partitions);
+        match self.options.halo_radius {
+            None => w.put_u8(0),
+            Some(radius) => {
+                w.put_u8(1);
+                w.put_u32(radius);
+            }
+        }
+        encode_oracle_options(&self.options.oracle, w);
+        w.put_u32(self.halo_radius);
+        w.put_len(self.shard_epochs.len());
+        for &e in &self.shard_epochs {
+            w.put_u64(e);
+        }
+    }
+
+    fn decode_payload(r: &mut WireReader<'_>) -> Result<Self, SnapshotError> {
+        let global = FaultOracle::decode_payload(r)?;
+        let n = r.len(4)?;
+        if n != global.graph.vertex_count() {
+            return Err(WireError::malformed(format!(
+                "shard plan covers {n} vertices, graph has {}",
+                global.graph.vertex_count()
+            ))
+            .into());
+        }
+        let mut shard_of = Vec::with_capacity(n);
+        for _ in 0..n {
+            shard_of.push(r.u32()?);
+        }
+        let plan = ShardPlan::from_shard_of(shard_of);
+        let options = ShardedOptions {
+            plan: ShardPlanOptions {
+                shards: r.len(0)?,
+                seed: r.u64()?,
+                beta: r.f64()?,
+                partitions: r.len(0)?,
+            },
+            halo_radius: match r.u8()? {
+                0 => None,
+                1 => Some(r.u32()?),
+                tag => {
+                    return Err(
+                        WireError::malformed(format!("unknown halo radius tag {tag}")).into(),
+                    )
+                }
+            },
+            oracle: decode_oracle_options(r)?,
+        };
+        let halo_radius = r.u32()?;
+        let epoch_count = r.len(8)?;
+        if epoch_count != plan.shard_count() {
+            return Err(WireError::malformed(format!(
+                "{epoch_count} shard epochs for {} shards",
+                plan.shard_count()
+            ))
+            .into());
+        }
+        let mut shard_epochs = Vec::with_capacity(epoch_count);
+        for _ in 0..epoch_count {
+            shard_epochs.push(r.u64()?);
+        }
+
+        // Everything below is *derived* state, rebuilt exactly the way
+        // `ShardedOracle::from_result` and the churn fan-out build it — a
+        // pure function of the restored graphs, spanner, and plan, so the
+        // restored oracle serves bit-identical answers.
+        let params = global.params;
+        let boundary = BoundaryIndex::build(&global.spanner, &plan);
+        // Each region is a pure function of (graph, spanner, plan), so a
+        // restore may rebuild them on one scoped thread per shard; joining
+        // in shard order keeps the result identical to the serial rebuild
+        // `from_result` performs. Region rebuilding is the dominant cost of
+        // a sharded restore (the greedy construction a cold build pays is
+        // skipped entirely), so on multicore hosts the fan-out widens the
+        // warm-restart win further; on a single core the threads would be
+        // pure overhead, so the serial path is kept.
+        let rebuild = |s: usize| {
+            let members = global.spanner.halo_members(plan.core(s), halo_radius);
+            Region::build(
+                &global.graph,
+                &global.spanner,
+                params,
+                &options.oracle,
+                shard_namespace(s),
+                &members,
+            )
+        };
+        let rebuild = &rebuild;
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let regions: Vec<Region> = if cores > 1 && plan.shard_count() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..plan.shard_count())
+                    .map(|s| scope.spawn(move || rebuild(s)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("region rebuild must not panic"))
+                    .collect()
+            })
+        } else {
+            (0..plan.shard_count()).map(rebuild).collect()
+        };
+        Ok(Self {
+            global,
+            plan,
+            boundary,
+            regions,
+            pair_regions: Mutex::new(HashMap::new()),
+            shard_epochs,
+            halo_radius,
+            options,
+            metrics: ShardedMetrics::default(),
+            retired_cache_stats: (0, 0),
+            wave_bfs: ftspan_graph::bfs::BfsScratch::default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftspan::{FaultSet, SpannerParams};
+    use ftspan_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload(seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::connected_gnp(40, 0.2, &mut rng)
+    }
+
+    fn single(seed: u64) -> FaultOracle {
+        FaultOracle::build(
+            workload(seed),
+            SpannerParams::vertex(2, 1),
+            OracleOptions::default(),
+        )
+    }
+
+    #[test]
+    fn single_oracle_round_trips_bit_identically() {
+        let oracle = single(3);
+        let bytes = Snapshot::capture(&oracle);
+        let restored: FaultOracle = Snapshot::restore(&bytes).expect("restores");
+        assert_eq!(restored.params(), oracle.params());
+        assert_eq!(restored.epoch(), oracle.epoch());
+        assert_eq!(restored.certificates().len(), oracle.certificates().len());
+        for (u, v) in [(0, 17), (4, 31), (8, 8)] {
+            for faults in [FaultSet::vertices([]), FaultSet::vertices([vid(5)])] {
+                let want = oracle.distance(vid(u), vid(v), &faults);
+                let got = restored.distance(vid(u), vid(v), &faults);
+                assert_eq!(want.map(f64::to_bits), got.map(f64::to_bits));
+            }
+        }
+        // Capturing the restored oracle reproduces the exact same bytes.
+        assert_eq!(Snapshot::capture(&restored), bytes);
+    }
+
+    #[test]
+    fn sharded_oracle_round_trips_with_derived_state() {
+        let oracle = ShardedOracle::build(
+            workload(4),
+            SpannerParams::vertex(2, 1),
+            ShardedOptions::default(),
+        );
+        let bytes = Snapshot::capture(&oracle);
+        let restored: ShardedOracle = Snapshot::restore(&bytes).expect("restores");
+        assert_eq!(restored.shard_count(), oracle.shard_count());
+        assert_eq!(restored.plan(), oracle.plan());
+        assert_eq!(restored.halo_radius(), oracle.halo_radius());
+        assert_eq!(restored.shard_epochs(), oracle.shard_epochs());
+        for s in 0..oracle.shard_count() {
+            assert_eq!(restored.shard_members(s), oracle.shard_members(s));
+        }
+        assert_eq!(
+            restored.boundary().cut_edges().len(),
+            oracle.boundary().cut_edges().len()
+        );
+        assert_eq!(Snapshot::capture(&restored), bytes);
+    }
+
+    #[test]
+    fn peek_kind_reads_the_header_only() {
+        let bytes = Snapshot::capture(&single(5));
+        assert_eq!(Snapshot::peek_kind(&bytes).unwrap(), SnapshotKind::Single);
+    }
+
+    #[test]
+    fn wrong_kind_is_a_typed_error() {
+        let bytes = Snapshot::capture(&single(6));
+        let err = Snapshot::restore::<ShardedOracle>(&bytes).unwrap_err();
+        assert_eq!(
+            err,
+            SnapshotError::WrongKind {
+                expected: SnapshotKind::Sharded,
+                found: SnapshotKind::Single,
+            }
+        );
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_rejected() {
+        let bytes = Snapshot::capture(&single(7));
+        // Flip one payload byte: checksum catches it.
+        let mut corrupt = bytes.clone();
+        *corrupt.last_mut().unwrap() ^= 0x40;
+        assert_eq!(
+            Snapshot::restore::<FaultOracle>(&corrupt).unwrap_err(),
+            SnapshotError::ChecksumMismatch
+        );
+        // Truncation is caught before the checksum even runs.
+        assert!(Snapshot::restore::<FaultOracle>(&bytes[..bytes.len() - 3]).is_err());
+        // Foreign bytes are not a snapshot.
+        assert_eq!(
+            Snapshot::restore::<FaultOracle>(b"definitely not a snapshot").unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        // Future versions are refused, not misread.
+        let mut future = bytes;
+        future[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            Snapshot::restore::<FaultOracle>(&future).unwrap_err(),
+            SnapshotError::UnsupportedVersion { found: 99 }
+        );
+    }
+}

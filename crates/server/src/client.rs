@@ -1,0 +1,123 @@
+//! A minimal blocking client for the `ftspan` wire protocol.
+//!
+//! One request in flight per connection: every method writes a frame and
+//! blocks for the single reply frame. For pipelining, open more
+//! connections — the server coalesces across them.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use ftspan::FaultSet;
+use ftspan_graph::VertexId;
+use ftspan_oracle::Query;
+
+use crate::protocol::{
+    decode_reply, encode_request, read_frame, write_frame, BatchEntry, Reply, Request,
+};
+
+/// A blocking connection to a [`Server`](crate::Server).
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from establishing the TCP connection.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Sends one request frame and blocks for its reply frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the connection drops or the server sends a
+    /// frame that does not decode as a reply.
+    pub fn call(&mut self, request: &Request) -> io::Result<Reply> {
+        write_frame(&mut self.stream, &encode_request(request))?;
+        let body = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        decode_reply(&body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad reply: {e}")))
+    }
+
+    /// `DIST` — distance between `u` and `v` avoiding `faults`.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure; see [`Client::call`].
+    pub fn distance(&mut self, u: VertexId, v: VertexId, faults: FaultSet) -> io::Result<Reply> {
+        self.call(&Request::Distance { u, v, faults })
+    }
+
+    /// `PATH` — distance plus witness path.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure; see [`Client::call`].
+    pub fn path(&mut self, u: VertexId, v: VertexId, faults: FaultSet) -> io::Result<Reply> {
+        self.call(&Request::Path { u, v, faults })
+    }
+
+    /// `BATCH` — many queries answered in request order.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure, or a non-`BATCH` reply (a shed batch comes
+    /// back as [`Reply::Shed`], surfaced here as `Err`).
+    pub fn batch(&mut self, queries: Vec<Query>) -> io::Result<Vec<BatchEntry>> {
+        match self.call(&Request::Batch(queries))? {
+            Reply::Batch(entries) => Ok(entries),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `WAVE` — applies a permanent fault wave; blocks until repair
+    /// completes.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure; see [`Client::call`].
+    pub fn wave(&mut self, wave: FaultSet) -> io::Result<Reply> {
+        self.call(&Request::Wave(wave))
+    }
+
+    /// `METRICS` — the Prometheus text exposition.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure, or a non-`METRICS` reply.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.call(&Request::Metrics)? {
+            Reply::Metrics(text) => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `SNAPSHOT` — a warm-restart snapshot of the serving oracle, ready
+    /// for [`Snapshot::restore`](ftspan_oracle::Snapshot::restore).
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure, or a non-`SNAPSHOT` reply.
+    pub fn snapshot(&mut self) -> io::Result<Vec<u8>> {
+        match self.call(&Request::Snapshot)? {
+            Reply::Snapshot(bytes) => Ok(bytes),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(reply: &Reply) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected reply: {reply:?}"),
+    )
+}

@@ -1,0 +1,49 @@
+//! # ftspan-server — a wire-protocol surface for the fault-tolerant oracles
+//!
+//! This crate puts the [`OracleService`](ftspan_oracle::OracleService)
+//! front-end behind a TCP socket, using nothing beyond `std`: a
+//! length-prefixed binary protocol (`u32` little-endian frame length, then
+//! the frame body — see [`protocol`]), a nonblocking accept loop, one
+//! handler thread per connection, and a single service thread that owns the
+//! `OracleService` and folds concurrent clients' jobs into shared
+//! submit-drain rounds, so cross-connection duplicate queries coalesce just
+//! like same-batch duplicates do.
+//!
+//! ## Request set
+//!
+//! | opcode | request | reply |
+//! |---|---|---|
+//! | `1` | `DIST u v faults` | distance (or shed) |
+//! | `2` | `PATH u v faults` | distance + witness path (or shed) |
+//! | `3` | `BATCH queries…` | per-entry answer-or-shed, request order |
+//! | `4` | `WAVE faults` | repair summary after the wave lands |
+//! | `5` | `METRICS` | Prometheus text exposition |
+//! | `6` | `SNAPSHOT` | warm-restart snapshot bytes (`FTSPANSS…`) |
+//!
+//! Load shedding is explicit: a rate-limited or admission-shed request gets
+//! a [`Reply::Shed`] with a reason code, never a silent drop. Malformed
+//! frames and out-of-range vertex ids get a [`Reply::Error`] and the
+//! connection stays usable.
+//!
+//! ## Modules
+//!
+//! - [`protocol`] — frame codec and the request/reply model.
+//! - [`server`] — the threaded server; [`Server::shutdown`] drains and
+//!   hands the warm service back (ready for
+//!   [`Snapshot::capture`](ftspan_oracle::Snapshot)).
+//! - [`client`] — a minimal blocking [`Client`] for tests, benches, and
+//!   tooling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{
+    BatchEntry, Reply, Request, ShedReason, WaveSummary, WireAnswer, MAX_FRAME_LEN,
+};
+pub use server::{Server, ServerConfig};

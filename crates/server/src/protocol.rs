@@ -1,0 +1,544 @@
+//! The `ftspan-server` wire protocol: length-prefixed binary frames over a
+//! byte stream.
+//!
+//! Every message — request or reply — is one **frame**: a little-endian
+//! `u32` body length followed by the body. Request bodies start with an
+//! opcode byte, reply bodies with a reply tag byte; all payloads reuse the
+//! [`ftspan_graph::wire`] primitives and the [`ftspan::wire`] fault-set
+//! codec, so query payloads are encoded exactly like snapshot payloads.
+//!
+//! | opcode | request | body |
+//! |--------|-----------|------|
+//! | `1` | `DIST u v [F]` | `u32 u · u32 v · fault_set` |
+//! | `2` | `PATH u v [F]` | `u32 u · u32 v · fault_set` |
+//! | `3` | `BATCH` | `u64 count · count × (u8 kind · u32 u · u32 v · fault_set)` |
+//! | `4` | `WAVE` | `fault_set` |
+//! | `5` | `METRICS` | empty |
+//! | `6` | `SNAPSHOT` | empty |
+//!
+//! Replies are self-describing: `0` answer, `1` batch, `2` wave summary,
+//! `3` metrics text, `4` snapshot bytes, `5` **shed** (explicit, with a
+//! reason byte — a rate-limited client is told so, never silently
+//! dropped), `6` error (length-prefixed UTF-8 message).
+//!
+//! Answers carry the distance (presence byte + IEEE-754 bits, so the
+//! exactness contract survives the wire) and, for `PATH`, the vertex
+//! sequence. The backend's `cache_hit` flag is a serving-side detail and is
+//! not part of the protocol.
+
+use std::io::{self, Read, Write};
+
+use ftspan::wire::{decode_fault_set, encode_fault_set};
+use ftspan::FaultSet;
+use ftspan_graph::wire::{WireError, WireReader, WireWriter};
+use ftspan_graph::{vid, VertexId};
+use ftspan_oracle::{Query, QueryKind};
+
+/// Upper bound on one frame's body, rejecting corrupt length prefixes
+/// before they provoke a giant allocation. Large enough for a snapshot of
+/// any graph this workspace benchmarks (a 1M-edge snapshot is ~50 MiB).
+pub const MAX_FRAME_LEN: usize = 256 * 1024 * 1024;
+
+const OP_DIST: u8 = 1;
+const OP_PATH: u8 = 2;
+const OP_BATCH: u8 = 3;
+const OP_WAVE: u8 = 4;
+const OP_METRICS: u8 = 5;
+const OP_SNAPSHOT: u8 = 6;
+
+const REPLY_ANSWER: u8 = 0;
+const REPLY_BATCH: u8 = 1;
+const REPLY_WAVE: u8 = 2;
+const REPLY_METRICS: u8 = 3;
+const REPLY_SNAPSHOT: u8 = 4;
+const REPLY_SHED: u8 = 5;
+const REPLY_ERROR: u8 = 6;
+
+/// One client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// `DIST u v [F]` — distance in `H ∖ F`.
+    Distance {
+        /// Source vertex.
+        u: VertexId,
+        /// Target vertex.
+        v: VertexId,
+        /// The fault set to avoid.
+        faults: FaultSet,
+    },
+    /// `PATH u v [F]` — distance plus an explicit path.
+    Path {
+        /// Source vertex.
+        u: VertexId,
+        /// Target vertex.
+        v: VertexId,
+        /// The fault set to avoid.
+        faults: FaultSet,
+    },
+    /// `BATCH` — a mixed batch answered in request order.
+    Batch(Vec<Query>),
+    /// `WAVE` — apply permanent damage through the churn loop.
+    Wave(FaultSet),
+    /// `METRICS` — fetch the Prometheus exposition text.
+    Metrics,
+    /// `SNAPSHOT` — download a warm-restart snapshot of the backend.
+    Snapshot,
+}
+
+/// A distance/path answer on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireAnswer {
+    /// Distance in `H ∖ F`; `None` when the faults disconnect the pair.
+    pub distance: Option<f64>,
+    /// The path, when requested and reachable.
+    pub path: Option<Vec<VertexId>>,
+}
+
+/// One entry of a batch reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BatchEntry {
+    /// The query was answered.
+    Answered(WireAnswer),
+    /// The query was shed by the service's admission control.
+    Shed,
+}
+
+/// What a `WAVE` did, summarized for the client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WaveSummary {
+    /// The backend epoch after the wave.
+    pub epoch: u64,
+    /// Spanner edges added by repair.
+    pub edges_added: u64,
+    /// Stretch-violating pairs detected around the damage.
+    pub broken_pairs: u64,
+    /// Whether local repair escalated to a full respan.
+    pub escalated: bool,
+    /// Admission lanes (shards) whose serving state was rebuilt.
+    pub rebuilt_lanes: Vec<u32>,
+}
+
+/// Why a request was shed instead of answered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The per-client token bucket was empty.
+    RateLimited,
+    /// The service's admission control shed the request.
+    Admission,
+}
+
+/// One server reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// Answer to `DIST` / `PATH`.
+    Answer(WireAnswer),
+    /// Per-query entries of a `BATCH`, in request order.
+    Batch(Vec<BatchEntry>),
+    /// Summary of an applied `WAVE`.
+    Wave(WaveSummary),
+    /// Prometheus exposition text from `METRICS`.
+    Metrics(String),
+    /// Snapshot bytes from `SNAPSHOT`.
+    Snapshot(Vec<u8>),
+    /// The request was shed — explicitly, with the reason.
+    Shed(ShedReason),
+    /// The request could not be served.
+    Error(String),
+}
+
+fn encode_query_parts(u: VertexId, v: VertexId, faults: &FaultSet, w: &mut WireWriter) {
+    w.put_u32(u.as_u32());
+    w.put_u32(v.as_u32());
+    encode_fault_set(faults, w);
+}
+
+fn decode_query_parts(r: &mut WireReader<'_>) -> Result<(VertexId, VertexId, FaultSet), WireError> {
+    let u = vid(r.u32()? as usize);
+    let v = vid(r.u32()? as usize);
+    let faults = decode_fault_set(r)?;
+    Ok((u, v, faults))
+}
+
+/// Encodes a request into a frame body.
+#[must_use]
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    match request {
+        Request::Distance { u, v, faults } => {
+            w.put_u8(OP_DIST);
+            encode_query_parts(*u, *v, faults, &mut w);
+        }
+        Request::Path { u, v, faults } => {
+            w.put_u8(OP_PATH);
+            encode_query_parts(*u, *v, faults, &mut w);
+        }
+        Request::Batch(queries) => {
+            w.put_u8(OP_BATCH);
+            w.put_len(queries.len());
+            for q in queries {
+                w.put_u8(match q.kind {
+                    QueryKind::Distance => 0,
+                    QueryKind::Path => 1,
+                });
+                encode_query_parts(q.u, q.v, &q.faults, &mut w);
+            }
+        }
+        Request::Wave(faults) => {
+            w.put_u8(OP_WAVE);
+            encode_fault_set(faults, &mut w);
+        }
+        Request::Metrics => w.put_u8(OP_METRICS),
+        Request::Snapshot => w.put_u8(OP_SNAPSHOT),
+    }
+    w.into_vec()
+}
+
+/// Decodes a frame body into a request.
+pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
+    let mut r = WireReader::new(body);
+    let request = match r.u8()? {
+        OP_DIST => {
+            let (u, v, faults) = decode_query_parts(&mut r)?;
+            Request::Distance { u, v, faults }
+        }
+        OP_PATH => {
+            let (u, v, faults) = decode_query_parts(&mut r)?;
+            Request::Path { u, v, faults }
+        }
+        OP_BATCH => {
+            let count = r.len(10)?;
+            let mut queries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let kind = match r.u8()? {
+                    0 => QueryKind::Distance,
+                    1 => QueryKind::Path,
+                    tag => return Err(WireError::malformed(format!("unknown query kind {tag}"))),
+                };
+                let (u, v, faults) = decode_query_parts(&mut r)?;
+                queries.push(match kind {
+                    QueryKind::Distance => Query::distance(u, v, faults),
+                    QueryKind::Path => Query::path(u, v, faults),
+                });
+            }
+            Request::Batch(queries)
+        }
+        OP_WAVE => Request::Wave(decode_fault_set(&mut r)?),
+        OP_METRICS => Request::Metrics,
+        OP_SNAPSHOT => Request::Snapshot,
+        op => return Err(WireError::malformed(format!("unknown opcode {op}"))),
+    };
+    r.finish()?;
+    Ok(request)
+}
+
+fn encode_answer(answer: &WireAnswer, w: &mut WireWriter) {
+    match answer.distance {
+        None => w.put_u8(0),
+        Some(d) => {
+            w.put_u8(1);
+            w.put_f64(d);
+        }
+    }
+    match &answer.path {
+        None => w.put_u8(0),
+        Some(path) => {
+            w.put_u8(1);
+            w.put_len(path.len());
+            for &v in path {
+                w.put_u32(v.as_u32());
+            }
+        }
+    }
+}
+
+fn decode_answer(r: &mut WireReader<'_>) -> Result<WireAnswer, WireError> {
+    let distance = match r.u8()? {
+        0 => None,
+        1 => Some(r.f64()?),
+        tag => return Err(WireError::malformed(format!("bad distance tag {tag}"))),
+    };
+    let path = match r.u8()? {
+        0 => None,
+        1 => {
+            let len = r.len(4)?;
+            let mut path = Vec::with_capacity(len);
+            for _ in 0..len {
+                path.push(vid(r.u32()? as usize));
+            }
+            Some(path)
+        }
+        tag => return Err(WireError::malformed(format!("bad path tag {tag}"))),
+    };
+    Ok(WireAnswer { distance, path })
+}
+
+/// Encodes a reply into a frame body.
+#[must_use]
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    match reply {
+        Reply::Answer(answer) => {
+            w.put_u8(REPLY_ANSWER);
+            encode_answer(answer, &mut w);
+        }
+        Reply::Batch(entries) => {
+            w.put_u8(REPLY_BATCH);
+            w.put_len(entries.len());
+            for entry in entries {
+                match entry {
+                    BatchEntry::Answered(answer) => {
+                        w.put_u8(0);
+                        encode_answer(answer, &mut w);
+                    }
+                    BatchEntry::Shed => w.put_u8(1),
+                }
+            }
+        }
+        Reply::Wave(summary) => {
+            w.put_u8(REPLY_WAVE);
+            w.put_u64(summary.epoch);
+            w.put_u64(summary.edges_added);
+            w.put_u64(summary.broken_pairs);
+            w.put_u8(u8::from(summary.escalated));
+            w.put_len(summary.rebuilt_lanes.len());
+            for &lane in &summary.rebuilt_lanes {
+                w.put_u32(lane);
+            }
+        }
+        Reply::Metrics(text) => {
+            w.put_u8(REPLY_METRICS);
+            w.put_bytes(text.as_bytes());
+        }
+        Reply::Snapshot(bytes) => {
+            w.put_u8(REPLY_SNAPSHOT);
+            w.put_bytes(bytes);
+        }
+        Reply::Shed(reason) => {
+            w.put_u8(REPLY_SHED);
+            w.put_u8(match reason {
+                ShedReason::RateLimited => 0,
+                ShedReason::Admission => 1,
+            });
+        }
+        Reply::Error(message) => {
+            w.put_u8(REPLY_ERROR);
+            w.put_bytes(message.as_bytes());
+        }
+    }
+    w.into_vec()
+}
+
+/// Decodes a frame body into a reply.
+pub fn decode_reply(body: &[u8]) -> Result<Reply, WireError> {
+    let mut r = WireReader::new(body);
+    let reply = match r.u8()? {
+        REPLY_ANSWER => Reply::Answer(decode_answer(&mut r)?),
+        REPLY_BATCH => {
+            let count = r.len(1)?;
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                entries.push(match r.u8()? {
+                    0 => BatchEntry::Answered(decode_answer(&mut r)?),
+                    1 => BatchEntry::Shed,
+                    tag => return Err(WireError::malformed(format!("bad batch entry tag {tag}"))),
+                });
+            }
+            Reply::Batch(entries)
+        }
+        REPLY_WAVE => {
+            let epoch = r.u64()?;
+            let edges_added = r.u64()?;
+            let broken_pairs = r.u64()?;
+            let escalated = r.u8()? != 0;
+            let lane_count = r.len(4)?;
+            let mut rebuilt_lanes = Vec::with_capacity(lane_count);
+            for _ in 0..lane_count {
+                rebuilt_lanes.push(r.u32()?);
+            }
+            Reply::Wave(WaveSummary {
+                epoch,
+                edges_added,
+                broken_pairs,
+                escalated,
+                rebuilt_lanes,
+            })
+        }
+        REPLY_METRICS => Reply::Metrics(
+            String::from_utf8(r.bytes()?.to_vec())
+                .map_err(|_| WireError::malformed("metrics text is not UTF-8"))?,
+        ),
+        REPLY_SNAPSHOT => Reply::Snapshot(r.bytes()?.to_vec()),
+        REPLY_SHED => Reply::Shed(match r.u8()? {
+            0 => ShedReason::RateLimited,
+            1 => ShedReason::Admission,
+            tag => return Err(WireError::malformed(format!("bad shed reason {tag}"))),
+        }),
+        REPLY_ERROR => Reply::Error(
+            String::from_utf8(r.bytes()?.to_vec())
+                .map_err(|_| WireError::malformed("error text is not UTF-8"))?,
+        ),
+        tag => return Err(WireError::malformed(format!("unknown reply tag {tag}"))),
+    };
+    r.finish()?;
+    Ok(reply)
+}
+
+/// Writes one frame: `u32` body length, then the body.
+pub fn write_frame(stream: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    debug_assert!(body.len() <= MAX_FRAME_LEN);
+    let len = u32::try_from(body.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame body too large"))?;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Reads one frame body. Returns `Ok(None)` on a clean end-of-stream at a
+/// frame boundary; mid-frame EOF and oversized lengths are errors.
+pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match stream.read(&mut len_bytes) {
+        Ok(0) => return Ok(None),
+        Ok(mut filled) => {
+            while filled < 4 {
+                let n = stream.read(&mut len_bytes[filled..])?;
+                if n == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "stream ended inside a frame header",
+                    ));
+                }
+                filled += n;
+            }
+        }
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_LEN} byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftspan::FaultModel;
+    use ftspan_graph::eid;
+
+    fn round_trip_request(request: &Request) -> Request {
+        decode_request(&encode_request(request)).expect("request decodes")
+    }
+
+    fn round_trip_reply(reply: &Reply) -> Reply {
+        decode_reply(&encode_reply(reply)).expect("reply decodes")
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let faults = FaultSet::vertices([vid(3), vid(9)]);
+        for request in [
+            Request::Distance {
+                u: vid(0),
+                v: vid(5),
+                faults: faults.clone(),
+            },
+            Request::Path {
+                u: vid(2),
+                v: vid(7),
+                faults: FaultSet::edges([eid(1)]),
+            },
+            Request::Batch(vec![
+                Query::distance(vid(0), vid(1), faults.clone()),
+                Query::path(vid(1), vid(2), FaultSet::empty(FaultModel::Edge)),
+            ]),
+            Request::Wave(faults),
+            Request::Metrics,
+            Request::Snapshot,
+        ] {
+            assert_eq!(round_trip_request(&request), request);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        for reply in [
+            Reply::Answer(WireAnswer {
+                distance: Some(3.5),
+                path: Some(vec![vid(0), vid(4), vid(9)]),
+            }),
+            Reply::Answer(WireAnswer {
+                distance: None,
+                path: None,
+            }),
+            Reply::Batch(vec![
+                BatchEntry::Answered(WireAnswer {
+                    distance: Some(1.0),
+                    path: None,
+                }),
+                BatchEntry::Shed,
+            ]),
+            Reply::Wave(WaveSummary {
+                epoch: 3,
+                edges_added: 7,
+                broken_pairs: 2,
+                escalated: true,
+                rebuilt_lanes: vec![0, 2],
+            }),
+            Reply::Metrics("ftspan_queries_total 5\n".to_owned()),
+            Reply::Snapshot(vec![1, 2, 3]),
+            Reply::Shed(ShedReason::RateLimited),
+            Reply::Shed(ShedReason::Admission),
+            Reply::Error("nope".to_owned()),
+        ] {
+            assert_eq!(round_trip_reply(&reply), reply);
+        }
+    }
+
+    #[test]
+    fn distance_bits_survive_the_wire() {
+        let exact = 0.1 + 0.2; // not representable as a short decimal
+        let Reply::Answer(a) = round_trip_reply(&Reply::Answer(WireAnswer {
+            distance: Some(exact),
+            path: None,
+        })) else {
+            panic!("wrong reply variant");
+        };
+        assert_eq!(a.distance.unwrap().to_bits(), exact.to_bits());
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicked_on() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[99]).is_err());
+        assert!(decode_reply(&[99]).is_err());
+        // Trailing bytes after a complete request are an error.
+        let mut bytes = encode_request(&Request::Metrics);
+        bytes.push(0);
+        assert!(decode_request(&bytes).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_lengths_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

@@ -1,0 +1,512 @@
+//! The accept loop, per-connection handlers, and the service thread.
+//!
+//! ## Architecture
+//!
+//! One **service thread** owns the [`OracleService`] — submissions stay
+//! single-writer, exactly as the front-end's submit/pump/drain contract
+//! requires — and consumes jobs from an mpsc channel. Each accepted
+//! connection gets a **handler thread** that reads protocol frames, applies
+//! the per-client token bucket, forwards work as jobs, and writes replies
+//! back; the service thread batches whatever jobs have queued across
+//! connections into one submit-drain round, so concurrent clients coalesce
+//! against each other exactly like one big batch would.
+//!
+//! ## Flow control
+//!
+//! * **Per-client rate limiting** ([`ServerConfig::rate_capacity`] /
+//!   [`ServerConfig::rate_refill_per_sec`]): a token bucket per connection;
+//!   `DIST`/`PATH` cost one token, `BATCH` costs its length, `WAVE` costs
+//!   one. An empty bucket produces an explicit
+//!   [`Reply::Shed`]`(`[`ShedReason::RateLimited`]`)` — clients are told,
+//!   never silently dropped.
+//! * **Bounded in-flight tickets** ([`ServerConfig::max_in_flight_per_conn`]):
+//!   oversized batches are split into chunks submitted one at a time, so a
+//!   single connection can never occupy more than its share of service
+//!   tickets; within the service, the existing per-lane admission bounds
+//!   ([`ServiceConfig::with_lane_in_flight`](ftspan_oracle::ServiceConfig))
+//!   apply per round. Queries the service sheds come back as per-entry
+//!   [`BatchEntry::Shed`] (or [`ShedReason::Admission`] for single
+//!   queries).
+//! * **Graceful drain**: [`Server::shutdown`] stops accepting, unblocks
+//!   every connection, and the service thread keeps answering queued jobs
+//!   until the last handler exits — then hands the warm [`OracleService`]
+//!   back to the caller (ready for [`Snapshot::capture`]).
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ftspan::FaultSet;
+use ftspan_oracle::{OracleService, Query, Snapshot, Snapshottable, SpannerOracle, TicketState};
+
+use crate::protocol::{
+    decode_request, encode_reply, read_frame, write_frame, BatchEntry, Reply, Request, ShedReason,
+    WaveSummary, WireAnswer,
+};
+
+/// Configuration of a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Maximum service tickets one connection may hold in flight; larger
+    /// `BATCH` requests are split into chunks of this size, submitted one
+    /// chunk at a time.
+    pub max_in_flight_per_conn: usize,
+    /// Token-bucket burst capacity per connection. `0` disables rate
+    /// limiting entirely.
+    pub rate_capacity: u32,
+    /// Tokens restored per second. `0.0` means the bucket never refills —
+    /// each connection gets exactly `rate_capacity` requests, which makes
+    /// shedding deterministic (the configuration the e2e tests pin).
+    pub rate_refill_per_sec: f64,
+    /// How often the accept loop polls for shutdown between connections.
+    pub accept_poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_in_flight_per_conn: 256,
+            rate_capacity: 0,
+            rate_refill_per_sec: 0.0,
+            accept_poll: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Jobs forwarded from connection handlers to the service thread. Every job
+/// carries its own reply channel.
+enum Job {
+    Queries(Vec<Query>, mpsc::Sender<Vec<BatchEntry>>),
+    Wave(FaultSet, mpsc::Sender<WaveSummary>),
+    Metrics(mpsc::Sender<String>),
+    Snapshot(mpsc::Sender<Vec<u8>>),
+}
+
+/// How many queued jobs the service thread folds into one submit-drain
+/// round. Bounds per-round latency without giving up cross-connection
+/// coalescing.
+const JOBS_PER_ROUND: usize = 64;
+
+/// A running `ftspan` server. Dropping it shuts it down; prefer
+/// [`Server::shutdown`] to get the warm service back.
+#[derive(Debug)]
+pub struct Server<O: SpannerOracle + Send + 'static> {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    service_thread: Option<thread::JoinHandle<OracleService<O>>>,
+}
+
+impl<O> Server<O>
+where
+    O: SpannerOracle + Snapshottable + Send + 'static,
+{
+    /// Binds `addr` (use port `0` for an ephemeral port) and starts serving
+    /// the given service. The service moves into the service thread and
+    /// comes back out of [`Server::shutdown`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from binding the listener.
+    pub fn start(
+        service: OracleService<O>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let vertex_count = service.oracle().graph().vertex_count();
+
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let service_thread = thread::Builder::new()
+            .name("ftspan-service".into())
+            .spawn(move || service_loop(service, &job_rx))?;
+
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            let config = config.clone();
+            thread::Builder::new()
+                .name("ftspan-accept".into())
+                .spawn(move || {
+                    accept_loop(&listener, &job_tx, &shutdown, &conns, &config, vertex_count);
+                })?
+        };
+
+        Ok(Self {
+            local_addr,
+            shutdown,
+            conns,
+            accept_thread: Some(accept_thread),
+            service_thread: Some(service_thread),
+        })
+    }
+
+    /// The address the server is listening on.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, drains in-flight work, joins every thread, and
+    /// returns the warm [`OracleService`] — metrics, caches, and repaired
+    /// spanner intact, ready for [`Snapshot::capture`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a server thread panicked.
+    #[must_use]
+    pub fn shutdown(mut self) -> OracleService<O> {
+        self.begin_shutdown();
+        self.service_thread
+            .take()
+            .expect("service thread present until shutdown")
+            .join()
+            .expect("service thread must not panic")
+    }
+
+    fn begin_shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock every connection handler stuck in a read; they observe
+        // EOF, finish their in-flight request, and drop their job senders.
+        for conn in self
+            .conns
+            .lock()
+            .expect("connection list poisoned")
+            .drain(..)
+        {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(accept) = self.accept_thread.take() {
+            accept.join().expect("accept thread must not panic");
+        }
+    }
+}
+
+impl<O: SpannerOracle + Send + 'static> Drop for Server<O> {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for conn in self
+            .conns
+            .lock()
+            .expect("connection list poisoned")
+            .drain(..)
+        {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        if let Some(service) = self.service_thread.take() {
+            let _ = service.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    job_tx: &mpsc::Sender<Job>,
+    shutdown: &Arc<AtomicBool>,
+    conns: &Arc<Mutex<Vec<TcpStream>>>,
+    config: &ServerConfig,
+    vertex_count: usize,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                if let Ok(clone) = stream.try_clone() {
+                    conns.lock().expect("connection list poisoned").push(clone);
+                }
+                let job_tx = job_tx.clone();
+                let config = config.clone();
+                let _ = thread::Builder::new()
+                    .name("ftspan-conn".into())
+                    .spawn(move || {
+                        handle_connection(stream, &job_tx, &config, vertex_count);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(config.accept_poll);
+            }
+            Err(_) => break,
+        }
+    }
+    // The accept loop's job sender drops here; the service thread exits
+    // once the last connection handler has dropped its clone too.
+}
+
+/// The service thread: folds queued jobs into submit-drain rounds against
+/// the single-writer [`OracleService`], replies per job, and exits (giving
+/// the service back) when every sender is gone.
+fn service_loop<O: SpannerOracle + Snapshottable>(
+    mut service: OracleService<O>,
+    jobs: &mpsc::Receiver<Job>,
+) -> OracleService<O> {
+    while let Ok(first) = jobs.recv() {
+        let mut round = vec![first];
+        while round.len() < JOBS_PER_ROUND {
+            match jobs.try_recv() {
+                Ok(job) => round.push(job),
+                Err(_) => break,
+            }
+        }
+        run_round(&mut service, round);
+    }
+    service
+}
+
+/// One submit-drain round over a set of jobs from any mix of connections.
+/// Jobs are submitted in arrival order, so a `WAVE` acts as the same FIFO
+/// barrier it is inside the service queue.
+fn run_round<O: SpannerOracle + Snapshottable>(service: &mut OracleService<O>, round: Vec<Job>) {
+    enum Pending {
+        Queries(Vec<ftspan_oracle::TicketId>, mpsc::Sender<Vec<BatchEntry>>),
+        Wave(ftspan_oracle::TicketId, mpsc::Sender<WaveSummary>),
+    }
+
+    let mut pending = Vec::with_capacity(round.len());
+    for job in round {
+        match job {
+            Job::Queries(queries, reply) => {
+                let tickets = queries.into_iter().map(|q| service.submit(q)).collect();
+                pending.push(Pending::Queries(tickets, reply));
+            }
+            Job::Wave(wave, reply) => {
+                let ticket = service.submit_wave(wave);
+                pending.push(Pending::Wave(ticket, reply));
+            }
+            // Reads need no drain; answer immediately against current state.
+            Job::Metrics(reply) => {
+                let _ = reply.send(service.render_prometheus());
+            }
+            Job::Snapshot(reply) => {
+                let _ = reply.send(Snapshot::capture(service.oracle()));
+            }
+        }
+    }
+    if pending.is_empty() {
+        return;
+    }
+    service.drain();
+    for entry in pending {
+        match entry {
+            Pending::Queries(tickets, reply) => {
+                let entries = tickets
+                    .into_iter()
+                    .map(|t| match service.state(t) {
+                        TicketState::Answered(answer) => BatchEntry::Answered(WireAnswer {
+                            distance: answer.distance,
+                            path: answer.path.clone(),
+                        }),
+                        TicketState::Shed => BatchEntry::Shed,
+                        state => unreachable!("ticket unresolved after drain: {state:?}"),
+                    })
+                    .collect();
+                let _ = reply.send(entries);
+            }
+            Pending::Wave(ticket, reply) => {
+                let report = service
+                    .wave_report(ticket)
+                    .expect("wave resolved after drain");
+                let summary = WaveSummary {
+                    epoch: service.oracle().epoch(),
+                    edges_added: report.outcome.edges_added as u64,
+                    broken_pairs: report.outcome.broken_pairs.len() as u64,
+                    escalated: report.outcome.escalated,
+                    rebuilt_lanes: report.rebuilt_lanes.iter().map(|&l| l as u32).collect(),
+                };
+                let _ = reply.send(summary);
+            }
+        }
+    }
+    service.recycle();
+}
+
+/// Per-connection token bucket. With `refill_per_sec == 0.0` the bucket is
+/// a hard per-connection budget, which is what the deterministic tests use.
+struct TokenBucket {
+    capacity: f64,
+    tokens: f64,
+    refill_per_sec: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn new(config: &ServerConfig) -> Option<Self> {
+        (config.rate_capacity > 0).then(|| Self {
+            capacity: f64::from(config.rate_capacity),
+            tokens: f64::from(config.rate_capacity),
+            refill_per_sec: config.rate_refill_per_sec,
+            last: Instant::now(),
+        })
+    }
+
+    fn admit(&mut self, cost: f64) -> bool {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + elapsed * self.refill_per_sec).min(self.capacity);
+        if self.tokens + 1e-9 < cost {
+            return false;
+        }
+        self.tokens -= cost;
+        true
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    job_tx: &mpsc::Sender<Job>,
+    config: &ServerConfig,
+    vertex_count: usize,
+) {
+    let mut bucket = TokenBucket::new(config);
+    while let Ok(Some(body)) = read_frame(&mut stream) {
+        let reply = match decode_request(&body) {
+            Ok(request) => serve_request(request, &mut bucket, job_tx, config, vertex_count),
+            Err(e) => Reply::Error(format!("bad request: {e}")),
+        };
+        if write_frame(&mut stream, &encode_reply(&reply)).is_err() {
+            break;
+        }
+    }
+}
+
+fn serve_request(
+    request: Request,
+    bucket: &mut Option<TokenBucket>,
+    job_tx: &mpsc::Sender<Job>,
+    config: &ServerConfig,
+    vertex_count: usize,
+) -> Reply {
+    let cost = match &request {
+        Request::Distance { .. } | Request::Path { .. } | Request::Wave(_) => 1.0,
+        Request::Batch(queries) => queries.len() as f64,
+        // Telemetry and snapshot reads are not client query traffic.
+        Request::Metrics | Request::Snapshot => 0.0,
+    };
+    if cost > 0.0 {
+        if let Some(bucket) = bucket {
+            if !bucket.admit(cost) {
+                return Reply::Shed(ShedReason::RateLimited);
+            }
+        }
+    }
+    if let Some(message) = validate(&request, vertex_count) {
+        return Reply::Error(message);
+    }
+    match request {
+        Request::Distance { u, v, faults } => {
+            match submit_queries(job_tx, vec![Query::distance(u, v, faults)]) {
+                Some(mut entries) => match entries.pop() {
+                    Some(BatchEntry::Answered(answer)) => Reply::Answer(answer),
+                    _ => Reply::Shed(ShedReason::Admission),
+                },
+                None => service_gone(),
+            }
+        }
+        Request::Path { u, v, faults } => {
+            match submit_queries(job_tx, vec![Query::path(u, v, faults)]) {
+                Some(mut entries) => match entries.pop() {
+                    Some(BatchEntry::Answered(answer)) => Reply::Answer(answer),
+                    _ => Reply::Shed(ShedReason::Admission),
+                },
+                None => service_gone(),
+            }
+        }
+        Request::Batch(queries) => {
+            // Bound this connection's in-flight tickets: submit one chunk at
+            // a time, waiting for each before the next.
+            let mut entries = Vec::with_capacity(queries.len());
+            let chunk_size = config.max_in_flight_per_conn.max(1);
+            let mut queries = queries;
+            while !queries.is_empty() {
+                let rest = queries.split_off(queries.len().min(chunk_size));
+                let chunk = std::mem::replace(&mut queries, rest);
+                match submit_queries(job_tx, chunk) {
+                    Some(chunk_entries) => entries.extend(chunk_entries),
+                    None => return service_gone(),
+                }
+            }
+            Reply::Batch(entries)
+        }
+        Request::Wave(wave) => {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            if job_tx.send(Job::Wave(wave, reply_tx)).is_err() {
+                return service_gone();
+            }
+            match reply_rx.recv() {
+                Ok(summary) => Reply::Wave(summary),
+                Err(_) => service_gone(),
+            }
+        }
+        Request::Metrics => {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            if job_tx.send(Job::Metrics(reply_tx)).is_err() {
+                return service_gone();
+            }
+            match reply_rx.recv() {
+                Ok(text) => Reply::Metrics(text),
+                Err(_) => service_gone(),
+            }
+        }
+        Request::Snapshot => {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            if job_tx.send(Job::Snapshot(reply_tx)).is_err() {
+                return service_gone();
+            }
+            match reply_rx.recv() {
+                Ok(bytes) => Reply::Snapshot(bytes),
+                Err(_) => service_gone(),
+            }
+        }
+    }
+}
+
+fn submit_queries(job_tx: &mpsc::Sender<Job>, queries: Vec<Query>) -> Option<Vec<BatchEntry>> {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    job_tx.send(Job::Queries(queries, reply_tx)).ok()?;
+    reply_rx.recv().ok()
+}
+
+fn service_gone() -> Reply {
+    Reply::Error("service is shutting down".to_owned())
+}
+
+/// Rejects ids outside the graph's vertex set before they reach the
+/// backend — the oracles index dense arrays by vertex id, and a remote
+/// client must not be able to panic the service thread.
+fn validate(request: &Request, vertex_count: usize) -> Option<String> {
+    let check_vertex = |v: ftspan_graph::VertexId| {
+        (v.index() >= vertex_count).then(|| {
+            format!(
+                "vertex id {} out of range for {vertex_count} vertices",
+                v.index()
+            )
+        })
+    };
+    // Edge-fault ids are checked by the oracles themselves (stale ids are
+    // treated as already-removed edges), so only vertex ids need guarding.
+    let check_faults =
+        |faults: &FaultSet| faults.vertex_faults().iter().find_map(|&v| check_vertex(v));
+    match request {
+        Request::Distance { u, v, faults } | Request::Path { u, v, faults } => check_vertex(*u)
+            .or_else(|| check_vertex(*v))
+            .or_else(|| check_faults(faults)),
+        Request::Batch(queries) => queries.iter().find_map(|q| {
+            check_vertex(q.u)
+                .or_else(|| check_vertex(q.v))
+                .or_else(|| check_faults(&q.faults))
+        }),
+        Request::Wave(wave) => check_faults(wave),
+        Request::Metrics | Request::Snapshot => None,
+    }
+}

@@ -1,0 +1,356 @@
+//! End-to-end exercise of `ftspan-server`: a real TCP server on an
+//! ephemeral port, concurrent clients with duplicate-heavy traffic, a
+//! fault wave landing mid-stream, an explicitly rate-limited client, the
+//! metrics and snapshot endpoints, and a graceful shutdown that hands the
+//! warm service back. Every answer served over the wire must be
+//! bit-identical to a direct `answer_batch` on an identically-built
+//! backend.
+
+use std::thread;
+
+use ftspan::{sample_fault_set, FaultModel, FaultSet, SpannerParams};
+use ftspan_graph::{generators, vid};
+use ftspan_integration_tests::rng;
+use ftspan_oracle::{
+    OracleService, Query, ServiceConfig, ShardPlanOptions, ShardedOptions, ShardedOracle, Snapshot,
+    SpannerOracle,
+};
+use ftspan_server::{BatchEntry, Client, Reply, Server, ServerConfig, ShedReason, WireAnswer};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const CLIENTS: usize = 4;
+const QUERIES_PER_CLIENT: usize = 120;
+
+fn build_backend(seed: u64) -> ShardedOracle {
+    let mut r = rng(seed);
+    let graph = generators::connected_gnp(90, 0.08, &mut r);
+    let options = ShardedOptions {
+        plan: ShardPlanOptions {
+            shards: 4,
+            ..ShardPlanOptions::default()
+        },
+        ..ShardedOptions::default()
+    };
+    ShardedOracle::build(graph, SpannerParams::vertex(2, 2), options)
+}
+
+/// Duplicate-heavy workload: few distinct queries sampled with repetition,
+/// so cross-connection coalescing in the shared service rounds has work.
+fn workload(oracle: &ShardedOracle, seed: u64) -> Vec<Query> {
+    let mut r: StdRng = rng(seed);
+    let n = oracle.graph().vertex_count();
+    let distinct: Vec<Query> = (0..24)
+        .map(|i| {
+            let u = vid(r.gen_range(0..n));
+            let mut v = vid(r.gen_range(0..n));
+            while v == u {
+                v = vid(r.gen_range(0..n));
+            }
+            let faults = sample_fault_set(oracle.graph(), FaultModel::Vertex, 2, &[], &mut r);
+            if i % 3 == 0 {
+                Query::path(u, v, faults)
+            } else {
+                Query::distance(u, v, faults)
+            }
+        })
+        .collect();
+    (0..QUERIES_PER_CLIENT)
+        .map(|_| distinct[r.gen_range(0..distinct.len())].clone())
+        .collect()
+}
+
+fn assert_entries_match(
+    label: &str,
+    queries: &[Query],
+    entries: &[BatchEntry],
+    direct: &ShardedOracle,
+) {
+    let want = direct.answer_batch(queries);
+    assert_eq!(entries.len(), want.len(), "{label}");
+    for ((query, want), got) in queries.iter().zip(&want).zip(entries) {
+        let BatchEntry::Answered(got) = got else {
+            panic!("{label}: unexpected shed for {query:?}");
+        };
+        assert_eq!(
+            want.distance().map(f64::to_bits),
+            got.distance.map(f64::to_bits),
+            "{label}: distance bits diverged for {query:?}"
+        );
+        assert_eq!(
+            want.path(),
+            got.path.as_deref(),
+            "{label}: witness path diverged for {query:?}"
+        );
+    }
+}
+
+/// The main end-to-end scenario: concurrent duplicate-heavy clients, a
+/// wave barrier mid-test, post-wave verification, metrics, snapshot, and a
+/// drained shutdown.
+#[test]
+fn server_answers_match_direct_backend_across_a_wave() {
+    let mut direct = build_backend(7301);
+    let backend = build_backend(7301);
+    let service = OracleService::new(
+        backend,
+        ServiceConfig::default()
+            .with_max_in_flight(64)
+            .with_lane_in_flight(16),
+    );
+    let server =
+        Server::start(service, "127.0.0.1:0", ServerConfig::default()).expect("server starts");
+    let addr = server.local_addr();
+
+    // Phase 1 — concurrent clients, duplicate-heavy batches, pre-wave.
+    // Their jobs interleave in shared service rounds; answers must still be
+    // the direct backend's bits.
+    let phase1: Vec<(Vec<Query>, Vec<BatchEntry>)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let queries = workload(&direct, 100 + c as u64);
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    let entries = client.batch(queries.clone()).expect("batch served");
+                    (queries, entries)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    for (c, (queries, entries)) in phase1.iter().enumerate() {
+        assert_entries_match(&format!("phase1 client {c}"), queries, entries, &direct);
+    }
+
+    // Single-query endpoints agree with the batch path.
+    let mut probe = Client::connect(addr).expect("probe connects");
+    let empty = FaultSet::empty(FaultModel::Vertex);
+    let want = direct.path(vid(3), vid(40), &empty);
+    match probe
+        .path(vid(3), vid(40), empty.clone())
+        .expect("PATH served")
+    {
+        Reply::Answer(WireAnswer { distance, path }) => {
+            assert_eq!(
+                distance.map(f64::to_bits),
+                want.as_ref().map(|(d, _)| d.to_bits())
+            );
+            assert_eq!(path, want.map(|(_, p)| p));
+        }
+        other => panic!("unexpected PATH reply: {other:?}"),
+    }
+
+    // Phase 2 — a wave lands mid-stream through the same protocol. The
+    // summary must mirror the direct backend's repair decision for the
+    // identical wave.
+    let wave = {
+        let mut r = rng(7302);
+        sample_fault_set(direct.graph(), FaultModel::Vertex, 2, &[], &mut r)
+    };
+    let direct_report = SpannerOracle::apply_wave(&mut direct, &wave, &Default::default());
+    match probe.wave(wave).expect("WAVE served") {
+        Reply::Wave(summary) => {
+            assert_eq!(summary.epoch, direct.epoch(), "epoch after wave");
+            assert_eq!(
+                summary.edges_added,
+                direct_report.outcome.edges_added as u64
+            );
+            assert_eq!(
+                summary.broken_pairs,
+                direct_report.outcome.broken_pairs.len() as u64
+            );
+            assert_eq!(summary.escalated, direct_report.outcome.escalated);
+            assert_eq!(
+                summary.rebuilt_lanes,
+                direct_report
+                    .rebuilt_lanes
+                    .iter()
+                    .map(|&l| l as u32)
+                    .collect::<Vec<_>>()
+            );
+        }
+        other => panic!("unexpected WAVE reply: {other:?}"),
+    }
+
+    // Phase 3 — concurrent post-wave traffic: answers now reflect the
+    // repaired spanner, still bit-identical to the (post-wave) direct twin.
+    let phase3: Vec<(Vec<Query>, Vec<BatchEntry>)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let queries = workload(&direct, 300 + c as u64);
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("client connects");
+                    let entries = client.batch(queries.clone()).expect("batch served");
+                    (queries, entries)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    for (c, (queries, entries)) in phase3.iter().enumerate() {
+        assert_entries_match(&format!("phase3 client {c}"), queries, entries, &direct);
+    }
+
+    // Metrics endpoint: the pinned Prometheus families are present and the
+    // query counter reflects the traffic above.
+    let metrics = probe.metrics().expect("METRICS served");
+    for family in [
+        "ftspan_queries_total",
+        "ftspan_cache_hit_ratio",
+        "ftspan_lane_shed_total",
+        "ftspan_waves_total 1",
+    ] {
+        assert!(
+            metrics.contains(family),
+            "metrics missing {family}:\n{metrics}"
+        );
+    }
+
+    // Snapshot endpoint: the downloaded bytes restore to an oracle that
+    // answers bit-identically to the live one.
+    let snapshot = probe.snapshot().expect("SNAPSHOT served");
+    let restored: ShardedOracle = Snapshot::restore(&snapshot).expect("snapshot restores");
+    assert_eq!(restored.epoch(), direct.epoch());
+    let check = workload(&direct, 999);
+    let want = direct.answer_batch(&check);
+    let got = restored.answer_batch(&check);
+    for ((query, want), got) in check.iter().zip(&want).zip(&got) {
+        assert_eq!(
+            want.distance().map(f64::to_bits),
+            got.distance().map(f64::to_bits),
+            "restored snapshot diverged for {query:?}"
+        );
+    }
+
+    // Out-of-range vertex ids are rejected with an error, not a panic, and
+    // the connection survives to serve the next request.
+    match probe.distance(vid(10_000), vid(0), FaultSet::empty(FaultModel::Vertex)) {
+        Ok(Reply::Error(message)) => assert!(message.contains("out of range"), "{message}"),
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+    assert!(
+        probe.metrics().is_ok(),
+        "connection stays usable after an error"
+    );
+
+    // Graceful shutdown returns the warm service: counters accumulated over
+    // the wire survive, and duplicate-heavy cross-connection traffic
+    // actually coalesced.
+    let service = server.shutdown();
+    let metrics = service.metrics();
+    let submitted = (2 * CLIENTS * QUERIES_PER_CLIENT) as u64;
+    assert!(
+        metrics.submitted >= submitted,
+        "expected at least {submitted} submissions, got {}",
+        metrics.submitted
+    );
+    assert_eq!(metrics.waves, 1);
+    assert!(
+        metrics.coalesced > 0,
+        "duplicates must coalesce: {metrics:?}"
+    );
+    assert_eq!(metrics.shed, 0, "no admission cooldown configured");
+}
+
+/// A token bucket with zero refill is a hard per-connection budget: the
+/// first `capacity` queries are answered, the rest come back as explicit
+/// `Shed(RateLimited)` replies — deterministically, and without affecting
+/// an unthrottled view of the backend.
+#[test]
+fn rate_limited_client_sees_explicit_sheds() {
+    const CAPACITY: u32 = 200;
+    const SENT: usize = 250;
+
+    let direct = build_backend(7401);
+    let backend = build_backend(7401);
+    let service = OracleService::new(backend, ServiceConfig::default());
+    let config = ServerConfig {
+        rate_capacity: CAPACITY,
+        rate_refill_per_sec: 0.0,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(service, "127.0.0.1:0", config).expect("server starts");
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).expect("client connects");
+    let empty = FaultSet::empty(FaultModel::Vertex);
+    let n = direct.graph().vertex_count();
+    let mut answered = 0usize;
+    let mut shed = 0usize;
+    for i in 0..SENT {
+        let (u, v) = (vid(i % n), vid((i * 7 + 1) % n));
+        if u == v {
+            continue;
+        }
+        match client.distance(u, v, empty.clone()).expect("reply arrives") {
+            Reply::Answer(answer) => {
+                answered += 1;
+                assert_eq!(
+                    answer.distance.map(f64::to_bits),
+                    direct.distance(u, v, &empty).map(f64::to_bits),
+                    "rate-limited client's served answers still match"
+                );
+            }
+            Reply::Shed(ShedReason::RateLimited) => shed += 1,
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+    assert_eq!(answered, CAPACITY as usize, "exactly the budget is served");
+    assert_eq!(
+        shed + answered,
+        SENT - (0..SENT)
+            .filter(|i| vid(i % n) == vid((i * 7 + 1) % n))
+            .count()
+    );
+
+    // A fresh connection gets a fresh bucket: the limit is per client, not
+    // global.
+    let mut fresh = Client::connect(addr).expect("fresh client connects");
+    match fresh.distance(vid(1), vid(5), empty).expect("reply") {
+        Reply::Answer(_) => {}
+        other => panic!("fresh connection throttled: {other:?}"),
+    }
+
+    let service = server.shutdown();
+    assert_eq!(
+        u64::try_from(answered + 1).unwrap(),
+        service.metrics().submitted,
+        "shed requests never reach the service queue"
+    );
+}
+
+/// Dropping the server (instead of calling `shutdown`) still tears
+/// everything down without hanging the process.
+#[test]
+fn dropping_the_server_does_not_hang() {
+    let backend = build_backend(7501);
+    let service = OracleService::new(backend, ServiceConfig::default());
+    let server =
+        Server::start(service, "127.0.0.1:0", ServerConfig::default()).expect("server starts");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("client connects");
+    let empty = FaultSet::empty(FaultModel::Vertex);
+    assert!(matches!(
+        client.distance(vid(0), vid(3), empty).expect("served"),
+        Reply::Answer(_)
+    ));
+    drop(server);
+    // The connection is closed by shutdown; the next call fails cleanly.
+    let mut failed = false;
+    for _ in 0..3 {
+        if client
+            .distance(vid(0), vid(3), FaultSet::empty(FaultModel::Vertex))
+            .is_err()
+        {
+            failed = true;
+            break;
+        }
+    }
+    assert!(failed, "connection must observe the shutdown");
+}
