@@ -3,9 +3,9 @@
 //! `OracleService` on the same stream.
 //!
 //! The gap between the two series is the **loopback tax** — framing,
-//! encode/decode, two socket hops, and the handoff into the service
-//! thread — which is exactly what the `server_batch` trajectory scenario
-//! records. Runs under `CRITERION_SMOKE=1` in CI like every other bench,
+//! encode/decode, two socket hops, and the handler's submit into the
+//! shared concurrent service core — which is exactly what the
+//! `server_batch` trajectory scenario records. Runs under `CRITERION_SMOKE=1` in CI like every other bench,
 //! which doubles as a smoke test that the server starts, serves a real
 //! socket, and shuts down cleanly.
 
@@ -31,12 +31,12 @@ fn bench_api_throughput(c: &mut Criterion) {
 
     // In-process front-end: the number the wire pays its tax against.
     let oracle = FaultOracle::build(graph.clone(), params, OracleOptions::default());
-    let mut service = OracleService::new(oracle, ServiceConfig::default());
+    let service = OracleService::new(oracle, ServiceConfig::default());
     group.bench_with_input(
         BenchmarkId::from_parameter("in_process"),
         &stream,
         |b, s| {
-            b.iter(|| serve_request_stream(&mut service, s));
+            b.iter(|| serve_request_stream(&service, s));
         },
     );
 

@@ -38,11 +38,39 @@ fn bench_service(c: &mut Criterion) {
 
     for (label, coalesce) in [("coalesce_on", true), ("coalesce_off", false)] {
         let oracle = FaultOracle::build(graph.clone(), params, OracleOptions::default());
-        let mut service =
-            OracleService::new(oracle, ServiceConfig::default().with_coalesce(coalesce));
+        let service = OracleService::new(oracle, ServiceConfig::default().with_coalesce(coalesce));
         group.bench_with_input(BenchmarkId::from_parameter(label), &stream, |b, s| {
-            b.iter(|| serve_request_stream(&mut service, s));
+            b.iter(|| serve_request_stream(&service, s));
         });
+    }
+
+    // The concurrent core's worker pool over a deliberately single-threaded
+    // backend (`workers: 1`), so the only parallelism in the series is the
+    // service's reader workers overlapping admission rounds against the
+    // epoch-published snapshot. `max_in_flight(64)` splits each drain into
+    // rounds small enough for the workers to share.
+    for workers in [2usize, 4, 8] {
+        let oracle = FaultOracle::build(
+            graph.clone(),
+            params,
+            OracleOptions {
+                workers: 1,
+                ..OracleOptions::default()
+            },
+        );
+        let service = OracleService::new(
+            oracle,
+            ServiceConfig::default()
+                .with_workers(workers)
+                .with_max_in_flight(64),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("multi_worker_{workers}")),
+            &stream,
+            |b, s| {
+                b.iter(|| serve_request_stream(&service, s));
+            },
+        );
     }
 
     // The same front-end over the sharded backend (per-shard lanes).
@@ -57,12 +85,12 @@ fn bench_service(c: &mut Criterion) {
             ..ShardedOptions::default()
         },
     );
-    let mut service = OracleService::new(sharded, ServiceConfig::default());
+    let service = OracleService::new(sharded, ServiceConfig::default());
     group.bench_with_input(
         BenchmarkId::from_parameter("sharded_coalesce_on"),
         &stream,
         |b, s| {
-            b.iter(|| serve_request_stream(&mut service, s));
+            b.iter(|| serve_request_stream(&service, s));
         },
     );
     group.finish();

@@ -987,17 +987,67 @@ fn bench_trajectory() {
         );
 
         let oracle = FaultOracle::build(graph.clone(), params, OracleOptions::default());
-        let mut service = OracleService::new(oracle, ServiceConfig::default());
-        serve_request_stream(&mut service, &stream); // warm
+        let service = OracleService::new(oracle, ServiceConfig::default());
+        serve_request_stream(&service, &stream); // warm
         let (_, secs) = timed(|| {
             for _ in 0..reps {
-                serve_request_stream(std::hint::black_box(&mut service), &stream);
+                serve_request_stream(std::hint::black_box(&service), &stream);
             }
         });
         points.push(TrajectoryPoint {
             name: "service_batch",
             unit: "queries/s",
             before: baseline("service_batch"),
+            after: (reps * batch_size) as f64 / secs,
+        });
+    }
+
+    // 7b. The same stream through the concurrent core's worker pool:
+    //     a single-threaded backend (`OracleOptions { workers: 1 }`) so the
+    //     only parallelism measured is the service's reader workers running
+    //     admission rounds concurrently against the published epoch. Its
+    //     `before` is a single-threaded direct `answer_batch` on the same
+    //     backend measured *this run*, so the speedup column is the honest
+    //     multi-worker scaling factor.
+    {
+        use ftspan_bench::{serve_request_stream, service_request_stream};
+        use ftspan_oracle::{OracleService, ServiceConfig};
+        let stream: Vec<Query> = service_request_stream(n, batch_size, 300, 19);
+        let reps = 20;
+        let single_thread = OracleOptions {
+            workers: 1,
+            ..OracleOptions::default()
+        };
+
+        let direct = FaultOracle::build(graph.clone(), params, single_thread.clone());
+        let _ = direct.answer_batch(&stream); // warm
+        let (_, direct_secs) = timed(|| {
+            for _ in 0..reps {
+                let _ = std::hint::black_box(direct.answer_batch(&stream));
+            }
+        });
+
+        let workers = std::thread::available_parallelism()
+            .map_or(2, usize::from)
+            .min(8);
+        let oracle = FaultOracle::build(graph.clone(), params, single_thread);
+        let service = OracleService::new(
+            oracle,
+            ServiceConfig::default()
+                .with_workers(workers)
+                .with_max_in_flight(64),
+        );
+        serve_request_stream(&service, &stream); // warm
+        let (_, secs) = timed(|| {
+            for _ in 0..reps {
+                serve_request_stream(std::hint::black_box(&service), &stream);
+            }
+        });
+        println!("(multi_worker_batch: {workers} service workers over a 1-thread backend)");
+        points.push(TrajectoryPoint {
+            name: "multi_worker_batch",
+            unit: "queries/s",
+            before: (reps * batch_size) as f64 / direct_secs,
             after: (reps * batch_size) as f64 / secs,
         });
     }
@@ -1127,6 +1177,11 @@ fn bench_trajectory() {
     json.push_str("  ]\n}\n");
     std::fs::write(&trajectory_path, json).expect("write BENCH_oracle.json");
     println!("\nwrote {}", trajectory_path.display());
+    println!(
+        "note: README.md (Service front-end) and ROADMAP.md quote the service_batch \
+         and multi_worker_batch speedups — re-pin both whenever this table moves, \
+         or the prose drifts from the recorded trajectory."
+    );
 }
 
 /// One E13 sweep: builds a `ShardedOracle` per requested shard count, serves

@@ -79,15 +79,14 @@ pub fn service_request_stream(
 }
 
 /// Serves one request stream through an [`ftspan_oracle::OracleService`]:
-/// submit everything, drain, recycle the ticket slots. The unit of work
+/// submit everything (one batched lock acquisition, the way the TCP
+/// front-end does), drain, recycle the ticket slots. The unit of work
 /// both `service_batch` measurements time.
-pub fn serve_request_stream<O: ftspan_oracle::SpannerOracle>(
-    service: &mut ftspan_oracle::OracleService<O>,
+pub fn serve_request_stream<O: ftspan_oracle::SpannerOracle + 'static>(
+    service: &ftspan_oracle::OracleService<O>,
     stream: &[ftspan_oracle::Query],
 ) {
-    for query in stream {
-        let _ = service.submit(query.clone());
-    }
+    let _ = service.submit_batch_ref(stream.iter());
     let _ = service.drain();
     service.recycle();
 }

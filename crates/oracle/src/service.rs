@@ -1,55 +1,68 @@
 //! The [`OracleService`] front-end: one lifecycle API — submit, pump/drain,
-//! wave, snapshot — over any [`SpannerOracle`] backend.
+//! wave, snapshot — over any [`SpannerOracle`] backend, with a concurrent
+//! epoch-published core.
 //!
 //! The backends answer batches; a *service* has to decide what reaches
-//! them. This module adds the three serving behaviours both backends would
-//! otherwise have to duplicate:
+//! them, and on how many threads. This module provides:
 //!
 //! * **A non-blocking request loop.** [`OracleService::submit`] never
-//!   blocks and never touches the backend: it enqueues a command and
-//!   returns a [`TicketId`]. [`OracleService::pump`] makes one bounded
-//!   round of progress — admit, coalesce, one [`answer_batch`] call,
-//!   complete tickets — and returns; [`OracleService::drain`] pumps until
-//!   the queue is empty. Fault waves go through the same front door
-//!   ([`OracleService::submit_wave`], [`ServiceCommand::Wave`]) and act as
-//!   FIFO **barriers**: every request submitted before a wave is resolved
-//!   against the pre-wave epoch, every request after it against the
-//!   repaired spanner.
+//!   blocks on the backend: it coalesces the request into a pending group
+//!   (a u64 fault-set fingerprint plus an exact check), charges a ticket
+//!   slot from a free list, and returns a [`TicketId`]. Rounds — admit up
+//!   to the configured bounds, one backend batch, complete tickets — are
+//!   driven either inline ([`OracleService::pump`] /
+//!   [`OracleService::drain`] with `workers == 0`, the deterministic
+//!   legacy mode) or by a pool of reader worker threads
+//!   ([`ServiceConfig::workers`]).
+//! * **Epoch publication.** The backend lives behind a published
+//!   `Mutex<Arc<O>>` slot. A round briefly locks the slot, clones the
+//!   `Arc`, and answers lock-free against that immutable epoch — readers
+//!   never block each other, and [`Snapshot::capture`] can run against a
+//!   clone off the query path. A wave is an **epoch barrier**: the single
+//!   writer waits until every in-flight round has completed, takes the
+//!   slot exclusively (spinning until outstanding epoch handles drop),
+//!   runs [`apply_wave`] in place, and publishes the repaired epoch by
+//!   releasing the slot. Every request submitted before the wave is
+//!   answered pre-wave, everything after against the repaired spanner —
+//!   the same FIFO-barrier contract as the old single-threaded loop.
 //! * **Bounded admission.** [`ServiceConfig::max_in_flight`] caps how many
-//!   queries one round hands the backend, and
-//!   [`ServiceConfig::lane_in_flight`] caps them **per admission lane** —
-//!   the whole oracle for [`FaultOracle`], one lane per shard for
-//!   [`ShardedOracle`] (see [`SpannerOracle::admission_lane`]). After a
-//!   wave, the lanes the wave rebuilt *cool down* for
-//!   [`ServiceConfig::rebuild_cooldown`] rounds: requests charged to a
-//!   cooling lane are shed ([`RebuildPolicy::Shed`]) or parked in the
-//!   queue ([`RebuildPolicy::Queue`]) until the region's caches have had
-//!   rounds to re-warm, while untouched lanes keep serving.
-//! * **Request coalescing.** Bursty traffic repeats itself: the same
-//!   `(u, v, kind, F)` arrives many times while a fault set is hot. With
-//!   [`ServiceConfig::coalesce`] on, duplicates within a round collapse to
-//!   one backend query whose answer fans back out to every ticket —
-//!   exactness is untouched (the backend is deterministic at a fixed
-//!   epoch), the backend just sees each distinct question once.
+//!   distinct backend queries one round admits, and
+//!   [`ServiceConfig::lane_in_flight`] caps them **per admission lane**
+//!   (one lane per shard under [`ShardedOracle`]). After a wave, rebuilt
+//!   lanes *cool down* for [`ServiceConfig::rebuild_cooldown`] rounds:
+//!   requests charged to a cooling lane are shed
+//!   ([`RebuildPolicy::Shed`]) or parked ([`RebuildPolicy::Queue`]).
+//! * **Submit-time coalescing.** Duplicates of a pending
+//!   `(u, v, kind, F)` attach their ticket to the existing group, so the
+//!   backend sees each distinct question once and the submit path pays one
+//!   fingerprint hash instead of a per-ticket allocation. The pending map
+//!   is cleared at every wave submission, so a duplicate can never attach
+//!   to a group on the other side of a barrier.
 //!
-//! The `service_vs_direct` differential suite pins the contract: every
-//! answered ticket carries the distance and path a direct
-//! [`answer_batch`] call on the same backend would have returned —
-//! bit-identical on unit-weight inputs — across interleaved waves, with
-//! coalescing and admission enabled. Only the diagnostic
-//! [`Answer::cache_hit`](crate::Answer::cache_hit) flag may differ: a
-//! coalesced duplicate receives a clone of its group's first answer
-//! instead of the cache hit the duplicate itself would have scored.
+//! With `workers == 0` rounds run synchronously on the calling thread and
+//! reproduce the old loop's deterministic round/cooldown accounting
+//! exactly. With workers, rounds are autonomous: counts like
+//! [`ServiceMetrics::rounds`] become scheduling-dependent, but the
+//! `service_vs_direct` differential suite pins that every answered ticket
+//! stays **bit-identical** to a direct [`answer_batch`] at worker counts
+//! 1, 2, and 8. Only the diagnostic
+//! [`Answer::cache_hit`](crate::Answer::cache_hit) flag may differ for
+//! coalesced duplicates.
 //!
 //! [`answer_batch`]: SpannerOracle::answer_batch
+//! [`apply_wave`]: SpannerOracle::apply_wave
+//! [`Snapshot::capture`]: crate::Snapshot::capture
+//! [`ServiceMetrics::rounds`]: crate::ServiceMetrics
 //! [`FaultOracle`]: crate::FaultOracle
 //! [`ShardedOracle`]: crate::ShardedOracle
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
 
 use ftspan::FaultSet;
-use ftspan_graph::VertexId;
 
 use crate::churn::{ChurnConfig, WaveReport};
 use crate::metrics::ServiceMetrics;
@@ -73,8 +86,9 @@ pub enum RebuildPolicy {
 /// Builder-style configuration of an [`OracleService`].
 ///
 /// `ServiceConfig::default()` is a pass-through front-end: unbounded
-/// admission, coalescing on, no rebuild cooldown. Every knob has a
-/// consuming `with_*` setter:
+/// admission, coalescing on, no rebuild cooldown, no worker threads
+/// (rounds run inline on the calling thread). Every knob has a consuming
+/// `with_*` setter:
 ///
 /// ```
 /// use ftspan_oracle::{RebuildPolicy, ServiceConfig};
@@ -83,33 +97,45 @@ pub enum RebuildPolicy {
 ///     .with_max_in_flight(512)
 ///     .with_lane_in_flight(64)
 ///     .with_rebuild_cooldown(2)
-///     .with_rebuild_policy(RebuildPolicy::Shed);
+///     .with_rebuild_policy(RebuildPolicy::Shed)
+///     .with_workers(4);
 /// assert_eq!(config.max_in_flight, 512);
 /// ```
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
-    /// Maximum queries admitted into one backend round across all lanes;
-    /// `0` means unbounded. Requests over the cap stay queued for the next
-    /// round.
+    /// Maximum distinct backend queries admitted into one round across all
+    /// lanes; `0` means unbounded. Requests over the cap stay queued for
+    /// the next round. (With coalescing on, a group of exact duplicates
+    /// counts once — the cap bounds what the backend sees.)
     pub max_in_flight: usize,
-    /// Maximum queries admitted per lane per round; `0` means unbounded.
-    /// Under [`ShardedOracle`](crate::ShardedOracle) this bounds in-flight
-    /// work **per shard**, so one hot shard cannot starve the rest of a
-    /// round's budget.
+    /// Maximum backend queries admitted per lane per round; `0` means
+    /// unbounded. Under [`ShardedOracle`](crate::ShardedOracle) this
+    /// bounds in-flight work **per shard**, so one hot shard cannot starve
+    /// the rest of a round's budget.
     pub lane_in_flight: usize,
-    /// Coalesce exact-duplicate `(u, v, kind, F)` requests within a round
-    /// into one backend query (default `true`).
+    /// Coalesce exact-duplicate `(u, v, kind, F)` requests into one
+    /// backend query (default `true`). Coalescing happens at submit time:
+    /// a duplicate of a still-pending request attaches its ticket to the
+    /// existing group instead of enqueueing a new command.
     pub coalesce: bool,
-    /// How many pump rounds a lane stays cooling after a wave rebuilds it;
+    /// How many rounds a lane stays cooling after a wave rebuilds it;
     /// `0` disables cooldowns (the default).
     pub rebuild_cooldown: u32,
     /// Shed or queue requests charged to a cooling lane.
     pub rebuild_policy: RebuildPolicy,
-    /// Cap on queued commands; submissions past it are shed on arrival.
-    /// `0` means unbounded. Waves are control plane and are never shed.
+    /// Cap on pending (queued, unadmitted) tickets; submissions past it
+    /// are shed on arrival. `0` means unbounded. Waves are control plane
+    /// and are never shed.
     pub max_pending: usize,
     /// Churn configuration used when a [`ServiceCommand::Wave`] is applied.
     pub churn: ChurnConfig,
+    /// Reader worker threads answering rounds concurrently against the
+    /// published epoch. `0` (the default) is **inline mode**: no threads
+    /// are spawned and [`OracleService::pump`] / [`OracleService::drain`]
+    /// execute rounds synchronously with the old loop's deterministic
+    /// semantics. With workers, `drain` merely waits for quiescence and
+    /// `pump` is a no-op; use [`OracleService::wait`] per ticket.
+    pub workers: usize,
 }
 
 impl Default for ServiceConfig {
@@ -122,6 +148,7 @@ impl Default for ServiceConfig {
             rebuild_policy: RebuildPolicy::default(),
             max_pending: 0,
             churn: ChurnConfig::default(),
+            workers: 0,
         }
     }
 }
@@ -175,6 +202,13 @@ impl ServiceConfig {
         self.churn = churn;
         self
     }
+
+    /// Sets the reader worker-thread count (`0` = inline mode).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
 }
 
 /// One command in the service's FIFO queue.
@@ -188,10 +222,12 @@ pub enum ServiceCommand {
 }
 
 /// Handle to one submitted command; redeem it with
-/// [`OracleService::state`], [`OracleService::answer`], or
-/// [`OracleService::wave_report`]. Carries the issuing service's recycle
-/// generation (seeded per instance from a process-wide counter), so a
-/// ticket retained across [`OracleService::recycle`] — or redeemed
+/// [`OracleService::state`], [`OracleService::answer`],
+/// [`OracleService::wave_report`], or consume it with
+/// [`OracleService::wait`]. Carries a generation unique to the issuing
+/// service instance and slot incarnation (seeded per instance from a
+/// process-wide counter), so a ticket retained across
+/// [`OracleService::recycle`] or [`OracleService::wait`] — or redeemed
 /// against a different service instance — can never silently alias
 /// another request's slot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -201,7 +237,8 @@ pub struct TicketId {
 }
 
 impl TicketId {
-    /// The ticket's slot index (stable until [`OracleService::recycle`]).
+    /// The ticket's slot index (stable until the slot is freed by
+    /// [`OracleService::wait`] or [`OracleService::recycle`]).
     #[inline]
     #[must_use]
     pub fn index(self) -> usize {
@@ -212,7 +249,7 @@ impl TicketId {
 /// Lifecycle of one submitted command.
 #[derive(Clone, Debug)]
 pub enum TicketState {
-    /// Still queued (or deferred by admission control).
+    /// Still queued (or deferred by admission control, or in flight).
     Pending,
     /// Answered by the backend.
     Answered(Answer),
@@ -224,8 +261,8 @@ pub enum TicketState {
     Waved(WaveReport),
 }
 
-/// What one [`OracleService::pump`] (or accumulated
-/// [`OracleService::drain`]) round did.
+/// What one [`OracleService::pump`] round (or accumulated
+/// [`OracleService::drain`]) did.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PumpOutcome {
     /// Tickets completed with an answer.
@@ -255,148 +292,540 @@ impl PumpOutcome {
     }
 }
 
-/// Seeds each service's ticket generation: the high 32 bits identify the
-/// instance, the low 32 count its recycles, so tickets cannot cross
-/// service instances undetected.
+/// Seeds each service's ticket generation space: the high 32 bits identify
+/// the instance, the low 32 count its ticket allocations, so tickets
+/// cannot cross service instances undetected.
 static NEXT_SERVICE_GENERATION: AtomicU64 = AtomicU64::new(0);
 
-#[derive(Debug, Default)]
-struct FrontendCounters {
+const TICKET_MISMATCH: &str =
+    "ticket was issued by another service instance or invalidated by OracleService::recycle";
+
+/// Cumulative front-end counters (monotonic; survive
+/// [`OracleService::recycle`]).
+#[derive(Clone, Copy, Debug, Default)]
+struct Counters {
     submitted: u64,
     answered: u64,
     coalesced: u64,
     shed: u64,
+    waves: u64,
     rounds: u64,
+}
+
+/// Coalescing key: endpoints, kind, and the fault-set fingerprint mixed
+/// into one well-distributed `u64`, stored in an identity-hashed map so
+/// the submit hot path pays one multiply-xor mix instead of a SipHash
+/// pass per request. A (astronomically unlikely) collision merely
+/// forfeits coalescing for the colliding request — the hit path compares
+/// endpoints, kind, and the full fault set exactly, so answers stay
+/// correct regardless.
+type CoalesceKey = u64;
+
+/// Mixes a query's endpoints, kind, and fault fingerprint into a
+/// [`CoalesceKey`]. The fingerprint is already well distributed; the
+/// finalizer (SplitMix64's) spreads the endpoint/kind bits so the
+/// identity-hashed map's low-bit bucketing stays uniform.
+#[inline]
+fn coalesce_key(query: &Query, fingerprint: u64) -> CoalesceKey {
+    let endpoints = ((query.u.index() as u64) << 32) | (query.v.index() as u64);
+    let kind = match query.kind {
+        QueryKind::Distance => 0u64,
+        QueryKind::Path => 1u64,
+    };
+    let mut x = fingerprint ^ endpoints.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (kind << 63);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Identity hasher for the pre-mixed [`CoalesceKey`]: `write_u64` *is*
+/// the hash. Other writes fold bytes in (never used by `u64` keys, but
+/// kept total rather than panicking).
+#[derive(Default)]
+struct KeyHasher(u64);
+
+impl std::hash::Hasher for KeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.0 = value;
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+type KeyHasherBuilder = std::hash::BuildHasherDefault<KeyHasher>;
+
+/// One pending coalescing group: the distinct query plus every ticket
+/// awaiting its answer. Freed groups keep their `tickets` allocation in
+/// the slab's free list, so steady-state submission is allocation-light.
+#[derive(Debug)]
+struct Group {
+    query: Option<Query>,
+    tickets: Vec<TicketId>,
+    key: CoalesceKey,
+}
+
+#[derive(Debug)]
+enum Entry {
+    Group(usize),
+    Wave { slot: usize, wave: FaultSet },
+}
+
+#[derive(Debug)]
+struct TicketSlot {
+    generation: u64,
+    state: TicketState,
+}
+
+#[derive(Debug)]
+struct CoreState {
+    queue: VecDeque<Entry>,
+    groups: Vec<Group>,
+    free_groups: Vec<usize>,
+    /// Pending-group index for submit-time coalescing. Cleared at every
+    /// wave submission so groups never straddle a barrier.
+    pending_map: HashMap<CoalesceKey, usize, KeyHasherBuilder>,
+    slots: Vec<TicketSlot>,
+    free_slots: Vec<usize>,
+    next_generation: u64,
+    /// Tickets queued and not yet admitted (what [`OracleService::pending`]
+    /// reports); waves count as one each.
+    pending_tickets: usize,
+    /// Tickets admitted into rounds that have not completed yet. A wave
+    /// barrier fires only when this is zero.
+    in_flight: usize,
+    /// Set while the wave writer holds (or is acquiring) the epoch slot;
+    /// no round may start until the repaired epoch is published.
+    wave_in_progress: bool,
+    lane_cooldown: Vec<u32>,
+    lane_shed: Vec<u64>,
+    counters: Counters,
+    /// Counter values already handed back through a `pump`/`drain`
+    /// outcome; `drain` reports the delta since this mark.
+    reported: Counters,
+}
+
+impl CoreState {
+    fn alloc_slot(&mut self, state: TicketState) -> TicketId {
+        self.next_generation += 1;
+        let generation = self.next_generation;
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                self.slots[slot] = TicketSlot { generation, state };
+                slot
+            }
+            None => {
+                self.slots.push(TicketSlot { generation, state });
+                self.slots.len() - 1
+            }
+        };
+        TicketId { slot, generation }
+    }
+
+    /// Frees a resolved slot for reuse, invalidating its current ticket.
+    fn free_slot(&mut self, slot: usize) {
+        self.next_generation += 1;
+        self.slots[slot].generation = self.next_generation;
+        self.slots[slot].state = TicketState::Pending;
+        self.free_slots.push(slot);
+    }
+
+    fn alloc_group(&mut self, query: Query, key: CoalesceKey) -> usize {
+        match self.free_groups.pop() {
+            Some(id) => {
+                let group = &mut self.groups[id];
+                debug_assert!(group.tickets.is_empty(), "freed group kept tickets");
+                group.query = Some(query);
+                group.key = key;
+                id
+            }
+            None => {
+                self.groups.push(Group {
+                    query: Some(query),
+                    tickets: Vec::new(),
+                    key,
+                });
+                self.groups.len() - 1
+            }
+        }
+    }
+
+    /// Returns a group's (cleared) ticket buffer to the slab.
+    fn free_group(&mut self, id: usize, mut tickets: Vec<TicketId>) {
+        tickets.clear();
+        self.groups[id].tickets = tickets;
+        self.groups[id].query = None;
+        self.free_groups.push(id);
+    }
+
+    /// Drops a group's pending-map entry if it still points at the group
+    /// (a wave submission may have cleared the map already, or a colliding
+    /// key may have replaced the entry).
+    fn unindex_group(&mut self, id: usize) {
+        if self.pending_map.get(&self.groups[id].key) == Some(&id) {
+            self.pending_map.remove(&self.groups[id].key);
+        }
+    }
+
+    fn slot_of(&self, ticket: TicketId) -> &TicketSlot {
+        let slot = self.slots.get(ticket.slot);
+        assert!(
+            slot.is_some_and(|s| s.generation == ticket.generation),
+            "{TICKET_MISMATCH}"
+        );
+        slot.expect("checked above")
+    }
+
+    fn tick_cooldowns(&mut self) {
+        for cooldown in &mut self.lane_cooldown {
+            *cooldown = cooldown.saturating_sub(1);
+        }
+    }
+}
+
+struct Core<O: SpannerOracle> {
+    config: ServiceConfig,
+    /// The published epoch slot. Rounds lock it only long enough to clone
+    /// the `Arc`; the wave writer holds it for the whole `apply_wave`, so
+    /// releasing the guard *is* publication.
+    epoch: Mutex<Arc<O>>,
+    state: Mutex<CoreState>,
+    /// Signaled on submission, round completion, and wave publication.
+    cv: Condvar,
+    shutdown: AtomicBool,
+    workers: AtomicUsize,
+}
+
+/// What one attempted round did (internal).
+enum RoundResult {
+    /// Queue empty — nothing to do.
+    Idle,
+    /// A barrier is pending (wave at head with rounds in flight, or a wave
+    /// writer mid-apply); the caller should wait for a completion signal.
+    Blocked,
+    /// A round ran: sheds, deferrals, and/or one backend batch.
+    Progress(PumpOutcome),
+    /// The caller must apply a wave barrier: it popped the wave and set
+    /// `wave_in_progress`; it must drop every epoch handle it holds and
+    /// call [`apply_wave_barrier`]. `shed` carries tickets shed by the
+    /// same scan (old-loop semantics: sheds resolve, so they don't hold
+    /// the barrier).
+    Wave {
+        slot: usize,
+        wave: FaultSet,
+        shed: usize,
+    },
+}
+
+struct ScanResult {
+    /// Admitted groups: slab id plus the query moved out of the slab.
+    admitted: Vec<(usize, Query)>,
+    admitted_tickets: usize,
+    shed: usize,
+    wave: Option<(usize, FaultSet)>,
+    blocked: bool,
 }
 
 /// The serving front-end over any [`SpannerOracle`] backend.
 ///
-/// See the [module docs](crate::service) for the architecture (request
-/// loop, admission, coalescing, wave barriers) and the crate docs for an
-/// end-to-end example.
-#[derive(Debug)]
+/// See the [module docs](crate::service) for the architecture (epoch
+/// publication, worker pool, admission, coalescing, wave barriers) and the
+/// crate docs for an end-to-end example. All methods take `&self`; the
+/// service is `Sync` and meant to be shared across submitting threads.
 pub struct OracleService<O: SpannerOracle> {
-    oracle: O,
-    config: ServiceConfig,
-    queue: VecDeque<(TicketId, ServiceCommand)>,
-    tickets: Vec<TicketState>,
-    /// Bumped by [`OracleService::recycle`] and seeded per instance from
-    /// [`NEXT_SERVICE_GENERATION`]; tickets from an older generation or
-    /// another service instance are rejected instead of read from reused
-    /// slots.
-    generation: u64,
-    /// Rounds each admission lane keeps cooling after a wave rebuilt it.
-    lane_cooldown: Vec<u32>,
-    /// Tickets shed per lane, for per-shard shedding dashboards and tests.
-    lane_shed: Vec<u64>,
-    counters: FrontendCounters,
+    core: Arc<Core<O>>,
+    worker_handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
-impl<O: SpannerOracle> OracleService<O> {
-    /// Wraps a backend in a service front-end.
+impl<O: SpannerOracle> fmt::Debug for OracleService<O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OracleService")
+            .field("config", &self.core.config)
+            .field("workers", &self.core.workers.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl<O: SpannerOracle + 'static> OracleService<O> {
+    /// Wraps a backend in a service front-end, spawning
+    /// [`ServiceConfig::workers`] reader threads (none by default).
     #[must_use]
     pub fn new(oracle: O, config: ServiceConfig) -> Self {
         let lanes = oracle.admission_lanes().max(1);
-        Self {
-            oracle,
+        let workers = config.workers;
+        let core = Arc::new(Core {
             config,
-            queue: VecDeque::new(),
-            tickets: Vec::new(),
-            generation: NEXT_SERVICE_GENERATION.fetch_add(1 << 32, Ordering::Relaxed),
-            lane_cooldown: vec![0; lanes],
-            lane_shed: vec![0; lanes],
-            counters: FrontendCounters::default(),
-        }
+            epoch: Mutex::new(Arc::new(oracle)),
+            state: Mutex::new(CoreState {
+                queue: VecDeque::new(),
+                groups: Vec::new(),
+                free_groups: Vec::new(),
+                pending_map: HashMap::default(),
+                slots: Vec::new(),
+                free_slots: Vec::new(),
+                next_generation: NEXT_SERVICE_GENERATION.fetch_add(1 << 32, Ordering::Relaxed),
+                pending_tickets: 0,
+                in_flight: 0,
+                wave_in_progress: false,
+                lane_cooldown: vec![0; lanes],
+                lane_shed: vec![0; lanes],
+                counters: Counters::default(),
+                reported: Counters::default(),
+            }),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            workers: AtomicUsize::new(0),
+        });
+        let service = Self {
+            core,
+            worker_handles: Mutex::new(Vec::new()),
+        };
+        service.spawn_workers(workers);
+        service
     }
 
-    /// The backend being served. Mutable access is deliberately absent:
-    /// structural changes must go through [`OracleService::submit_wave`] so
-    /// the queue's barrier ordering stays truthful.
-    #[inline]
+    /// Spawns `extra` additional reader worker threads. The service
+    /// switches from inline to worker mode the moment the count becomes
+    /// non-zero (see [`ServiceConfig::workers`]).
+    pub fn spawn_workers(&self, extra: usize) {
+        if extra == 0 {
+            return;
+        }
+        let mut handles = self.worker_handles.lock().expect("service worker registry");
+        for _ in 0..extra {
+            let core = Arc::clone(&self.core);
+            let handle = thread::Builder::new()
+                .name("ftspan-service".into())
+                .spawn(move || worker_loop(&core))
+                .expect("spawn service worker thread");
+            handles.push(handle);
+        }
+        self.core.workers.fetch_add(extra, Ordering::SeqCst);
+    }
+
+    /// The number of reader worker threads serving rounds (`0` = inline).
     #[must_use]
-    pub fn oracle(&self) -> &O {
-        &self.oracle
+    pub fn worker_count(&self) -> usize {
+        self.core.workers.load(Ordering::SeqCst)
+    }
+
+    /// A handle to the currently published epoch of the backend.
+    ///
+    /// The handle pins that epoch: a wave barrier cannot publish until
+    /// every outstanding handle is dropped. Read what you need and drop it
+    /// — in particular, do **not** hold one across
+    /// [`OracleService::submit_wave`] + [`OracleService::drain`] or the
+    /// wave will wait on you. Structural mutation is deliberately
+    /// impossible through the handle: waves must go through the front door
+    /// so the queue's barrier ordering stays truthful.
+    #[must_use]
+    pub fn oracle(&self) -> Arc<O> {
+        Arc::clone(&self.core.epoch.lock().expect("epoch slot poisoned"))
     }
 
     /// Dissolves the front-end and returns the backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if epoch handles from [`OracleService::oracle`] are still
+    /// outstanding.
     #[must_use]
     pub fn into_oracle(self) -> O {
-        self.oracle
+        let core = Arc::clone(&self.core);
+        drop(self); // joins the worker threads
+        let Ok(core) = Arc::try_unwrap(core) else {
+            panic!("cannot dissolve an OracleService while other handles to its core are alive")
+        };
+        let arc = core.epoch.into_inner().expect("epoch slot poisoned");
+        let Ok(oracle) = Arc::try_unwrap(arc) else {
+            panic!(
+                "cannot dissolve an OracleService while epoch handles \
+                 (OracleService::oracle) are outstanding"
+            )
+        };
+        oracle
     }
 
     /// The configuration in force.
     #[inline]
     #[must_use]
     pub fn config(&self) -> &ServiceConfig {
-        &self.config
+        &self.core.config
     }
 
-    /// Number of queued (not yet resolved) commands.
-    #[inline]
+    /// Number of queued (not yet admitted) tickets.
     #[must_use]
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.lock_state().pending_tickets
     }
 
     /// Remaining cooldown rounds per admission lane.
     #[must_use]
-    pub fn lane_cooldowns(&self) -> &[u32] {
-        &self.lane_cooldown
+    pub fn lane_cooldowns(&self) -> Vec<u32> {
+        self.lock_state().lane_cooldown.clone()
     }
 
     /// Tickets shed per admission lane (per shard under a sharded backend).
     #[must_use]
-    pub fn shed_by_lane(&self) -> &[u64] {
-        &self.lane_shed
+    pub fn shed_by_lane(&self) -> Vec<u64> {
+        self.lock_state().lane_shed.clone()
     }
 
-    /// Submits one query; never blocks, never touches the backend. If the
-    /// pending queue is at [`ServiceConfig::max_pending`], the ticket comes
-    /// back already [`TicketState::Shed`].
-    pub fn submit(&mut self, query: Query) -> TicketId {
-        self.counters.submitted += 1;
-        if self.config.max_pending > 0 && self.queue.len() >= self.config.max_pending {
-            let lane = self.lane_of(&query);
-            let ticket = self.alloc(TicketState::Shed);
-            self.counters.shed += 1;
-            self.lane_shed[lane] += 1;
-            return ticket;
+    /// Submits one query; never blocks on the backend. If
+    /// [`ServiceConfig::max_pending`] tickets are already queued, the
+    /// ticket comes back already [`TicketState::Shed`]. With coalescing
+    /// on, an exact duplicate of a pending request attaches to the
+    /// existing group instead of enqueueing a new command.
+    pub fn submit(&self, query: Query) -> TicketId {
+        let mut st = self.lock_state();
+        let ticket = self.submit_locked(&mut st, query);
+        drop(st);
+        self.core.cv.notify_one();
+        ticket
+    }
+
+    /// Submits a batch of queries under a single state-lock acquisition.
+    /// Semantically identical to calling [`OracleService::submit`] once per
+    /// query, but the whole batch lands contiguously in the queue (no
+    /// round can start between two of its entries) and the submit path
+    /// pays one lock round-trip instead of one per query.
+    pub fn submit_batch(&self, queries: impl IntoIterator<Item = Query>) -> Vec<TicketId> {
+        let mut st = self.lock_state();
+        let tickets = queries
+            .into_iter()
+            .map(|query| self.submit_locked(&mut st, query))
+            .collect();
+        drop(st);
+        self.core.cv.notify_all();
+        tickets
+    }
+
+    /// [`OracleService::submit_batch`] over borrowed queries: a request
+    /// that coalesces into a pending group (or sheds at the door) never
+    /// clones its query — only the first submission of each distinct
+    /// question pays the clone. On duplicate-heavy streams that removes
+    /// most fault-set allocations from the submit path.
+    pub fn submit_batch_ref<'a>(
+        &self,
+        queries: impl IntoIterator<Item = &'a Query>,
+    ) -> Vec<TicketId> {
+        let mut st = self.lock_state();
+        let tickets = queries
+            .into_iter()
+            .map(|query| match self.admit_locked(&mut st, query) {
+                Ok(ticket) => ticket,
+                Err(key) => self.enqueue_group_locked(&mut st, query.clone(), key),
+            })
+            .collect();
+        drop(st);
+        self.core.cv.notify_all();
+        tickets
+    }
+
+    fn submit_locked(&self, st: &mut CoreState, query: Query) -> TicketId {
+        match self.admit_locked(st, &query) {
+            Ok(ticket) => ticket,
+            Err(key) => self.enqueue_group_locked(st, query, key),
         }
-        let ticket = self.alloc(TicketState::Pending);
-        self.queue.push_back((ticket, ServiceCommand::Query(query)));
+    }
+
+    /// The shed / coalesce fast path shared by the owned and borrowed
+    /// submit flavors: resolves the request to a ticket without taking
+    /// ownership of the query, or returns the coalesce key for the caller
+    /// to enqueue a new group under.
+    fn admit_locked(&self, st: &mut CoreState, query: &Query) -> Result<TicketId, CoalesceKey> {
+        let core = &self.core;
+        st.counters.submitted += 1;
+        if core.config.max_pending > 0 && st.pending_tickets >= core.config.max_pending {
+            let lanes = st.lane_cooldown.len();
+            let lane = self.arrival_lane(query, lanes);
+            let ticket = st.alloc_slot(TicketState::Shed);
+            st.counters.shed += 1;
+            st.lane_shed[lane] += 1;
+            return Ok(ticket);
+        }
+        let fingerprint = crate::cache::KeyRef::new(0, &query.faults).fingerprint();
+        let key = coalesce_key(query, fingerprint);
+        if core.config.coalesce {
+            if let Some(&id) = st.pending_map.get(&key) {
+                // The mixed key can (astronomically rarely) collide, so the
+                // hit is confirmed against the pending query exactly.
+                let exact = st.groups[id].query.as_ref().is_some_and(|pending| {
+                    pending.u == query.u
+                        && pending.v == query.v
+                        && pending.kind == query.kind
+                        && pending.faults == query.faults
+                });
+                if exact {
+                    let ticket = st.alloc_slot(TicketState::Pending);
+                    st.groups[id].tickets.push(ticket);
+                    st.pending_tickets += 1;
+                    return Ok(ticket);
+                }
+            }
+        }
+        Err(key)
+    }
+
+    fn enqueue_group_locked(&self, st: &mut CoreState, query: Query, key: CoalesceKey) -> TicketId {
+        let ticket = st.alloc_slot(TicketState::Pending);
+        let id = st.alloc_group(query, key);
+        st.groups[id].tickets.push(ticket);
+        if self.core.config.coalesce {
+            st.pending_map.insert(key, id);
+        }
+        st.pending_tickets += 1;
+        st.queue.push_back(Entry::Group(id));
         ticket
     }
 
     /// Submits a permanent fault wave through the same front door as
     /// queries. The wave is a FIFO barrier: it is applied only after every
-    /// earlier command has been resolved, and everything submitted after it
-    /// is answered against the repaired spanner. Waves are never shed.
-    pub fn submit_wave(&mut self, wave: FaultSet) -> TicketId {
-        let ticket = self.alloc(TicketState::Pending);
-        self.queue.push_back((ticket, ServiceCommand::Wave(wave)));
+    /// earlier command has been resolved and every in-flight round has
+    /// completed, and everything submitted after it is answered against
+    /// the repaired spanner. Waves are never shed.
+    pub fn submit_wave(&self, wave: FaultSet) -> TicketId {
+        let mut st = self.lock_state();
+        let ticket = st.alloc_slot(TicketState::Pending);
+        st.queue.push_back(Entry::Wave {
+            slot: ticket.slot,
+            wave,
+        });
+        // No pre-wave group may absorb a post-wave duplicate.
+        st.pending_map.clear();
+        st.pending_tickets += 1;
+        drop(st);
+        self.core.cv.notify_all();
         ticket
     }
 
-    /// The state of a ticket.
+    /// The state of a ticket (a snapshot; the slot stays live).
     ///
     /// # Panics
     ///
     /// Panics if the ticket was issued by another service instance or was
-    /// invalidated by [`OracleService::recycle`] (the ticket's generation
-    /// no longer matches this service's).
+    /// invalidated by [`OracleService::recycle`] /
+    /// [`OracleService::wait`] (the ticket's generation no longer matches
+    /// its slot's).
     #[must_use]
-    pub fn state(&self, ticket: TicketId) -> &TicketState {
-        assert_eq!(
-            ticket.generation, self.generation,
-            "ticket was issued by another service instance or invalidated by \
-             OracleService::recycle"
-        );
-        &self.tickets[ticket.slot]
+    pub fn state(&self, ticket: TicketId) -> TicketState {
+        self.lock_state().slot_of(ticket).state.clone()
     }
 
     /// The ticket's answer, if it has one ([`TicketState::Answered`]).
     #[must_use]
-    pub fn answer(&self, ticket: TicketId) -> Option<&Answer> {
+    pub fn answer(&self, ticket: TicketId) -> Option<Answer> {
         match self.state(ticket) {
             TicketState::Answered(answer) => Some(answer),
             _ => None,
@@ -405,146 +834,132 @@ impl<O: SpannerOracle> OracleService<O> {
 
     /// The ticket's wave report, if it was a wave and has been applied.
     #[must_use]
-    pub fn wave_report(&self, ticket: TicketId) -> Option<&WaveReport> {
+    pub fn wave_report(&self, ticket: TicketId) -> Option<WaveReport> {
         match self.state(ticket) {
             TicketState::Waved(report) => Some(report),
             _ => None,
         }
     }
 
-    /// One round of the request loop: admit queued queries up to the
-    /// configured bounds (shedding or parking those on cooling lanes),
-    /// coalesce duplicates, hand the backend **one** batch, and complete
-    /// the tickets — or, when a wave barrier has reached the head of the
-    /// queue, apply that wave instead. Non-blocking in the serving sense:
-    /// each call does one bounded unit of work and returns.
-    pub fn pump(&mut self) -> PumpOutcome {
-        let mut outcome = PumpOutcome::default();
-        if self.queue.is_empty() {
-            return outcome;
-        }
-        self.counters.rounds += 1;
-
-        let mut admitted: Vec<(TicketId, Query)> = Vec::new();
-        let mut deferred: Vec<(TicketId, ServiceCommand)> = Vec::new();
-        let mut lane_load = vec![0usize; self.lane_cooldown.len()];
-        let mut wave_round = false;
-
-        // With only per-lane caps, a hot lane would otherwise force a full
-        // scan (pop + re-queue) of the backlog every round to admit a
-        // handful of queries — a drain quadratic in queue depth. Bound the
-        // commands examined per round to a small multiple of the round's
-        // per-lane admission capacity instead; unexamined entries stay in
-        // the queue, untouched and in order, for later rounds.
-        let scan_budget = if self.config.lane_in_flight > 0 {
-            (self.lane_cooldown.len() * self.config.lane_in_flight)
-                .saturating_mul(4)
-                .max(256)
-        } else {
-            usize::MAX
-        };
-        let mut scanned = 0usize;
-
-        while let Some((ticket, command)) = self.queue.pop_front() {
-            scanned += 1;
-            if scanned > scan_budget {
-                self.queue.push_front((ticket, command));
-                break;
+    /// Blocks until the ticket resolves, returns its final state, and
+    /// frees the slot for reuse (the ticket is *consumed*: redeeming it
+    /// again panics like a recycled ticket). In worker mode this sleeps
+    /// until a worker completes the round; in inline mode the calling
+    /// thread helps run rounds, so concurrent connection handlers can
+    /// drive a worker-less service cooperatively.
+    pub fn wait(&self, ticket: TicketId) -> TicketState {
+        let mut st = self.lock_state();
+        loop {
+            if !matches!(st.slot_of(ticket).state, TicketState::Pending) {
+                let state =
+                    std::mem::replace(&mut st.slots[ticket.slot].state, TicketState::Pending);
+                st.free_slot(ticket.slot);
+                return state;
             }
-            match command {
-                ServiceCommand::Wave(wave) => {
-                    if admitted.is_empty() && deferred.is_empty() {
-                        // True head of the line: every earlier command is
-                        // resolved, the barrier may fire.
-                        let report = self.oracle.apply_wave(&wave, &self.config.churn);
-                        for &lane in &report.rebuilt_lanes {
-                            self.lane_cooldown[lane] = self.config.rebuild_cooldown;
-                        }
-                        self.tickets[ticket.slot] = TicketState::Waved(report);
-                        // The backend's own wave counter is authoritative;
-                        // `metrics()` reads waves from there.
-                        outcome.waves += 1;
-                        wave_round = true;
+            if self.core.workers.load(Ordering::SeqCst) > 0 {
+                st = self.core.cv.wait(st).expect("service state poisoned");
+                continue;
+            }
+            drop(st);
+            match self.help_once() {
+                RoundResult::Idle | RoundResult::Blocked => {
+                    let guard = self.lock_state();
+                    if matches!(guard.slot_of(ticket).state, TicketState::Pending)
+                        && (guard.in_flight > 0 || guard.wave_in_progress)
+                    {
+                        // Another helper owns the in-flight round; sleep
+                        // until its completion signal.
+                        st = self.core.cv.wait(guard).expect("service state poisoned");
                     } else {
-                        deferred.push((ticket, ServiceCommand::Wave(wave)));
+                        st = guard;
                     }
-                    break;
                 }
-                ServiceCommand::Query(query) => {
-                    let lane = self.lane_of(&query);
-                    if self.lane_cooldown[lane] > 0 {
-                        match self.config.rebuild_policy {
-                            RebuildPolicy::Shed => {
-                                self.tickets[ticket.slot] = TicketState::Shed;
-                                self.counters.shed += 1;
-                                self.lane_shed[lane] += 1;
-                                outcome.shed += 1;
-                            }
-                            RebuildPolicy::Queue => {
-                                deferred.push((ticket, ServiceCommand::Query(query)));
-                            }
-                        }
-                        continue;
-                    }
-                    if self.config.max_in_flight > 0 && admitted.len() >= self.config.max_in_flight
-                    {
-                        deferred.push((ticket, ServiceCommand::Query(query)));
-                        break;
-                    }
-                    if self.config.lane_in_flight > 0
-                        && lane_load[lane] >= self.config.lane_in_flight
-                    {
-                        deferred.push((ticket, ServiceCommand::Query(query)));
-                        continue;
-                    }
-                    lane_load[lane] += 1;
-                    admitted.push((ticket, query));
-                }
+                _ => st = self.lock_state(),
             }
         }
-        // Deferred commands go back to the front, in their original order,
-        // ahead of everything not yet scanned.
-        for entry in deferred.into_iter().rev() {
-            self.queue.push_front(entry);
-        }
+    }
 
-        if !admitted.is_empty() {
-            let (batch, fanout) = self.coalesce(admitted);
-            let answers = self.oracle.answer_batch(&batch);
-            outcome.coalesced += fanout.len() - batch.len();
-            self.counters.coalesced += (fanout.len() - batch.len()) as u64;
-            for (ticket, backend_index) in fanout {
-                self.tickets[ticket.slot] = TicketState::Answered(answers[backend_index].clone());
-                self.counters.answered += 1;
-                outcome.answered += 1;
-            }
+    /// One inline round (or wave barrier), without outcome reporting.
+    fn help_once(&self) -> RoundResult {
+        let oracle = self.oracle();
+        let result = run_round(&self.core, &oracle);
+        if let RoundResult::Wave { slot, wave, shed } = result {
+            drop(oracle);
+            apply_wave_barrier(&self.core, slot, wave);
+            return RoundResult::Progress(PumpOutcome {
+                answered: 0,
+                coalesced: 0,
+                shed,
+                waves: 1,
+            });
         }
+        result
+    }
 
-        // Cooldowns measure query rounds *after* the wave, so the round
-        // that applied a wave does not consume one.
-        if !wave_round {
-            for cooldown in &mut self.lane_cooldown {
-                *cooldown = cooldown.saturating_sub(1);
-            }
+    /// One round of the request loop, executed inline on the calling
+    /// thread: admit queued groups up to the configured bounds (shedding
+    /// or parking those on cooling lanes), hand the backend **one** batch
+    /// of distinct queries, and complete the tickets — or, when a wave
+    /// barrier has reached the head of the queue, apply that wave instead.
+    ///
+    /// In worker mode (`workers > 0`) the pool makes progress
+    /// autonomously; `pump` then does nothing and returns an empty
+    /// outcome. Use [`OracleService::wait`] or [`OracleService::drain`].
+    pub fn pump(&self) -> PumpOutcome {
+        if self.core.workers.load(Ordering::SeqCst) > 0 {
+            return PumpOutcome::default();
         }
+        let outcome = match self.help_once() {
+            RoundResult::Progress(outcome) => outcome,
+            _ => PumpOutcome::default(),
+        };
+        let mut st = self.lock_state();
+        st.reported.answered += outcome.answered as u64;
+        st.reported.coalesced += outcome.coalesced as u64;
+        st.reported.shed += outcome.shed as u64;
+        st.reported.waves += outcome.waves as u64;
         outcome
     }
 
-    /// Pumps until the queue is empty, returning the accumulated outcome.
-    /// Terminates even under [`RebuildPolicy::Queue`]: cooldowns decrement
-    /// every non-wave round, so parked requests are eventually admitted.
-    pub fn drain(&mut self) -> PumpOutcome {
-        let mut total = PumpOutcome::default();
-        while !self.queue.is_empty() {
-            let cooling = self.lane_cooldown.iter().any(|&c| c > 0);
-            let round = self.pump();
-            debug_assert!(
-                round.made_progress() || cooling,
-                "a round with no cooling lanes must complete at least one ticket"
-            );
-            total.absorb(round);
+    /// Blocks until every submitted command has resolved and returns what
+    /// was completed since the last `pump`/`drain` report. Inline mode
+    /// pumps rounds on the calling thread (terminating even under
+    /// [`RebuildPolicy::Queue`]: cooldowns decrement every non-wave
+    /// round); worker mode sleeps until the pool quiesces.
+    pub fn drain(&self) -> PumpOutcome {
+        if self.core.workers.load(Ordering::SeqCst) == 0 {
+            let mut total = PumpOutcome::default();
+            loop {
+                let cooling = {
+                    let st = self.lock_state();
+                    if st.queue.is_empty() && st.in_flight == 0 && !st.wave_in_progress {
+                        return total;
+                    }
+                    st.lane_cooldown.iter().any(|&c| c > 0)
+                };
+                let round = self.pump();
+                debug_assert!(
+                    round.made_progress() || cooling,
+                    "a round with no cooling lanes must complete at least one ticket"
+                );
+                total.absorb(round);
+            }
         }
-        total
+        let mut st = self.lock_state();
+        while !(st.queue.is_empty() && st.in_flight == 0 && !st.wave_in_progress) {
+            st = self.core.cv.wait(st).expect("service state poisoned");
+        }
+        let delta = PumpOutcome {
+            answered: (st.counters.answered - st.reported.answered) as usize,
+            coalesced: (st.counters.coalesced - st.reported.coalesced) as usize,
+            shed: (st.counters.shed - st.reported.shed) as usize,
+            waves: (st.counters.waves - st.reported.waves) as usize,
+        };
+        st.reported.answered = st.counters.answered;
+        st.reported.coalesced = st.counters.coalesced;
+        st.reported.shed = st.counters.shed;
+        st.reported.waves = st.counters.waves;
+        delta
     }
 
     /// The unified metrics view: the backend's
@@ -552,12 +967,15 @@ impl<O: SpannerOracle> OracleService<O> {
     /// (submitted / answered / coalesced / shed / rounds) filled in.
     #[must_use]
     pub fn metrics(&self) -> ServiceMetrics {
-        let mut metrics = self.oracle.service_metrics();
-        metrics.submitted = self.counters.submitted;
-        metrics.answered = self.counters.answered;
-        metrics.coalesced = self.counters.coalesced;
-        metrics.shed = self.counters.shed;
-        metrics.rounds = self.counters.rounds;
+        let oracle = self.oracle();
+        let mut metrics = oracle.service_metrics();
+        drop(oracle);
+        let st = self.lock_state();
+        metrics.submitted = st.counters.submitted;
+        metrics.answered = st.counters.answered;
+        metrics.coalesced = st.counters.coalesced;
+        metrics.shed = st.counters.shed;
+        metrics.rounds = st.counters.rounds;
         metrics
     }
 
@@ -566,75 +984,329 @@ impl<O: SpannerOracle> OracleService<O> {
     /// see [`ServiceMetrics::render_prometheus`].
     #[must_use]
     pub fn render_prometheus(&self) -> String {
-        self.metrics().render_prometheus(self.shed_by_lane())
+        self.metrics().render_prometheus(&self.shed_by_lane())
     }
 
-    /// Frees completed ticket storage. Only permitted between bursts (an
-    /// empty queue); every previously issued [`TicketId`] becomes invalid.
-    /// Returns how many slots were freed (`0` when commands are pending).
-    pub fn recycle(&mut self) -> usize {
-        if !self.queue.is_empty() {
+    /// Frees completed ticket storage. Only permitted when the service is
+    /// quiescent (no queued or in-flight commands); every previously
+    /// issued [`TicketId`] becomes invalid. Returns how many slots were
+    /// freed (`0` when commands are pending).
+    pub fn recycle(&self) -> usize {
+        let mut st = self.lock_state();
+        if st.pending_tickets > 0 || st.in_flight > 0 || st.wave_in_progress {
             return 0;
         }
-        let freed = self.tickets.len();
-        self.tickets.clear();
-        self.generation += 1;
+        debug_assert!(st.queue.is_empty(), "quiescent service with queued work");
+        debug_assert!(
+            st.pending_map.is_empty(),
+            "quiescent service with pending groups"
+        );
+        let freed = st.slots.len();
+        st.slots.clear();
+        st.free_slots.clear();
         freed
     }
 
-    fn alloc(&mut self, state: TicketState) -> TicketId {
-        let ticket = TicketId {
-            slot: self.tickets.len(),
-            generation: self.generation,
-        };
-        self.tickets.push(state);
-        ticket
-    }
-
-    fn lane_of(&self, query: &Query) -> usize {
-        self.oracle
-            .admission_lane(query.u, query.v)
-            .min(self.lane_cooldown.len() - 1)
-    }
-
-    /// Collapses exact duplicates in one admitted round. Returns the
-    /// deduplicated backend batch (first occurrences, in admission order)
-    /// and the ticket → batch-index fan-out. Keyed by
-    /// `(u, v, kind, fault fingerprint)` with an exact fault-set
-    /// comparison on the hit path, so a fingerprint collision degrades to
-    /// an extra backend query, never to a wrong answer.
-    fn coalesce(&self, admitted: Vec<(TicketId, Query)>) -> (Vec<Query>, Vec<(TicketId, usize)>) {
-        let mut fanout = Vec::with_capacity(admitted.len());
-        if !self.config.coalesce {
-            let batch = admitted
-                .into_iter()
-                .enumerate()
-                .map(|(i, (ticket, query))| {
-                    fanout.push((ticket, i));
-                    query
-                })
-                .collect();
-            return (batch, fanout);
+    /// Best-effort lane attribution for an arrival shed. Never blocks: if
+    /// the epoch slot is busy (a wave is being applied — exactly when
+    /// queues overflow), the shed is charged to lane 0.
+    fn arrival_lane(&self, query: &Query, lanes: usize) -> usize {
+        match self.core.epoch.try_lock() {
+            Ok(oracle) => oracle.admission_lane(query.u, query.v).min(lanes - 1),
+            Err(_) => 0,
         }
-        let mut batch: Vec<Query> = Vec::new();
-        let mut seen: HashMap<(VertexId, VertexId, QueryKind, u64), Vec<usize>> = HashMap::new();
-        for (ticket, query) in admitted {
-            let fingerprint = crate::cache::KeyRef::new(0, &query.faults).fingerprint();
-            let key = (query.u, query.v, query.kind, fingerprint);
-            let candidates = seen.entry(key).or_default();
-            if let Some(&index) = candidates
-                .iter()
-                .find(|&&index| batch[index].faults == query.faults)
-            {
-                fanout.push((ticket, index));
-                continue;
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, CoreState> {
+        self.core.state.lock().expect("service state poisoned")
+    }
+}
+
+impl<O: SpannerOracle> Drop for OracleService<O> {
+    fn drop(&mut self) {
+        {
+            let _guard = self.core.state.lock();
+            self.core.shutdown.store(true, Ordering::SeqCst);
+            self.core.cv.notify_all();
+        }
+        if let Ok(mut handles) = self.worker_handles.lock() {
+            for handle in handles.drain(..) {
+                let _ = handle.join();
             }
-            candidates.push(batch.len());
-            fanout.push((ticket, batch.len()));
-            batch.push(query);
         }
-        (batch, fanout)
     }
+}
+
+/// Whether a round could start right now (worker wait predicate).
+fn actionable(st: &CoreState) -> bool {
+    if st.wave_in_progress {
+        return false;
+    }
+    match st.queue.front() {
+        None => false,
+        Some(Entry::Wave { .. }) => st.in_flight == 0,
+        Some(Entry::Group(_)) => true,
+    }
+}
+
+fn worker_loop<O: SpannerOracle>(core: &Core<O>) {
+    loop {
+        {
+            let mut st = core.state.lock().expect("service state poisoned");
+            loop {
+                if core.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if actionable(&st) {
+                    break;
+                }
+                st = core.cv.wait(st).expect("service state poisoned");
+            }
+        }
+        // Clone the published epoch with no state lock held; blocks only
+        // while a wave writer holds the slot (publication is the release).
+        let oracle = Arc::clone(&core.epoch.lock().expect("epoch slot poisoned"));
+        if let RoundResult::Wave { slot, wave, .. } = run_round(core, &oracle) {
+            // The barrier spins until every epoch handle drops — including
+            // ours, so drop it before applying.
+            drop(oracle);
+            apply_wave_barrier(core, slot, wave);
+        }
+    }
+}
+
+/// Admission scan: pops queue entries up to the configured bounds,
+/// shedding / parking cooling-lane groups and stopping at wave barriers.
+/// Runs under the state lock.
+fn scan_round<O: SpannerOracle>(
+    config: &ServiceConfig,
+    st: &mut CoreState,
+    oracle: &O,
+) -> ScanResult {
+    let mut result = ScanResult {
+        admitted: Vec::new(),
+        admitted_tickets: 0,
+        shed: 0,
+        wave: None,
+        blocked: false,
+    };
+    let mut deferred: Vec<Entry> = Vec::new();
+    let lanes = st.lane_cooldown.len();
+    let mut lane_load = vec![0usize; lanes];
+
+    // With only per-lane caps, a hot lane would otherwise force a full
+    // scan (pop + re-queue) of the backlog every round. Bound the entries
+    // examined per round; unexamined entries stay queued, in order.
+    let scan_budget = if config.lane_in_flight > 0 {
+        (lanes * config.lane_in_flight).saturating_mul(4).max(256)
+    } else {
+        usize::MAX
+    };
+    let mut scanned = 0usize;
+
+    while let Some(entry) = st.queue.pop_front() {
+        scanned += 1;
+        if scanned > scan_budget {
+            st.queue.push_front(entry);
+            break;
+        }
+        match entry {
+            Entry::Wave { slot, wave } => {
+                if result.admitted.is_empty() && deferred.is_empty() {
+                    if st.in_flight == 0 {
+                        // True head of the line with no rounds in flight:
+                        // the barrier may fire.
+                        result.wave = Some((slot, wave));
+                    } else {
+                        // Barrier reached but earlier rounds are still
+                        // answering; put it back and wait for them.
+                        st.queue.push_front(Entry::Wave { slot, wave });
+                        result.blocked = true;
+                    }
+                } else {
+                    deferred.push(Entry::Wave { slot, wave });
+                }
+                break;
+            }
+            Entry::Group(id) => {
+                let (u, v) = {
+                    let query = st.groups[id]
+                        .query
+                        .as_ref()
+                        .expect("queued group has query");
+                    (query.u, query.v)
+                };
+                let lane = oracle.admission_lane(u, v).min(lanes - 1);
+                if st.lane_cooldown[lane] > 0 {
+                    match config.rebuild_policy {
+                        RebuildPolicy::Shed => {
+                            st.unindex_group(id);
+                            let tickets = std::mem::take(&mut st.groups[id].tickets);
+                            for ticket in &tickets {
+                                st.slots[ticket.slot].state = TicketState::Shed;
+                            }
+                            let count = tickets.len();
+                            st.counters.shed += count as u64;
+                            st.lane_shed[lane] += count as u64;
+                            st.pending_tickets -= count;
+                            result.shed += count;
+                            st.free_group(id, tickets);
+                        }
+                        RebuildPolicy::Queue => deferred.push(Entry::Group(id)),
+                    }
+                    continue;
+                }
+                if config.max_in_flight > 0 && result.admitted.len() >= config.max_in_flight {
+                    deferred.push(Entry::Group(id));
+                    break;
+                }
+                if config.lane_in_flight > 0 && lane_load[lane] >= config.lane_in_flight {
+                    deferred.push(Entry::Group(id));
+                    continue;
+                }
+                lane_load[lane] += 1;
+                st.unindex_group(id);
+                let query = st.groups[id].query.take().expect("queued group has query");
+                result.admitted_tickets += st.groups[id].tickets.len();
+                st.pending_tickets -= st.groups[id].tickets.len();
+                result.admitted.push((id, query));
+            }
+        }
+    }
+    // Deferred commands go back to the front, in their original order,
+    // ahead of everything not yet scanned.
+    for entry in deferred.into_iter().rev() {
+        st.queue.push_front(entry);
+    }
+    result
+}
+
+/// One round against a cloned epoch: scan/admit under the state lock,
+/// answer the batch with the lock released, fan answers out to every
+/// ticket. Returns [`RoundResult::Wave`] instead of applying barriers —
+/// the caller must drop its epoch handle first.
+fn run_round<O: SpannerOracle>(core: &Core<O>, oracle: &Arc<O>) -> RoundResult {
+    let mut st = core.state.lock().expect("service state poisoned");
+    if st.wave_in_progress {
+        return RoundResult::Blocked;
+    }
+    if st.queue.is_empty() {
+        return RoundResult::Idle;
+    }
+    let scan = scan_round(&core.config, &mut st, oracle.as_ref());
+
+    if let Some((slot, wave)) = scan.wave {
+        st.counters.rounds += 1;
+        st.wave_in_progress = true;
+        drop(st);
+        if scan.shed > 0 {
+            core.cv.notify_all();
+        }
+        return RoundResult::Wave {
+            slot,
+            wave,
+            shed: scan.shed,
+        };
+    }
+
+    if scan.admitted.is_empty() {
+        if scan.blocked && scan.shed == 0 {
+            return RoundResult::Blocked;
+        }
+        // A shed-only or deferred-only round still counts: cooldowns
+        // measure rounds, and decrementing here is what guarantees
+        // Queue-policy termination.
+        st.counters.rounds += 1;
+        st.tick_cooldowns();
+        drop(st);
+        if scan.shed > 0 {
+            core.cv.notify_all();
+        }
+        return RoundResult::Progress(PumpOutcome {
+            answered: 0,
+            coalesced: 0,
+            shed: scan.shed,
+            waves: 0,
+        });
+    }
+
+    st.counters.rounds += 1;
+    st.in_flight += scan.admitted_tickets;
+    drop(st);
+
+    // Backend phase: no service lock held. Readers in other rounds run
+    // concurrently against their own epoch handles.
+    let mut group_ids = Vec::with_capacity(scan.admitted.len());
+    let mut batch = Vec::with_capacity(scan.admitted.len());
+    for (id, query) in scan.admitted {
+        group_ids.push(id);
+        batch.push(query);
+    }
+    let answers = oracle.answer_batch(&batch);
+    debug_assert_eq!(answers.len(), batch.len());
+
+    // Fan out: every ticket of a group receives the group's answer (the
+    // last by move, the rest by clone).
+    let mut st = core.state.lock().expect("service state poisoned");
+    let mut answered = 0usize;
+    let mut coalesced = 0usize;
+    for (id, answer) in group_ids.into_iter().zip(answers) {
+        let mut tickets = std::mem::take(&mut st.groups[id].tickets);
+        answered += tickets.len();
+        coalesced += tickets.len() - 1;
+        let last = tickets.pop();
+        for ticket in &tickets {
+            st.slots[ticket.slot].state = TicketState::Answered(answer.clone());
+        }
+        if let Some(ticket) = last {
+            st.slots[ticket.slot].state = TicketState::Answered(answer);
+        }
+        st.free_group(id, tickets);
+    }
+    st.counters.answered += answered as u64;
+    st.counters.coalesced += coalesced as u64;
+    st.in_flight -= scan.admitted_tickets;
+    // Cooldowns measure query rounds *after* the wave; only non-wave
+    // rounds consume one.
+    st.tick_cooldowns();
+    drop(st);
+    core.cv.notify_all();
+    RoundResult::Progress(PumpOutcome {
+        answered,
+        coalesced,
+        shed: scan.shed,
+        waves: 0,
+    })
+}
+
+/// The wave writer: takes the epoch slot exclusively (spinning until every
+/// outstanding epoch handle drops), applies the wave in place, and
+/// publishes the repaired epoch by releasing the slot. The caller must
+/// have popped the wave and set `wave_in_progress` (via
+/// [`RoundResult::Wave`]) and must hold **no** epoch handle.
+fn apply_wave_barrier<O: SpannerOracle>(core: &Core<O>, slot: usize, wave: FaultSet) {
+    let mut guard = core.epoch.lock().expect("epoch slot poisoned");
+    let report = loop {
+        // In-flight rounds were drained before the barrier fired, so the
+        // only handles left are short-lived `oracle()` reads / snapshot
+        // captures; yield until they drop.
+        match Arc::get_mut(&mut guard) {
+            Some(oracle) => break oracle.apply_wave(&wave, &core.config.churn),
+            None => thread::yield_now(),
+        }
+    };
+    drop(guard); // publication
+
+    let mut st = core.state.lock().expect("service state poisoned");
+    for &lane in &report.rebuilt_lanes {
+        st.lane_cooldown[lane] = core.config.rebuild_cooldown;
+    }
+    st.slots[slot].state = TicketState::Waved(report);
+    st.counters.waves += 1;
+    st.pending_tickets -= 1;
+    st.wave_in_progress = false;
+    drop(st);
+    core.cv.notify_all();
 }
 
 #[cfg(test)]
@@ -675,7 +1347,7 @@ mod tests {
     #[test]
     fn submit_drain_answers_match_direct_batch() {
         let direct = backend(1);
-        let mut service = OracleService::new(backend(1), ServiceConfig::default());
+        let service = OracleService::new(backend(1), ServiceConfig::default());
         let batch = queries(60, 30, 2);
         let expected = direct.answer_batch(&batch);
         let tickets: Vec<TicketId> = batch.iter().cloned().map(|q| service.submit(q)).collect();
@@ -692,7 +1364,7 @@ mod tests {
 
     #[test]
     fn duplicates_coalesce_to_one_backend_query() {
-        let mut service = OracleService::new(backend(3), ServiceConfig::default());
+        let service = OracleService::new(backend(3), ServiceConfig::default());
         let faults = FaultSet::vertices([vid(7)]);
         let query = Query::distance(vid(0), vid(5), faults.clone());
         let tickets: Vec<TicketId> = (0..10).map(|_| service.submit(query.clone())).collect();
@@ -717,7 +1389,7 @@ mod tests {
 
     #[test]
     fn coalescing_distinguishes_kind_and_faults() {
-        let mut service = OracleService::new(backend(4), ServiceConfig::default());
+        let service = OracleService::new(backend(4), ServiceConfig::default());
         let f1 = FaultSet::vertices([vid(7)]);
         let f2 = FaultSet::vertices([vid(8)]);
         let d = service.submit(Query::distance(vid(0), vid(5), f1.clone()));
@@ -731,12 +1403,34 @@ mod tests {
     }
 
     #[test]
+    fn coalescing_never_crosses_a_wave_barrier() {
+        let service = OracleService::new(backend(6), ServiceConfig::default());
+        let faults = FaultSet::empty(FaultModel::Vertex);
+        let before = service.submit(Query::distance(vid(0), vid(9), faults.clone()));
+        service.submit_wave(FaultSet::vertices([vid(4)]));
+        let after = service.submit(Query::distance(vid(0), vid(9), faults));
+        let outcome = service.drain();
+        assert_eq!(outcome.answered, 2);
+        assert_eq!(
+            outcome.coalesced, 0,
+            "a duplicate must never attach to a group across a barrier"
+        );
+        assert_eq!(
+            service.metrics().queries,
+            2,
+            "each side of the barrier reaches the backend separately"
+        );
+        assert!(service.answer(before).is_some());
+        assert!(service.answer(after).is_some());
+    }
+
+    #[test]
     fn admission_caps_split_a_burst_into_rounds() {
         let config = ServiceConfig::default()
             .with_max_in_flight(16)
             .with_coalesce(false);
         let direct = backend(5);
-        let mut service = OracleService::new(backend(5), config);
+        let service = OracleService::new(backend(5), config);
         let batch = queries(50, 30, 6);
         let expected = direct.answer_batch(&batch);
         let tickets: Vec<TicketId> = batch.iter().cloned().map(|q| service.submit(q)).collect();
@@ -753,7 +1447,7 @@ mod tests {
     #[test]
     fn wave_is_a_fifo_barrier() {
         let mut direct = backend(7);
-        let mut service = OracleService::new(backend(7), ServiceConfig::default());
+        let service = OracleService::new(backend(7), ServiceConfig::default());
         let faults = FaultSet::empty(FaultModel::Vertex);
         let before = service.submit(Query::distance(vid(0), vid(9), faults.clone()));
         let wave = FaultSet::vertices([vid(4), vid(11)]);
@@ -797,7 +1491,7 @@ mod tests {
         let config = ServiceConfig::default()
             .with_rebuild_cooldown(1)
             .with_rebuild_policy(RebuildPolicy::Shed);
-        let mut service = OracleService::new(two_lane_sharded(), config);
+        let service = OracleService::new(two_lane_sharded(), config);
         // A wave deep in lane 0's half; lane 1's region (vertices ≥ 6 plus
         // halo) is far enough to stay untouched.
         let wave_ticket = service.submit_wave(FaultSet::vertices([vid(0)]));
@@ -816,7 +1510,7 @@ mod tests {
         assert_eq!(outcome.answered, 1);
         assert!(matches!(service.state(cooling), TicketState::Shed));
         assert!(service.answer(warm).is_some());
-        assert_eq!(service.shed_by_lane(), &[1, 0]);
+        assert_eq!(service.shed_by_lane(), [1, 0]);
 
         // The cooldown expired with that round; a resubmission is served.
         let retry = service.submit(Query::distance(vid(2), vid(4), faults));
@@ -830,7 +1524,7 @@ mod tests {
         let config = ServiceConfig::default()
             .with_rebuild_cooldown(2)
             .with_rebuild_policy(RebuildPolicy::Queue);
-        let mut service = OracleService::new(two_lane_sharded(), config);
+        let service = OracleService::new(two_lane_sharded(), config);
         service.submit_wave(FaultSet::vertices([vid(0)]));
         service.pump();
         let faults = FaultSet::empty(FaultModel::Vertex);
@@ -848,7 +1542,7 @@ mod tests {
     #[test]
     fn max_pending_sheds_on_arrival() {
         let config = ServiceConfig::default().with_max_pending(2);
-        let mut service = OracleService::new(backend(9), config);
+        let service = OracleService::new(backend(9), config);
         let faults = FaultSet::empty(FaultModel::Vertex);
         let a = service.submit(Query::distance(vid(0), vid(1), faults.clone()));
         let b = service.submit(Query::distance(vid(0), vid(2), faults.clone()));
@@ -865,7 +1559,7 @@ mod tests {
 
     #[test]
     fn recycle_frees_slots_only_between_bursts() {
-        let mut service = OracleService::new(backend(10), ServiceConfig::default());
+        let service = OracleService::new(backend(10), ServiceConfig::default());
         let faults = FaultSet::empty(FaultModel::Vertex);
         service.submit(Query::distance(vid(0), vid(1), faults.clone()));
         assert_eq!(service.recycle(), 0, "pending commands pin the slots");
@@ -880,7 +1574,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalidated by")]
     fn stale_tickets_panic_after_recycle() {
-        let mut service = OracleService::new(backend(12), ServiceConfig::default());
+        let service = OracleService::new(backend(12), ServiceConfig::default());
         let faults = FaultSet::empty(FaultModel::Vertex);
         let stale = service.submit(Query::distance(vid(0), vid(1), faults.clone()));
         service.drain();
@@ -894,8 +1588,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "issued by another service instance")]
     fn foreign_tickets_are_rejected() {
-        let mut a = OracleService::new(backend(13), ServiceConfig::default());
-        let mut b = OracleService::new(backend(13), ServiceConfig::default());
+        let a = OracleService::new(backend(13), ServiceConfig::default());
+        let b = OracleService::new(backend(13), ServiceConfig::default());
         let faults = FaultSet::empty(FaultModel::Vertex);
         let from_a = a.submit(Query::distance(vid(0), vid(1), faults.clone()));
         let _ = b.submit(Query::distance(vid(0), vid(2), faults));
@@ -913,7 +1607,7 @@ mod tests {
             .with_lane_in_flight(4)
             .with_coalesce(false);
         let direct = backend(14);
-        let mut service = OracleService::new(backend(14), config);
+        let service = OracleService::new(backend(14), config);
         let batch = queries(300, 30, 15);
         let expected = direct.answer_batch(&batch);
         let tickets: Vec<TicketId> = batch.iter().cloned().map(|q| service.submit(q)).collect();
@@ -928,10 +1622,155 @@ mod tests {
 
     #[test]
     fn pump_on_an_empty_queue_is_a_no_op() {
-        let mut service = OracleService::new(backend(11), ServiceConfig::default());
+        let service = OracleService::new(backend(11), ServiceConfig::default());
         let outcome = service.pump();
         assert_eq!(outcome, PumpOutcome::default());
         assert_eq!(service.metrics().rounds, 0);
         assert_eq!(service.drain(), PumpOutcome::default());
+    }
+
+    // ------------------------------------------------------------------
+    // Concurrent (worker-mode) coverage.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn worker_pool_matches_direct_answers_across_a_wave() {
+        for workers in [1usize, 2, 8] {
+            let mut direct = backend(21);
+            let service =
+                OracleService::new(backend(21), ServiceConfig::default().with_workers(workers));
+            assert_eq!(service.worker_count(), workers);
+            let pre_batch = queries(80, 30, 22);
+            let post_batch = queries(80, 30, 23);
+            let wave = FaultSet::vertices([vid(5), vid(17)]);
+
+            let pre: Vec<TicketId> = pre_batch
+                .iter()
+                .cloned()
+                .map(|q| service.submit(q))
+                .collect();
+            let wave_ticket = service.submit_wave(wave.clone());
+            let post: Vec<TicketId> = post_batch
+                .iter()
+                .cloned()
+                .map(|q| service.submit(q))
+                .collect();
+            let outcome = service.drain();
+            assert_eq!(outcome.answered, 160, "workers {workers}");
+            assert_eq!(outcome.waves, 1);
+
+            let want_pre = direct.answer_batch(&pre_batch);
+            let report = direct.apply_wave(&wave, &ChurnConfig::default());
+            let want_post = direct.answer_batch(&post_batch);
+            assert_eq!(
+                service
+                    .wave_report(wave_ticket)
+                    .unwrap()
+                    .outcome
+                    .edges_added,
+                report.edges_added
+            );
+            // Distances are bit-identical; paths need not be vertex-identical
+            // (shortest paths are not unique) but must agree in presence and
+            // endpoints — the same contract the differential suite pins.
+            for (ticket, want) in pre.iter().zip(&want_pre).chain(post.iter().zip(&want_post)) {
+                let got = service.answer(*ticket).expect("ticket answered");
+                assert_eq!(got.distance(), want.distance(), "workers {workers}");
+                assert_eq!(got.path().is_some(), want.path().is_some());
+                if let (Some(g), Some(w)) = (got.path(), want.path()) {
+                    assert_eq!(g.first(), w.first());
+                    assert_eq!(g.last(), w.last());
+                }
+            }
+            assert_eq!(service.oracle().epoch(), 1);
+        }
+    }
+
+    #[test]
+    fn wait_consumes_the_ticket_and_frees_its_slot() {
+        let service = OracleService::new(backend(24), ServiceConfig::default().with_workers(2));
+        let faults = FaultSet::empty(FaultModel::Vertex);
+        let first = service.submit(Query::distance(vid(0), vid(1), faults.clone()));
+        let state = service.wait(first);
+        assert!(matches!(state, TicketState::Answered(_)));
+        let second = service.submit(Query::distance(vid(0), vid(2), faults));
+        assert_eq!(
+            second.index(),
+            first.index(),
+            "wait must return the slot to the free list"
+        );
+        assert!(matches!(service.wait(second), TicketState::Answered(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalidated by")]
+    fn waited_tickets_cannot_be_redeemed_twice() {
+        let service = OracleService::new(backend(25), ServiceConfig::default());
+        let faults = FaultSet::empty(FaultModel::Vertex);
+        let ticket = service.submit(Query::distance(vid(0), vid(1), faults));
+        let _ = service.wait(ticket);
+        let _ = service.state(ticket);
+    }
+
+    #[test]
+    fn drain_reports_the_delta_since_the_last_report() {
+        let service = OracleService::new(backend(26), ServiceConfig::default().with_workers(2));
+        let batch = queries(20, 30, 27);
+        for q in batch {
+            service.submit(q);
+        }
+        assert_eq!(service.drain().answered, 20);
+        assert_eq!(service.drain(), PumpOutcome::default());
+        assert_eq!(service.metrics().answered, 20);
+    }
+
+    #[test]
+    fn pump_is_a_noop_in_worker_mode() {
+        let service = OracleService::new(backend(28), ServiceConfig::default().with_workers(1));
+        let faults = FaultSet::empty(FaultModel::Vertex);
+        let ticket = service.submit(Query::distance(vid(0), vid(1), faults));
+        assert_eq!(service.pump(), PumpOutcome::default());
+        assert!(matches!(service.wait(ticket), TicketState::Answered(_)));
+    }
+
+    #[test]
+    fn into_oracle_stops_the_workers_and_returns_the_backend() {
+        let service = OracleService::new(backend(29), ServiceConfig::default().with_workers(4));
+        let faults = FaultSet::empty(FaultModel::Vertex);
+        service.submit(Query::distance(vid(0), vid(1), faults));
+        service.submit_wave(FaultSet::vertices([vid(9)]));
+        service.drain();
+        let oracle = service.into_oracle();
+        assert_eq!(oracle.epoch(), 1);
+    }
+
+    #[test]
+    fn concurrent_submitters_share_one_service() {
+        let service = Arc::new(OracleService::new(
+            backend(30),
+            ServiceConfig::default().with_workers(2),
+        ));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let service = Arc::clone(&service);
+            handles.push(thread::spawn(move || {
+                let batch = queries(30, 30, 40 + t);
+                let tickets: Vec<TicketId> =
+                    batch.iter().cloned().map(|q| service.submit(q)).collect();
+                for (ticket, query) in tickets.into_iter().zip(batch) {
+                    match service.wait(ticket) {
+                        TicketState::Answered(answer) => {
+                            let direct = service.oracle().answer(&query);
+                            assert_eq!(answer.distance(), direct.distance());
+                        }
+                        other => panic!("unexpected ticket state {other:?}"),
+                    }
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("submitter thread");
+        }
+        assert_eq!(service.metrics().answered, 120);
     }
 }

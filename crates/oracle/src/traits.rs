@@ -40,7 +40,13 @@ use crate::shard::ShardedOracle;
 /// implementation must preserve, and
 /// [`OracleService`](crate::service::OracleService) for the front-end built
 /// on top of this trait.
-pub trait SpannerOracle {
+///
+/// `Send + Sync` are supertraits: the service front-end publishes the
+/// backend behind an epoch pointer that reader worker threads clone and
+/// query concurrently, so every backend must be shareable across threads.
+/// Both shipped backends already are (interior mutability is confined to
+/// mutex-guarded tree caches and atomic counters).
+pub trait SpannerOracle: Send + Sync {
     /// The current effective input graph (base graph minus accumulated
     /// permanent damage). Query edge-fault identifiers refer to this graph.
     fn graph(&self) -> &Graph;

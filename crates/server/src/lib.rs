@@ -3,11 +3,13 @@
 //! This crate puts the [`OracleService`](ftspan_oracle::OracleService)
 //! front-end behind a TCP socket, using nothing beyond `std`: a
 //! length-prefixed binary protocol (`u32` little-endian frame length, then
-//! the frame body — see [`protocol`]), a nonblocking accept loop, one
-//! handler thread per connection, and a single service thread that owns the
-//! `OracleService` and folds concurrent clients' jobs into shared
-//! submit-drain rounds, so cross-connection duplicate queries coalesce just
-//! like same-batch duplicates do.
+//! the frame body — see [`protocol`]), a nonblocking accept loop, and one
+//! handler thread per connection that submits straight into the shared
+//! concurrent `OracleService` core and blocks on its tickets. The service's
+//! reader workers answer rounds in parallel against the epoch-published
+//! backend, so cross-connection duplicate queries coalesce in the shared
+//! admission queue just like same-batch duplicates do — with no
+//! single-threaded service loop in the middle.
 //!
 //! ## Request set
 //!

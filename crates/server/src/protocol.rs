@@ -395,23 +395,25 @@ pub fn write_frame(stream: &mut impl Write, body: &[u8]) -> io::Result<()> {
 
 /// Reads one frame body. Returns `Ok(None)` on a clean end-of-stream at a
 /// frame boundary; mid-frame EOF and oversized lengths are errors.
+/// [`ErrorKind::Interrupted`](io::ErrorKind::Interrupted) reads are
+/// retried at every position — including the very first header byte, so a
+/// signal landing between frames never kills a healthy connection.
 pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     let mut len_bytes = [0u8; 4];
-    match stream.read(&mut len_bytes) {
-        Ok(0) => return Ok(None),
-        Ok(mut filled) => {
-            while filled < 4 {
-                let n = stream.read(&mut len_bytes[filled..])?;
-                if n == 0 {
-                    return Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "stream ended inside a frame header",
-                    ));
-                }
-                filled += n;
+    let mut filled = 0usize;
+    while filled < 4 {
+        match stream.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame header",
+                ));
             }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
         }
-        Err(e) => return Err(e),
     }
     let len = u32::from_le_bytes(len_bytes) as usize;
     if len > MAX_FRAME_LEN {
@@ -540,5 +542,45 @@ mod tests {
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
         let mut cursor = io::Cursor::new(buf);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    /// Injects an `Interrupted` error before every real read, and delivers
+    /// the real bytes one at a time — the worst-case signal-storm stream.
+    struct InterruptingReader<R> {
+        inner: R,
+        interrupt_next: bool,
+    }
+
+    impl<R: io::Read> io::Read for InterruptingReader<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.interrupt_next {
+                self.interrupt_next = false;
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+            }
+            self.interrupt_next = true;
+            let len = buf.len().min(1);
+            self.inner.read(&mut buf[..len])
+        }
+    }
+
+    #[test]
+    fn interrupted_reads_are_retried_even_on_the_first_header_byte() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"resilient").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut stream = InterruptingReader {
+            inner: io::Cursor::new(buf),
+            interrupt_next: true, // the very first header read is interrupted
+        };
+        assert_eq!(read_frame(&mut stream).unwrap().unwrap(), b"resilient");
+        assert_eq!(read_frame(&mut stream).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut stream).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_inside_the_header_is_an_error_not_a_clean_close() {
+        let mut cursor = io::Cursor::new(vec![5u8, 0]);
+        let err = read_frame(&mut cursor).expect_err("mid-header EOF");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }
 }

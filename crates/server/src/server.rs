@@ -1,22 +1,39 @@
-//! The accept loop, per-connection handlers, and the service thread.
+//! The accept loop and per-connection handlers over the concurrent
+//! service core.
 //!
 //! ## Architecture
 //!
-//! One **service thread** owns the [`OracleService`] — submissions stay
-//! single-writer, exactly as the front-end's submit/pump/drain contract
-//! requires — and consumes jobs from an mpsc channel. Each accepted
-//! connection gets a **handler thread** that reads protocol frames, applies
-//! the per-client token bucket, forwards work as jobs, and writes replies
-//! back; the service thread batches whatever jobs have queued across
-//! connections into one submit-drain round, so concurrent clients coalesce
-//! against each other exactly like one big batch would.
+//! The server shares one [`OracleService`] — the concurrent,
+//! epoch-published core — across every connection. Each accepted
+//! connection gets a **handler thread** that reads protocol frames,
+//! applies the per-client token bucket, submits work straight into the
+//! service ([`OracleService::submit_batch`] keeps a batch contiguous in
+//! the admission queue), and blocks on [`OracleService::wait`] for each
+//! ticket. There is no intermediate job channel and no dedicated service
+//! thread: the service's own reader workers answer rounds in parallel
+//! against the published epoch, and concurrent clients coalesce against
+//! each other in the shared admission queue exactly like one big batch
+//! would. If the service was built without workers,
+//! [`Server::start`] spawns a small pool so handlers never serialize on
+//! inline pumping.
+//!
+//! Telemetry reads never enter the query queue: `METRICS` renders from
+//! the shared metric counters and `SNAPSHOT` captures against the
+//! currently published epoch, off the query path. (A capture briefly
+//! pins the epoch; a concurrent wave barrier waits for it to finish, so
+//! snapshot downloads delay repairs, never corrupt them — and they are
+//! charged tokens, see below.)
 //!
 //! ## Flow control
 //!
 //! * **Per-client rate limiting** ([`ServerConfig::rate_capacity`] /
 //!   [`ServerConfig::rate_refill_per_sec`]): a token bucket per connection;
 //!   `DIST`/`PATH` cost one token, `BATCH` costs its length, `WAVE` costs
-//!   one. An empty bucket produces an explicit
+//!   one, and `METRICS`/`SNAPSHOT` cost [`ServerConfig::metrics_cost`] /
+//!   [`ServerConfig::snapshot_cost`]. **Every request costs at least one
+//!   token** — an empty `BATCH` or a telemetry read is never free, so a
+//!   throttled client cannot loop free multi-MB snapshot downloads. An
+//!   empty bucket produces an explicit
 //!   [`Reply::Shed`]`(`[`ShedReason::RateLimited`]`)` — clients are told,
 //!   never silently dropped.
 //! * **Bounded in-flight tickets** ([`ServerConfig::max_in_flight_per_conn`]):
@@ -28,14 +45,14 @@
 //!   [`BatchEntry::Shed`] (or [`ShedReason::Admission`] for single
 //!   queries).
 //! * **Graceful drain**: [`Server::shutdown`] stops accepting, unblocks
-//!   every connection, and the service thread keeps answering queued jobs
-//!   until the last handler exits — then hands the warm [`OracleService`]
-//!   back to the caller (ready for [`Snapshot::capture`]).
+//!   every connection, joins every handler (each finishes its in-flight
+//!   request first) — then hands the warm [`OracleService`] back to the
+//!   caller (ready for [`Snapshot::capture`]).
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -63,6 +80,13 @@ pub struct ServerConfig {
     pub rate_refill_per_sec: f64,
     /// How often the accept loop polls for shutdown between connections.
     pub accept_poll: Duration,
+    /// Token cost of a `METRICS` request. Floored at 1: telemetry is
+    /// cheap but never free.
+    pub metrics_cost: u32,
+    /// Token cost of a `SNAPSHOT` request. Floored at 1; captures ship
+    /// the full serialized oracle, so deployments that rate-limit should
+    /// price them well above a query.
+    pub snapshot_cost: u32,
 }
 
 impl Default for ServerConfig {
@@ -72,42 +96,53 @@ impl Default for ServerConfig {
             rate_capacity: 0,
             rate_refill_per_sec: 0.0,
             accept_poll: Duration::from_millis(20),
+            metrics_cost: 1,
+            snapshot_cost: 1,
         }
     }
 }
 
-/// Jobs forwarded from connection handlers to the service thread. Every job
-/// carries its own reply channel.
-enum Job {
-    Queries(Vec<Query>, mpsc::Sender<Vec<BatchEntry>>),
-    Wave(FaultSet, mpsc::Sender<WaveSummary>),
-    Metrics(mpsc::Sender<String>),
-    Snapshot(mpsc::Sender<Vec<u8>>),
+/// Token cost of one request under `config`, floored at one token so no
+/// request shape — not even `BATCH []` — is free.
+fn request_cost(request: &Request, config: &ServerConfig) -> f64 {
+    let raw = match request {
+        Request::Distance { .. } | Request::Path { .. } | Request::Wave(_) => 1.0,
+        Request::Batch(queries) => queries.len() as f64,
+        Request::Metrics => f64::from(config.metrics_cost),
+        Request::Snapshot => f64::from(config.snapshot_cost),
+    };
+    raw.max(1.0)
 }
 
-/// How many queued jobs the service thread folds into one submit-drain
-/// round. Bounds per-round latency without giving up cross-connection
-/// coalescing.
-const JOBS_PER_ROUND: usize = 64;
+/// How many service workers [`Server::start`] spawns when the supplied
+/// service has none of its own.
+fn default_worker_pool() -> usize {
+    thread::available_parallelism()
+        .map_or(2, usize::from)
+        .min(4)
+}
 
 /// A running `ftspan` server. Dropping it shuts it down; prefer
 /// [`Server::shutdown`] to get the warm service back.
 #[derive(Debug)]
-pub struct Server<O: SpannerOracle + Send + 'static> {
+pub struct Server<O: SpannerOracle + 'static> {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<TcpStream>>>,
+    handlers: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
     accept_thread: Option<thread::JoinHandle<()>>,
-    service_thread: Option<thread::JoinHandle<OracleService<O>>>,
+    service: Option<Arc<OracleService<O>>>,
 }
 
 impl<O> Server<O>
 where
-    O: SpannerOracle + Snapshottable + Send + 'static,
+    O: SpannerOracle + Snapshottable + 'static,
 {
     /// Binds `addr` (use port `0` for an ephemeral port) and starts serving
-    /// the given service. The service moves into the service thread and
-    /// comes back out of [`Server::shutdown`].
+    /// the given service. The service is shared with every connection
+    /// handler and comes back out of [`Server::shutdown`]. If it has no
+    /// worker threads yet, a small pool is spawned so handlers block on
+    /// [`OracleService::wait`] instead of pumping rounds inline.
     ///
     /// # Errors
     ///
@@ -122,21 +157,31 @@ where
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let handlers: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        if service.worker_count() == 0 {
+            service.spawn_workers(default_worker_pool());
+        }
         let vertex_count = service.oracle().graph().vertex_count();
-
-        let (job_tx, job_rx) = mpsc::channel::<Job>();
-        let service_thread = thread::Builder::new()
-            .name("ftspan-service".into())
-            .spawn(move || service_loop(service, &job_rx))?;
+        let service = Arc::new(service);
 
         let accept_thread = {
             let shutdown = Arc::clone(&shutdown);
             let conns = Arc::clone(&conns);
+            let handlers = Arc::clone(&handlers);
+            let service = Arc::clone(&service);
             let config = config.clone();
             thread::Builder::new()
                 .name("ftspan-accept".into())
                 .spawn(move || {
-                    accept_loop(&listener, &job_tx, &shutdown, &conns, &config, vertex_count);
+                    accept_loop(
+                        &listener,
+                        &service,
+                        &shutdown,
+                        &conns,
+                        &handlers,
+                        &config,
+                        vertex_count,
+                    );
                 })?
         };
 
@@ -144,8 +189,9 @@ where
             local_addr,
             shutdown,
             conns,
+            handlers,
             accept_thread: Some(accept_thread),
-            service_thread: Some(service_thread),
+            service: Some(service),
         })
     }
 
@@ -165,17 +211,18 @@ where
     #[must_use]
     pub fn shutdown(mut self) -> OracleService<O> {
         self.begin_shutdown();
-        self.service_thread
-            .take()
-            .expect("service thread present until shutdown")
-            .join()
-            .expect("service thread must not panic")
+        let service = self.service.take().expect("service present until shutdown");
+        match Arc::try_unwrap(service) {
+            Ok(service) => service,
+            Err(_) => panic!("a connection handler outlived shutdown"),
+        }
     }
 
+    /// Closes every connection, then joins the accept thread and every
+    /// handler (handlers observe the closed socket, finish their in-flight
+    /// request, and exit).
     fn begin_shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Unblock every connection handler stuck in a read; they observe
-        // EOF, finish their in-flight request, and drop their job senders.
         for conn in self
             .conns
             .lock()
@@ -187,10 +234,14 @@ where
         if let Some(accept) = self.accept_thread.take() {
             accept.join().expect("accept thread must not panic");
         }
+        let handlers = std::mem::take(&mut *self.handlers.lock().expect("handler list poisoned"));
+        for handler in handlers {
+            let _ = handler.join();
+        }
     }
 }
 
-impl<O: SpannerOracle + Send + 'static> Drop for Server<O> {
+impl<O: SpannerOracle + 'static> Drop for Server<O> {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         for conn in self
@@ -204,17 +255,23 @@ impl<O: SpannerOracle + Send + 'static> Drop for Server<O> {
         if let Some(accept) = self.accept_thread.take() {
             let _ = accept.join();
         }
-        if let Some(service) = self.service_thread.take() {
-            let _ = service.join();
+        let handlers = std::mem::take(&mut *self.handlers.lock().expect("handler list poisoned"));
+        for handler in handlers {
+            let _ = handler.join();
         }
+        // Dropping the service Arc last: with every handler joined this is
+        // the final reference, so the service joins its workers here.
+        self.service.take();
     }
 }
 
-fn accept_loop(
+#[allow(clippy::too_many_arguments)]
+fn accept_loop<O: SpannerOracle + Snapshottable + 'static>(
     listener: &TcpListener,
-    job_tx: &mpsc::Sender<Job>,
+    service: &Arc<OracleService<O>>,
     shutdown: &Arc<AtomicBool>,
     conns: &Arc<Mutex<Vec<TcpStream>>>,
+    handlers: &Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
     config: &ServerConfig,
     vertex_count: usize,
 ) {
@@ -225,13 +282,16 @@ fn accept_loop(
                 if let Ok(clone) = stream.try_clone() {
                     conns.lock().expect("connection list poisoned").push(clone);
                 }
-                let job_tx = job_tx.clone();
+                let service = Arc::clone(service);
                 let config = config.clone();
-                let _ = thread::Builder::new()
+                let spawned = thread::Builder::new()
                     .name("ftspan-conn".into())
                     .spawn(move || {
-                        handle_connection(stream, &job_tx, &config, vertex_count);
+                        handle_connection(stream, &service, &config, vertex_count);
                     });
+                if let Ok(handle) = spawned {
+                    handlers.lock().expect("handler list poisoned").push(handle);
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 thread::sleep(config.accept_poll);
@@ -239,95 +299,6 @@ fn accept_loop(
             Err(_) => break,
         }
     }
-    // The accept loop's job sender drops here; the service thread exits
-    // once the last connection handler has dropped its clone too.
-}
-
-/// The service thread: folds queued jobs into submit-drain rounds against
-/// the single-writer [`OracleService`], replies per job, and exits (giving
-/// the service back) when every sender is gone.
-fn service_loop<O: SpannerOracle + Snapshottable>(
-    mut service: OracleService<O>,
-    jobs: &mpsc::Receiver<Job>,
-) -> OracleService<O> {
-    while let Ok(first) = jobs.recv() {
-        let mut round = vec![first];
-        while round.len() < JOBS_PER_ROUND {
-            match jobs.try_recv() {
-                Ok(job) => round.push(job),
-                Err(_) => break,
-            }
-        }
-        run_round(&mut service, round);
-    }
-    service
-}
-
-/// One submit-drain round over a set of jobs from any mix of connections.
-/// Jobs are submitted in arrival order, so a `WAVE` acts as the same FIFO
-/// barrier it is inside the service queue.
-fn run_round<O: SpannerOracle + Snapshottable>(service: &mut OracleService<O>, round: Vec<Job>) {
-    enum Pending {
-        Queries(Vec<ftspan_oracle::TicketId>, mpsc::Sender<Vec<BatchEntry>>),
-        Wave(ftspan_oracle::TicketId, mpsc::Sender<WaveSummary>),
-    }
-
-    let mut pending = Vec::with_capacity(round.len());
-    for job in round {
-        match job {
-            Job::Queries(queries, reply) => {
-                let tickets = queries.into_iter().map(|q| service.submit(q)).collect();
-                pending.push(Pending::Queries(tickets, reply));
-            }
-            Job::Wave(wave, reply) => {
-                let ticket = service.submit_wave(wave);
-                pending.push(Pending::Wave(ticket, reply));
-            }
-            // Reads need no drain; answer immediately against current state.
-            Job::Metrics(reply) => {
-                let _ = reply.send(service.render_prometheus());
-            }
-            Job::Snapshot(reply) => {
-                let _ = reply.send(Snapshot::capture(service.oracle()));
-            }
-        }
-    }
-    if pending.is_empty() {
-        return;
-    }
-    service.drain();
-    for entry in pending {
-        match entry {
-            Pending::Queries(tickets, reply) => {
-                let entries = tickets
-                    .into_iter()
-                    .map(|t| match service.state(t) {
-                        TicketState::Answered(answer) => BatchEntry::Answered(WireAnswer {
-                            distance: answer.distance,
-                            path: answer.path.clone(),
-                        }),
-                        TicketState::Shed => BatchEntry::Shed,
-                        state => unreachable!("ticket unresolved after drain: {state:?}"),
-                    })
-                    .collect();
-                let _ = reply.send(entries);
-            }
-            Pending::Wave(ticket, reply) => {
-                let report = service
-                    .wave_report(ticket)
-                    .expect("wave resolved after drain");
-                let summary = WaveSummary {
-                    epoch: service.oracle().epoch(),
-                    edges_added: report.outcome.edges_added as u64,
-                    broken_pairs: report.outcome.broken_pairs.len() as u64,
-                    escalated: report.outcome.escalated,
-                    rebuilt_lanes: report.rebuilt_lanes.iter().map(|&l| l as u32).collect(),
-                };
-                let _ = reply.send(summary);
-            }
-        }
-    }
-    service.recycle();
 }
 
 /// Per-connection token bucket. With `refill_per_sec == 0.0` the bucket is
@@ -362,16 +333,16 @@ impl TokenBucket {
     }
 }
 
-fn handle_connection(
+fn handle_connection<O: SpannerOracle + Snapshottable + 'static>(
     mut stream: TcpStream,
-    job_tx: &mpsc::Sender<Job>,
+    service: &OracleService<O>,
     config: &ServerConfig,
     vertex_count: usize,
 ) {
     let mut bucket = TokenBucket::new(config);
     while let Ok(Some(body)) = read_frame(&mut stream) {
         let reply = match decode_request(&body) {
-            Ok(request) => serve_request(request, &mut bucket, job_tx, config, vertex_count),
+            Ok(request) => serve_request(request, &mut bucket, service, config, vertex_count),
             Err(e) => Reply::Error(format!("bad request: {e}")),
         };
         if write_frame(&mut stream, &encode_reply(&reply)).is_err() {
@@ -380,48 +351,24 @@ fn handle_connection(
     }
 }
 
-fn serve_request(
+fn serve_request<O: SpannerOracle + Snapshottable + 'static>(
     request: Request,
     bucket: &mut Option<TokenBucket>,
-    job_tx: &mpsc::Sender<Job>,
+    service: &OracleService<O>,
     config: &ServerConfig,
     vertex_count: usize,
 ) -> Reply {
-    let cost = match &request {
-        Request::Distance { .. } | Request::Path { .. } | Request::Wave(_) => 1.0,
-        Request::Batch(queries) => queries.len() as f64,
-        // Telemetry and snapshot reads are not client query traffic.
-        Request::Metrics | Request::Snapshot => 0.0,
-    };
-    if cost > 0.0 {
-        if let Some(bucket) = bucket {
-            if !bucket.admit(cost) {
-                return Reply::Shed(ShedReason::RateLimited);
-            }
+    if let Some(bucket) = bucket {
+        if !bucket.admit(request_cost(&request, config)) {
+            return Reply::Shed(ShedReason::RateLimited);
         }
     }
     if let Some(message) = validate(&request, vertex_count) {
         return Reply::Error(message);
     }
     match request {
-        Request::Distance { u, v, faults } => {
-            match submit_queries(job_tx, vec![Query::distance(u, v, faults)]) {
-                Some(mut entries) => match entries.pop() {
-                    Some(BatchEntry::Answered(answer)) => Reply::Answer(answer),
-                    _ => Reply::Shed(ShedReason::Admission),
-                },
-                None => service_gone(),
-            }
-        }
-        Request::Path { u, v, faults } => {
-            match submit_queries(job_tx, vec![Query::path(u, v, faults)]) {
-                Some(mut entries) => match entries.pop() {
-                    Some(BatchEntry::Answered(answer)) => Reply::Answer(answer),
-                    _ => Reply::Shed(ShedReason::Admission),
-                },
-                None => service_gone(),
-            }
-        }
+        Request::Distance { u, v, faults } => single_query(service, Query::distance(u, v, faults)),
+        Request::Path { u, v, faults } => single_query(service, Query::path(u, v, faults)),
         Request::Batch(queries) => {
             // Bound this connection's in-flight tickets: submit one chunk at
             // a time, waiting for each before the next.
@@ -431,59 +378,52 @@ fn serve_request(
             while !queries.is_empty() {
                 let rest = queries.split_off(queries.len().min(chunk_size));
                 let chunk = std::mem::replace(&mut queries, rest);
-                match submit_queries(job_tx, chunk) {
-                    Some(chunk_entries) => entries.extend(chunk_entries),
-                    None => return service_gone(),
+                let tickets = service.submit_batch(chunk);
+                for ticket in tickets {
+                    entries.push(match service.wait(ticket) {
+                        TicketState::Answered(answer) => BatchEntry::Answered(WireAnswer {
+                            distance: answer.distance,
+                            path: answer.path,
+                        }),
+                        _ => BatchEntry::Shed,
+                    });
                 }
             }
             Reply::Batch(entries)
         }
         Request::Wave(wave) => {
-            let (reply_tx, reply_rx) = mpsc::channel();
-            if job_tx.send(Job::Wave(wave, reply_tx)).is_err() {
-                return service_gone();
-            }
-            match reply_rx.recv() {
-                Ok(summary) => Reply::Wave(summary),
-                Err(_) => service_gone(),
-            }
-        }
-        Request::Metrics => {
-            let (reply_tx, reply_rx) = mpsc::channel();
-            if job_tx.send(Job::Metrics(reply_tx)).is_err() {
-                return service_gone();
-            }
-            match reply_rx.recv() {
-                Ok(text) => Reply::Metrics(text),
-                Err(_) => service_gone(),
+            let ticket = service.submit_wave(wave);
+            match service.wait(ticket) {
+                TicketState::Waved(report) => Reply::Wave(WaveSummary {
+                    epoch: service.oracle().epoch(),
+                    edges_added: report.outcome.edges_added as u64,
+                    broken_pairs: report.outcome.broken_pairs.len() as u64,
+                    escalated: report.outcome.escalated,
+                    rebuilt_lanes: report.rebuilt_lanes.iter().map(|&l| l as u32).collect(),
+                }),
+                state => Reply::Error(format!("wave unresolved: {state:?}")),
             }
         }
-        Request::Snapshot => {
-            let (reply_tx, reply_rx) = mpsc::channel();
-            if job_tx.send(Job::Snapshot(reply_tx)).is_err() {
-                return service_gone();
-            }
-            match reply_rx.recv() {
-                Ok(bytes) => Reply::Snapshot(bytes),
-                Err(_) => service_gone(),
-            }
-        }
+        // Reads answer against current shared state, off the query queue.
+        Request::Metrics => Reply::Metrics(service.render_prometheus()),
+        Request::Snapshot => Reply::Snapshot(Snapshot::capture(&*service.oracle())),
     }
 }
 
-fn submit_queries(job_tx: &mpsc::Sender<Job>, queries: Vec<Query>) -> Option<Vec<BatchEntry>> {
-    let (reply_tx, reply_rx) = mpsc::channel();
-    job_tx.send(Job::Queries(queries, reply_tx)).ok()?;
-    reply_rx.recv().ok()
-}
-
-fn service_gone() -> Reply {
-    Reply::Error("service is shutting down".to_owned())
+fn single_query<O: SpannerOracle + 'static>(service: &OracleService<O>, query: Query) -> Reply {
+    let ticket = service.submit(query);
+    match service.wait(ticket) {
+        TicketState::Answered(answer) => Reply::Answer(WireAnswer {
+            distance: answer.distance,
+            path: answer.path,
+        }),
+        _ => Reply::Shed(ShedReason::Admission),
+    }
 }
 
 /// Rejects ids outside the graph's vertex set before they reach the
 /// backend — the oracles index dense arrays by vertex id, and a remote
-/// client must not be able to panic the service thread.
+/// client must not be able to panic a handler thread.
 fn validate(request: &Request, vertex_count: usize) -> Option<String> {
     let check_vertex = |v: ftspan_graph::VertexId| {
         (v.index() >= vertex_count).then(|| {
@@ -508,5 +448,65 @@ fn validate(request: &Request, vertex_count: usize) -> Option<String> {
         }),
         Request::Wave(wave) => check_faults(wave),
         Request::Metrics | Request::Snapshot => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftspan::FaultModel;
+    use ftspan_graph::vid;
+
+    fn config(metrics_cost: u32, snapshot_cost: u32) -> ServerConfig {
+        ServerConfig {
+            metrics_cost,
+            snapshot_cost,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_request_costs_at_least_one_token() {
+        let c = config(0, 0);
+        assert_eq!(request_cost(&Request::Batch(vec![]), &c), 1.0);
+        assert_eq!(request_cost(&Request::Metrics, &c), 1.0);
+        assert_eq!(request_cost(&Request::Snapshot, &c), 1.0);
+        let empty = FaultSet::empty(FaultModel::Vertex);
+        assert_eq!(
+            request_cost(
+                &Request::Distance {
+                    u: vid(0),
+                    v: vid(1),
+                    faults: empty.clone(),
+                },
+                &c
+            ),
+            1.0
+        );
+        assert_eq!(request_cost(&Request::Wave(empty), &c), 1.0);
+    }
+
+    #[test]
+    fn telemetry_costs_are_configurable() {
+        let c = config(3, 40);
+        assert_eq!(request_cost(&Request::Metrics, &c), 3.0);
+        assert_eq!(request_cost(&Request::Snapshot, &c), 40.0);
+        let queries = vec![Query::distance(vid(0), vid(1), FaultSet::empty(FaultModel::Vertex)); 5];
+        assert_eq!(request_cost(&Request::Batch(queries), &c), 5.0);
+    }
+
+    #[test]
+    fn a_depleted_bucket_sheds_telemetry_reads() {
+        let server_config = ServerConfig {
+            rate_capacity: 2,
+            rate_refill_per_sec: 0.0,
+            snapshot_cost: 1,
+            ..ServerConfig::default()
+        };
+        let mut bucket = TokenBucket::new(&server_config).expect("bucket configured");
+        let cost = request_cost(&Request::Snapshot, &server_config);
+        assert!(bucket.admit(cost));
+        assert!(bucket.admit(cost));
+        assert!(!bucket.admit(cost), "free snapshot loops are closed");
     }
 }

@@ -46,12 +46,12 @@ pub fn run_service_demo<O, F>(
     mut traffic: F,
 ) -> ftspan_oracle::ServiceMetrics
 where
-    O: SpannerOracle,
+    O: SpannerOracle + 'static,
     F: FnMut(&O, &mut StdRng) -> Vec<Query>,
 {
     let mut rng = StdRng::seed_from_u64(demo.seed);
     let stretch_bound = oracle.stretch_bound();
-    let mut service = OracleService::new(oracle, config);
+    let service = OracleService::new(oracle, config);
     let mut scratch = DijkstraScratch::new();
     let mut total_queries = 0usize;
     let mut total_secs = 0.0f64;
@@ -94,7 +94,12 @@ where
             );
         }
 
-        let queries = traffic(service.oracle(), &mut rng);
+        let queries = {
+            // Epoch handles pin the published epoch; keep this one scoped
+            // so the inline wave barrier above can take exclusive access.
+            let epoch = service.oracle();
+            traffic(&epoch, &mut rng)
+        };
         let start = Instant::now();
         let mut tickets: Vec<TicketId> = Vec::with_capacity(queries.len());
         let mut outcome = ftspan_oracle::PumpOutcome::default();
@@ -104,7 +109,7 @@ where
             demo.chunk
         };
         for arrivals in queries.chunks(chunk) {
-            tickets.extend(arrivals.iter().cloned().map(|q| service.submit(q)));
+            tickets.extend(service.submit_batch_ref(arrivals.iter()));
             outcome.absorb(service.pump());
         }
         outcome.absorb(service.drain());
@@ -113,20 +118,23 @@ where
         total_secs += secs;
 
         // Audit a sample of answers against exact distances in G ∖ F.
-        for (query, ticket) in queries.iter().zip(&tickets).step_by(97) {
-            // Shed tickets never reached the backend; nothing to audit.
-            let Some(answer) = service.answer(*ticket) else {
-                continue;
-            };
-            let Some(d_h) = answer.distance() else {
-                continue;
-            };
-            let view = query.faults.apply(service.oracle().graph());
-            let tree = scratch.shortest_path_tree(&view, query.u);
-            if let Some(d_g) = tree.distance_to(query.v) {
-                if d_g > 0.0 {
-                    max_stretch = max_stretch.max(d_h / d_g);
-                    audits += 1;
+        {
+            let epoch = service.oracle();
+            for (query, ticket) in queries.iter().zip(&tickets).step_by(97) {
+                // Shed tickets never reached the backend; nothing to audit.
+                let Some(answer) = service.answer(*ticket) else {
+                    continue;
+                };
+                let Some(d_h) = answer.distance() else {
+                    continue;
+                };
+                let view = query.faults.apply(epoch.graph());
+                let tree = scratch.shortest_path_tree(&view, query.u);
+                if let Some(d_g) = tree.distance_to(query.v) {
+                    if d_g > 0.0 {
+                        max_stretch = max_stretch.max(d_h / d_g);
+                        audits += 1;
+                    }
                 }
             }
         }

@@ -1,0 +1,160 @@
+//! Protocol fuzzing: `decode_request`, `decode_reply`, and `read_frame`
+//! over truncated, bit-flipped, and arbitrary byte strings. The decoders
+//! face the network directly, so the contract under fuzz is *total*: every
+//! input returns `Ok` or `Err` — no panic, no abort — and a truncation of
+//! a valid encoding is always an explicit `Err`.
+
+use ftspan::{FaultModel, FaultSet};
+use ftspan_graph::{eid, vid};
+use ftspan_oracle::Query;
+use ftspan_server::protocol::{
+    decode_reply, decode_request, encode_reply, encode_request, read_frame, write_frame,
+};
+use ftspan_server::{BatchEntry, Reply, Request, ShedReason, WaveSummary, WireAnswer};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A corpus of every request shape the wire knows.
+fn request_corpus() -> Vec<Request> {
+    let vertex_faults = FaultSet::vertices([vid(3), vid(9)]);
+    vec![
+        Request::Distance {
+            u: vid(0),
+            v: vid(5),
+            faults: vertex_faults.clone(),
+        },
+        Request::Path {
+            u: vid(2),
+            v: vid(7),
+            faults: FaultSet::edges([eid(1), eid(4)]),
+        },
+        Request::Batch(vec![
+            Query::distance(vid(0), vid(1), vertex_faults.clone()),
+            Query::path(vid(1), vid(2), FaultSet::empty(FaultModel::Edge)),
+        ]),
+        Request::Batch(Vec::new()),
+        Request::Wave(vertex_faults),
+        Request::Metrics,
+        Request::Snapshot,
+    ]
+}
+
+/// A corpus of every reply shape the wire knows.
+fn reply_corpus() -> Vec<Reply> {
+    vec![
+        Reply::Answer(WireAnswer {
+            distance: Some(3.5),
+            path: Some(vec![vid(0), vid(4), vid(9)]),
+        }),
+        Reply::Answer(WireAnswer {
+            distance: None,
+            path: None,
+        }),
+        Reply::Batch(vec![
+            BatchEntry::Answered(WireAnswer {
+                distance: Some(1.0),
+                path: None,
+            }),
+            BatchEntry::Shed,
+        ]),
+        Reply::Wave(WaveSummary {
+            epoch: 3,
+            edges_added: 7,
+            broken_pairs: 2,
+            escalated: true,
+            rebuilt_lanes: vec![0, 2],
+        }),
+        Reply::Metrics("ftspan_queries_total 5\n".to_owned()),
+        Reply::Snapshot(vec![1, 2, 3, 4]),
+        Reply::Shed(ShedReason::RateLimited),
+        Reply::Shed(ShedReason::Admission),
+        Reply::Error("nope".to_owned()),
+    ]
+}
+
+fn arbitrary_bytes(len: usize, seed: u64) -> Vec<u8> {
+    let mut r = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| r.gen::<u32>() as u8).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte strings never panic a decoder. (They may — in
+    /// principle — decode; the property is totality, not rejection.)
+    #[test]
+    fn decoders_are_total_on_arbitrary_bytes(len in 0usize..600, seed in 0u64..1_000_000) {
+        let bytes = arbitrary_bytes(len, seed);
+        let _ = decode_request(&bytes);
+        let _ = decode_reply(&bytes);
+    }
+
+    /// Every proper truncation of a valid request encoding is an explicit
+    /// error: the decoders never read past the buffer and never accept a
+    /// partial message.
+    #[test]
+    fn truncated_requests_are_rejected(which in 0usize..7, cut in 0.0f64..1.0) {
+        let corpus = request_corpus();
+        let bytes = encode_request(&corpus[which % corpus.len()]);
+        prop_assume!(bytes.len() > 1);
+        let cut = (cut * (bytes.len() - 1) as f64) as usize;
+        prop_assert!(decode_request(&bytes[..cut]).is_err());
+    }
+
+    /// Same for replies.
+    #[test]
+    fn truncated_replies_are_rejected(which in 0usize..9, cut in 0.0f64..1.0) {
+        let corpus = reply_corpus();
+        let bytes = encode_reply(&corpus[which % corpus.len()]);
+        prop_assume!(bytes.len() > 1);
+        let cut = (cut * (bytes.len() - 1) as f64) as usize;
+        prop_assert!(decode_reply(&bytes[..cut]).is_err());
+    }
+
+    /// A single flipped bit anywhere in a valid encoding never panics a
+    /// decoder; whatever still decodes re-encodes without panicking too.
+    #[test]
+    fn bit_flipped_messages_never_panic(
+        which in 0usize..7,
+        byte_seed in 0u64..1_000_000,
+        bit in 0usize..8,
+    ) {
+        let corpus = request_corpus();
+        let mut bytes = encode_request(&corpus[which % corpus.len()]);
+        let idx = (byte_seed as usize) % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        if let Ok(request) = decode_request(&bytes) {
+            let _ = encode_request(&request);
+        }
+        let replies = reply_corpus();
+        let mut bytes = encode_reply(&replies[which % replies.len()]);
+        let idx = (byte_seed as usize) % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        if let Ok(reply) = decode_reply(&bytes) {
+            let _ = encode_reply(&reply);
+        }
+    }
+
+    /// `read_frame` over arbitrary bytes returns — never panics and never
+    /// over-allocates past the frame cap — and a truncated valid frame is
+    /// an explicit error, not a short read.
+    #[test]
+    fn read_frame_is_total(len in 0usize..64, seed in 0u64..1_000_000, cut in 0.0f64..1.0) {
+        let bytes = arbitrary_bytes(len, seed);
+        let mut cursor = std::io::Cursor::new(bytes.clone());
+        let _ = read_frame(&mut cursor);
+
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &bytes).unwrap();
+        let cut = (cut * (framed.len() - 1) as f64) as usize;
+        let mut truncated = std::io::Cursor::new(framed[..cut].to_vec());
+        match read_frame(&mut truncated) {
+            // An empty prefix is a clean end-of-stream; anything else of a
+            // partial frame must surface as an error.
+            Ok(None) => prop_assert_eq!(cut, 0),
+            Ok(Some(_)) => prop_assert!(false, "truncated frame decoded"),
+            Err(_) => {}
+        }
+    }
+}

@@ -100,7 +100,7 @@ fn compare(
 /// built identically; every round interleaves a pre-wave burst, a wave, and
 /// a post-wave burst **in one drain**, so the wave barrier's ordering is
 /// exercised, not just per-round equivalence.
-fn service_vs_direct<O: SpannerOracle>(
+fn service_vs_direct<O: SpannerOracle + 'static>(
     label: &str,
     mut direct: O,
     backend: O,
@@ -110,7 +110,7 @@ fn service_vs_direct<O: SpannerOracle>(
     tolerance: f64,
 ) {
     let churn = config.churn.clone();
-    let mut service = OracleService::new(backend, config);
+    let service = OracleService::new(backend, config);
     let mut r = rng(seed);
 
     for round in 0..WAVES {
@@ -166,7 +166,7 @@ fn service_vs_direct<O: SpannerOracle>(
                     spanner,
                     query,
                     want,
-                    got,
+                    &got,
                     tolerance,
                 );
             }
@@ -191,54 +191,71 @@ fn service_vs_direct<O: SpannerOracle>(
     );
 }
 
+/// Worker counts every differential scenario runs at: inline (0) plus the
+/// {1, 2, 8} concurrent-pool counts the CI matrix pins.
+const WORKER_COUNTS: [usize; 4] = [0, 1, 2, 8];
+
 #[test]
 fn single_oracle_service_is_bit_identical_across_waves() {
-    let mut r = rng(9201);
-    let graph = generators::connected_gnp(90, 0.08, &mut r);
-    let params = SpannerParams::vertex(2, 2);
-    let direct = FaultOracle::build(graph.clone(), params, OracleOptions::default());
-    let backend = FaultOracle::build(graph, params, OracleOptions::default());
-    let config = ServiceConfig::default()
-        .with_max_in_flight(32)
-        .with_lane_in_flight(32);
-    service_vs_direct("single-gnp90", direct, backend, config, 2, 1, 0.0);
+    for workers in WORKER_COUNTS {
+        let mut r = rng(9201);
+        let graph = generators::connected_gnp(90, 0.08, &mut r);
+        let params = SpannerParams::vertex(2, 2);
+        let direct = FaultOracle::build(graph.clone(), params, OracleOptions::default());
+        let backend = FaultOracle::build(graph, params, OracleOptions::default());
+        let config = ServiceConfig::default()
+            .with_max_in_flight(32)
+            .with_lane_in_flight(32)
+            .with_workers(workers);
+        let label = format!("single-gnp90-w{workers}");
+        service_vs_direct(&label, direct, backend, config, 2, 1, 0.0);
+    }
 }
 
 #[test]
 fn sharded_oracle_service_is_bit_identical_across_waves() {
-    let mut r = rng(9202);
-    let graph = generators::connected_gnp(90, 0.08, &mut r);
-    let params = SpannerParams::vertex(2, 2);
-    let options = ShardedOptions {
-        plan: ShardPlanOptions {
-            shards: 4,
-            ..ShardPlanOptions::default()
-        },
-        ..ShardedOptions::default()
-    };
-    let direct = ShardedOracle::build(graph.clone(), params, options.clone());
-    let backend = ShardedOracle::build(graph, params, options);
-    assert!(backend.shard_count() > 1, "per-shard admission needs lanes");
-    // Global *and* per-lane caps: per-shard admission control is on.
-    let config = ServiceConfig::default()
-        .with_max_in_flight(48)
-        .with_lane_in_flight(8);
-    service_vs_direct("sharded-gnp90", direct, backend, config, 2, 2, 0.0);
+    for workers in WORKER_COUNTS {
+        let mut r = rng(9202);
+        let graph = generators::connected_gnp(90, 0.08, &mut r);
+        let params = SpannerParams::vertex(2, 2);
+        let options = ShardedOptions {
+            plan: ShardPlanOptions {
+                shards: 4,
+                ..ShardPlanOptions::default()
+            },
+            ..ShardedOptions::default()
+        };
+        let direct = ShardedOracle::build(graph.clone(), params, options.clone());
+        let backend = ShardedOracle::build(graph, params, options);
+        assert!(backend.shard_count() > 1, "per-shard admission needs lanes");
+        // Global *and* per-lane caps: per-shard admission control is on.
+        let config = ServiceConfig::default()
+            .with_max_in_flight(48)
+            .with_lane_in_flight(8)
+            .with_workers(workers);
+        let label = format!("sharded-gnp90-w{workers}");
+        service_vs_direct(&label, direct, backend, config, 2, 2, 0.0);
+    }
 }
 
 #[test]
 fn weighted_backend_agrees_within_tolerance() {
-    let mut r = rng(9203);
-    let base = {
-        let mut g = generators::random_geometric(70, 0.2, &mut r);
-        generators::overlay_random_spanning_tree(&mut g, &mut r);
-        generators::with_random_weights(&g, 1.0, 8.0, &mut r)
-    };
-    let params = SpannerParams::vertex(2, 1);
-    let direct = FaultOracle::build(base.clone(), params, OracleOptions::default());
-    let backend = FaultOracle::build(base, params, OracleOptions::default());
-    let config = ServiceConfig::default().with_max_in_flight(24);
-    service_vs_direct("weighted-geo70", direct, backend, config, 1, 3, 1e-9);
+    for workers in WORKER_COUNTS {
+        let mut r = rng(9203);
+        let base = {
+            let mut g = generators::random_geometric(70, 0.2, &mut r);
+            generators::overlay_random_spanning_tree(&mut g, &mut r);
+            generators::with_random_weights(&g, 1.0, 8.0, &mut r)
+        };
+        let params = SpannerParams::vertex(2, 1);
+        let direct = FaultOracle::build(base.clone(), params, OracleOptions::default());
+        let backend = FaultOracle::build(base, params, OracleOptions::default());
+        let config = ServiceConfig::default()
+            .with_max_in_flight(24)
+            .with_workers(workers);
+        let label = format!("weighted-geo70-w{workers}");
+        service_vs_direct(&label, direct, backend, config, 1, 3, 1e-9);
+    }
 }
 
 /// Per-shard shedding during a rebuild: a wave confined to one shard puts
@@ -289,7 +306,7 @@ fn rebuilt_shard_sheds_while_untouched_shards_serve_identically() {
         .with_rebuild_cooldown(1)
         .with_rebuild_policy(RebuildPolicy::Shed);
     let churn = config.churn.clone();
-    let mut service = OracleService::new(backend, config);
+    let service = OracleService::new(backend, config);
 
     // The wave hits deep inside clique A (shard 0).
     let wave = FaultSet::vertices([vid(2)]);
@@ -330,7 +347,7 @@ fn rebuilt_shard_sheds_while_untouched_shards_serve_identically() {
             service.oracle().spanner(),
             query,
             want,
-            got,
+            &got,
             0.0,
         );
     }
@@ -347,7 +364,7 @@ fn rebuilt_shard_sheds_while_untouched_shards_serve_identically() {
         service.oracle().spanner(),
         &retry_query,
         &want,
-        got,
+        &got,
         0.0,
     );
 
