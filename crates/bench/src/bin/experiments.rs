@@ -1141,6 +1141,97 @@ fn bench_trajectory() {
         });
     }
 
+    // 10. Chaos recovery: fault waves applied per second *through the
+    //     service barrier* (submit-to-publication, drain included).
+    //     `before` is uniform random waves measured this run; `after` is
+    //     an adversary aiming the same budget at the highest-degree
+    //     vertices — so the speedup column is the measured targeted-attack
+    //     tax on recovery (expected at or below 1.0).
+    {
+        use ftspan_oracle::chaos::high_degree_wave;
+        use ftspan_oracle::{OracleService, ServiceConfig};
+        // A scale-free topology: hubs exist, so aiming at them actually
+        // hurts (on an ER graph every vertex looks alike and the targeted
+        // column measures nothing).
+        let chaos_graph = ftspan_graph::generators::barabasi_albert(400, 4, &mut rng(31));
+        let chaos_params = SpannerParams::vertex(2, 2);
+        let mut wave_rng = rng(32);
+        let random_waves: Vec<FaultSet> = (0..8)
+            .map(|_| sample_fault_set(&chaos_graph, FaultModel::Vertex, 3, &[], &mut wave_rng))
+            .collect();
+        // Eight disjoint targeted waves: successive 3-vertex slices of the
+        // degree ranking, hardest hubs first.
+        let targeted_waves: Vec<FaultSet> = high_degree_wave(&chaos_graph, 24)
+            .vertex_faults()
+            .chunks(3)
+            .map(|chunk| FaultSet::vertices(chunk.iter().copied()))
+            .collect();
+        let measure = |waves: &[FaultSet]| {
+            let oracle =
+                FaultOracle::build(chaos_graph.clone(), chaos_params, OracleOptions::default());
+            let service = OracleService::new(oracle, ServiceConfig::default());
+            let (_, secs) = timed(|| {
+                for wave in waves {
+                    let ticket = service.submit_wave(wave.clone());
+                    let _ = std::hint::black_box(service.wait(ticket));
+                }
+            });
+            waves.len() as f64 / secs
+        };
+        points.push(TrajectoryPoint {
+            name: "chaos_recovery",
+            unit: "waves/s",
+            before: measure(&random_waves),
+            after: measure(&targeted_waves),
+        });
+    }
+
+    // 11. Chaos shed rate: tickets shed per 1 000 submitted when a burst
+    //     overruns a bounded admission queue (`max_pending` = 256, burst =
+    //     2 000). `before` is a uniform stream; `after` is the Zipf
+    //     flash crowd — duplicate-heavy, so coalescing absorbs most of it
+    //     without spending queue slots. The speedup column is the measured
+    //     flash-crowd absorption factor (well below 1.0 when coalescing
+    //     does its job).
+    {
+        use ftspan_oracle::chaos::zipf_queries;
+        use ftspan_oracle::{OracleService, ServiceConfig};
+        let chaos_graph = gnp_workload(400, 8.0, 31);
+        let chaos_params = SpannerParams::vertex(2, 2);
+        let empty = FaultSet::empty(FaultModel::Vertex);
+        let uniform: Vec<Query> = {
+            let mut r = rng(33);
+            (0..batch_size)
+                .map(|_| {
+                    let u = vid(r.gen_range(0..400));
+                    let mut v = vid(r.gen_range(0..400));
+                    while v == u {
+                        v = vid(r.gen_range(0..400));
+                    }
+                    Query::distance(u, v, empty.clone())
+                })
+                .collect()
+        };
+        let flash_crowd = zipf_queries(&chaos_graph, batch_size, 1.4, &empty, 34);
+        let shed_per_1k = |stream: &[Query]| {
+            let oracle =
+                FaultOracle::build(chaos_graph.clone(), chaos_params, OracleOptions::default());
+            let service =
+                OracleService::new(oracle, ServiceConfig::default().with_max_pending(256));
+            for ticket in service.submit_batch_ref(stream.iter()) {
+                let _ = std::hint::black_box(service.wait(ticket));
+            }
+            let metrics = service.metrics();
+            1_000.0 * metrics.shed as f64 / metrics.submitted.max(1) as f64
+        };
+        points.push(TrajectoryPoint {
+            name: "chaos_shed_rate",
+            unit: "shed/1k",
+            before: shed_per_1k(&uniform),
+            after: shed_per_1k(&flash_crowd),
+        });
+    }
+
     // Small rates (waves/s) keep two decimals; large ones round to integers.
     let fmt = |v: f64| {
         if v < 1_000.0 {

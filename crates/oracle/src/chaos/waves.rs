@@ -1,0 +1,309 @@
+//! Adversarial wave and workload generators.
+//!
+//! Random churn measures the average case; an adversary aims. Every
+//! generator here is deterministic given its inputs (ties broken by vertex
+//! id, randomness through a seeded RNG), so a chaos run is reproducible
+//! from its seed, and every generator targets a structural weak point:
+//!
+//! * [`high_degree_wave`] — fault the hubs. On skewed-degree graphs this
+//!   is the classic targeted attack that collapses stale schemes.
+//! * [`betweenness_proxy_wave`] — fault the vertices that carry the most
+//!   shortest-path traffic, estimated by sampled BFS tree sizes (exact
+//!   betweenness is superlinear; the proxy ranks the same heavy hitters).
+//! * [`portal_severing_wave`] — fault every portal between two shards of
+//!   a [`ShardedOracle`], killing each cut edge the
+//!   [`BoundaryIndex`](crate::BoundaryIndex) would stitch through and
+//!   forcing cross-shard traffic onto the global-fallback path.
+//! * [`correlated_regional_wave`] — concentrate every fault inside one
+//!   shard's core, the "rack loss" scenario a uniform sampler almost
+//!   never produces.
+//! * [`zipf_queries`] — a flash-crowd query stream: endpoint popularity
+//!   follows a Zipf law over degree rank, the duplicate-heavy skew that
+//!   stresses admission control and rewards coalescing.
+
+use ftspan::FaultSet;
+use ftspan_graph::{Graph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::query::Query;
+use crate::shard::ShardedOracle;
+
+/// Faults the `count` highest-degree vertices of `graph` (ties broken by
+/// vertex id, so the wave is deterministic).
+#[must_use]
+pub fn high_degree_wave(graph: &Graph, count: usize) -> FaultSet {
+    let mut ranked: Vec<VertexId> = graph.vertices().collect();
+    ranked.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v.index()));
+    ranked.truncate(count);
+    FaultSet::vertices(ranked)
+}
+
+/// Faults the `count` vertices with the highest *betweenness proxy*: BFS
+/// shortest-path trees are grown from `sources` seeded sample roots, and
+/// each vertex is scored by the number of tree descendants it carries,
+/// summed over all trees — a linear-time stand-in for betweenness
+/// centrality that ranks the same transit chokepoints.
+#[must_use]
+pub fn betweenness_proxy_wave(graph: &Graph, count: usize, sources: usize, seed: u64) -> FaultSet {
+    let n = graph.vertex_count();
+    if n == 0 {
+        return FaultSet::vertices([]);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut score = vec![0u64; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut order = Vec::with_capacity(n);
+    let mut subtree = vec![0u64; n];
+    for _ in 0..sources.max(1) {
+        let source = rng.gen_range(0..n);
+        parent.iter_mut().for_each(|p| *p = usize::MAX);
+        order.clear();
+        parent[source] = source;
+        order.push(source);
+        let mut head = 0;
+        while head < order.len() {
+            let v = order[head];
+            head += 1;
+            for (w, _) in graph.neighbors(ftspan_graph::vid(v)) {
+                if parent[w.index()] == usize::MAX {
+                    parent[w.index()] = v;
+                    order.push(w.index());
+                }
+            }
+        }
+        // Reverse BFS order: children are accumulated before their parent,
+        // so `subtree[v]` counts v plus every descendant it routes for.
+        subtree.iter_mut().for_each(|s| *s = 1);
+        for &v in order.iter().rev() {
+            if v != source {
+                subtree[parent[v]] += subtree[v];
+            }
+        }
+        for &v in &order {
+            if v != source {
+                score[v] += subtree[v];
+            }
+        }
+    }
+    let mut ranked: Vec<usize> = (0..n).collect();
+    ranked.sort_by_key(|&v| (std::cmp::Reverse(score[v]), v));
+    FaultSet::vertices(ranked.into_iter().take(count).map(ftspan_graph::vid))
+}
+
+/// Faults every portal vertex between shards `a` and `b` of `oracle` —
+/// after this wave (or under it as a query-time fault set) no cut edge
+/// between the two shards survives, so any cross-pair query the stitched
+/// pair region cannot certify must take the global-fallback path.
+#[must_use]
+pub fn portal_severing_wave(oracle: &ShardedOracle, a: u32, b: u32) -> FaultSet {
+    FaultSet::vertices(oracle.boundary().portals_between(a, b))
+}
+
+/// The adjacent shard pair with the fewest portals — the cheapest boundary
+/// for an adversary to sever. `None` when no two shards are adjacent.
+#[must_use]
+pub fn weakest_boundary_pair(oracle: &ShardedOracle) -> Option<(u32, u32)> {
+    oracle
+        .boundary()
+        .adjacent_pairs()
+        .into_iter()
+        .min_by_key(|&(a, b)| (oracle.boundary().portals_between(a, b).len(), a, b))
+}
+
+/// Faults `count` vertices sampled (without replacement) from one shard's
+/// core — a correlated regional failure, every fault landing in the same
+/// blast radius instead of spread uniformly.
+#[must_use]
+pub fn correlated_regional_wave(
+    oracle: &ShardedOracle,
+    shard: u32,
+    count: usize,
+    seed: u64,
+) -> FaultSet {
+    let mut members: Vec<VertexId> = oracle.plan().core(shard as usize).to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Partial Fisher–Yates: the first `count` slots become the sample.
+    let take = count.min(members.len());
+    for i in 0..take {
+        let j = rng.gen_range(i..members.len());
+        members.swap(i, j);
+    }
+    members.truncate(take);
+    FaultSet::vertices(members)
+}
+
+/// A flash-crowd query stream: `count` queries whose endpoints are drawn
+/// from a Zipf(`skew`) law over the degree ranking of `graph`, every query
+/// carrying a clone of `faults`. High skew means a handful of hub pairs
+/// dominate — the duplicate-heavy stream that admission control and
+/// coalescing exist for. Every third query asks for a witness path.
+#[must_use]
+pub fn zipf_queries(
+    graph: &Graph,
+    count: usize,
+    skew: f64,
+    faults: &FaultSet,
+    seed: u64,
+) -> Vec<Query> {
+    let n = graph.vertex_count();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut ranked: Vec<VertexId> = graph.vertices().collect();
+    ranked.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v.index()));
+    // Cumulative Zipf weights over the rank order: weight(rank r) = r^-skew.
+    let mut cumulative = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for rank in 1..=n {
+        total += (rank as f64).powf(-skew);
+        cumulative.push(total);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let draw = |rng: &mut StdRng| {
+        let x = rng.gen_range(0.0..total);
+        let idx = cumulative.partition_point(|&c| c <= x);
+        ranked[idx.min(n - 1)]
+    };
+    (0..count)
+        .map(|i| {
+            let u = draw(&mut rng);
+            let mut v = draw(&mut rng);
+            while v == u {
+                v = draw(&mut rng);
+            }
+            if i % 3 == 0 {
+                Query::path(u, v, faults.clone())
+            } else {
+                Query::distance(u, v, faults.clone())
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::{ShardPlanOptions, ShardedOptions};
+    use ftspan::{FaultModel, SpannerParams};
+    use ftspan_graph::generators;
+
+    fn star_plus_path() -> Graph {
+        // Vertex 0 is the hub of a star over 1..=6; 7..9 hang off vertex 1.
+        let mut g = ftspan_graph::GraphBuilder::new().vertices(10);
+        for v in 1..=6 {
+            g = g.edge(0, v, 1.0);
+        }
+        g = g.edge(1, 7, 1.0).edge(7, 8, 1.0).edge(8, 9, 1.0);
+        g.build()
+    }
+
+    #[test]
+    fn high_degree_targets_the_hub() {
+        let g = star_plus_path();
+        let wave = high_degree_wave(&g, 2);
+        let faulted = wave.vertex_faults();
+        assert!(faulted.contains(&ftspan_graph::vid(0)), "hub is faulted");
+        assert!(faulted.contains(&ftspan_graph::vid(1)), "second hub too");
+        assert_eq!(high_degree_wave(&g, 2), wave, "deterministic");
+    }
+
+    #[test]
+    fn betweenness_proxy_finds_the_bridge() {
+        // A dumbbell: two cliques joined by the bridge vertex 4.
+        let mut b = ftspan_graph::GraphBuilder::new().vertices(9);
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                b = b.edge(u, v, 1.0);
+            }
+        }
+        for u in 5..9 {
+            for v in (u + 1)..9 {
+                b = b.edge(u, v, 1.0);
+            }
+        }
+        let g = b.edge(3, 4, 1.0).edge(4, 5, 1.0).build();
+        let wave = betweenness_proxy_wave(&g, 1, 8, 42);
+        assert_eq!(
+            wave.vertex_faults(),
+            &[ftspan_graph::vid(4)],
+            "the bridge carries every cross-clique tree"
+        );
+        assert_eq!(betweenness_proxy_wave(&g, 1, 8, 42), wave, "deterministic");
+    }
+
+    #[test]
+    fn regional_wave_stays_inside_the_shard_core() {
+        let mut r = StdRng::seed_from_u64(5);
+        let graph = generators::connected_gnp(60, 0.1, &mut r);
+        let oracle = ShardedOracle::build(
+            graph,
+            SpannerParams::vertex(2, 2),
+            ShardedOptions {
+                plan: ShardPlanOptions {
+                    shards: 3,
+                    ..ShardPlanOptions::default()
+                },
+                ..ShardedOptions::default()
+            },
+        );
+        let shard = (0..oracle.shard_count() as u32)
+            .max_by_key(|&s| oracle.plan().core(s as usize).len())
+            .expect("at least one shard");
+        let wave = correlated_regional_wave(&oracle, shard, 5, 9);
+        assert_eq!(
+            wave.vertex_faults().len(),
+            5.min(oracle.plan().core(shard as usize).len())
+        );
+        assert!(!wave.is_empty());
+        for &v in wave.vertex_faults() {
+            assert_eq!(oracle.plan().shard_of(v), shard, "fault escaped the region");
+        }
+    }
+
+    #[test]
+    fn portal_severing_kills_every_cut_edge() {
+        let mut r = StdRng::seed_from_u64(6);
+        let graph = generators::connected_gnp(60, 0.1, &mut r);
+        let oracle = ShardedOracle::build(
+            graph,
+            SpannerParams::vertex(2, 2),
+            ShardedOptions {
+                plan: ShardPlanOptions {
+                    shards: 3,
+                    ..ShardPlanOptions::default()
+                },
+                ..ShardedOptions::default()
+            },
+        );
+        let (a, b) = weakest_boundary_pair(&oracle).expect("shards touch");
+        let wave = portal_severing_wave(&oracle, a, b);
+        assert!(!wave.is_empty());
+        assert_eq!(
+            oracle
+                .boundary()
+                .live_cut_edges_between(a, b, &wave, oracle.spanner()),
+            0,
+            "no cut edge survives the severing wave"
+        );
+    }
+
+    #[test]
+    fn zipf_streams_are_skewed_and_reproducible() {
+        let mut r = StdRng::seed_from_u64(7);
+        let graph = generators::barabasi_albert(50, 2, &mut r);
+        let empty = FaultSet::empty(FaultModel::Vertex);
+        let stream = zipf_queries(&graph, 300, 1.2, &empty, 11);
+        assert_eq!(stream.len(), 300);
+        assert_eq!(stream, zipf_queries(&graph, 300, 1.2, &empty, 11));
+        // Skew: the single most popular endpoint must appear far more often
+        // than the uniform expectation of 2 * 300 / 50 = 12 endpoints.
+        let mut counts = std::collections::HashMap::new();
+        for q in &stream {
+            *counts.entry(q.u).or_insert(0u32) += 1;
+            *counts.entry(q.v).or_insert(0u32) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max > 36, "flash crowd is not skewed: max endpoint {max}");
+    }
+}

@@ -79,6 +79,7 @@
 pub mod batch;
 pub mod boundary;
 pub mod cache;
+pub mod chaos;
 pub mod churn;
 pub mod metrics;
 mod oracle;

@@ -161,6 +161,13 @@ pub struct ServiceMetrics {
     pub shed: u64,
     /// Front-end pump rounds executed.
     pub rounds: u64,
+    /// Total microseconds spent recovering from fault waves
+    /// (submit-barrier drain, repair, and epoch publication included) —
+    /// the cumulative degradation cost of churn.
+    pub wave_recovery_micros: u64,
+    /// Microseconds the most recent wave took to recover — what an
+    /// operator watches during an incident.
+    pub last_wave_recovery_micros: u64,
 }
 
 impl ServiceMetrics {
@@ -257,6 +264,22 @@ impl ServiceMetrics {
             "ftspan_rounds_total",
             "Front-end pump rounds executed.",
             self.rounds,
+        );
+        counter(
+            &mut out,
+            "ftspan_wave_recovery_micros_total",
+            "Microseconds spent recovering from fault waves.",
+            self.wave_recovery_micros,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP ftspan_last_wave_recovery_micros Recovery time of the most recent wave."
+        );
+        let _ = writeln!(out, "# TYPE ftspan_last_wave_recovery_micros gauge");
+        let _ = writeln!(
+            out,
+            "ftspan_last_wave_recovery_micros {}",
+            self.last_wave_recovery_micros
         );
         let _ = writeln!(
             out,
@@ -369,6 +392,8 @@ mod tests {
             coalesced: 5,
             shed: 2,
             rounds: 7,
+            wave_recovery_micros: 8150,
+            last_wave_recovery_micros: 4075,
         };
         let text = metrics.render_prometheus(&[1, 0]);
         let expected = "\
@@ -402,6 +427,12 @@ ftspan_shed_total 2
 # HELP ftspan_rounds_total Front-end pump rounds executed.
 # TYPE ftspan_rounds_total counter
 ftspan_rounds_total 7
+# HELP ftspan_wave_recovery_micros_total Microseconds spent recovering from fault waves.
+# TYPE ftspan_wave_recovery_micros_total counter
+ftspan_wave_recovery_micros_total 8150
+# HELP ftspan_last_wave_recovery_micros Recovery time of the most recent wave.
+# TYPE ftspan_last_wave_recovery_micros gauge
+ftspan_last_wave_recovery_micros 4075
 # HELP ftspan_lane_shed_total Requests shed per admission lane.
 # TYPE ftspan_lane_shed_total counter
 ftspan_lane_shed_total{lane=\"0\"} 1

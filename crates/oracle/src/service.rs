@@ -61,6 +61,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::Instant;
 
 use ftspan::FaultSet;
 
@@ -125,7 +126,10 @@ pub struct ServiceConfig {
     pub rebuild_policy: RebuildPolicy,
     /// Cap on pending (queued, unadmitted) tickets; submissions past it
     /// are shed on arrival. `0` means unbounded. Waves are control plane
-    /// and are never shed.
+    /// and are never shed, and (with [`ServiceConfig::coalesce`] on)
+    /// neither are exact duplicates of a query already pending — they
+    /// join the existing group without spending a queue slot, so a
+    /// flash crowd of one hot pair never sheds past its first arrival.
     pub max_pending: usize,
     /// Churn configuration used when a [`ServiceCommand::Wave`] is applied.
     pub churn: ChurnConfig,
@@ -310,6 +314,8 @@ struct Counters {
     shed: u64,
     waves: u64,
     rounds: u64,
+    wave_recovery_micros: u64,
+    last_wave_recovery_micros: u64,
 }
 
 /// Coalescing key: endpoints, kind, and the fault-set fingerprint mixed
@@ -747,13 +753,10 @@ impl<O: SpannerOracle + 'static> OracleService<O> {
     fn admit_locked(&self, st: &mut CoreState, query: &Query) -> Result<TicketId, CoalesceKey> {
         let core = &self.core;
         st.counters.submitted += 1;
-        if core.config.max_pending > 0 && st.pending_tickets >= core.config.max_pending {
-            let lanes = st.lane_cooldown.len();
-            let lane = self.arrival_lane(query, lanes);
-            let ticket = st.alloc_slot(TicketState::Shed);
-            st.counters.shed += 1;
-            st.lane_shed[lane] += 1;
-            return Ok(ticket);
+        let at_capacity =
+            core.config.max_pending > 0 && st.pending_tickets >= core.config.max_pending;
+        if at_capacity && !core.config.coalesce {
+            return Ok(self.shed_locked(st, query));
         }
         let fingerprint = crate::cache::KeyRef::new(0, &query.faults).fingerprint();
         let key = coalesce_key(query, fingerprint);
@@ -768,6 +771,10 @@ impl<O: SpannerOracle + 'static> OracleService<O> {
                         && pending.faults == query.faults
                 });
                 if exact {
+                    // Coalescing wins over the overload shed: a duplicate
+                    // of a pending group costs no queue slot and no extra
+                    // backend work, so a flash crowd of the same hot pair
+                    // is absorbed even when the queue is full.
                     let ticket = st.alloc_slot(TicketState::Pending);
                     st.groups[id].tickets.push(ticket);
                     st.pending_tickets += 1;
@@ -775,7 +782,21 @@ impl<O: SpannerOracle + 'static> OracleService<O> {
                 }
             }
         }
+        if at_capacity {
+            return Ok(self.shed_locked(st, query));
+        }
         Err(key)
+    }
+
+    /// Sheds one arrival at the door, charging the shed to the query's
+    /// admission lane.
+    fn shed_locked(&self, st: &mut CoreState, query: &Query) -> TicketId {
+        let lanes = st.lane_cooldown.len();
+        let lane = self.arrival_lane(query, lanes);
+        let ticket = st.alloc_slot(TicketState::Shed);
+        st.counters.shed += 1;
+        st.lane_shed[lane] += 1;
+        ticket
     }
 
     fn enqueue_group_locked(&self, st: &mut CoreState, query: Query, key: CoalesceKey) -> TicketId {
@@ -976,6 +997,8 @@ impl<O: SpannerOracle + 'static> OracleService<O> {
         metrics.coalesced = st.counters.coalesced;
         metrics.shed = st.counters.shed;
         metrics.rounds = st.counters.rounds;
+        metrics.wave_recovery_micros = st.counters.wave_recovery_micros;
+        metrics.last_wave_recovery_micros = st.counters.last_wave_recovery_micros;
         metrics
     }
 
@@ -1285,6 +1308,7 @@ fn run_round<O: SpannerOracle>(core: &Core<O>, oracle: &Arc<O>) -> RoundResult {
 /// have popped the wave and set `wave_in_progress` (via
 /// [`RoundResult::Wave`]) and must hold **no** epoch handle.
 fn apply_wave_barrier<O: SpannerOracle>(core: &Core<O>, slot: usize, wave: FaultSet) {
+    let started = Instant::now();
     let mut guard = core.epoch.lock().expect("epoch slot poisoned");
     let report = loop {
         // In-flight rounds were drained before the barrier fired, so the
@@ -1303,6 +1327,12 @@ fn apply_wave_barrier<O: SpannerOracle>(core: &Core<O>, slot: usize, wave: Fault
     }
     st.slots[slot].state = TicketState::Waved(report);
     st.counters.waves += 1;
+    // Recovery time as the operator experiences it: epoch-handle drain,
+    // in-place repair, and publication, measured at the barrier itself so
+    // inline and worker-pool modes report the same quantity.
+    let recovery = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    st.counters.wave_recovery_micros += recovery;
+    st.counters.last_wave_recovery_micros = recovery;
     st.pending_tickets -= 1;
     st.wave_in_progress = false;
     drop(st);
@@ -1385,6 +1415,34 @@ mod tests {
             assert_eq!(service.answer(*t).unwrap().distance(), first);
         }
         assert!(service.answer(other).is_some());
+    }
+
+    #[test]
+    fn full_queue_still_coalesces_duplicates() {
+        let service = OracleService::new(backend(5), ServiceConfig::default().with_max_pending(2));
+        let faults = FaultSet::empty(FaultModel::Vertex);
+        let hot = Query::distance(vid(0), vid(5), faults.clone());
+        let a = service.submit(hot.clone());
+        let b = service.submit(Query::distance(vid(1), vid(6), faults.clone()));
+        // The queue is now at capacity: a fresh question sheds at the
+        // door, but duplicates of the hot pending pair still coalesce.
+        let fresh = service.submit(Query::distance(vid(2), vid(7), faults.clone()));
+        let dupes: Vec<TicketId> = (0..5).map(|_| service.submit(hot.clone())).collect();
+        assert!(matches!(service.state(fresh), TicketState::Shed));
+        let outcome = service.drain();
+        assert_eq!(outcome.answered, 7);
+        assert_eq!(outcome.coalesced, 5);
+        let metrics = service.metrics();
+        assert_eq!(metrics.shed, 1);
+        assert_eq!(
+            metrics.queries, 2,
+            "the flash crowd must not cost extra backend work"
+        );
+        let first = service.answer(a).unwrap().distance();
+        for t in &dupes {
+            assert_eq!(service.answer(*t).unwrap().distance(), first);
+        }
+        assert!(service.answer(b).is_some());
     }
 
     #[test]

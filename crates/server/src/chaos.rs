@@ -1,0 +1,269 @@
+//! Wire-level fault injection: a TCP proxy that misbehaves on purpose.
+//!
+//! [`ChaosProxy`] sits between a client and an `ftspan` server and
+//! forwards bytes faithfully until a scripted [`ProxyFault`] triggers —
+//! independently per direction, so one proxy can model each of the three
+//! classic wire failures:
+//!
+//! * **mid-frame disconnect** — `CloseAfter` on the client→server leg
+//!   drops the connection partway through a request frame; the server
+//!   must treat the truncated frame as an error and release the handler.
+//! * **slow-loris stall** — `StallAfter` on the client→server leg stops
+//!   forwarding (without closing), exactly like a client that opens a
+//!   frame and never finishes it; the server's read timeout must fire.
+//! * **truncated reply** — `CloseAfter` on the server→client leg cuts a
+//!   reply frame short; the *client* must surface an explicit error
+//!   instead of waiting forever.
+//!
+//! The proxy is deliberately dumb — no frame awareness, byte budgets
+//! only — because real network faults don't respect frame boundaries
+//! either. It is test infrastructure, exported so integration suites and
+//! examples can script degradation drills against a live server.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// What one direction of the proxy does to the byte stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProxyFault {
+    /// Forward every byte faithfully.
+    None,
+    /// Forward exactly `bytes` bytes, then close both sides abruptly —
+    /// a crash / cable-pull, usually mid-frame.
+    CloseAfter {
+        /// Bytes forwarded before the cut.
+        bytes: usize,
+    },
+    /// Forward exactly `bytes` bytes, then stop forwarding without
+    /// closing — the slow-loris: the connection looks alive but no more
+    /// data ever arrives (until the proxy itself shuts down).
+    StallAfter {
+        /// Bytes forwarded before the stall.
+        bytes: usize,
+    },
+}
+
+impl ProxyFault {
+    fn budget(self) -> usize {
+        match self {
+            ProxyFault::None => usize::MAX,
+            ProxyFault::CloseAfter { bytes } | ProxyFault::StallAfter { bytes } => bytes,
+        }
+    }
+}
+
+/// Per-direction fault script for one [`ChaosProxy`]. Applies to every
+/// connection the proxy accepts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProxyPlan {
+    /// Fault on the client→server direction.
+    pub to_server: ProxyFault,
+    /// Fault on the server→client direction.
+    pub to_client: ProxyFault,
+}
+
+impl ProxyPlan {
+    /// A faithful proxy (useful as a control).
+    #[must_use]
+    pub fn passthrough() -> Self {
+        Self {
+            to_server: ProxyFault::None,
+            to_client: ProxyFault::None,
+        }
+    }
+}
+
+/// A running fault-injecting proxy. Dropping it (or calling
+/// [`ChaosProxy::shutdown`]) closes every proxied connection and joins
+/// every pump thread.
+#[derive(Debug)]
+pub struct ChaosProxy {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    streams: Arc<Mutex<Vec<TcpStream>>>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    pumps: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral local port and proxies every accepted
+    /// connection to `upstream` under `plan`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from binding the listener or resolving
+    /// `upstream`.
+    pub fn start(upstream: impl ToSocketAddrs, plan: ProxyPlan) -> io::Result<Self> {
+        let upstream = upstream
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "upstream unresolvable"))?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let pumps: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let streams = Arc::clone(&streams);
+            let pumps = Arc::clone(&pumps);
+            thread::Builder::new()
+                .name("ftspan-chaos-accept".into())
+                .spawn(move || {
+                    proxy_accept_loop(&listener, upstream, plan, &shutdown, &streams, &pumps);
+                })?
+        };
+        Ok(Self {
+            local_addr,
+            shutdown,
+            streams,
+            accept_thread: Some(accept_thread),
+            pumps,
+        })
+    }
+
+    /// The address clients should connect to.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Closes every proxied connection and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for stream in self
+            .streams
+            .lock()
+            .expect("proxy streams poisoned")
+            .drain(..)
+        {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        let pumps = std::mem::take(&mut *self.pumps.lock().expect("proxy pumps poisoned"));
+        for pump in pumps {
+            let _ = pump.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn proxy_accept_loop(
+    listener: &TcpListener,
+    upstream: SocketAddr,
+    plan: ProxyPlan,
+    shutdown: &Arc<AtomicBool>,
+    streams: &Arc<Mutex<Vec<TcpStream>>>,
+    pumps: &Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _peer)) => {
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    continue;
+                };
+                let _ = client.set_nodelay(true);
+                let _ = server.set_nodelay(true);
+                let (Ok(client_clone), Ok(server_clone)) = (client.try_clone(), server.try_clone())
+                else {
+                    continue;
+                };
+                {
+                    let mut registry = streams.lock().expect("proxy streams poisoned");
+                    for s in [&client, &server] {
+                        if let Ok(clone) = s.try_clone() {
+                            registry.push(clone);
+                        }
+                    }
+                }
+                let mut handles = pumps.lock().expect("proxy pumps poisoned");
+                for (name, from, to, fault) in [
+                    ("ftspan-chaos-up", client, server, plan.to_server),
+                    (
+                        "ftspan-chaos-down",
+                        server_clone,
+                        client_clone,
+                        plan.to_client,
+                    ),
+                ] {
+                    let shutdown = Arc::clone(shutdown);
+                    if let Ok(handle) = thread::Builder::new()
+                        .name(name.into())
+                        .spawn(move || pump(from, to, fault, &shutdown))
+                    {
+                        handles.push(handle);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Forwards bytes one way until the fault budget runs out, the peer
+/// closes, or the proxy shuts down. `CloseAfter` exits (closing both
+/// sides); `StallAfter` parks, keeping the sockets open, until shutdown.
+fn pump(mut from: TcpStream, mut to: TcpStream, fault: ProxyFault, shutdown: &AtomicBool) {
+    let mut budget = fault.budget();
+    let mut buf = [0u8; 1024];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if budget == 0 {
+            match fault {
+                ProxyFault::StallAfter { .. } => {
+                    // The slow-loris: stay open, forward nothing.
+                    thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+                _ => break,
+            }
+        }
+        let want = buf.len().min(budget);
+        let n = match from.read(&mut buf[..want]) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        if to.write_all(&buf[..n]).is_err() {
+            break;
+        }
+        budget = budget.saturating_sub(n);
+    }
+    let _ = from.shutdown(std::net::Shutdown::Both);
+    let _ = to.shutdown(std::net::Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_budgets() {
+        assert_eq!(ProxyFault::None.budget(), usize::MAX);
+        assert_eq!(ProxyFault::CloseAfter { bytes: 7 }.budget(), 7);
+        assert_eq!(ProxyFault::StallAfter { bytes: 0 }.budget(), 0);
+        assert_eq!(ProxyPlan::passthrough().to_server, ProxyFault::None);
+    }
+}

@@ -32,18 +32,26 @@
 //! - [`protocol`] — frame codec and the request/reply model.
 //! - [`server`] — the threaded server; [`Server::shutdown`] drains and
 //!   hands the warm service back (ready for
-//!   [`Snapshot::capture`](ftspan_oracle::Snapshot)).
+//!   [`Snapshot::capture`](ftspan_oracle::Snapshot)). Stalled
+//!   connections are shed via [`ServerConfig::read_timeout`], and
+//!   [`ServerConfig::snapshot_interval`] drives a background capture
+//!   timer.
 //! - [`client`] — a minimal blocking [`Client`] for tests, benches, and
 //!   tooling.
+//! - [`chaos`] — a fault-injecting [`ChaosProxy`] for wire-level
+//!   degradation drills: mid-frame disconnects, slow-loris stalls, and
+//!   truncated replies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod server;
 
+pub use chaos::{ChaosProxy, ProxyFault, ProxyPlan};
 pub use client::Client;
 pub use protocol::{
     BatchEntry, Reply, Request, ShedReason, WaveSummary, WireAnswer, MAX_FRAME_LEN,

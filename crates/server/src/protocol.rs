@@ -125,6 +125,10 @@ pub enum ShedReason {
     RateLimited,
     /// The service's admission control shed the request.
     Admission,
+    /// The connection sat idle (or stalled mid-frame) past the server's
+    /// read timeout; the server sends this and closes the connection so a
+    /// slow-loris client cannot pin a handler thread.
+    Timeout,
 }
 
 /// One server reply.
@@ -318,6 +322,7 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             w.put_u8(match reason {
                 ShedReason::RateLimited => 0,
                 ShedReason::Admission => 1,
+                ShedReason::Timeout => 2,
             });
         }
         Reply::Error(message) => {
@@ -371,6 +376,7 @@ pub fn decode_reply(body: &[u8]) -> Result<Reply, WireError> {
         REPLY_SHED => Reply::Shed(match r.u8()? {
             0 => ShedReason::RateLimited,
             1 => ShedReason::Admission,
+            2 => ShedReason::Timeout,
             tag => return Err(WireError::malformed(format!("bad shed reason {tag}"))),
         }),
         REPLY_ERROR => Reply::Error(
@@ -496,6 +502,7 @@ mod tests {
             Reply::Snapshot(vec![1, 2, 3]),
             Reply::Shed(ShedReason::RateLimited),
             Reply::Shed(ShedReason::Admission),
+            Reply::Shed(ShedReason::Timeout),
             Reply::Error("nope".to_owned()),
         ] {
             assert_eq!(round_trip_reply(&reply), reply);

@@ -87,6 +87,19 @@ pub struct ServerConfig {
     /// the full serialized oracle, so deployments that rate-limit should
     /// price them well above a query.
     pub snapshot_cost: u32,
+    /// Per-connection read timeout. A connection that sends nothing — or
+    /// stalls mid-frame, the slow-loris pattern — for this long gets one
+    /// explicit [`Reply::Shed`]`(`[`ShedReason::Timeout`]`)` and is
+    /// closed, freeing its handler thread. `None` disables the timeout
+    /// (a stalled client then pins its handler until shutdown).
+    pub read_timeout: Option<Duration>,
+    /// Interval of the background [`Snapshot::capture`] timer. When set,
+    /// a timer thread periodically captures the published epoch (off the
+    /// query path) into an in-memory cell readable via
+    /// [`Server::latest_snapshot`] — a crash leaves at most one interval
+    /// of churn unsnapshotted. `None` (the default) disables the timer;
+    /// clients can still pull snapshots through the `SNAPSHOT` request.
+    pub snapshot_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +111,8 @@ impl Default for ServerConfig {
             accept_poll: Duration::from_millis(20),
             metrics_cost: 1,
             snapshot_cost: 1,
+            read_timeout: Some(Duration::from_secs(30)),
+            snapshot_interval: None,
         }
     }
 }
@@ -122,6 +137,54 @@ fn default_worker_pool() -> usize {
         .min(4)
 }
 
+/// The most recent background snapshot, shared between the timer thread
+/// and [`Server::latest_snapshot`].
+#[derive(Debug, Default)]
+struct SnapshotStore {
+    latest: Mutex<Option<Vec<u8>>>,
+    captures: std::sync::atomic::AtomicU64,
+}
+
+impl SnapshotStore {
+    fn lock_latest(&self) -> std::sync::MutexGuard<'_, Option<Vec<u8>>> {
+        self.latest.lock().expect("snapshot store poisoned")
+    }
+}
+
+/// The background capture loop: sleeps on the timer condvar (so shutdown
+/// can wake it immediately), and on every elapsed interval captures the
+/// currently published epoch into the store. The capture itself runs
+/// without any lock held — it briefly pins the epoch, exactly like a
+/// `SNAPSHOT` download, so query rounds keep flowing.
+fn snapshot_timer_loop<O: SpannerOracle + Snapshottable + 'static>(
+    interval: Duration,
+    shutdown: &AtomicBool,
+    service: &OracleService<O>,
+    signal: &(Mutex<()>, std::sync::Condvar),
+    store: &SnapshotStore,
+) {
+    let (lock, cv) = signal;
+    let mut guard = lock.lock().expect("snapshot timer signal poisoned");
+    while !shutdown.load(Ordering::SeqCst) {
+        let (g, timeout) = cv
+            .wait_timeout(guard, interval)
+            .expect("snapshot timer signal poisoned");
+        guard = g;
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if timeout.timed_out() {
+            drop(guard);
+            let bytes = Snapshot::capture(&*service.oracle());
+            *store.lock_latest() = Some(bytes);
+            store
+                .captures
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            guard = lock.lock().expect("snapshot timer signal poisoned");
+        }
+    }
+}
+
 /// A running `ftspan` server. Dropping it shuts it down; prefer
 /// [`Server::shutdown`] to get the warm service back.
 #[derive(Debug)]
@@ -131,6 +194,10 @@ pub struct Server<O: SpannerOracle + 'static> {
     conns: Arc<Mutex<Vec<TcpStream>>>,
     handlers: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
     accept_thread: Option<thread::JoinHandle<()>>,
+    snapshot_thread: Option<thread::JoinHandle<()>>,
+    /// Wakes the snapshot timer early so shutdown never waits an interval.
+    timer_signal: Arc<(Mutex<()>, std::sync::Condvar)>,
+    snapshots: Arc<SnapshotStore>,
     service: Option<Arc<OracleService<O>>>,
 }
 
@@ -185,14 +252,52 @@ where
                 })?
         };
 
+        let timer_signal: Arc<(Mutex<()>, std::sync::Condvar)> = Arc::default();
+        let snapshots = Arc::new(SnapshotStore::default());
+        let snapshot_thread = match config.snapshot_interval {
+            Some(interval) => {
+                let shutdown = Arc::clone(&shutdown);
+                let service = Arc::clone(&service);
+                let signal = Arc::clone(&timer_signal);
+                let store = Arc::clone(&snapshots);
+                Some(
+                    thread::Builder::new()
+                        .name("ftspan-snapshot".into())
+                        .spawn(move || {
+                            snapshot_timer_loop(interval, &shutdown, &service, &signal, &store);
+                        })?,
+                )
+            }
+            None => None,
+        };
+
         Ok(Self {
             local_addr,
             shutdown,
             conns,
             handlers,
             accept_thread: Some(accept_thread),
+            snapshot_thread,
+            timer_signal,
+            snapshots,
             service: Some(service),
         })
+    }
+
+    /// The most recent background snapshot, if the timer
+    /// ([`ServerConfig::snapshot_interval`]) has fired at least once.
+    /// The bytes restore exactly like a `SNAPSHOT` download.
+    #[must_use]
+    pub fn latest_snapshot(&self) -> Option<Vec<u8>> {
+        self.snapshots.lock_latest().clone()
+    }
+
+    /// How many background snapshots the timer has captured.
+    #[must_use]
+    pub fn snapshot_captures(&self) -> u64 {
+        self.snapshots
+            .captures
+            .load(std::sync::atomic::Ordering::SeqCst)
     }
 
     /// The address the server is listening on.
@@ -218,11 +323,15 @@ where
         }
     }
 
-    /// Closes every connection, then joins the accept thread and every
-    /// handler (handlers observe the closed socket, finish their in-flight
-    /// request, and exit).
+    /// Closes every connection, then joins the snapshot timer, the accept
+    /// thread, and every handler (handlers observe the closed socket,
+    /// finish their in-flight request, and exit).
     fn begin_shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        self.timer_signal.1.notify_all();
+        if let Some(timer) = self.snapshot_thread.take() {
+            timer.join().expect("snapshot timer must not panic");
+        }
         for conn in self
             .conns
             .lock()
@@ -244,6 +353,10 @@ where
 impl<O: SpannerOracle + 'static> Drop for Server<O> {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        self.timer_signal.1.notify_all();
+        if let Some(timer) = self.snapshot_thread.take() {
+            let _ = timer.join();
+        }
         for conn in self
             .conns
             .lock()
@@ -340,15 +453,48 @@ fn handle_connection<O: SpannerOracle + Snapshottable + 'static>(
     vertex_count: usize,
 ) {
     let mut bucket = TokenBucket::new(config);
-    while let Ok(Some(body)) = read_frame(&mut stream) {
-        let reply = match decode_request(&body) {
-            Ok(request) => serve_request(request, &mut bucket, service, config, vertex_count),
-            Err(e) => Reply::Error(format!("bad request: {e}")),
-        };
-        if write_frame(&mut stream, &encode_reply(&reply)).is_err() {
-            break;
+    if stream.set_read_timeout(config.read_timeout).is_err() {
+        return;
+    }
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(body)) => {
+                let reply = match decode_request(&body) {
+                    Ok(request) => {
+                        serve_request(request, &mut bucket, service, config, vertex_count)
+                    }
+                    Err(e) => Reply::Error(format!("bad request: {e}")),
+                };
+                if write_frame(&mut stream, &encode_reply(&reply)).is_err() {
+                    break;
+                }
+            }
+            Ok(None) => break,
+            // The read timeout fired (reported as `WouldBlock` or
+            // `TimedOut` depending on platform): whether the client went
+            // idle or stalled mid-frame, it gets one explicit shed and
+            // loses the connection — a slow-loris cannot pin this thread.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                let _ = write_frame(
+                    &mut stream,
+                    &encode_reply(&Reply::Shed(ShedReason::Timeout)),
+                );
+                break;
+            }
+            Err(_) => break,
         }
     }
+    // The shutdown registry holds a clone of this stream, so dropping our
+    // handle would leave the TCP connection half-alive after the handler
+    // exits — a shed client would block forever on its next read instead
+    // of seeing the close. Shut the underlying socket down explicitly:
+    // handler exit means the connection is over.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
 fn serve_request<O: SpannerOracle + Snapshottable + 'static>(

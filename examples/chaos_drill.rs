@@ -1,0 +1,264 @@
+//! A full chaos drill against the serving stack, printing the measured
+//! degradation envelope as a markdown table.
+//!
+//! Three adversarial scenarios interleave against one worker-pool
+//! `OracleService` while a freshly built mirror oracle checks every answer
+//! bit-for-bit: a targeted high-degree fault wave under a Zipf flash
+//! crowd, a correlated regional failure, and a random-wave control. A
+//! fourth drill runs the engineered portal-severing geometry, where every
+//! cut edge between two shards dies and exactness survives only through
+//! the `BoundaryIndex` global fallback. The drill then turns to the wire:
+//! a `ChaosProxy` replays the three classic TCP failures (mid-frame
+//! disconnect, slow-loris stall, truncated reply) against a live
+//! `ftspan-server` and reports the explicit degradation each produced.
+//!
+//! The process exits nonzero if any invariant breaks — the harness panics
+//! on the first divergent bit — so this binary doubles as the CI chaos
+//! smoke. `CHAOS_ROUNDS` (default 2) scales the per-scenario round count.
+//!
+//! Run with `cargo run --release -p ftspan-examples --bin chaos_drill`.
+
+use std::time::Duration;
+
+use ftspan::{sample_fault_set, FaultModel, FaultSet, SpannerParams};
+use ftspan_graph::{generators, vid};
+use ftspan_oracle::chaos::{
+    correlated_regional_wave, high_degree_wave, portal_severing_wave, run_chaos,
+    weakest_boundary_pair, zipf_queries, ChaosRound, ScenarioPlan,
+};
+use ftspan_oracle::{
+    FaultOracle, OracleOptions, OracleService, Query, ServiceConfig, ShardPlan, ShardPlanOptions,
+    ShardedOptions, ShardedOracle,
+};
+use ftspan_server::{
+    ChaosProxy, Client, ProxyFault, ProxyPlan, Reply, Server, ServerConfig, ShedReason,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let rounds: usize = std::env::var("CHAOS_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    println!("# Chaos drill ({rounds} round(s) per scenario)\n");
+
+    adversarial_waves(rounds);
+    portal_severing();
+    wire_faults();
+
+    println!("\nchaos drill passed: every answer exact, every failure explicit.");
+}
+
+/// Interleaved adversarial scenarios against a worker-pool sharded
+/// service, mirrored by an identical twin.
+fn adversarial_waves(rounds: usize) {
+    let build = |seed: u64| {
+        let mut r = StdRng::seed_from_u64(seed);
+        let graph = generators::connected_gnp(120, 0.06, &mut r);
+        let options = ShardedOptions {
+            plan: ShardPlanOptions {
+                shards: 4,
+                ..ShardPlanOptions::default()
+            },
+            ..ShardedOptions::default()
+        };
+        ShardedOracle::build(graph, SpannerParams::vertex(2, 2), options)
+    };
+    let mut mirror = build(41);
+    let backend = build(41);
+    let graph = mirror.graph().clone();
+    let empty = FaultSet::empty(FaultModel::Vertex);
+
+    let shard = (0..mirror.shard_count() as u32)
+        .max_by_key(|&s| mirror.plan().core(s as usize).len())
+        .expect("at least one shard");
+    let regional = correlated_regional_wave(&mirror, shard, 2, 42);
+    let random_control = {
+        let mut r = StdRng::seed_from_u64(43);
+        sample_fault_set(&graph, FaultModel::Vertex, 2, &[], &mut r)
+    };
+
+    let service = OracleService::new(backend, ServiceConfig::default().with_workers(2));
+    let plans = vec![
+        ScenarioPlan {
+            name: "targeted-high-degree".into(),
+            rounds: (0..rounds as u64 + 1)
+                .map(|i| ChaosRound {
+                    queries: zipf_queries(&graph, 30, 1.3, &empty, 100 + i),
+                    wave: (i == 0).then(|| high_degree_wave(&graph, 2)),
+                })
+                .collect(),
+        },
+        ScenarioPlan {
+            name: "correlated-regional".into(),
+            rounds: (0..rounds as u64 + 1)
+                .map(|i| ChaosRound {
+                    queries: zipf_queries(&graph, 25, 1.1, &empty, 200 + i),
+                    wave: (i == 0).then(|| regional.clone()),
+                })
+                .collect(),
+        },
+        ScenarioPlan {
+            name: "random-control".into(),
+            rounds: (0..rounds as u64 + 1)
+                .map(|i| ChaosRound {
+                    queries: zipf_queries(&graph, 25, 1.1, &empty, 300 + i),
+                    wave: (i == 0).then(|| random_control.clone()),
+                })
+                .collect(),
+        },
+        ScenarioPlan::queries_only(
+            "flash-crowd",
+            (0..rounds as u64 + 1)
+                .map(|i| zipf_queries(&graph, 50, 1.5, &empty, 400 + i))
+                .collect(),
+        ),
+    ];
+    let report = run_chaos(&service, &mut mirror, plans);
+    println!("## Degradation envelope (worker-pool sharded service)\n");
+    print!("{}", report.markdown_table());
+    let metrics = service.metrics();
+    println!(
+        "\n(waves {}, total recovery {} us, answers checked {}, coalesced {})\n",
+        metrics.waves,
+        metrics.wave_recovery_micros,
+        report.total_answered(),
+        metrics.coalesced,
+    );
+}
+
+/// The engineered severing geometry: a 60-ring in three arcs, both
+/// portals of the only shard-0/shard-1 cut edge faulted — exactness must
+/// survive through the global fallback.
+fn portal_severing() {
+    let graph = generators::cycle(60);
+    let plan = ShardPlan::from_shard_of((0..60u32).map(|i| i / 20).collect());
+    let params = SpannerParams::vertex(2, 2);
+    let mut mirror = FaultOracle::build(graph.clone(), params, OracleOptions::default());
+    let backend = ShardedOracle::build_with_plan(graph, params, plan, ShardedOptions::default());
+    let (a, b) = weakest_boundary_pair(&backend).expect("adjacent shards");
+    let severing = portal_severing_wave(&backend, a, b);
+    let service = OracleService::new(backend, ServiceConfig::default().with_workers(2));
+
+    let bursts: Vec<Vec<Query>> = (0..2)
+        .map(|r| {
+            [(10, 30), (5, 35), (15, 25), (12, 28)]
+                .iter()
+                .map(|&(u, v): &(usize, usize)| {
+                    if (u + r) % 2 == 0 {
+                        Query::path(vid(u), vid(v), severing.clone())
+                    } else {
+                        Query::distance(vid(u), vid(v), severing.clone())
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let report = run_chaos(
+        &service,
+        &mut mirror,
+        vec![ScenarioPlan::queries_only("portal-severing", bursts)],
+    );
+    let scenario = &report.scenarios[0];
+    assert!(
+        scenario.global_fallbacks > 0,
+        "severing every portal must force the global fallback"
+    );
+    println!("## Portal severing (shards {a} <-> {b}, portals faulted)\n");
+    print!("{}", report.markdown_table());
+    println!(
+        "\n(global fallbacks {}, fallback rate {:.0}% — every answer still bit-exact)\n",
+        scenario.global_fallbacks,
+        scenario.fallback_rate() * 100.0
+    );
+}
+
+/// The three classic wire failures through the fault-injecting proxy.
+fn wire_faults() {
+    let build = |seed: u64| {
+        let mut r = StdRng::seed_from_u64(seed);
+        let graph = generators::connected_gnp(60, 0.1, &mut r);
+        FaultOracle::build(graph, SpannerParams::vertex(2, 2), OracleOptions::default())
+    };
+    println!("## Wire faults (through the chaos proxy)\n");
+    println!("| fault | client sees | server |");
+    println!("|---|---|---|");
+
+    // Mid-frame disconnect.
+    {
+        let service = OracleService::new(build(51), ServiceConfig::default());
+        let server =
+            Server::start(service, "127.0.0.1:0", ServerConfig::default()).expect("server");
+        let proxy = ChaosProxy::start(
+            server.local_addr(),
+            ProxyPlan {
+                to_server: ProxyFault::CloseAfter { bytes: 6 },
+                to_client: ProxyFault::None,
+            },
+        )
+        .expect("proxy");
+        let mut victim = Client::connect(proxy.local_addr()).expect("connect");
+        let outcome = victim.distance(vid(3), vid(20), FaultSet::empty(FaultModel::Vertex));
+        assert!(outcome.is_err(), "half a request cannot be answered");
+        let mut healthy = Client::connect(server.local_addr()).expect("connect");
+        let served = healthy
+            .distance(vid(3), vid(20), FaultSet::empty(FaultModel::Vertex))
+            .expect("served");
+        assert!(matches!(served, Reply::Answer(_)));
+        proxy.shutdown();
+        let _ = server.shutdown();
+        println!("| mid-frame disconnect | connection error | handler released, healthy clients served |");
+    }
+
+    // Slow-loris stall.
+    {
+        let service = OracleService::new(build(52), ServiceConfig::default());
+        let config = ServerConfig {
+            read_timeout: Some(Duration::from_millis(150)),
+            ..ServerConfig::default()
+        };
+        let server = Server::start(service, "127.0.0.1:0", config).expect("server");
+        let proxy = ChaosProxy::start(
+            server.local_addr(),
+            ProxyPlan {
+                to_server: ProxyFault::StallAfter { bytes: 5 },
+                to_client: ProxyFault::None,
+            },
+        )
+        .expect("proxy");
+        let mut loris = Client::connect(proxy.local_addr()).expect("connect");
+        let reply = loris
+            .distance(vid(1), vid(30), FaultSet::empty(FaultModel::Vertex))
+            .expect("typed reply");
+        assert!(matches!(reply, Reply::Shed(ShedReason::Timeout)));
+        proxy.shutdown();
+        let _ = server.shutdown();
+        println!("| slow-loris stall | typed `Shed(Timeout)`, then close | read timeout freed the handler |");
+    }
+
+    // Truncated reply.
+    {
+        let service = OracleService::new(build(53), ServiceConfig::default());
+        let server =
+            Server::start(service, "127.0.0.1:0", ServerConfig::default()).expect("server");
+        let proxy = ChaosProxy::start(
+            server.local_addr(),
+            ProxyPlan {
+                to_server: ProxyFault::None,
+                to_client: ProxyFault::CloseAfter { bytes: 6 },
+            },
+        )
+        .expect("proxy");
+        let mut victim = Client::connect(proxy.local_addr()).expect("connect");
+        let err = victim
+            .distance(vid(2), vid(25), FaultSet::empty(FaultModel::Vertex))
+            .expect_err("truncated reply is an explicit error");
+        proxy.shutdown();
+        let _ = server.shutdown();
+        println!(
+            "| truncated reply | explicit `{}` error | unaffected |",
+            err.kind()
+        );
+    }
+}

@@ -1,0 +1,281 @@
+//! The adversarial chaos engine, end to end: targeted fault waves and
+//! flash-crowd streams interleaved against a live `OracleService` (inline
+//! and worker-pool, single and sharded backends) while a fresh mirror
+//! oracle checks every answer bit-for-bit — plus the engineered
+//! portal-severing geometry that *guarantees* the `BoundaryIndex` global
+//! fallback fires and stays exact.
+
+use ftspan::{sample_fault_set, FaultModel, FaultSet, SpannerParams};
+use ftspan_graph::{generators, vid, Graph};
+use ftspan_integration_tests::rng;
+use ftspan_oracle::chaos::{
+    betweenness_proxy_wave, correlated_regional_wave, high_degree_wave, portal_severing_wave,
+    run_chaos, weakest_boundary_pair, zipf_queries, ChaosRound, ScenarioPlan,
+};
+use ftspan_oracle::{
+    FaultOracle, OracleOptions, OracleService, Query, ServiceConfig, ShardPlan, ShardPlanOptions,
+    ShardedOptions, ShardedOracle,
+};
+
+/// The engineered fallback geometry: a 60-cycle split into three
+/// consecutive arcs of 20. The spanner of a long cycle is the cycle
+/// itself, so the only cut edge between shards 0 and 1 is `(19, 20)` —
+/// faulting its two portal endpoints makes every shard-0/shard-1 pair
+/// locally disconnected in the stitched pair region while the graph stays
+/// globally connected the long way around, through shard 2.
+fn severed_ring() -> (Graph, ShardPlan) {
+    let graph = generators::cycle(60);
+    let shard_of: Vec<u32> = (0..60u32).map(|i| i / 20).collect();
+    (graph, ShardPlan::from_shard_of(shard_of))
+}
+
+fn ring_queries(round: u64, faults: &FaultSet) -> Vec<Query> {
+    [(10u32, 30u32), (5, 35), (15, 25), (12, 28), (18, 21)]
+        .iter()
+        .map(|&(u, v)| {
+            if (u as u64 + round).is_multiple_of(2) {
+                Query::path(vid(u as usize), vid(v as usize), faults.clone())
+            } else {
+                Query::distance(vid(u as usize), vid(v as usize), faults.clone())
+            }
+        })
+        .collect()
+}
+
+/// Satellite regression, no service in the way: sever every portal
+/// between two shards as a query-time fault set and pin the sharded
+/// oracle bit-identical to a single oracle on the same graph, while the
+/// sharded metrics prove the global-fallback path actually ran.
+#[test]
+fn severing_every_portal_forces_global_fallback() {
+    let (graph, plan) = severed_ring();
+    let params = SpannerParams::vertex(2, 2);
+    let single = FaultOracle::build(graph.clone(), params, OracleOptions::default());
+    let sharded = ShardedOracle::build_with_plan(graph, params, plan, ShardedOptions::default());
+
+    let (a, b) = weakest_boundary_pair(&sharded).expect("adjacent shards");
+    assert_eq!((a, b), (0, 1), "cheapest boundary on the ring");
+    let wave = portal_severing_wave(&sharded, a, b);
+    assert_eq!(
+        wave.vertex_faults(),
+        &[vid(19), vid(20)],
+        "exactly the two portal endpoints of the single cut edge"
+    );
+    assert_eq!(
+        sharded
+            .boundary()
+            .live_cut_edges_between(a, b, &wave, sharded.spanner()),
+        0,
+        "the severing wave kills every cut edge"
+    );
+
+    for (u, v) in [(10, 30), (5, 35), (15, 25), (12, 28), (18, 21)] {
+        let (u, v) = (vid(u), vid(v));
+        let got = sharded.distance(u, v, &wave);
+        let want = single.distance(u, v, &wave);
+        assert_eq!(
+            got.map(f64::to_bits),
+            want.map(f64::to_bits),
+            "distance diverged for ({u:?}, {v:?}) under the severing set"
+        );
+        assert!(
+            got.is_some(),
+            "the ring stays globally connected through shard 2"
+        );
+        let got_path = sharded.path(u, v, &wave);
+        let want_path = single.path(u, v, &wave);
+        assert_eq!(got_path.is_some(), want_path.is_some());
+        if let Some((d, path)) = got_path {
+            assert_eq!(path.first(), Some(&u));
+            assert_eq!(path.last(), Some(&v));
+            let mut walked = 0.0;
+            for hop in path.windows(2) {
+                let e = sharded
+                    .spanner()
+                    .edge_between(hop[0], hop[1])
+                    .unwrap_or_else(|| panic!("non-spanner hop in {path:?}"));
+                walked += sharded.spanner().weight(e);
+            }
+            assert!((walked - d).abs() < 1e-9, "walk {walked} != distance {d}");
+        }
+    }
+
+    let snap = sharded.metrics().snapshot();
+    assert!(
+        snap.global_fallbacks > 0,
+        "severing every portal must force the global fallback: {snap:?}"
+    );
+}
+
+/// The same severing set pushed through a worker-pool `OracleService`
+/// whose backend routes: the harness pins every answer against a *single*
+/// oracle mirror (the exactness contract makes the backends
+/// interchangeable for queries), and the scenario report must show the
+/// global-fallback path firing.
+#[test]
+fn portal_severing_through_the_service_forces_fallback() {
+    let (graph, plan) = severed_ring();
+    let params = SpannerParams::vertex(2, 2);
+    let mut mirror = FaultOracle::build(graph.clone(), params, OracleOptions::default());
+    let backend = ShardedOracle::build_with_plan(graph, params, plan, ShardedOptions::default());
+    let severing = portal_severing_wave(&backend, 0, 1);
+    let service = OracleService::new(backend, ServiceConfig::default().with_workers(2));
+
+    let bursts: Vec<Vec<Query>> = (0..3).map(|r| ring_queries(r, &severing)).collect();
+    let report = run_chaos(
+        &service,
+        &mut mirror,
+        vec![ScenarioPlan::queries_only("portal-severing", bursts)],
+    );
+
+    let scenario = &report.scenarios[0];
+    assert_eq!(scenario.rounds, 3);
+    assert!(scenario.answered > 0, "{scenario:?}");
+    assert!(
+        scenario.global_fallbacks > 0,
+        "cross-shard queries under the severing set must fall back: {scenario:?}"
+    );
+    assert!(scenario.fallback_rate() > 0.0);
+    assert_eq!(scenario.shed, 0, "no admission pressure configured");
+}
+
+/// Inline service (no worker pool — submitters help-pump rounds), single
+/// oracle backend: targeted high-degree and betweenness-proxy waves land
+/// between Zipf flash-crowd bursts, interleaved with a pure flash-crowd
+/// scenario, every answer mirrored.
+#[test]
+fn chaos_engine_inline_single_backend() {
+    let mut r = rng(9001);
+    let graph = generators::barabasi_albert(80, 3, &mut r);
+    let params = SpannerParams::vertex(2, 2);
+    let mut mirror = FaultOracle::build(graph.clone(), params, OracleOptions::default());
+    let backend = FaultOracle::build(graph.clone(), params, OracleOptions::default());
+    let service = OracleService::new(backend, ServiceConfig::default());
+    let empty = FaultSet::empty(FaultModel::Vertex);
+
+    let query_faults = {
+        let mut r = rng(9003);
+        sample_fault_set(&graph, FaultModel::Vertex, 2, &[], &mut r)
+    };
+    let plans = vec![
+        ScenarioPlan {
+            name: "targeted-high-degree".into(),
+            rounds: (0..3)
+                .map(|i| ChaosRound {
+                    queries: zipf_queries(&graph, 25, 1.2, &empty, 9100 + i),
+                    wave: (i == 1).then(|| high_degree_wave(&graph, 2)),
+                })
+                .collect(),
+        },
+        ScenarioPlan {
+            name: "targeted-betweenness".into(),
+            rounds: (0..2)
+                .map(|i| ChaosRound {
+                    queries: zipf_queries(&graph, 20, 1.1, &query_faults, 9200 + i),
+                    wave: (i == 0).then(|| betweenness_proxy_wave(&graph, 2, 12, 9250)),
+                })
+                .collect(),
+        },
+        ScenarioPlan::queries_only(
+            "flash-crowd",
+            (0..3)
+                .map(|i| zipf_queries(&graph, 40, 1.4, &empty, 9300 + i))
+                .collect(),
+        ),
+    ];
+    let report = run_chaos(&service, &mut mirror, plans);
+
+    assert_eq!(report.total_waves(), 2);
+    assert!(report.total_answered() > 0);
+    for scenario in &report.scenarios {
+        assert!(scenario.answered > 0, "{scenario:?}");
+        assert!(scenario.max_recovery >= scenario.mean_recovery());
+    }
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.waves, 2);
+    assert!(
+        metrics.wave_recovery_micros > 0,
+        "wave recovery must be measured: {metrics:?}"
+    );
+    assert!(metrics.last_wave_recovery_micros <= metrics.wave_recovery_micros);
+    assert_eq!(metrics.shed, 0);
+}
+
+/// Worker-pool service over a routed (sharded) backend with a sharded
+/// mirror twin: a correlated regional wave, a random control wave, and a
+/// flash-crowd stream interleave; repaired spanners must stay in lockstep
+/// and the recovery envelope must be recorded.
+#[test]
+fn chaos_engine_worker_pool_sharded_backend() {
+    let build = |seed: u64| {
+        let mut r = rng(seed);
+        let graph = generators::connected_gnp(90, 0.08, &mut r);
+        let options = ShardedOptions {
+            plan: ShardPlanOptions {
+                shards: 4,
+                ..ShardPlanOptions::default()
+            },
+            ..ShardedOptions::default()
+        };
+        ShardedOracle::build(graph, SpannerParams::vertex(2, 2), options)
+    };
+    let mut mirror = build(9401);
+    let backend = build(9401);
+    let graph = mirror.graph().clone();
+    let empty = FaultSet::empty(FaultModel::Vertex);
+
+    // Waves are generated from the mirror (identical plan by construction)
+    // before the backend moves into the service.
+    let shard = (0..mirror.shard_count() as u32)
+        .max_by_key(|&s| mirror.plan().core(s as usize).len())
+        .expect("at least one shard");
+    let regional = correlated_regional_wave(&mirror, shard, 2, 9410);
+    let random_control = {
+        let mut r = rng(9420);
+        sample_fault_set(&graph, FaultModel::Vertex, 2, &[], &mut r)
+    };
+
+    let service = OracleService::new(backend, ServiceConfig::default().with_workers(2));
+    let plans = vec![
+        ScenarioPlan {
+            name: "correlated-regional".into(),
+            rounds: (0..3)
+                .map(|i| ChaosRound {
+                    queries: zipf_queries(&graph, 25, 1.2, &empty, 9500 + i),
+                    wave: (i == 1).then(|| regional.clone()),
+                })
+                .collect(),
+        },
+        ScenarioPlan {
+            name: "random-control".into(),
+            rounds: (0..2)
+                .map(|i| ChaosRound {
+                    queries: zipf_queries(&graph, 20, 1.1, &empty, 9600 + i),
+                    wave: (i == 0).then(|| random_control.clone()),
+                })
+                .collect(),
+        },
+        ScenarioPlan::queries_only(
+            "flash-crowd",
+            (0..2)
+                .map(|i| zipf_queries(&graph, 40, 1.4, &empty, 9700 + i))
+                .collect(),
+        ),
+    ];
+    let report = run_chaos(&service, &mut mirror, plans);
+
+    assert_eq!(report.total_waves(), 2);
+    assert!(report.total_answered() > 0);
+    let regional_report = &report.scenarios[0];
+    assert_eq!(regional_report.waves, 1);
+    assert!(regional_report.recovery > std::time::Duration::ZERO);
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.waves, 2);
+    assert!(metrics.wave_recovery_micros > 0);
+    assert!(
+        metrics.coalesced > 0,
+        "Zipf flash crowds must coalesce duplicates: {metrics:?}"
+    );
+}

@@ -325,6 +325,131 @@ fn rate_limited_client_sees_explicit_sheds() {
     );
 }
 
+/// A connection that opens a frame and never finishes it — the slow-loris
+/// pattern, here a raw socket sending only a frame header — is shed by the
+/// per-connection read timeout: one typed `Shed(Timeout)` reply, then the
+/// server closes the connection and frees the handler thread. Healthy
+/// clients on other connections are unaffected, and shutdown stays prompt.
+#[test]
+fn stalled_connection_is_shed_with_a_typed_timeout_reply() {
+    use ftspan_server::protocol::{decode_reply, read_frame};
+    use std::io::Write;
+    use std::time::Duration;
+
+    let direct = build_backend(7601);
+    let service = OracleService::new(build_backend(7601), ServiceConfig::default());
+    let config = ServerConfig {
+        read_timeout: Some(Duration::from_millis(120)),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(service, "127.0.0.1:0", config).expect("server starts");
+    let addr = server.local_addr();
+
+    // The loris: a frame header promising 64 bytes, then silence.
+    let mut loris = std::net::TcpStream::connect(addr).expect("loris connects");
+    loris
+        .write_all(&64u32.to_le_bytes())
+        .expect("header written");
+    let body = read_frame(&mut loris)
+        .expect("a reply frame arrives before the stall can pin the handler")
+        .expect("a typed reply, not a silent close");
+    match decode_reply(&body).expect("reply decodes") {
+        Reply::Shed(ShedReason::Timeout) => {}
+        other => panic!("expected Shed(Timeout), got {other:?}"),
+    }
+    // After the shed the server closes: the stream reaches a clean EOF.
+    assert!(
+        matches!(read_frame(&mut loris), Ok(None) | Err(_)),
+        "the shed connection must be closed, not left open"
+    );
+
+    // A healthy client is untouched by the loris next door.
+    let mut healthy = Client::connect(addr).expect("healthy client connects");
+    let empty = FaultSet::empty(FaultModel::Vertex);
+    match healthy
+        .distance(vid(2), vid(30), empty.clone())
+        .expect("served")
+    {
+        Reply::Answer(answer) => assert_eq!(
+            answer.distance.map(f64::to_bits),
+            direct.distance(vid(2), vid(30), &empty).map(f64::to_bits)
+        ),
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    // Prompt shutdown: the loris handler was freed by the timeout, not
+    // parked inside `read_frame` until process exit.
+    let _ = server.shutdown();
+}
+
+/// The periodic snapshot timer: with `snapshot_interval` set, a background
+/// thread keeps capturing the published epoch into `latest_snapshot`; the
+/// newest capture restores to an oracle answering bit-identically, the
+/// timer keeps up with a wave, and shutdown joins the thread cleanly.
+#[test]
+fn periodic_snapshot_timer_captures_and_joins_on_shutdown() {
+    use std::time::Duration;
+
+    let mut direct = build_backend(7701);
+    let service = OracleService::new(build_backend(7701), ServiceConfig::default());
+    let config = ServerConfig {
+        snapshot_interval: Some(Duration::from_millis(15)),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(service, "127.0.0.1:0", config).expect("server starts");
+    let addr = server.local_addr();
+
+    // Wait (bounded) for the first background capture.
+    let mut tries = 0;
+    while server.snapshot_captures() == 0 {
+        tries += 1;
+        assert!(tries < 200, "timer never captured");
+        thread::sleep(Duration::from_millis(5));
+    }
+    let bytes = server.latest_snapshot().expect("a capture is published");
+    let restored: ShardedOracle = Snapshot::restore(&bytes).expect("snapshot restores");
+    assert_eq!(restored.epoch(), direct.epoch());
+
+    // A wave lands over the wire; the next captures must pick up the new
+    // epoch without any client pulling `SNAPSHOT`.
+    let wave = {
+        let mut r = rng(7702);
+        sample_fault_set(direct.graph(), FaultModel::Vertex, 2, &[], &mut r)
+    };
+    let _ = SpannerOracle::apply_wave(&mut direct, &wave, &Default::default());
+    let mut probe = Client::connect(addr).expect("probe connects");
+    match probe.wave(wave).expect("WAVE served") {
+        Reply::Wave(summary) => assert_eq!(summary.epoch, direct.epoch()),
+        other => panic!("unexpected WAVE reply: {other:?}"),
+    }
+    let mut tries = 0;
+    loop {
+        let bytes = server.latest_snapshot().expect("captures continue");
+        let restored: ShardedOracle = Snapshot::restore(&bytes).expect("snapshot restores");
+        if restored.epoch() == direct.epoch() {
+            let check = workload(&direct, 7703);
+            let want = direct.answer_batch(&check);
+            let got = restored.answer_batch(&check);
+            for ((query, want), got) in check.iter().zip(&want).zip(&got) {
+                assert_eq!(
+                    want.distance().map(f64::to_bits),
+                    got.distance().map(f64::to_bits),
+                    "post-wave capture diverged for {query:?}"
+                );
+            }
+            break;
+        }
+        tries += 1;
+        assert!(tries < 200, "timer never caught the post-wave epoch");
+        thread::sleep(Duration::from_millis(5));
+    }
+
+    // Shutdown joins the timer thread; returning at all is the assertion.
+    let captures = server.snapshot_captures();
+    assert!(captures >= 1);
+    let _ = server.shutdown();
+}
+
 /// Dropping the server (instead of calling `shutdown`) still tears
 /// everything down without hanging the process.
 #[test]

@@ -1,0 +1,187 @@
+//! Wire-level fault injection against a live `ftspan-server`, through the
+//! byte-mangling `ChaosProxy`: a client that disconnects mid-frame, a
+//! slow-loris that stalls inside a frame, and a reply truncated on its way
+//! back. In every drill the server must degrade *explicitly* — a typed
+//! shed or a clean connection error, never a hung handler — and keep
+//! serving healthy clients; each test ends in a prompt `shutdown()`,
+//! which joins every handler thread, so the test completing at all is the
+//! no-leaked-threads assertion.
+
+use std::time::Duration;
+
+use ftspan::{FaultModel, FaultSet, SpannerParams};
+use ftspan_graph::{generators, vid};
+use ftspan_integration_tests::rng;
+use ftspan_oracle::{
+    OracleService, ServiceConfig, ShardPlanOptions, ShardedOptions, ShardedOracle,
+};
+use ftspan_server::{
+    ChaosProxy, Client, ProxyFault, ProxyPlan, Reply, Server, ServerConfig, ShedReason,
+};
+
+fn build_backend(seed: u64) -> ShardedOracle {
+    let mut r = rng(seed);
+    let graph = generators::connected_gnp(60, 0.1, &mut r);
+    let options = ShardedOptions {
+        plan: ShardPlanOptions {
+            shards: 3,
+            ..ShardPlanOptions::default()
+        },
+        ..ShardedOptions::default()
+    };
+    ShardedOracle::build(graph, SpannerParams::vertex(2, 2), options)
+}
+
+fn start_server(seed: u64, config: ServerConfig) -> (Server<ShardedOracle>, ShardedOracle) {
+    let direct = build_backend(seed);
+    let service = OracleService::new(build_backend(seed), ServiceConfig::default());
+    let server = Server::start(service, "127.0.0.1:0", config).expect("server starts");
+    (server, direct)
+}
+
+fn empty() -> FaultSet {
+    FaultSet::empty(FaultModel::Vertex)
+}
+
+/// Control drill: a faithful proxy is invisible — answers through it are
+/// bit-identical to the direct backend.
+#[test]
+fn passthrough_proxy_is_invisible() {
+    let (server, direct) = start_server(8801, ServerConfig::default());
+    let proxy =
+        ChaosProxy::start(server.local_addr(), ProxyPlan::passthrough()).expect("proxy starts");
+
+    let mut client = Client::connect(proxy.local_addr()).expect("client connects via proxy");
+    for (u, v) in [(0, 17), (5, 41), (12, 33)] {
+        match client.distance(vid(u), vid(v), empty()).expect("served") {
+            Reply::Answer(answer) => assert_eq!(
+                answer.distance.map(f64::to_bits),
+                direct.distance(vid(u), vid(v), &empty()).map(f64::to_bits)
+            ),
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+
+    proxy.shutdown();
+    let _ = server.shutdown();
+}
+
+/// Mid-frame disconnect: the proxy forwards six bytes of a request frame
+/// (the header plus a sliver of body) and yanks the connection. The
+/// handler must treat the truncated frame as a dead connection and exit;
+/// a healthy client connected directly keeps getting exact answers, and
+/// shutdown stays prompt.
+#[test]
+fn mid_frame_disconnect_releases_the_handler() {
+    let (server, direct) = start_server(8802, ServerConfig::default());
+    let proxy = ChaosProxy::start(
+        server.local_addr(),
+        ProxyPlan {
+            to_server: ProxyFault::CloseAfter { bytes: 6 },
+            to_client: ProxyFault::None,
+        },
+    )
+    .expect("proxy starts");
+
+    let mut victim = Client::connect(proxy.local_addr()).expect("victim connects");
+    // The request frame is far larger than six bytes, so the server sees a
+    // mid-frame EOF. The victim either fails to read a reply or sees the
+    // connection drop — an explicit error either way.
+    assert!(
+        victim.distance(vid(3), vid(20), empty()).is_err(),
+        "a half-sent request cannot be answered"
+    );
+
+    let mut healthy = Client::connect(server.local_addr()).expect("healthy client connects");
+    match healthy.distance(vid(3), vid(20), empty()).expect("served") {
+        Reply::Answer(answer) => assert_eq!(
+            answer.distance.map(f64::to_bits),
+            direct.distance(vid(3), vid(20), &empty()).map(f64::to_bits)
+        ),
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    proxy.shutdown();
+    // Prompt shutdown proves the victim's handler thread was released by
+    // the mid-frame error, not parked on a dead socket.
+    let _ = server.shutdown();
+}
+
+/// Slow-loris: the proxy forwards five bytes (header + one body byte) and
+/// stalls, keeping the socket open forever. The server's read timeout
+/// must fire, send one typed `Shed(Timeout)` reply back through the
+/// still-healthy return leg, and close — no handler pinned.
+#[test]
+fn slow_loris_is_shed_by_the_read_timeout() {
+    let config = ServerConfig {
+        read_timeout: Some(Duration::from_millis(150)),
+        ..ServerConfig::default()
+    };
+    let (server, direct) = start_server(8803, config);
+    let proxy = ChaosProxy::start(
+        server.local_addr(),
+        ProxyPlan {
+            to_server: ProxyFault::StallAfter { bytes: 5 },
+            to_client: ProxyFault::None,
+        },
+    )
+    .expect("proxy starts");
+
+    let mut loris = Client::connect(proxy.local_addr()).expect("loris connects");
+    match loris
+        .distance(vid(1), vid(30), empty())
+        .expect("a typed reply arrives")
+    {
+        Reply::Shed(ShedReason::Timeout) => {}
+        other => panic!("expected Shed(Timeout), got {other:?}"),
+    }
+    // The server closed after shedding: the next call fails cleanly.
+    assert!(loris.distance(vid(1), vid(30), empty()).is_err());
+
+    let mut healthy = Client::connect(server.local_addr()).expect("healthy client connects");
+    match healthy.distance(vid(1), vid(30), empty()).expect("served") {
+        Reply::Answer(answer) => assert_eq!(
+            answer.distance.map(f64::to_bits),
+            direct.distance(vid(1), vid(30), &empty()).map(f64::to_bits)
+        ),
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    proxy.shutdown();
+    let _ = server.shutdown();
+}
+
+/// Truncated reply: the request reaches the server intact, but the proxy
+/// cuts the reply frame after six bytes. The *client* must surface an
+/// explicit error instead of blocking on the missing tail, and the server
+/// (whose handler already wrote the reply) shuts down promptly.
+#[test]
+fn truncated_reply_surfaces_a_client_error() {
+    let (server, direct) = start_server(8804, ServerConfig::default());
+    let proxy = ChaosProxy::start(
+        server.local_addr(),
+        ProxyPlan {
+            to_server: ProxyFault::None,
+            to_client: ProxyFault::CloseAfter { bytes: 6 },
+        },
+    )
+    .expect("proxy starts");
+
+    let mut victim = Client::connect(proxy.local_addr()).expect("victim connects");
+    let err = victim
+        .distance(vid(2), vid(25), empty())
+        .expect_err("a truncated reply must be an explicit error");
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "{err}");
+
+    let mut healthy = Client::connect(server.local_addr()).expect("healthy client connects");
+    match healthy.distance(vid(2), vid(25), empty()).expect("served") {
+        Reply::Answer(answer) => assert_eq!(
+            answer.distance.map(f64::to_bits),
+            direct.distance(vid(2), vid(25), &empty()).map(f64::to_bits)
+        ),
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    proxy.shutdown();
+    let _ = server.shutdown();
+}
