@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! cargo run --release -p ftspan-bench --bin experiments [all|lbc|size-vs-n|size-vs-f|runtime|
-//!     exact-vs-poly|weighted|dk11|local|congest|eft|blocking|oracle|shard|bench-trajectory]
+//!     exact-vs-poly|weighted|dk11|local|congest|eft|blocking|oracle|shard|bench-trajectory|
+//!     scale [quick]]
 //! ```
 //!
 //! With no argument (or `all`) every experiment runs. The tables in
@@ -17,6 +18,14 @@
 //! repo root, preserving recorded `before` fields so the file accumulates a
 //! before/after trajectory across optimization PRs. CI uploads the file as
 //! an artifact.
+//!
+//! `scale` is the E14 scale-tier experiment: 10^5-node graphs (10^6 with
+//! `FTSPAN_LONG_TESTS=1`) across four families, measuring parallel
+//! construction speedup, two-level-sharding memory per edge, and query
+//! throughput, and merging the `scale_build` / `mem_bytes_per_edge` /
+//! `scale_query` series into `BENCH_oracle.json`. `scale quick` is the
+//! reduced-n CI smoke: it prints the table but leaves the recorded
+//! trajectory file untouched.
 
 use ftspan::blocking::{blocking_set_from_certificates, blocking_violations, lemma6_size_bound};
 use ftspan::lbc::decide_vertex_lbc;
@@ -74,6 +83,10 @@ fn main() {
     }
     if which == "bench-trajectory" {
         bench_trajectory();
+    }
+    if which == "scale" {
+        let quick = std::env::args().nth(2).is_some_and(|mode| mode == "quick");
+        experiment_scale(quick);
     }
 }
 
@@ -708,6 +721,76 @@ struct TrajectoryPoint {
     after: f64,
 }
 
+/// The workspace-root `BENCH_oracle.json`, resolved independently of the
+/// process cwd so `before` fields are found (and the CI artifact step sees
+/// the output) even when invoked from a crate directory.
+fn trajectory_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_oracle.json")
+}
+
+/// Renders one scenario line of `BENCH_oracle.json` (no trailing comma).
+/// Small rates (waves/s) keep two decimals; large ones round to integers.
+fn render_scenario(name: &str, unit: &str, before: f64, after: f64) -> String {
+    let fmt = |v: f64| {
+        if v < 1_000.0 {
+            format!("{v:.2}")
+        } else {
+            format!("{v:.0}")
+        }
+    };
+    let speedup = if before > 0.0 { after / before } else { 0.0 };
+    format!(
+        "{{\"name\": \"{name}\", \"unit\": \"{unit}\", \"before\": {}, \"after\": {}, \"speedup\": {speedup:.2}}}",
+        fmt(before),
+        fmt(after),
+    )
+}
+
+/// Splits the scenario lines of an existing `BENCH_oracle.json` into
+/// `(name, line)` pairs (lines trimmed, trailing commas stripped).
+fn parse_scenarios(content: &str) -> Vec<(String, String)> {
+    content
+        .lines()
+        .filter_map(|line| {
+            let trimmed = line.trim().trim_end_matches(',');
+            let anchor = "\"name\": \"";
+            let start = trimmed.find(anchor)? + anchor.len();
+            let name = &trimmed[start..start + trimmed[start..].find('"')?];
+            Some((name.to_owned(), trimmed.to_owned()))
+        })
+        .collect()
+}
+
+/// Writes `BENCH_oracle.json` by **merging**: scenarios already in the file
+/// are replaced in place when a new line carries the same name and kept
+/// verbatim otherwise, so the trajectory harness and the scale experiment
+/// never clobber each other's recorded series.
+fn write_merged_trajectory(new: &[(String, String)]) {
+    let path = trajectory_path();
+    let previous = std::fs::read_to_string(&path).unwrap_or_default();
+    let mut scenarios = parse_scenarios(&previous);
+    for (name, line) in new {
+        match scenarios.iter_mut().find(|(n, _)| n == name) {
+            Some(slot) => slot.1.clone_from(line),
+            None => scenarios.push((name.clone(), line.clone())),
+        }
+    }
+    let mut json = String::from("{\n  \"bench\": \"oracle\",\n  \"scenarios\": [\n");
+    for (i, (_, line)) in scenarios.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(line);
+        if i + 1 < scenarios.len() {
+            json.push(',');
+        }
+        json.push('\n');
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&path, json).expect("write BENCH_oracle.json");
+    println!("\nwrote {}", path.display());
+}
+
 /// Extracts the `"before"` value recorded for `name` in an existing
 /// `BENCH_oracle.json`, so re-runs keep the original pre-optimization
 /// baseline instead of overwriting the trajectory with itself.
@@ -748,13 +831,7 @@ fn bench_trajectory() {
     ];
 
     println!("\n## Bench trajectory — serving throughput before/after\n");
-    // Anchor the trajectory file at the workspace root regardless of the
-    // process cwd, so `before` fields are found (and the CI artifact step
-    // sees the output) even when invoked from a crate directory.
-    let trajectory_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_oracle.json");
-    let previous = std::fs::read_to_string(&trajectory_path).unwrap_or_default();
+    let previous = std::fs::read_to_string(trajectory_path()).unwrap_or_default();
     let baseline = |name: &str| {
         recorded_before(&previous, name).unwrap_or_else(|| {
             if previous.contains(&format!("\"name\": \"{name}\"")) {
@@ -1232,7 +1309,6 @@ fn bench_trajectory() {
         });
     }
 
-    // Small rates (waves/s) keep two decimals; large ones round to integers.
     let fmt = |v: f64| {
         if v < 1_000.0 {
             format!("{v:.2}")
@@ -1240,34 +1316,29 @@ fn bench_trajectory() {
             format!("{v:.0}")
         }
     };
-    let mut json = String::from("{\n  \"bench\": \"oracle\",\n  \"scenarios\": [\n");
-    for (i, p) in points.iter().enumerate() {
-        let speedup = if p.before > 0.0 {
-            p.after / p.before
-        } else {
-            0.0
-        };
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"unit\": \"{}\", \"before\": {}, \"after\": {}, \"speedup\": {:.2}}}{}\n",
-            p.name,
-            p.unit,
-            fmt(p.before),
-            fmt(p.after),
-            speedup,
-            if i + 1 < points.len() { "," } else { "" },
-        ));
-        println!(
-            "{:<24} {:>12} -> {:>12} {} ({:.2}x)",
-            p.name,
-            fmt(p.before),
-            fmt(p.after),
-            p.unit,
-            speedup
-        );
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write(&trajectory_path, json).expect("write BENCH_oracle.json");
-    println!("\nwrote {}", trajectory_path.display());
+    let lines: Vec<(String, String)> = points
+        .iter()
+        .map(|p| {
+            let speedup = if p.before > 0.0 {
+                p.after / p.before
+            } else {
+                0.0
+            };
+            println!(
+                "{:<24} {:>12} -> {:>12} {} ({:.2}x)",
+                p.name,
+                fmt(p.before),
+                fmt(p.after),
+                p.unit,
+                speedup
+            );
+            (
+                p.name.to_owned(),
+                render_scenario(p.name, p.unit, p.before, p.after),
+            )
+        })
+        .collect();
+    write_merged_trajectory(&lines);
     println!(
         "note: README.md (Service front-end) and ROADMAP.md quote the service_batch \
          and multi_worker_batch speedups — re-pin both whenever this table moves, \
@@ -1412,4 +1483,280 @@ fn experiment_shard() {
         "(grid n = {n}, m = {}, locality-biased traffic; single oracle: {single_qps:.0} queries/s)",
         graph.edge_count()
     );
+}
+
+/// E14 — the scale tier: parallel construction throughput across four
+/// graph families, then two-level sharding vs flat sharding (memory per
+/// edge and batch query throughput) on the moderate-diameter headline
+/// workload. Full mode (10^5 nodes; 10^6 with `FTSPAN_LONG_TESTS=1`)
+/// merges the `scale_build`, `mem_bytes_per_edge`, and `scale_query`
+/// series into `BENCH_oracle.json`; quick mode (reduced n, the CI smoke)
+/// only prints.
+fn experiment_scale(quick: bool) {
+    use ftspan::FaultSet;
+    use ftspan_oracle::{
+        HierarchicalOptions, HierarchicalOracle, Query, ShardPlan, ShardPlanOptions, ShardedOracle,
+    };
+
+    let long = std::env::var("FTSPAN_LONG_TESTS").is_ok_and(|v| v == "1");
+    let base_n: usize = std::env::var("FTSPAN_SCALE_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 5_000 } else { 100_000 });
+    let sizes: Vec<usize> = if long && !quick {
+        vec![base_n, 1_000_000]
+    } else {
+        vec![base_n]
+    };
+    let threads = 8;
+    // k = 2, f = 2: the t = 3 LBC decisions stay hop-local (what makes
+    // 10^5-node greedy construction tractable at all), while the f = 2
+    // fault budget keeps each decision expensive enough that speculative
+    // parallel batches beat the sequential sweep.
+    let params = SpannerParams::vertex(2, 2);
+
+    println!("\n## E14 — Scale tier: parallel construction and two-level sharding\n");
+    println!(
+        "(mode: {}, sizes: {sizes:?}, {threads} construction threads)\n",
+        if quick { "quick" } else { "full" }
+    );
+
+    let side = |n: usize| (n as f64).sqrt().round() as usize;
+    let geo_radius = |n: usize| (16.0 / (std::f64::consts::PI * n as f64)).sqrt();
+    let mut rows = Vec::new();
+    // The headline workload the recorded series come from: the largest
+    // grid (moderate diameter — the regime sharding is for; see E13).
+    let mut headline: Option<(ftspan_graph::Graph, SpannerResultPair)> = None;
+    for &n in &sizes {
+        for family in ["grid", "erdos_renyi", "barabasi_albert", "geometric"] {
+            let (graph, gen_secs) = timed(|| match family {
+                "grid" => ftspan_graph::generators::grid(side(n), n / side(n)),
+                "erdos_renyi" => gnp_workload(n, 6.0, 41),
+                "barabasi_albert" => ftspan_graph::generators::barabasi_albert(n, 3, &mut rng(42)),
+                _ => geometric_workload(n, geo_radius(n), 43),
+            });
+            let m = graph.edge_count();
+            let (sequential, seq_secs) = timed(|| poly_greedy_spanner(&graph, params));
+            let batch_size: usize = std::env::var("FTSPAN_SCALE_BATCH")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0); // 0 = adaptive batch sizing
+            let opts = ftspan::ParallelGreedyOptions {
+                threads,
+                batch_size,
+                base: Default::default(),
+            };
+            let ((result, speculation), par_secs) =
+                timed(|| ftspan::par_poly_greedy_spanner_traced(&graph, params, &opts));
+            assert_eq!(
+                result.spanner.edge_count(),
+                sequential.spanner.edge_count(),
+                "parallel construction must be bit-identical to sequential ({family})"
+            );
+            let decided = speculation.speculative_hits + speculation.recomputed;
+            let busy = speculation.decide_busy.as_secs_f64();
+            let serial = speculation.commit_wall.as_secs_f64();
+            rows.push(vec![
+                family.to_owned(),
+                graph.vertex_count().to_string(),
+                m.to_string(),
+                sequential.spanner.edge_count().to_string(),
+                format!("{gen_secs:.1}"),
+                format!("{seq_secs:.1}"),
+                format!("{par_secs:.1}"),
+                format!("{:.2}", seq_secs / par_secs),
+                format!(
+                    "{:.0}",
+                    100.0 * speculation.speculative_hits as f64 / decided.max(1) as f64
+                ),
+                format!("{busy:.1}"),
+                format!("{serial:.1}"),
+                format!("{:.1}", seq_secs / (busy / threads as f64 + serial)),
+            ]);
+            if family == "grid" {
+                headline = Some((
+                    graph,
+                    SpannerResultPair {
+                        result,
+                        seq_edges_per_sec: m as f64 / seq_secs,
+                        par_edges_per_sec: m as f64 / par_secs,
+                    },
+                ));
+            }
+        }
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "family",
+                "n",
+                "m",
+                "|E(H)|",
+                "gen s",
+                "seq build s",
+                "par build s (8t)",
+                "speedup",
+                "hit %",
+                "decide busy s",
+                "serial commit s",
+                "8-core bound"
+            ],
+            &rows
+        )
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    println!(
+        "(speedup is measured on this host, which offers {cores} core(s) to the \
+         {threads} workers; `decide busy s` sums per-worker wall-clock in the \
+         speculative decide phase — when workers outnumber cores, preemption \
+         inflates it above the true decide CPU time — so `8-core bound` = \
+         seq / (busy/8 + serial commit) is a conservative floor on the speedup \
+         the measured decide/commit split supports on a full 8-core host)\n"
+    );
+
+    // Two-level vs flat sharding on the headline grid: same spanner, same
+    // leaf plan, so the deltas isolate the hierarchy itself.
+    let (graph, spanner) = headline.expect("grid family always runs");
+    let n = graph.vertex_count();
+    let m = graph.edge_count();
+    let leaves = if quick { 16 } else { 64 };
+    let plan_options = ShardPlanOptions {
+        shards: leaves,
+        ..ShardPlanOptions::default()
+    };
+    let leaf_plan = ShardPlan::build(&graph, &plan_options);
+    let hier_options = HierarchicalOptions {
+        plan: plan_options,
+        ..HierarchicalOptions::default()
+    };
+    let (flat, flat_secs) = timed(|| {
+        ShardedOracle::from_result(
+            graph.clone(),
+            spanner.result.clone(),
+            leaf_plan.clone(),
+            hier_options.flat(),
+        )
+    });
+    let (hier, hier_secs) = timed(|| {
+        HierarchicalOracle::from_result(
+            graph.clone(),
+            spanner.result.clone(),
+            leaf_plan,
+            hier_options,
+        )
+    });
+
+    // Locality-biased traffic (the sharded-deployment shape, as in E13):
+    // every pair within 8 hops, over a pool of hot fault sets.
+    let batch_size = 2_000;
+    let queries: Vec<Query> = {
+        let mut r = rng(45);
+        let fault_pool: Vec<FaultSet> = (0..8)
+            .map(|_| {
+                let a = vid(r.gen_range(0..n));
+                let b = vid(r.gen_range(0..n));
+                FaultSet::vertices([a, b])
+            })
+            .collect();
+        let mut scratch = ftspan_graph::bfs::BfsScratch::new();
+        (0..batch_size)
+            .map(|i| {
+                let u = vid(r.gen_range(0..n));
+                let near = scratch.hop_distances_within(&graph, u, 8);
+                let candidates: Vec<usize> = near
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, d)| d.is_some() && *j != u.index())
+                    .map(|(j, _)| j)
+                    .collect();
+                let v = vid(candidates[r.gen_range(0..candidates.len())]);
+                Query::distance(u, v, fault_pool[i % fault_pool.len()].clone())
+            })
+            .collect()
+    };
+    let _ = flat.answer_batch(&queries); // warm
+    let (flat_answers, flat_query_secs) = timed(|| flat.answer_batch(&queries));
+    let _ = hier.answer_batch(&queries); // warm
+    let (hier_answers, hier_query_secs) = timed(|| hier.answer_batch(&queries));
+    for (f, h) in flat_answers.iter().zip(&hier_answers) {
+        assert_eq!(
+            f.distance(),
+            h.distance(),
+            "hierarchical answers must be bit-identical to flat sharding"
+        );
+    }
+    let flat_qps = batch_size as f64 / flat_query_secs;
+    let hier_qps = batch_size as f64 / hier_query_secs;
+    let flat_bpe = flat.memory_bytes() as f64 / m as f64;
+    let hier_bpe = hier.memory_bytes() as f64 / m as f64;
+    let hier_snapshot = hier.metrics().snapshot();
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "backend",
+                "shards",
+                "boundary pairs",
+                "wrap s",
+                "bytes/edge",
+                "queries/s"
+            ],
+            &[
+                vec![
+                    "flat sharded".into(),
+                    flat.shard_count().to_string(),
+                    flat.boundary().adjacent_pairs().len().to_string(),
+                    format!("{flat_secs:.1}"),
+                    format!("{flat_bpe:.0}"),
+                    format!("{flat_qps:.0}"),
+                ],
+                vec![
+                    format!("hier {}x{}", hier.super_count(), hier.leaf_count()),
+                    hier.leaf_count().to_string(),
+                    hier.boundary().adjacent_pairs().len().to_string(),
+                    format!("{hier_secs:.1}"),
+                    format!("{hier_bpe:.0}"),
+                    format!("{hier_qps:.0}"),
+                ],
+            ]
+        )
+    );
+    println!(
+        "(headline grid n = {n}, m = {m}; construction {:.0} -> {:.0} edges/s at {threads} \
+         threads; hierarchical locality {:.1}%, distances bit-identical to flat on all \
+         {batch_size} queries)",
+        spanner.seq_edges_per_sec,
+        spanner.par_edges_per_sec,
+        100.0 * hier_snapshot.locality_rate(),
+    );
+
+    if quick {
+        println!("\n(quick mode: BENCH_oracle.json left untouched)");
+        return;
+    }
+    let lines: Vec<(String, String)> = [
+        (
+            "scale_build",
+            "edges/s",
+            spanner.seq_edges_per_sec,
+            spanner.par_edges_per_sec,
+        ),
+        ("mem_bytes_per_edge", "bytes/edge", flat_bpe, hier_bpe),
+        ("scale_query", "queries/s", flat_qps, hier_qps),
+    ]
+    .into_iter()
+    .map(|(name, unit, before, after)| {
+        (name.to_owned(), render_scenario(name, unit, before, after))
+    })
+    .collect();
+    write_merged_trajectory(&lines);
+}
+
+/// The headline construction measurement carried from the family sweep to
+/// the sharding comparison.
+struct SpannerResultPair {
+    result: ftspan::SpannerResult,
+    seq_edges_per_sec: f64,
+    par_edges_per_sec: f64,
 }

@@ -66,6 +66,7 @@ pub mod dk;
 mod error;
 mod fault;
 pub mod greedy_exact;
+pub mod greedy_par;
 pub mod greedy_poly;
 pub mod lbc;
 pub mod nonft;
@@ -82,6 +83,10 @@ pub use fault::{
     sample_fault_set, FaultSet,
 };
 pub use greedy_exact::{exact_greedy_spanner, exact_greedy_spanner_with, ExactGreedyOptions};
+pub use greedy_par::{
+    par_poly_greedy_spanner_traced, par_poly_greedy_spanner_with, ParallelGreedyOptions,
+    SpeculationStats,
+};
 pub use greedy_poly::{
     poly_greedy_spanner, poly_greedy_spanner_with, EdgeOrder, PolyGreedyOptions,
 };

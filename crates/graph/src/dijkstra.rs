@@ -186,6 +186,14 @@ impl ShortestPathTree {
         self.dist.len()
     }
 
+    /// Heap bytes held by the tree's distance and parent arrays — the unit
+    /// the tree-cache memory accounting sums over.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.dist.capacity() * std::mem::size_of::<f64>()
+            + self.parent.capacity() * std::mem::size_of::<Option<VertexId>>()
+    }
+
     /// Weighted distance from the source to `v`, or `None` when `v` is
     /// unreachable (or was faulted).
     #[must_use]

@@ -12,8 +12,21 @@ use rand::Rng;
 
 use crate::Graph;
 
+/// Above this vertex count, [`gnp`] switches from the classical per-pair
+/// Bernoulli loop to geometric skip sampling. The two paths draw from the RNG
+/// differently, so the seeds pinned by existing differential suites (all of
+/// which use `n ≤ 200`) keep their byte-identical output, while sparse
+/// million-node inputs become `O(n + m)` instead of `O(n²)`.
+const GNP_SKIP_THRESHOLD: usize = 2048;
+
 /// Erdős–Rényi `G(n, p)`: each of the `n·(n−1)/2` possible edges is present
 /// independently with probability `p`, with unit weights.
+///
+/// For `n ≤ 2048` this draws one Bernoulli variable per pair (the historical
+/// behavior, preserved bit-for-bit for pinned seeds). Larger graphs use
+/// geometric skip sampling over the linearized pair index — expected
+/// `O(n + p·n²)` work and RNG draws — which is what makes the 10⁵–10⁶-node
+/// scale tier feasible.
 ///
 /// # Panics
 ///
@@ -22,17 +35,70 @@ use crate::Graph;
 pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
     assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
     let mut g = Graph::new(n);
-    if p == 0.0 {
+    if p == 0.0 || n < 2 {
         return g;
     }
-    for u in 0..n {
-        for v in (u + 1)..n {
-            if rng.gen_bool(p) {
+    if n <= GNP_SKIP_THRESHOLD {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(p) {
+                    g.add_unit_edge(u, v);
+                }
+            }
+        }
+    } else {
+        gnp_skip_sample(n, p, &mut g, rng);
+    }
+    g
+}
+
+/// Geometric skip sampling for sparse `G(n, p)`: instead of flipping a coin
+/// per pair, jump directly to the next successful pair. The gap between
+/// successes in a Bernoulli(p) sequence is geometric, so
+/// `skip = ⌊ln(U) / ln(1 − p)⌋` with `U ~ Uniform[0, 1)` lands on the next
+/// edge; total work is `O(n + m)`.
+fn gnp_skip_sample<R: Rng + ?Sized>(n: usize, p: f64, g: &mut Graph, rng: &mut R) {
+    let max_pairs = (n as u64) * (n as u64 - 1) / 2;
+    if p >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
                 g.add_unit_edge(u, v);
             }
         }
+        return;
     }
-    g
+    let ln_q = (1.0 - p).ln();
+    // `idx` walks the linearized upper-triangle pair index; row `u` owns the
+    // `n − 1 − u` consecutive indices starting at `row_start`.
+    let mut idx: u64 = 0;
+    let mut u = 0usize;
+    let mut row_start: u64 = 0;
+    let mut row_len: u64 = (n - 1) as u64;
+    loop {
+        let draw: f64 = rng.gen::<f64>();
+        // U = 0 means an infinite skip (ln 0 = −∞); compare in f64 before
+        // casting so the infinity never truncates into a bogus index.
+        let skip = if draw > 0.0 {
+            (draw.ln() / ln_q).floor()
+        } else {
+            f64::INFINITY
+        };
+        if skip >= (max_pairs - idx) as f64 {
+            break;
+        }
+        idx += skip as u64;
+        while idx >= row_start + row_len {
+            row_start += row_len;
+            row_len -= 1;
+            u += 1;
+        }
+        let v = u + 1 + (idx - row_start) as usize;
+        g.add_unit_edge(u, v);
+        idx += 1;
+        if idx >= max_pairs {
+            break;
+        }
+    }
 }
 
 /// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges chosen uniformly at
@@ -194,21 +260,80 @@ pub fn hypercube(d: u32) -> Graph {
 ///
 /// This is the natural weighted workload for fault-tolerant spanners, since
 /// geometric spanners are where the notion was introduced.
+/// The implementation uses a spatial-grid bucket index (cell width ≥ radius,
+/// so every edge endpoint pair shares a 3×3 cell neighborhood), replacing the
+/// historical all-pairs loop. RNG consumption (the `2n` coordinate draws) and
+/// edge emission order (`u` ascending, then `v` ascending) are identical to
+/// the all-pairs loop, so output is **byte-identical for every seed** while
+/// expected work drops to `O(n + m)` on bounded-density inputs.
 #[must_use]
 pub fn random_geometric<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> Graph {
     let points: Vec<(f64, f64)> = (0..n)
         .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
         .collect();
     let mut g = Graph::new(n);
+    if n < 2 {
+        return g;
+    }
     let r2 = radius * radius;
+    // Cell width must stay ≥ radius (3×3 sufficiency); more cells than ~√n
+    // buys nothing and costs memory, so clamp.
+    let per_axis = if radius > 0.0 {
+        let by_radius = (1.0 / radius).floor().max(1.0) as usize;
+        let by_points = (n as f64).sqrt() as usize + 1;
+        by_radius.min(by_points).max(1)
+    } else {
+        1
+    };
+    let cell_xy = |x: f64, y: f64| -> (usize, usize) {
+        let cx = ((x * per_axis as f64) as usize).min(per_axis - 1);
+        let cy = ((y * per_axis as f64) as usize).min(per_axis - 1);
+        (cx, cy)
+    };
+    // Counting-sort points into a CSR bucket layout over the grid cells.
+    let cells = per_axis * per_axis;
+    let mut starts = vec![0u32; cells + 1];
+    for &(x, y) in &points {
+        let (cx, cy) = cell_xy(x, y);
+        starts[cy * per_axis + cx + 1] += 1;
+    }
+    for i in 1..starts.len() {
+        starts[i] += starts[i - 1];
+    }
+    let mut bucket = vec![0u32; n];
+    let mut cursor = starts.clone();
+    for (i, &(x, y)) in points.iter().enumerate() {
+        let (cx, cy) = cell_xy(x, y);
+        let c = cy * per_axis + cx;
+        bucket[cursor[c] as usize] = u32::try_from(i).expect("point index exceeds u32::MAX");
+        cursor[c] += 1;
+    }
+    let mut candidates: Vec<(usize, f64)> = Vec::new();
     for u in 0..n {
-        for v in (u + 1)..n {
-            let dx = points[u].0 - points[v].0;
-            let dy = points[u].1 - points[v].1;
-            let d2 = dx * dx + dy * dy;
-            if d2 <= r2 {
-                g.add_edge(u, v, d2.sqrt().max(f64::MIN_POSITIVE));
+        let (x, y) = points[u];
+        let (cx, cy) = cell_xy(x, y);
+        candidates.clear();
+        for ny in cy.saturating_sub(1)..=(cy + 1).min(per_axis - 1) {
+            for nx in cx.saturating_sub(1)..=(cx + 1).min(per_axis - 1) {
+                let c = ny * per_axis + nx;
+                for &w in &bucket[starts[c] as usize..starts[c + 1] as usize] {
+                    let v = w as usize;
+                    if v <= u {
+                        continue;
+                    }
+                    let dx = points[u].0 - points[v].0;
+                    let dy = points[u].1 - points[v].1;
+                    let d2 = dx * dx + dy * dy;
+                    if d2 <= r2 {
+                        candidates.push((v, d2));
+                    }
+                }
             }
+        }
+        // Emit in ascending-v order, matching the all-pairs inner loop.
+        candidates.sort_unstable_by_key(|&(v, _)| v);
+        for &(v, d2) in candidates.iter() {
+            g.add_edge(u, v, d2.sqrt().max(f64::MIN_POSITIVE));
         }
     }
     g
@@ -552,6 +677,89 @@ mod tests {
             assert!(g.has_edge_between(u.index(), v.index()));
         }
         assert!(!w.is_unit_weighted());
+    }
+
+    /// The historical all-pairs geometric loop, kept as the reference the
+    /// grid-indexed fast path must reproduce bit for bit.
+    fn random_geometric_naive<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> Graph {
+        let points: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let mut g = Graph::new(n);
+        let r2 = radius * radius;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let dx = points[u].0 - points[v].0;
+                let dy = points[u].1 - points[v].1;
+                let d2 = dx * dx + dy * dy;
+                if d2 <= r2 {
+                    g.add_edge(u, v, d2.sqrt().max(f64::MIN_POSITIVE));
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn random_geometric_grid_matches_naive_reference_bit_for_bit() {
+        for seed in [1u64, 2, 3, 6, 99] {
+            for &(n, radius) in &[(60usize, 0.25f64), (120, 0.1), (40, 0.9), (25, 0.0)] {
+                let fast = random_geometric(n, radius, &mut rng(seed));
+                let naive = random_geometric_naive(n, radius, &mut rng(seed));
+                assert_eq!(fast.edge_count(), naive.edge_count(), "n={n} r={radius}");
+                for (e, edge) in naive.edges() {
+                    let got = fast.edge(e);
+                    assert_eq!(got.endpoints(), edge.endpoints(), "seed {seed} edge {e}");
+                    assert_eq!(
+                        got.weight().to_bits(),
+                        edge.weight().to_bits(),
+                        "seed {seed} edge {e}: weights must be bit-identical"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gnp_skip_sampling_is_deterministic_and_has_the_right_density() {
+        let n = 4096; // above GNP_SKIP_THRESHOLD: exercises the skip path
+        let p = 0.002;
+        let a = gnp(n, p, &mut rng(77));
+        let b = gnp(n, p, &mut rng(77));
+        let edges_a: Vec<_> = a.edges().map(|(_, e)| e.endpoints()).collect();
+        let edges_b: Vec<_> = b.edges().map(|(_, e)| e.endpoints()).collect();
+        assert_eq!(edges_a, edges_b, "skip sampling must be seed-deterministic");
+        let possible = n as f64 * (n as f64 - 1.0) / 2.0;
+        let density = a.edge_count() as f64 / possible;
+        assert!(
+            (density - p).abs() < p * 0.1,
+            "density {density} too far from {p}"
+        );
+        // Pairs arrive in ascending linearized order, hence simple and sorted.
+        let mut prev = (0usize, 0usize);
+        for (_, e) in a.edges() {
+            let (u, v) = e.endpoints();
+            let cur = (u.index(), v.index());
+            assert!(cur > prev || a.edge_count() <= 1);
+            assert!(u < v);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn gnp_skip_sampling_handles_extreme_probabilities() {
+        let empty = gnp(3000, 0.0, &mut rng(5));
+        assert_eq!(empty.edge_count(), 0);
+        // Drive the sampler directly at small n so the p = 1 all-pairs branch
+        // and a near-1 probability stay cheap to verify.
+        let mut g = Graph::new(30);
+        gnp_skip_sample(30, 1.0, &mut g, &mut rng(5));
+        assert_eq!(g.edge_count(), 30 * 29 / 2);
+        let mut dense = Graph::new(40);
+        gnp_skip_sample(40, 0.97, &mut dense, &mut rng(5));
+        let possible = 40 * 39 / 2;
+        assert!(dense.edge_count() <= possible);
+        assert!(dense.edge_count() > possible * 9 / 10);
     }
 
     #[test]

@@ -535,6 +535,24 @@ impl Graph {
         added
     }
 
+    /// Heap bytes held by the graph's storage (capacities, not just lengths):
+    /// CSR offsets and adjacency, pending append buffers, and the dense edge
+    /// table. This is the accounting number the scale tier's memory audit
+    /// sums across spanners, regions, and caches.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        use core::mem::size_of;
+        self.csr_offsets.capacity() * size_of::<u32>()
+            + self.csr_adj.capacity() * size_of::<(VertexId, EdgeId)>()
+            + self.pending.capacity() * size_of::<Vec<(VertexId, EdgeId)>>()
+            + self
+                .pending
+                .iter()
+                .map(|p| p.capacity() * size_of::<(VertexId, EdgeId)>())
+                .sum::<usize>()
+            + self.edges.capacity() * size_of::<Edge>()
+    }
+
     /// Returns `true` if every edge of `self` is also an edge of `other`
     /// (ignoring weights).
     #[must_use]
@@ -961,6 +979,19 @@ mod tests {
         g.add_unit_edge(0, 3);
         assert_eq!(g.max_degree(), 3);
         assert!((g.average_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_bytes_tracks_storage_growth() {
+        let empty = Graph::new(0);
+        let small = path_graph(10);
+        let mut big = path_graph(1000);
+        assert!(empty.memory_bytes() < small.memory_bytes());
+        assert!(small.memory_bytes() < big.memory_bytes());
+        // Compaction frees the pending buffers, so it never grows the bill by
+        // more than the CSR rebuild slack.
+        big.compact();
+        assert!(big.memory_bytes() >= 2 * 999 * core::mem::size_of::<(VertexId, EdgeId)>());
     }
 
     #[test]

@@ -187,8 +187,23 @@ impl fmt::Display for EdgeId {
 #[derive(Clone, Debug)]
 pub struct IdRemap {
     to_global: Vec<VertexId>,
-    to_local: Vec<Option<VertexId>>,
+    universe_size: usize,
+    /// One entry per [`REMAP_PAGE`]-sized page of the global id space;
+    /// [`REMAP_ABSENT`] marks a page with no members, otherwise the value
+    /// indexes the page's slot block in `pages`.
+    page_of: Vec<u32>,
+    /// Allocated pages, [`REMAP_PAGE`] slots each; [`REMAP_ABSENT`] marks a
+    /// non-member global id, any other value is the local id.
+    pages: Vec<u32>,
 }
+
+/// Page width of the global→local map. Regions are halos around BFS balls, so
+/// their members cluster in id space; 64-id pages keep the map a few percent
+/// of a dense `Vec<Option<VertexId>>` over a 10⁶-vertex universe while
+/// staying a two-load lookup.
+const REMAP_PAGE: usize = 64;
+/// Sentinel for "absent" in both the page index and page slots.
+const REMAP_ABSENT: u32 = u32::MAX;
 
 impl IdRemap {
     /// Builds the mapping for the given members of a universe of
@@ -196,17 +211,31 @@ impl IdRemap {
     /// position; members out of range are ignored.
     #[must_use]
     pub fn from_members(universe_size: usize, members: &[VertexId]) -> Self {
-        let mut to_local: Vec<Option<VertexId>> = vec![None; universe_size];
+        let page_count = universe_size.div_ceil(REMAP_PAGE);
+        let mut page_of: Vec<u32> = vec![REMAP_ABSENT; page_count];
+        let mut pages: Vec<u32> = Vec::new();
         let mut to_global = Vec::with_capacity(members.len());
         for &v in members {
-            if v.index() < universe_size && to_local[v.index()].is_none() {
-                to_local[v.index()] = Some(VertexId::new(to_global.len()));
+            if v.index() >= universe_size {
+                continue;
+            }
+            let page = v.index() / REMAP_PAGE;
+            if page_of[page] == REMAP_ABSENT {
+                page_of[page] = u32::try_from(pages.len() / REMAP_PAGE)
+                    .expect("remap page count exceeds u32::MAX");
+                pages.resize(pages.len() + REMAP_PAGE, REMAP_ABSENT);
+            }
+            let slot = (page_of[page] as usize) * REMAP_PAGE + v.index() % REMAP_PAGE;
+            if pages[slot] == REMAP_ABSENT {
+                pages[slot] = u32::try_from(to_global.len()).expect("local id exceeds u32::MAX");
                 to_global.push(v);
             }
         }
         Self {
             to_global,
-            to_local,
+            universe_size,
+            page_of,
+            pages,
         }
     }
 
@@ -221,7 +250,7 @@ impl IdRemap {
     #[inline]
     #[must_use]
     pub fn universe_size(&self) -> usize {
-        self.to_local.len()
+        self.universe_size
     }
 
     /// The region members, in local-id order (`members()[i]` is the global
@@ -237,7 +266,27 @@ impl IdRemap {
     #[inline]
     #[must_use]
     pub fn to_local(&self, global: VertexId) -> Option<VertexId> {
-        self.to_local.get(global.index()).copied().flatten()
+        if global.index() >= self.universe_size {
+            return None;
+        }
+        let page = self.page_of[global.index() / REMAP_PAGE];
+        if page == REMAP_ABSENT {
+            return None;
+        }
+        let slot = (page as usize) * REMAP_PAGE + global.index() % REMAP_PAGE;
+        let local = self.pages[slot];
+        (local != REMAP_ABSENT).then_some(VertexId(local))
+    }
+
+    /// Heap bytes held by the mapping (capacity, not just length), the number
+    /// the scale tier's memory audit sums per region. The paged global→local
+    /// map costs `O(local_count + universe/64)` instead of the dense map's
+    /// `O(universe)`.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.to_global.capacity() * core::mem::size_of::<VertexId>()
+            + self.page_of.capacity() * core::mem::size_of::<u32>()
+            + self.pages.capacity() * core::mem::size_of::<u32>()
     }
 
     /// Returns `true` if the global vertex belongs to the region.
@@ -385,6 +434,56 @@ mod tests {
         let remap = IdRemap::from_members(4, &[vid(2), vid(2), vid(9), vid(1)]);
         assert_eq!(remap.members(), &[vid(2), vid(1)]);
         assert_eq!(remap.to_local(vid(2)), Some(vid(0)));
+    }
+
+    #[test]
+    fn remap_handles_sparse_high_id_members_with_paged_storage() {
+        // Members scattered near the top of a large universe: the paged map
+        // must allocate only the touched pages.
+        let universe = 1 << 20;
+        let members: Vec<VertexId> = (0..200).map(|i| vid(universe - 1 - i * 4097)).collect();
+        let remap = IdRemap::from_members(universe, &members);
+        assert_eq!(remap.local_count(), members.len());
+        assert_eq!(remap.universe_size(), universe);
+        for (local, &global) in members.iter().enumerate() {
+            assert_eq!(remap.to_local(global), Some(vid(local)));
+            assert_eq!(remap.to_global(vid(local)), global);
+        }
+        assert_eq!(remap.to_local(vid(0)), None);
+        assert_eq!(remap.to_local(vid(universe - 2)), None);
+        assert_eq!(remap.to_local(vid(universe)), None);
+        // Sparse members cost pages, not the universe: far below the dense
+        // map's ~8 MiB for a 2^20 universe.
+        assert!(
+            remap.memory_bytes() < universe / 4,
+            "paged remap used {} bytes",
+            remap.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn remap_page_boundaries_round_trip() {
+        // Ids straddling page edges (63/64/65, 127/128) and a duplicate on a
+        // boundary exercise the slot arithmetic.
+        let members = [
+            vid(63),
+            vid(64),
+            vid(65),
+            vid(127),
+            vid(128),
+            vid(64),
+            vid(0),
+        ];
+        let remap = IdRemap::from_members(130, &members);
+        assert_eq!(
+            remap.members(),
+            &[vid(63), vid(64), vid(65), vid(127), vid(128), vid(0)]
+        );
+        for (local, &global) in remap.members().iter().enumerate() {
+            assert_eq!(remap.to_local(global), Some(vid(local)));
+        }
+        assert_eq!(remap.to_local(vid(62)), None);
+        assert_eq!(remap.to_local(vid(129)), None);
     }
 
     #[test]

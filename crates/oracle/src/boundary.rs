@@ -146,6 +146,25 @@ impl BoundaryIndex {
         pairs
     }
 
+    /// Heap bytes held by the index: cut edges, per-pair buckets, portal
+    /// lists and the portal bitmap. This is the number the scale tier keeps
+    /// sub-linear by building the index over super-shards only.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = self.cut_edges.capacity() * std::mem::size_of::<CutEdge>()
+            + self.portal.capacity()
+            + self.portals_by_shard.capacity() * std::mem::size_of::<Vec<VertexId>>();
+        for portals in &self.portals_by_shard {
+            bytes += portals.capacity() * std::mem::size_of::<VertexId>();
+        }
+        bytes += self.by_pair.capacity()
+            * (std::mem::size_of::<(u32, u32)>() + std::mem::size_of::<Vec<usize>>());
+        for bucket in self.by_pair.values() {
+            bytes += bucket.capacity() * std::mem::size_of::<usize>();
+        }
+        bytes
+    }
+
     /// Number of cut edges between `a` and `b` that survive the given fault
     /// set: neither endpoint faulted and, for edge faults, the edge itself
     /// not faulted (edge fault ids refer to `graph`, the oracle's input

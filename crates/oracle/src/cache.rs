@@ -346,6 +346,29 @@ impl TreeCache {
         self.trees_cached += 1;
     }
 
+    /// Heap bytes held by the cache: the fingerprint lane, every slot's key
+    /// (sorted fault lists) and every cached tree's distance/parent arrays.
+    /// Trees are counted once per cache entry — a tree `Arc` also held by a
+    /// reader is still attributed here, since the cache is what keeps it
+    /// alive past the query.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = self.fingerprints.capacity() * std::mem::size_of::<u64>()
+            + self.slots.capacity() * std::mem::size_of::<CacheSlot>();
+        for slot in &self.slots {
+            bytes += slot.key.vertices.capacity() * std::mem::size_of::<VertexId>()
+                + slot.key.edges.capacity() * std::mem::size_of::<EdgeId>()
+                + slot
+                    .trees
+                    .capacity()
+                    .saturating_mul(std::mem::size_of::<(VertexId, Arc<ShortestPathTree>)>());
+            for (_, tree) in &slot.trees {
+                bytes += tree.memory_bytes();
+            }
+        }
+        bytes
+    }
+
     /// Drops every cached tree (used when the spanner or damage changes).
     pub fn clear(&mut self) {
         self.slots.clear();

@@ -502,6 +502,10 @@ impl ShardedOracle {
         };
 
         let mut rebuilt_shards = Vec::new();
+        // A region interned behind several shards must fold its retired
+        // counters exactly once, even though every sharing shard walks this
+        // loop and replaces its handle.
+        let mut folded: Vec<*const Region> = Vec::new();
         for shard in 0..self.plan.shard_count() {
             let members = self.global.spanner().halo_members_with(
                 &mut self.wave_bfs,
@@ -514,17 +518,37 @@ impl ShardedOracle {
             }
             // The rebuilt region starts with fresh metrics; fold the retired
             // oracle's counters into the lifetime cache statistics first.
-            let retired = self.regions[shard].oracle.metrics().snapshot();
-            self.retired_cache_stats.0 += retired.cache_hits;
-            self.retired_cache_stats.1 += retired.trees_built;
-            self.regions[shard] = Region::build(
-                self.global.graph(),
-                self.global.spanner(),
-                self.global.params(),
-                &self.options.oracle,
-                shard_namespace(shard),
-                &members,
-            );
+            let retired_ptr = std::sync::Arc::as_ptr(&self.regions[shard]);
+            if !folded.contains(&retired_ptr) {
+                folded.push(retired_ptr);
+                let retired = self.regions[shard].oracle.metrics().snapshot();
+                self.retired_cache_stats.0 += retired.cache_hits;
+                self.retired_cache_stats.1 += retired.trees_built;
+            }
+            // Sibling dedup on the rebuild path: a live region that already
+            // matches the new signature and member set (typically one this
+            // same wave just rebuilt for a sibling shard) is shared instead
+            // of re-extracted.
+            let shared = self
+                .regions
+                .iter()
+                .enumerate()
+                .find(|&(other, r)| {
+                    other != shard
+                        && r.signature == signature
+                        && r.remap.members() == members.as_slice()
+                })
+                .map(|(_, r)| std::sync::Arc::clone(r));
+            self.regions[shard] = shared.unwrap_or_else(|| {
+                std::sync::Arc::new(Region::build(
+                    self.global.graph(),
+                    self.global.spanner(),
+                    self.global.params(),
+                    &self.options.oracle,
+                    shard_namespace(shard),
+                    &members,
+                ))
+            });
             self.shard_epochs[shard] += 1;
             rebuilt_shards.push(shard);
         }
@@ -534,6 +558,19 @@ impl ShardedOracle {
                 .lock()
                 .expect("pair region cache poisoned");
             for region in pairs.values() {
+                // A pair interned to a leaf region stays live through the
+                // leaf's handle (and a leaf already folded above must not be
+                // folded twice): only genuinely retired allocations count.
+                let ptr = std::sync::Arc::as_ptr(region);
+                if folded.contains(&ptr)
+                    || self
+                        .regions
+                        .iter()
+                        .any(|r| std::sync::Arc::ptr_eq(r, region))
+                {
+                    continue;
+                }
+                folded.push(ptr);
                 let retired = region.oracle.metrics().snapshot();
                 self.retired_cache_stats.0 += retired.cache_hits;
                 self.retired_cache_stats.1 += retired.trees_built;

@@ -81,6 +81,7 @@ pub mod boundary;
 pub mod cache;
 pub mod chaos;
 pub mod churn;
+pub mod hierarchy;
 pub mod metrics;
 mod oracle;
 pub mod query;
@@ -93,11 +94,13 @@ pub mod traits;
 pub use boundary::{BoundaryIndex, CutEdge};
 pub use cache::{CacheKey, TreeCache};
 pub use churn::{ChurnConfig, ShardWaveOutcome, WaveOutcome, WaveReport};
+pub use hierarchy::{HierarchicalOptions, HierarchicalOracle, HierarchyWaveOutcome};
 pub use metrics::{LocalitySplit, MetricsSnapshot, OracleMetrics, ServiceMetrics};
 pub use oracle::{FaultOracle, OracleOptions};
 pub use query::{Answer, Query, QueryKind};
 pub use service::{
-    OracleService, PumpOutcome, RebuildPolicy, ServiceCommand, ServiceConfig, TicketId, TicketState,
+    EpochHandle, OracleService, PumpOutcome, RebuildPolicy, ServiceCommand, ServiceConfig,
+    TicketId, TicketState,
 };
 pub use shard::{
     ShardPlan, ShardPlanOptions, ShardedMetrics, ShardedMetricsSnapshot, ShardedOptions,

@@ -196,6 +196,22 @@ impl FaultOracle {
         &self.certificates
     }
 
+    /// Heap bytes held by the serving working set: the base and effective
+    /// graphs, the spanner, and the tree cache. Certificates and damage
+    /// lists are excluded — they scale with churn history, not with what a
+    /// query touches.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.base_graph.memory_bytes()
+            + self.graph.memory_bytes()
+            + self.spanner.memory_bytes()
+            + self
+                .cache
+                .lock()
+                .expect("tree cache poisoned")
+                .memory_bytes()
+    }
+
     /// Distance in `H ∖ F`, or `None` when the faults disconnect the pair
     /// (or fault an endpoint).
     ///

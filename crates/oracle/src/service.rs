@@ -20,9 +20,9 @@
 //!   never block each other, and [`Snapshot::capture`] can run against a
 //!   clone off the query path. A wave is an **epoch barrier**: the single
 //!   writer waits until every in-flight round has completed, takes the
-//!   slot exclusively (spinning until outstanding epoch handles drop),
-//!   runs [`apply_wave`] in place, and publishes the repaired epoch by
-//!   releasing the slot. Every request submitted before the wave is
+//!   slot exclusively (parking on a condvar that the last outstanding
+//!   [`EpochHandle`] signals on drop), runs [`apply_wave`] in place, and
+//!   publishes the repaired epoch by releasing the slot. Every request submitted before the wave is
 //!   answered pre-wave, everything after against the repaired spanner —
 //!   the same FIFO-barrier contract as the old single-threaded loop.
 //! * **Bounded admission.** [`ServiceConfig::max_in_flight`] caps how many
@@ -61,7 +61,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ftspan::FaultSet;
 
@@ -506,11 +506,92 @@ struct Core<O: SpannerOracle> {
     /// the `Arc`; the wave writer holds it for the whole `apply_wave`, so
     /// releasing the guard *is* publication.
     epoch: Mutex<Arc<O>>,
+    /// Wave-writer parking lot: dropping the last [`EpochHandle`] while
+    /// `barrier.parked` is set wakes the writer waiting for slot
+    /// exclusivity.
+    barrier: Arc<WaveBarrier>,
     state: Mutex<CoreState>,
     /// Signaled on submission, round completion, and wave publication.
     cv: Condvar,
     shutdown: AtomicBool,
     workers: AtomicUsize,
+}
+
+/// Where the wave writer sleeps while epoch handles are outstanding.
+///
+/// Shared (by `Arc`) between [`Core`] and every [`EpochHandle`] so a
+/// handle can outlive the service and still notify safely.
+#[derive(Debug, Default)]
+struct WaveBarrier {
+    /// Set (`SeqCst`) by the wave writer before it parks; checked by
+    /// [`EpochHandle::drop`] so the query path pays one relaxed-free
+    /// atomic load and no lock when no wave is waiting.
+    parked: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+/// A read handle to one published epoch of a service's backend, returned
+/// by [`OracleService::oracle`]. Dereferences to the backend.
+///
+/// The handle pins its epoch: a wave barrier cannot publish until every
+/// outstanding handle drops. Dropping the handle signals a parked wave
+/// writer, so the barrier wakes promptly instead of busy-polling.
+pub struct EpochHandle<O: SpannerOracle> {
+    /// `Some` until `drop`; taken first so the strong count falls
+    /// *before* the writer is notified.
+    inner: Option<Arc<O>>,
+    barrier: Arc<WaveBarrier>,
+}
+
+impl<O: SpannerOracle> EpochHandle<O> {
+    fn acquire(core: &Core<O>) -> Self {
+        Self {
+            inner: Some(Arc::clone(&core.epoch.lock().expect("epoch slot poisoned"))),
+            barrier: Arc::clone(&core.barrier),
+        }
+    }
+}
+
+impl<O: SpannerOracle> std::ops::Deref for EpochHandle<O> {
+    type Target = O;
+
+    fn deref(&self) -> &O {
+        self.inner.as_ref().expect("epoch handle used after drop")
+    }
+}
+
+impl<O: SpannerOracle> Clone for EpochHandle<O> {
+    /// Clones pin the **same** epoch as the original, even if a wave has
+    /// published a newer one in the meantime.
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            barrier: Arc::clone(&self.barrier),
+        }
+    }
+}
+
+impl<O: SpannerOracle> Drop for EpochHandle<O> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if self.barrier.parked.load(Ordering::SeqCst) {
+            // Taking the lock orders this notify after the writer's
+            // park (or lets the writer observe the dropped count on its
+            // pre-wait re-check); without it the wakeup could race into
+            // the gap between the writer's check and its wait.
+            let _guard = self.barrier.lock.lock().expect("wave barrier poisoned");
+            self.barrier.cv.notify_all();
+        }
+    }
+}
+
+impl<O: SpannerOracle> fmt::Debug for EpochHandle<O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EpochHandle")
+            .field("alive", &self.inner.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 /// What one attempted round did (internal).
@@ -573,6 +654,7 @@ impl<O: SpannerOracle + 'static> OracleService<O> {
         let core = Arc::new(Core {
             config,
             epoch: Mutex::new(Arc::new(oracle)),
+            barrier: Arc::new(WaveBarrier::default()),
             state: Mutex::new(CoreState {
                 queue: VecDeque::new(),
                 groups: Vec::new(),
@@ -629,15 +711,16 @@ impl<O: SpannerOracle + 'static> OracleService<O> {
     /// A handle to the currently published epoch of the backend.
     ///
     /// The handle pins that epoch: a wave barrier cannot publish until
-    /// every outstanding handle is dropped. Read what you need and drop it
-    /// — in particular, do **not** hold one across
-    /// [`OracleService::submit_wave`] + [`OracleService::drain`] or the
-    /// wave will wait on you. Structural mutation is deliberately
-    /// impossible through the handle: waves must go through the front door
-    /// so the queue's barrier ordering stays truthful.
+    /// every outstanding handle is dropped (dropping yours wakes a parked
+    /// wave writer). Read what you need and drop it — in particular, do
+    /// **not** hold one across [`OracleService::submit_wave`] +
+    /// [`OracleService::drain`] or the wave will wait on you. Structural
+    /// mutation is deliberately impossible through the handle: waves must
+    /// go through the front door so the queue's barrier ordering stays
+    /// truthful.
     #[must_use]
-    pub fn oracle(&self) -> Arc<O> {
-        Arc::clone(&self.core.epoch.lock().expect("epoch slot poisoned"))
+    pub fn oracle(&self) -> EpochHandle<O> {
+        EpochHandle::acquire(&self.core)
     }
 
     /// Dissolves the front-end and returns the backend.
@@ -1088,9 +1171,9 @@ fn worker_loop<O: SpannerOracle>(core: &Core<O>) {
         }
         // Clone the published epoch with no state lock held; blocks only
         // while a wave writer holds the slot (publication is the release).
-        let oracle = Arc::clone(&core.epoch.lock().expect("epoch slot poisoned"));
+        let oracle = EpochHandle::acquire(core);
         if let RoundResult::Wave { slot, wave, .. } = run_round(core, &oracle) {
-            // The barrier spins until every epoch handle drops — including
+            // The barrier waits until every epoch handle drops — including
             // ours, so drop it before applying.
             drop(oracle);
             apply_wave_barrier(core, slot, wave);
@@ -1208,7 +1291,7 @@ fn scan_round<O: SpannerOracle>(
 /// answer the batch with the lock released, fan answers out to every
 /// ticket. Returns [`RoundResult::Wave`] instead of applying barriers —
 /// the caller must drop its epoch handle first.
-fn run_round<O: SpannerOracle>(core: &Core<O>, oracle: &Arc<O>) -> RoundResult {
+fn run_round<O: SpannerOracle>(core: &Core<O>, oracle: &O) -> RoundResult {
     let mut st = core.state.lock().expect("service state poisoned");
     if st.wave_in_progress {
         return RoundResult::Blocked;
@@ -1216,7 +1299,7 @@ fn run_round<O: SpannerOracle>(core: &Core<O>, oracle: &Arc<O>) -> RoundResult {
     if st.queue.is_empty() {
         return RoundResult::Idle;
     }
-    let scan = scan_round(&core.config, &mut st, oracle.as_ref());
+    let scan = scan_round(&core.config, &mut st, oracle);
 
     if let Some((slot, wave)) = scan.wave {
         st.counters.rounds += 1;
@@ -1302,7 +1385,7 @@ fn run_round<O: SpannerOracle>(core: &Core<O>, oracle: &Arc<O>) -> RoundResult {
     })
 }
 
-/// The wave writer: takes the epoch slot exclusively (spinning until every
+/// The wave writer: takes the epoch slot exclusively (parking until every
 /// outstanding epoch handle drops), applies the wave in place, and
 /// publishes the repaired epoch by releasing the slot. The caller must
 /// have popped the wave and set `wave_in_progress` (via
@@ -1312,13 +1395,26 @@ fn apply_wave_barrier<O: SpannerOracle>(core: &Core<O>, slot: usize, wave: Fault
     let mut guard = core.epoch.lock().expect("epoch slot poisoned");
     let report = loop {
         // In-flight rounds were drained before the barrier fired, so the
-        // only handles left are short-lived `oracle()` reads / snapshot
-        // captures; yield until they drop.
-        match Arc::get_mut(&mut guard) {
-            Some(oracle) => break oracle.apply_wave(&wave, &core.config.churn),
-            None => thread::yield_now(),
+        // only handles left are `oracle()` reads / snapshot captures.
+        if let Some(oracle) = Arc::get_mut(&mut guard) {
+            break oracle.apply_wave(&wave, &core.config.churn);
+        }
+        core.barrier.parked.store(true, Ordering::SeqCst);
+        // Re-check after raising the flag: a handle dropped in the gap saw
+        // `parked == false` and will not notify, so sleeping now would
+        // miss it. The short timeout below is the backstop for raw `Arc`
+        // clones (e.g. of an `EpochHandle`'s inner) that bypass the
+        // handle's drop notification entirely.
+        if Arc::strong_count(&guard) > 1 {
+            let parked = core.barrier.lock.lock().expect("wave barrier poisoned");
+            let _unused = core
+                .barrier
+                .cv
+                .wait_timeout(parked, Duration::from_millis(1))
+                .expect("wave barrier poisoned");
         }
     };
+    core.barrier.parked.store(false, Ordering::SeqCst);
     drop(guard); // publication
 
     let mut st = core.state.lock().expect("service state poisoned");
@@ -1830,5 +1926,38 @@ mod tests {
             handle.join().expect("submitter thread");
         }
         assert_eq!(service.metrics().answered, 120);
+    }
+
+    #[test]
+    fn wave_barrier_parks_until_the_last_epoch_handle_drops() {
+        let service = OracleService::new(backend(31), ServiceConfig::default().with_workers(2));
+        let pinned = service.oracle();
+        assert_eq!(pinned.epoch(), 0);
+        let wave_ticket = service.submit_wave(FaultSet::vertices([vid(3)]));
+        // The writer cannot take the slot exclusively while `pinned` is
+        // alive: after ample time the wave must still be pending, and the
+        // handle must still read the pre-wave epoch.
+        thread::sleep(Duration::from_millis(50));
+        assert!(
+            matches!(service.state(wave_ticket), TicketState::Pending),
+            "a held epoch handle must hold the wave barrier"
+        );
+        let behind = service.submit(Query::distance(
+            vid(0),
+            vid(5),
+            FaultSet::empty(FaultModel::Vertex),
+        ));
+        assert_eq!(pinned.epoch(), 0, "the handle pins the pre-wave epoch");
+        // A clone pins the same epoch after the original drops…
+        let clone = pinned.clone();
+        drop(pinned);
+        thread::sleep(Duration::from_millis(10));
+        assert!(matches!(service.state(wave_ticket), TicketState::Pending));
+        // …and dropping the last handle wakes the parked writer; the wave
+        // publishes and everything queued behind the barrier completes.
+        drop(clone);
+        assert!(matches!(service.wait(wave_ticket), TicketState::Waved(_)));
+        assert!(matches!(service.wait(behind), TicketState::Answered(_)));
+        assert_eq!(service.oracle().epoch(), 1);
     }
 }

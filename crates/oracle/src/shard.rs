@@ -278,6 +278,14 @@ impl Region {
         }
     }
 
+    /// Heap bytes held by the region: its local oracle (graphs plus tree
+    /// cache), the paged id remap, and the frontier list.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        self.oracle.memory_bytes()
+            + self.remap.memory_bytes()
+            + self.frontier.capacity() * std::mem::size_of::<VertexId>()
+    }
+
     /// Restricts a global fault set to the region's local id space. Faults
     /// outside the region cannot touch any path inside it and are dropped;
     /// edge fault ids (which refer to the global input graph) are matched by
@@ -523,7 +531,11 @@ pub struct ShardedOracle {
     pub(crate) global: FaultOracle,
     pub(crate) plan: ShardPlan,
     pub(crate) boundary: BoundaryIndex,
-    pub(crate) regions: Vec<Region>,
+    /// One region per shard, behind `Arc` so sibling shards whose core-plus-
+    /// halo member sets coincide (common when a small graph's halos cover
+    /// everything) share one extraction instead of duplicating it — the halo
+    /// dedup half of the scale tier's memory story.
+    pub(crate) regions: Vec<Arc<Region>>,
     pub(crate) pair_regions: Mutex<HashMap<(u32, u32), Arc<Region>>>,
     pub(crate) shard_epochs: Vec<u64>,
     pub(crate) halo_radius: u32,
@@ -591,19 +603,29 @@ impl ShardedOracle {
         let global = FaultOracle::from_result(graph, result, options.oracle.clone());
         let halo_radius = options.halo_radius.unwrap_or_else(|| params.stretch());
         let boundary = BoundaryIndex::build(global.spanner(), &plan);
-        let regions = (0..plan.shard_count())
-            .map(|s| {
-                let members = global.spanner().halo_members(plan.core(s), halo_radius);
-                Region::build(
+        let mut regions: Vec<Arc<Region>> = Vec::with_capacity(plan.shard_count());
+        for s in 0..plan.shard_count() {
+            let members = global.spanner().halo_members(plan.core(s), halo_radius);
+            // Sibling dedup: an earlier shard with the exact same member set
+            // (and therefore the same induced region) shares one extraction.
+            // The shared region keeps the first shard's cache namespace,
+            // which is sound — identical regions answer identically, so
+            // sharing their tree cache is a win, not a collision.
+            let shared = regions
+                .iter()
+                .find(|r| r.remap.members() == members.as_slice())
+                .map(Arc::clone);
+            regions.push(shared.unwrap_or_else(|| {
+                Arc::new(Region::build(
                     global.graph(),
                     global.spanner(),
                     params,
                     &options.oracle,
                     shard_namespace(s),
                     &members,
-                )
-            })
-            .collect();
+                ))
+            }));
+        }
         let shard_epochs = vec![0; plan.shard_count()];
         Self {
             global,
@@ -709,13 +731,21 @@ impl ShardedOracle {
     #[must_use]
     pub fn cache_stats(&self) -> (u64, u64) {
         let (mut hits, mut built) = self.retired_cache_stats;
-        let mut add = |snap: crate::metrics::MetricsSnapshot| {
+        // Interned regions appear behind several shards (or pairs); count
+        // each distinct allocation once.
+        let mut seen: Vec<*const Region> = Vec::new();
+        let mut add = |region: &Arc<Region>| {
+            let ptr = Arc::as_ptr(region);
+            if seen.contains(&ptr) {
+                return;
+            }
+            seen.push(ptr);
+            let snap = region.oracle.metrics().snapshot();
             hits += snap.cache_hits;
             built += snap.trees_built;
         };
-        add(self.global.metrics().snapshot());
         for region in &self.regions {
-            add(region.oracle.metrics().snapshot());
+            add(region);
         }
         for region in self
             .pair_regions
@@ -723,9 +753,42 @@ impl ShardedOracle {
             .expect("pair region cache poisoned")
             .values()
         {
-            add(region.oracle.metrics().snapshot());
+            add(region);
         }
+        let snap = self.global.metrics().snapshot();
+        hits += snap.cache_hits;
+        built += snap.trees_built;
         (hits, built)
+    }
+
+    /// Heap bytes held by the sharded serving state: the global oracle, the
+    /// boundary index, and every **distinct** region allocation (shard and
+    /// pair regions interned to one extraction are counted once — the
+    /// number the `mem_bytes_per_edge` scale series reports).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = self.global.memory_bytes() + self.boundary.memory_bytes();
+        let mut seen: Vec<*const Region> = Vec::new();
+        let mut add = |region: &Arc<Region>| {
+            let ptr = Arc::as_ptr(region);
+            if seen.contains(&ptr) {
+                return;
+            }
+            seen.push(ptr);
+            bytes += region.memory_bytes();
+        };
+        for region in &self.regions {
+            add(region);
+        }
+        for region in self
+            .pair_regions
+            .lock()
+            .expect("pair region cache poisoned")
+            .values()
+        {
+            add(region);
+        }
+        bytes
     }
 
     /// Per-shard rebuild epochs: entry `s` counts how many fault waves
@@ -856,14 +919,24 @@ impl ShardedOracle {
             .collect();
         members.sort_unstable();
         members.dedup();
-        let region = Arc::new(Region::build(
-            self.global.graph(),
-            self.global.spanner(),
-            self.global.params(),
-            &self.options.oracle,
-            pair_namespace(a, b),
-            &members,
-        ));
+        // Halo dedup again: when one shard's region already covers the
+        // union (its halo swallowed the other's core and halo), the pair is
+        // that region — reuse it instead of extracting a copy.
+        let region = [a, b]
+            .iter()
+            .map(|&s| &self.regions[s as usize])
+            .find(|r| r.remap.members() == members.as_slice())
+            .map(Arc::clone)
+            .unwrap_or_else(|| {
+                Arc::new(Region::build(
+                    self.global.graph(),
+                    self.global.spanner(),
+                    self.global.params(),
+                    &self.options.oracle,
+                    pair_namespace(a, b),
+                    &members,
+                ))
+            });
         let mut cache = self
             .pair_regions
             .lock()

@@ -24,7 +24,8 @@
 //! checksum u64 (FNV-1a-64 of payload) · payload
 //! ```
 //!
-//! `kind` is `0` for a [`FaultOracle`], `1` for a [`ShardedOracle`]. The
+//! `kind` is `0` for a [`FaultOracle`], `1` for a [`ShardedOracle`], `2`
+//! for a [`HierarchicalOracle`]. The
 //! version is bumped on any payload layout change; [`Snapshot::restore`]
 //! rejects unknown versions, foreign magic, checksum mismatches, and
 //! snapshots of the wrong kind with a typed [`SnapshotError`] — never a
@@ -54,6 +55,7 @@ use ftspan_graph::{vid, Graph, VertexId};
 
 use crate::boundary::BoundaryIndex;
 use crate::cache::TreeCache;
+use crate::hierarchy::{leaf_namespace, HierarchicalOptions, HierarchicalOracle};
 use crate::metrics::OracleMetrics;
 use crate::oracle::{FaultOracle, OracleOptions};
 use crate::shard::{
@@ -136,6 +138,8 @@ pub enum SnapshotKind {
     Single,
     /// A [`ShardedOracle`].
     Sharded,
+    /// A [`HierarchicalOracle`].
+    Hierarchical,
 }
 
 impl SnapshotKind {
@@ -143,6 +147,7 @@ impl SnapshotKind {
         match self {
             Self::Single => 0,
             Self::Sharded => 1,
+            Self::Hierarchical => 2,
         }
     }
 
@@ -150,21 +155,24 @@ impl SnapshotKind {
         match tag {
             0 => Ok(Self::Single),
             1 => Ok(Self::Sharded),
+            2 => Ok(Self::Hierarchical),
             tag => Err(SnapshotError::UnknownKind { tag }),
         }
     }
 }
 
 mod sealed {
-    /// Restricts [`Snapshottable`](super::Snapshottable) to the two oracle
-    /// backends — the payload codecs reassemble crate-private state.
+    /// Restricts [`Snapshottable`](super::Snapshottable) to the shipped
+    /// oracle backends — the payload codecs reassemble crate-private state.
     pub trait Sealed {}
     impl Sealed for crate::oracle::FaultOracle {}
     impl Sealed for crate::shard::ShardedOracle {}
+    impl Sealed for crate::hierarchy::HierarchicalOracle {}
 }
 
 /// An oracle backend that can be captured into and restored from snapshot
-/// bytes. Sealed: implemented by [`FaultOracle`] and [`ShardedOracle`] only.
+/// bytes. Sealed: implemented by [`FaultOracle`], [`ShardedOracle`], and
+/// [`HierarchicalOracle`] only.
 pub trait Snapshottable: sealed::Sealed + Sized {
     /// The kind tag written into the snapshot header.
     #[doc(hidden)]
@@ -466,7 +474,7 @@ impl Snapshottable for ShardedOracle {
         };
         let rebuild = &rebuild;
         let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        let regions: Vec<Region> = if cores > 1 && plan.shard_count() > 1 {
+        let built: Vec<Region> = if cores > 1 && plan.shard_count() > 1 {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..plan.shard_count())
                     .map(|s| scope.spawn(move || rebuild(s)))
@@ -479,6 +487,17 @@ impl Snapshottable for ShardedOracle {
         } else {
             (0..plan.shard_count()).map(rebuild).collect()
         };
+        // Intern sibling regions with identical member sets behind one Arc,
+        // exactly as `from_result` does, so a restored oracle matches the
+        // cold build's memory footprint.
+        let mut regions: Vec<std::sync::Arc<Region>> = Vec::with_capacity(built.len());
+        for region in built {
+            let shared = regions
+                .iter()
+                .find(|r| r.remap.members() == region.remap.members())
+                .map(std::sync::Arc::clone);
+            regions.push(shared.unwrap_or_else(|| std::sync::Arc::new(region)));
+        }
         Ok(Self {
             global,
             plan,
@@ -486,6 +505,167 @@ impl Snapshottable for ShardedOracle {
             regions,
             pair_regions: Mutex::new(HashMap::new()),
             shard_epochs,
+            halo_radius,
+            options,
+            metrics: ShardedMetrics::default(),
+            retired_cache_stats: (0, 0),
+            wave_bfs: ftspan_graph::bfs::BfsScratch::default(),
+        })
+    }
+}
+
+impl Snapshottable for HierarchicalOracle {
+    const KIND: SnapshotKind = SnapshotKind::Hierarchical;
+
+    fn encode_payload(&self, w: &mut WireWriter) {
+        self.global.encode_payload(w);
+        w.put_len(self.leaf_plan.vertex_count());
+        for i in 0..self.leaf_plan.vertex_count() {
+            w.put_u32(self.leaf_plan.shard_of(vid(i)));
+        }
+        w.put_len(self.super_of_leaf.len());
+        for &s in &self.super_of_leaf {
+            w.put_u32(s);
+        }
+        w.put_len(self.options.plan.shards);
+        w.put_u64(self.options.plan.seed);
+        w.put_f64(self.options.plan.beta);
+        w.put_len(self.options.plan.partitions);
+        w.put_len(self.options.super_shards);
+        match self.options.halo_radius {
+            None => w.put_u8(0),
+            Some(radius) => {
+                w.put_u8(1);
+                w.put_u32(radius);
+            }
+        }
+        encode_oracle_options(&self.options.oracle, w);
+        w.put_u32(self.halo_radius);
+        w.put_len(self.leaf_epochs.len());
+        for &e in &self.leaf_epochs {
+            w.put_u64(e);
+        }
+    }
+
+    fn decode_payload(r: &mut WireReader<'_>) -> Result<Self, SnapshotError> {
+        let global = FaultOracle::decode_payload(r)?;
+        let n = r.len(4)?;
+        if n != global.graph.vertex_count() {
+            return Err(WireError::malformed(format!(
+                "leaf plan covers {n} vertices, graph has {}",
+                global.graph.vertex_count()
+            ))
+            .into());
+        }
+        let mut shard_of = Vec::with_capacity(n);
+        for _ in 0..n {
+            shard_of.push(r.u32()?);
+        }
+        let leaf_plan = ShardPlan::from_shard_of(shard_of);
+        let leaf_count = r.len(4)?;
+        if leaf_count != leaf_plan.shard_count() {
+            return Err(WireError::malformed(format!(
+                "{leaf_count} super assignments for {} leaves",
+                leaf_plan.shard_count()
+            ))
+            .into());
+        }
+        let mut super_of_leaf = Vec::with_capacity(leaf_count);
+        for _ in 0..leaf_count {
+            super_of_leaf.push(r.u32()?);
+        }
+        let options = HierarchicalOptions {
+            plan: ShardPlanOptions {
+                shards: r.len(0)?,
+                seed: r.u64()?,
+                beta: r.f64()?,
+                partitions: r.len(0)?,
+            },
+            super_shards: r.len(0)?,
+            halo_radius: match r.u8()? {
+                0 => None,
+                1 => Some(r.u32()?),
+                tag => {
+                    return Err(
+                        WireError::malformed(format!("unknown halo radius tag {tag}")).into(),
+                    )
+                }
+            },
+            oracle: decode_oracle_options(r)?,
+        };
+        let halo_radius = r.u32()?;
+        let epoch_count = r.len(8)?;
+        if epoch_count != leaf_plan.shard_count() {
+            return Err(WireError::malformed(format!(
+                "{epoch_count} leaf epochs for {} leaves",
+                leaf_plan.shard_count()
+            ))
+            .into());
+        }
+        let mut leaf_epochs = Vec::with_capacity(epoch_count);
+        for _ in 0..epoch_count {
+            leaf_epochs.push(r.u64()?);
+        }
+
+        // Derived state, rebuilt exactly as `HierarchicalOracle::from_result`
+        // builds it: the vertex-level super plan composed from the leaf plan,
+        // the level-2 boundary over it, and the interned leaf regions.
+        let super_of_vertex: Vec<u32> = (0..leaf_plan.vertex_count())
+            .map(|i| {
+                super_of_leaf
+                    .get(leaf_plan.shard_of(vid(i)) as usize)
+                    .copied()
+                    .ok_or_else(|| WireError::malformed("leaf id out of super assignment range"))
+            })
+            .collect::<Result<_, _>>()?;
+        let super_plan = ShardPlan::from_shard_of(super_of_vertex);
+        let params = global.params;
+        let boundary = BoundaryIndex::build(&global.spanner, &super_plan);
+        let rebuild = |leaf: usize| {
+            let members = global
+                .spanner
+                .halo_members(leaf_plan.core(leaf), halo_radius);
+            Region::build(
+                &global.graph,
+                &global.spanner,
+                params,
+                &options.oracle,
+                leaf_namespace(leaf),
+                &members,
+            )
+        };
+        let rebuild = &rebuild;
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let built: Vec<Region> = if cores > 1 && leaf_plan.shard_count() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..leaf_plan.shard_count())
+                    .map(|s| scope.spawn(move || rebuild(s)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("region rebuild must not panic"))
+                    .collect()
+            })
+        } else {
+            (0..leaf_plan.shard_count()).map(rebuild).collect()
+        };
+        let mut regions: Vec<std::sync::Arc<Region>> = Vec::with_capacity(built.len());
+        for region in built {
+            let shared = regions
+                .iter()
+                .find(|r| r.remap.members() == region.remap.members())
+                .map(std::sync::Arc::clone);
+            regions.push(shared.unwrap_or_else(|| std::sync::Arc::new(region)));
+        }
+        Ok(Self {
+            global,
+            leaf_plan,
+            super_plan,
+            super_of_leaf,
+            boundary,
+            regions,
+            pair_regions: Mutex::new(HashMap::new()),
+            leaf_epochs,
             halo_radius,
             options,
             metrics: ShardedMetrics::default(),
@@ -556,6 +736,51 @@ mod tests {
             oracle.boundary().cut_edges().len()
         );
         assert_eq!(Snapshot::capture(&restored), bytes);
+    }
+
+    #[test]
+    fn hierarchical_oracle_round_trips_with_derived_state() {
+        let oracle = HierarchicalOracle::build(
+            workload(8),
+            SpannerParams::vertex(2, 1),
+            HierarchicalOptions {
+                super_shards: 2,
+                ..HierarchicalOptions::default()
+            },
+        );
+        let bytes = Snapshot::capture(&oracle);
+        assert_eq!(
+            Snapshot::peek_kind(&bytes).unwrap(),
+            SnapshotKind::Hierarchical
+        );
+        let restored: HierarchicalOracle = Snapshot::restore(&bytes).expect("restores");
+        assert_eq!(restored.leaf_count(), oracle.leaf_count());
+        assert_eq!(restored.super_count(), oracle.super_count());
+        assert_eq!(restored.leaf_epochs(), oracle.leaf_epochs());
+        for leaf in 0..oracle.leaf_count() {
+            assert_eq!(restored.super_of(leaf), oracle.super_of(leaf));
+            assert_eq!(restored.leaf_members(leaf), oracle.leaf_members(leaf));
+        }
+        assert_eq!(
+            restored.boundary().cut_edges().len(),
+            oracle.boundary().cut_edges().len()
+        );
+        // Restored answers are bit-identical, including across a churn wave
+        // applied to both copies.
+        let mut warm = restored;
+        let mut cold = oracle;
+        let wave = FaultSet::vertices([vid(7)]);
+        warm.apply_wave(&wave, &crate::ChurnConfig::default());
+        cold.apply_wave(&wave, &crate::ChurnConfig::default());
+        for (u, v) in [(0usize, 31usize), (3, 17), (12, 29)] {
+            for faults in [FaultSet::vertices([]), FaultSet::vertices([vid(4)])] {
+                assert_eq!(
+                    warm.distance(vid(u), vid(v), &faults).map(f64::to_bits),
+                    cold.distance(vid(u), vid(v), &faults).map(f64::to_bits)
+                );
+            }
+        }
+        assert_eq!(Snapshot::capture(&warm), Snapshot::capture(&cold));
     }
 
     #[test]

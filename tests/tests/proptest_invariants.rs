@@ -290,3 +290,93 @@ proptest! {
         }
     }
 }
+
+/// Strategy: an `IdRemap` member set over a large universe, biased toward the
+/// shapes the scale tier produces — sparse scatters, high-id clusters near
+/// the top of the universe, and page-straddling runs — with duplicates and
+/// out-of-range ids mixed in (both must be tolerated, not round-tripped).
+fn remap_members_strategy() -> impl Strategy<Value = (usize, Vec<ftspan_graph::VertexId>)> {
+    (1usize..=22, 0u64..1_000_000).prop_map(|(log_universe, seed)| {
+        let universe = 1usize << log_universe;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut members = Vec::new();
+        for _ in 0..rng.gen_range(1..120) {
+            let run = rng.gen_range(1usize..64);
+            match rng.gen_range(0u8..3) {
+                // Sparse scatter anywhere in (or slightly past) the universe.
+                0 => members.push(vid(rng.gen_range(0..universe + universe / 4 + 1))),
+                // High-id cluster hugging the top of the universe.
+                1 => {
+                    let base = universe.saturating_sub(1 + rng.gen_range(0usize..4096));
+                    members.extend((0..run.min(8)).map(|i| vid(base.saturating_sub(i * 3))));
+                }
+                // A run straddling a 64-id page boundary.
+                _ => {
+                    let page_edge = rng.gen_range(0..universe.div_ceil(64).max(1)) * 64;
+                    let start = page_edge.saturating_sub(run / 2);
+                    members.extend((start..start + run).map(vid));
+                }
+            }
+        }
+        (universe, members)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The paged `IdRemap` behaves exactly like the obvious dense map on
+    /// every member shape the shards produce: first occurrence wins, both
+    /// directions round-trip, non-members (and out-of-range ids) map to
+    /// `None`, and memory stays proportional to touched pages, not to the
+    /// universe.
+    #[test]
+    fn id_remap_matches_dense_reference((universe, members) in remap_members_strategy()) {
+        use ftspan_graph::IdRemap;
+        let remap = IdRemap::from_members(universe, &members);
+
+        // Dense reference: first in-range occurrence of each id, in order.
+        let mut dense: Vec<Option<usize>> = vec![None; universe];
+        let mut expected_members = Vec::new();
+        for &v in &members {
+            if v.index() < universe && dense[v.index()].is_none() {
+                dense[v.index()] = Some(expected_members.len());
+                expected_members.push(v);
+            }
+        }
+
+        prop_assert_eq!(remap.universe_size(), universe);
+        prop_assert_eq!(remap.local_count(), expected_members.len());
+        prop_assert_eq!(remap.members(), expected_members.as_slice());
+        for (local, &global) in expected_members.iter().enumerate() {
+            prop_assert_eq!(remap.to_local(global), Some(vid(local)));
+            prop_assert_eq!(remap.to_global(vid(local)), global);
+        }
+        // Probe non-members around every member (page neighbours are the
+        // interesting misses) plus the out-of-range frontier.
+        for &v in &expected_members {
+            for probe in [v.index().wrapping_sub(1), v.index() + 1, v.index() ^ 63] {
+                if probe < universe {
+                    prop_assert_eq!(remap.to_local(vid(probe)), dense[probe].map(vid));
+                }
+            }
+        }
+        prop_assert_eq!(remap.to_local(vid(universe)), None);
+        prop_assert_eq!(remap.to_local(vid(universe + 63)), None);
+
+        // Paged storage: at most one 64-slot page per member (plus the page
+        // directory and the member list, whose capacity is reserved from the
+        // raw input length, duplicates included) — never the dense universe
+        // map.
+        let pages_touched: std::collections::HashSet<usize> =
+            expected_members.iter().map(|v| v.index() / 64).collect();
+        let slot_bytes = pages_touched.len() * 64 * 4;
+        let directory_bytes = universe.div_ceil(64) * 4;
+        let member_bytes = members.len() * 4;
+        prop_assert!(
+            remap.memory_bytes() <= 2 * (slot_bytes + directory_bytes + member_bytes) + 256,
+            "paged remap used {} bytes for {} members over a {} universe",
+            remap.memory_bytes(), expected_members.len(), universe
+        );
+    }
+}

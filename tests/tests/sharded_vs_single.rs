@@ -13,7 +13,8 @@ use ftspan::{sample_fault_set, FaultModel, SpannerParams};
 use ftspan_graph::{generators, vid, Graph};
 use ftspan_integration_tests::rng;
 use ftspan_oracle::{
-    FaultOracle, OracleOptions, Query, ShardPlanOptions, ShardedOptions, ShardedOracle,
+    Answer, ChurnConfig, FaultOracle, HierarchicalOptions, HierarchicalOracle, OracleOptions,
+    Query, ShardPlanOptions, ShardedOptions, ShardedOracle,
 };
 use rand::Rng;
 
@@ -242,4 +243,134 @@ fn batched_answers_match_single_oracle() {
         assert_eq!(x.distance, y.distance, "{query:?}");
         assert_eq!(x.path.is_some(), y.path.is_some());
     }
+}
+
+/// Checks one backend's answer against the single oracle's: bit-identical
+/// `Option<f64>` distance, and — for path queries — a genuine walk on the
+/// given live spanner with the same endpoints and total weight.
+fn assert_answer_matches(
+    name: &str,
+    round: usize,
+    spanner: &Graph,
+    query: &Query,
+    expected: &Answer,
+    got: &Answer,
+) {
+    assert_eq!(
+        expected.distance, got.distance,
+        "{name} round {round}: distance diverged for {query:?}"
+    );
+    match (&expected.path, &got.path) {
+        (None, None) => {}
+        (Some(reference), Some(path)) => {
+            assert_eq!(path.first(), reference.first(), "{name} round {round}");
+            assert_eq!(path.last(), reference.last(), "{name} round {round}");
+            let mut walked = 0.0;
+            for pair in path.windows(2) {
+                let e = spanner
+                    .edge_between(pair[0], pair[1])
+                    .unwrap_or_else(|| panic!("{name} round {round}: non-spanner hop in {path:?}"));
+                walked += spanner.weight(e);
+                assert!(!query.faults.contains_vertex(pair[0]));
+            }
+            let d = got.distance.expect("path answers carry a distance");
+            assert!(
+                (walked - d).abs() < 1e-9,
+                "{name} round {round}: path length {walked} != distance {d}"
+            );
+        }
+        other => panic!("{name} round {round}: path presence diverged: {other:?}"),
+    }
+}
+
+/// The scale-tier contract, end to end: single oracle, flat sharded oracle,
+/// and two-level hierarchical oracle — built from the same deterministic
+/// construction over the same leaf-plan options — agree **exactly** on every
+/// query, and keep agreeing across permanent fault waves (each backend runs
+/// its own churn loop: global repair plus shard/leaf rebuild fan-out).
+#[test]
+fn hierarchical_matches_flat_and_single_across_churn() {
+    let mut r = rng(8107);
+    let graph = generators::connected_gnp(140, 0.05, &mut r);
+    let n = graph.vertex_count();
+    let params = SpannerParams::vertex(2, 2);
+    let hier_options = HierarchicalOptions {
+        plan: ShardPlanOptions {
+            shards: 4,
+            ..ShardPlanOptions::default()
+        },
+        ..HierarchicalOptions::default()
+    };
+
+    let mut single = FaultOracle::build(graph.clone(), params, OracleOptions::default());
+    let mut flat = ShardedOracle::build(graph.clone(), params, hier_options.flat());
+    let mut hier = HierarchicalOracle::build(graph, params, hier_options);
+    let config = ChurnConfig::default();
+
+    for wave_round in 0..4usize {
+        assert_eq!(
+            single.spanner().edge_count(),
+            flat.spanner().edge_count(),
+            "wave {wave_round}: flat spanner diverged"
+        );
+        assert_eq!(
+            single.spanner().edge_count(),
+            hier.spanner().edge_count(),
+            "wave {wave_round}: hierarchical spanner diverged"
+        );
+
+        for query_round in 0..12usize {
+            let size = query_round % 3; // |F| in {0, 1, 2}, design budget f = 2
+            let faults = sample_fault_set(single.graph(), FaultModel::Vertex, size, &[], &mut r);
+            for _ in 0..3 {
+                let u = vid(r.gen_range(0..n));
+                let v = vid(r.gen_range(0..n));
+                let query = if query_round % 2 == 0 {
+                    Query::path(u, v, faults.clone())
+                } else {
+                    Query::distance(u, v, faults.clone())
+                };
+                let expected = single.answer(&query);
+                let round = wave_round * 100 + query_round;
+                assert_answer_matches(
+                    "flat",
+                    round,
+                    flat.spanner(),
+                    &query,
+                    &expected,
+                    &flat.answer(&query),
+                );
+                assert_answer_matches(
+                    "hier",
+                    round,
+                    hier.spanner(),
+                    &query,
+                    &expected,
+                    &hier.answer(&query),
+                );
+            }
+        }
+
+        // Permanent damage: the same wave hits all three backends, each of
+        // which repairs through its own churn path.
+        let wave = sample_fault_set(single.graph(), FaultModel::Vertex, 2, &[], &mut r);
+        let single_outcome = single.apply_wave(&wave, &config);
+        let flat_outcome = flat.apply_wave(&wave, &config);
+        let hier_outcome = hier.apply_wave(&wave, &config);
+        assert_eq!(
+            single_outcome.edges_added, flat_outcome.global.edges_added,
+            "wave {wave_round}: flat repair diverged"
+        );
+        assert_eq!(
+            single_outcome.edges_added, hier_outcome.global.edges_added,
+            "wave {wave_round}: hierarchical repair diverged"
+        );
+    }
+
+    // Traffic must actually exercise both scaling layers, not just the
+    // global fallback.
+    let flat_snap = flat.metrics().snapshot();
+    assert!(flat_snap.local + flat_snap.stitched > 0);
+    let hier_snap = hier.metrics().snapshot();
+    assert!(hier_snap.local + hier_snap.stitched > 0);
 }
