@@ -1309,6 +1309,131 @@ fn bench_trajectory() {
         });
     }
 
+    // 12. Replication catch-up: wave-history entries covered per second on
+    //     the way to serving at the primary's epoch. The cold standby
+    //     rebuilds the oracle from the graph and replays the full 30-wave
+    //     journal; the replica restores the primary's latest snapshot
+    //     (taken 5 waves back, the realistic periodic-capture gap) and
+    //     replays only the digest-verified tail. The speedup column is the
+    //     failover-readiness win.
+    {
+        use ftspan_oracle::{
+            ChurnConfig, JournalEntry, Replica, Snapshot, SpannerOracle, WaveJournal,
+        };
+        let graph = gnp_workload(400, 8.0, 41);
+        let churn = ChurnConfig::default();
+        let mut primary = FaultOracle::build(graph.clone(), params, OracleOptions::default());
+        let mut journal = WaveJournal::new(primary.epoch());
+        let mut wave_rng = rng(42);
+        let n_waves = 30usize;
+        let snapshot_at = 25u64;
+        let mut bootstrap = Vec::new();
+        for _ in 0..n_waves {
+            let wave = sample_fault_set(primary.graph(), FaultModel::Vertex, 2, &[], &mut wave_rng);
+            // The trait method, explicitly: it returns the digestable
+            // `WaveReport` (the inherent `apply_wave` returns the bare
+            // outcome and would shadow it).
+            let report = SpannerOracle::apply_wave(&mut primary, &wave, &churn);
+            journal
+                .append(JournalEntry {
+                    epoch: primary.epoch(),
+                    wave,
+                    report_digest: report.digest(),
+                })
+                .expect("journal accepts the primary's own history");
+            if primary.epoch() == snapshot_at {
+                bootstrap = Snapshot::capture(&primary);
+            }
+        }
+        let (_, cold_secs) = timed(|| {
+            let mut standby = FaultOracle::build(graph.clone(), params, OracleOptions::default());
+            for entry in journal.entries() {
+                let _ = std::hint::black_box(SpannerOracle::apply_wave(
+                    &mut standby,
+                    &entry.wave,
+                    &churn,
+                ));
+            }
+        });
+        let (replica, warm_secs) = timed(|| {
+            let mut replica: Replica<FaultOracle> =
+                Replica::bootstrap(&bootstrap, churn.clone()).expect("replica bootstraps");
+            replica
+                .catch_up(journal.entries_since(snapshot_at).expect("tail in window"))
+                .expect("replay stays convergent");
+            replica
+        });
+        assert_eq!(replica.epoch(), primary.epoch(), "catch-up sanity");
+        points.push(TrajectoryPoint {
+            name: "replica_catchup",
+            unit: "entries/s",
+            before: n_waves as f64 / cold_secs,
+            after: n_waves as f64 / warm_secs,
+        });
+    }
+
+    // 13. Replica read scaling: aggregate BATCH throughput of three
+    //     loopback clients — all three on the primary (`before`) vs spread
+    //     across the primary and two snapshot-bootstrapped, caught-up
+    //     replicas (`after`). Same clients, same streams both ways, so the
+    //     speedup column is what adding two read replicas actually buys.
+    //     Each client sends its *own* stream (distinct seeds): identical
+    //     streams would hand the single-primary run a cross-connection
+    //     coalescing win no replicated deployment ever sees.
+    {
+        use ftspan_oracle::{OracleService, ServiceConfig};
+        use ftspan_server::{Client, ReplicaServer, Server, ServerConfig};
+        let streams: Vec<Vec<Query>> = (0..3)
+            .map(|i| ftspan_bench::service_request_stream(n, batch_size, 300, 19 + i))
+            .collect();
+        let reps = 10usize;
+        let oracle = FaultOracle::build(graph.clone(), params, OracleOptions::default());
+        let service = OracleService::new(oracle, ServiceConfig::default());
+        let primary = Server::start(service, "127.0.0.1:0", ServerConfig::default())
+            .expect("loopback primary starts");
+        let replicas: Vec<ReplicaServer<FaultOracle>> = (0..2)
+            .map(|_| {
+                ReplicaServer::start(
+                    primary.local_addr(),
+                    "127.0.0.1:0",
+                    ServiceConfig::default(),
+                    ServerConfig::default(),
+                )
+                .expect("replica bootstraps")
+            })
+            .collect();
+        let run = |addrs: [std::net::SocketAddr; 3]| {
+            let (_, secs) = timed(|| {
+                std::thread::scope(|scope| {
+                    for (addr, stream) in addrs.into_iter().zip(&streams) {
+                        scope.spawn(move || {
+                            let mut client = Client::connect(addr).expect("client connects");
+                            for _ in 0..reps {
+                                let _ = std::hint::black_box(
+                                    client.batch(stream.clone()).expect("batch served"),
+                                );
+                            }
+                        });
+                    }
+                });
+            });
+            (3 * reps * batch_size) as f64 / secs
+        };
+        let p = primary.local_addr();
+        let before = run([p, p, p]);
+        let after = run([p, replicas[0].local_addr(), replicas[1].local_addr()]);
+        for replica in replicas {
+            let _ = replica.shutdown();
+        }
+        let _ = primary.shutdown();
+        points.push(TrajectoryPoint {
+            name: "replica_read_scaling",
+            unit: "queries/s",
+            before,
+            after,
+        });
+    }
+
     let fmt = |v: f64| {
         if v < 1_000.0 {
             format!("{v:.2}")

@@ -131,6 +131,14 @@ impl WireWriter {
         self.buf.extend_from_slice(bytes);
     }
 
+    /// Empties the buffer, keeping its allocation — the reuse hook for
+    /// encode paths that write one value per iteration (e.g. a server
+    /// connection's reply frames) and should not pay a fresh allocation
+    /// each time.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     /// Bytes written so far.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -28,9 +28,11 @@ use ftspan::repair::{
     RepairOptions, RepairScratch,
 };
 use ftspan::verify::{verify_spanner_with, VerificationMode};
+use ftspan::wire::encode_fault_set;
 use ftspan::{EdgeCertificate, FaultSet};
 use ftspan_graph::bfs::BfsScratch;
 use ftspan_graph::dijkstra::DijkstraScratch;
+use ftspan_graph::wire::{fnv1a64, WireWriter};
 use ftspan_graph::{EdgeId, Graph, VertexId};
 
 /// Pooled buffers for one oracle's churn loop, owned by the
@@ -456,6 +458,45 @@ pub struct WaveReport {
     /// Shard pairs whose portals the wave completely severed (always empty
     /// for the single oracle) — see [`ShardWaveOutcome::severed_pairs`].
     pub severed_pairs: Vec<(u32, u32)>,
+}
+
+impl WaveReport {
+    /// A deterministic FNV-1a-64 digest of everything the wave *decided*:
+    /// the wave itself, the broken pairs, candidate/added/surviving edge
+    /// counts, the escalation flag, the rebuilt lanes, and the severed
+    /// pairs. Two oracles that started from identical state and applied the
+    /// same wave produce the same digest — this is what the replication
+    /// tier's [`WaveJournal`](crate::replication::WaveJournal) records per
+    /// entry, so a diverging replica is caught *at the entry that
+    /// diverged*, not at the next full snapshot comparison.
+    ///
+    /// [`WaveOutcome::elapsed`] is deliberately excluded: wall-clock time
+    /// is machine-local and must never enter a cross-machine determinism
+    /// contract.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut w = WireWriter::new();
+        encode_fault_set(&self.outcome.wave, &mut w);
+        w.put_len(self.outcome.broken_pairs.len());
+        for &(u, v) in &self.outcome.broken_pairs {
+            w.put_u32(u.as_u32());
+            w.put_u32(v.as_u32());
+        }
+        w.put_len(self.outcome.candidates);
+        w.put_len(self.outcome.edges_added);
+        w.put_u8(u8::from(self.outcome.escalated));
+        w.put_len(self.outcome.surviving_spanner_edges);
+        w.put_len(self.rebuilt_lanes.len());
+        for &lane in &self.rebuilt_lanes {
+            w.put_len(lane);
+        }
+        w.put_len(self.severed_pairs.len());
+        for &(a, b) in &self.severed_pairs {
+            w.put_u32(a);
+            w.put_u32(b);
+        }
+        fnv1a64(w.as_slice())
+    }
 }
 
 /// What one [`ShardedOracle::apply_wave`] call did.

@@ -86,6 +86,7 @@ pub mod metrics;
 mod oracle;
 pub mod query;
 pub mod repair;
+pub mod replication;
 pub mod service;
 pub mod shard;
 pub mod snapshot;
@@ -98,9 +99,10 @@ pub use hierarchy::{HierarchicalOptions, HierarchicalOracle, HierarchyWaveOutcom
 pub use metrics::{LocalitySplit, MetricsSnapshot, OracleMetrics, ServiceMetrics};
 pub use oracle::{FaultOracle, OracleOptions};
 pub use query::{Answer, Query, QueryKind};
+pub use replication::{JournalEntry, Replica, ReplicationError, WaveJournal};
 pub use service::{
     EpochHandle, OracleService, PumpOutcome, RebuildPolicy, ServiceCommand, ServiceConfig,
-    TicketId, TicketState,
+    ServiceJournal, TicketId, TicketState,
 };
 pub use shard::{
     ShardPlan, ShardPlanOptions, ShardedMetrics, ShardedMetricsSnapshot, ShardedOptions,

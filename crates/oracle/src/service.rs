@@ -68,6 +68,7 @@ use ftspan::FaultSet;
 use crate::churn::{ChurnConfig, WaveReport};
 use crate::metrics::ServiceMetrics;
 use crate::query::{Answer, Query, QueryKind};
+use crate::replication::{JournalEntry, WaveJournal};
 use crate::traits::SpannerOracle;
 
 /// What happens to requests charged to an admission lane whose region is
@@ -140,6 +141,11 @@ pub struct ServiceConfig {
     /// semantics. With workers, `drain` merely waits for quiescence and
     /// `pump` is a no-op; use [`OracleService::wait`] per ticket.
     pub workers: usize,
+    /// Journal every committed wave into a [`ServiceJournal`] (default
+    /// `false`). Equivalent to calling [`OracleService::enable_journal`]
+    /// right after construction; the journal is the feed replication
+    /// followers replay (see [`crate::replication`]).
+    pub journal: bool,
 }
 
 impl Default for ServiceConfig {
@@ -153,6 +159,7 @@ impl Default for ServiceConfig {
             max_pending: 0,
             churn: ChurnConfig::default(),
             workers: 0,
+            journal: false,
         }
     }
 }
@@ -211,6 +218,14 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Enables wave journaling from construction (see
+    /// [`ServiceConfig::journal`]).
+    #[must_use]
+    pub fn with_journal(mut self) -> Self {
+        self.journal = true;
         self
     }
 }
@@ -513,8 +528,119 @@ struct Core<O: SpannerOracle> {
     state: Mutex<CoreState>,
     /// Signaled on submission, round completion, and wave publication.
     cv: Condvar,
+    /// `Some` once journaling is enabled. Locked only on the wave path and
+    /// in [`OracleService::enable_journal`], always **after** the epoch
+    /// slot (never the reverse) so the two can't deadlock.
+    journal: Mutex<Option<Arc<ServiceJournal>>>,
     shutdown: AtomicBool,
     workers: AtomicUsize,
+}
+
+/// The live, observable [`WaveJournal`] of a serving primary.
+///
+/// The wave writer appends the committed entry **while still holding the
+/// epoch slot** — releasing the slot is what publishes the epoch — so no
+/// reader can ever observe an epoch whose journal entry is missing.
+/// Followers consume it with [`ServiceJournal::entries_since`] (catch-up)
+/// and [`ServiceJournal::wait_past`] (tailing); both hand out clones, so
+/// consumers never hold the journal lock while replaying.
+#[derive(Debug)]
+pub struct ServiceJournal {
+    state: Mutex<WaveJournal>,
+    /// Signaled after each appended entry's epoch has been published.
+    cv: Condvar,
+}
+
+impl ServiceJournal {
+    fn new(base_epoch: u64) -> Self {
+        Self {
+            state: Mutex::new(WaveJournal::new(base_epoch)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, WaveJournal> {
+        self.state.lock().expect("wave journal poisoned")
+    }
+
+    /// The epoch the journal starts after (see [`WaveJournal::base_epoch`]).
+    #[must_use]
+    pub fn base_epoch(&self) -> u64 {
+        self.lock().base_epoch()
+    }
+
+    /// The epoch of the newest journaled wave.
+    #[must_use]
+    pub fn head_epoch(&self) -> u64 {
+        self.lock().head_epoch()
+    }
+
+    /// Number of journaled waves.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when no wave has been journaled yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Clones out every entry past `epoch`, oldest first — or `None` when
+    /// `epoch` predates the base (the follower must re-bootstrap from a
+    /// fresh snapshot instead).
+    #[must_use]
+    pub fn entries_since(&self, epoch: u64) -> Option<Vec<JournalEntry>> {
+        self.lock()
+            .entries_since(epoch)
+            .map(<[JournalEntry]>::to_vec)
+    }
+
+    /// A point-in-time copy of the whole journal (e.g. for
+    /// [`WaveJournal::encode`]).
+    #[must_use]
+    pub fn to_journal(&self) -> WaveJournal {
+        self.lock().clone()
+    }
+
+    /// Blocks until at least one entry past `epoch` exists, then returns
+    /// every such entry; an empty vec means `timeout` elapsed first. The
+    /// caller's `epoch` must be at or past [`ServiceJournal::base_epoch`].
+    #[must_use]
+    pub fn wait_past(&self, epoch: u64, timeout: Duration) -> Vec<JournalEntry> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.lock();
+        loop {
+            if guard.head_epoch() > epoch {
+                return guard
+                    .entries_since(epoch)
+                    .map(<[JournalEntry]>::to_vec)
+                    .unwrap_or_default();
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Vec::new();
+            };
+            guard = self
+                .cv
+                .wait_timeout(guard, remaining)
+                .expect("wave journal poisoned")
+                .0;
+        }
+    }
+
+    /// Wave-writer side: called while the epoch slot is held, so appends
+    /// are serialized and epoch-continuous by construction.
+    fn append(&self, entry: JournalEntry) {
+        self.lock()
+            .append(entry)
+            .expect("wave writer broke journal epoch continuity");
+    }
+
+    /// Wakes [`ServiceJournal::wait_past`] tails; called after publication.
+    fn notify(&self) {
+        self.cv.notify_all();
+    }
 }
 
 /// Where the wave writer sleeps while epoch handles are outstanding.
@@ -672,6 +798,7 @@ impl<O: SpannerOracle + 'static> OracleService<O> {
                 reported: Counters::default(),
             }),
             cv: Condvar::new(),
+            journal: Mutex::new(None),
             shutdown: AtomicBool::new(false),
             workers: AtomicUsize::new(0),
         });
@@ -679,8 +806,40 @@ impl<O: SpannerOracle + 'static> OracleService<O> {
             core,
             worker_handles: Mutex::new(Vec::new()),
         };
+        if service.core.config.journal {
+            let _ = service.enable_journal();
+        }
         service.spawn_workers(workers);
         service
+    }
+
+    /// Turns on wave journaling, returning the live journal (idempotent —
+    /// repeated calls return the same journal). The journal is based at
+    /// the epoch published at the moment of the call: waves committed
+    /// earlier are not in it, so enable journaling **before** serving
+    /// waves when a follower must be able to catch up from your bootstrap
+    /// snapshot.
+    pub fn enable_journal(&self) -> Arc<ServiceJournal> {
+        // Hold the epoch slot across the install so the base epoch and the
+        // slot contents can't be split by a concurrent wave writer (which
+        // reads the slot while holding the same lock).
+        let guard = self.core.epoch.lock().expect("epoch slot poisoned");
+        let base = guard.epoch();
+        let mut slot = self.core.journal.lock().expect("journal slot poisoned");
+        let journal = Arc::clone(slot.get_or_insert_with(|| Arc::new(ServiceJournal::new(base))));
+        drop(slot);
+        drop(guard);
+        journal
+    }
+
+    /// The live wave journal, or `None` if journaling was never enabled.
+    #[must_use]
+    pub fn journal(&self) -> Option<Arc<ServiceJournal>> {
+        self.core
+            .journal
+            .lock()
+            .expect("journal slot poisoned")
+            .clone()
     }
 
     /// Spawns `extra` additional reader worker threads. The service
@@ -1414,8 +1573,22 @@ fn apply_wave_barrier<O: SpannerOracle>(core: &Core<O>, slot: usize, wave: Fault
                 .expect("wave barrier poisoned");
         }
     };
+    // Journal the committed wave while the slot is still held: releasing
+    // the guard *is* publication, so readers can never observe an epoch
+    // whose journal entry is missing.
+    let journal = core.journal.lock().expect("journal slot poisoned").clone();
+    if let Some(journal) = &journal {
+        journal.append(JournalEntry {
+            epoch: guard.epoch(),
+            report_digest: report.digest(),
+            wave,
+        });
+    }
     core.barrier.parked.store(false, Ordering::SeqCst);
     drop(guard); // publication
+    if let Some(journal) = &journal {
+        journal.notify();
+    }
 
     let mut st = core.state.lock().expect("service state poisoned");
     for &lane in &report.rebuilt_lanes {

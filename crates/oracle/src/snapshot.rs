@@ -17,6 +17,14 @@
 //! deliberately *not* captured; a restored oracle starts with cold caches
 //! and zeroed counters, exactly like a freshly built one.
 //!
+//! Bit-identical restoration is also the **replication bootstrap handoff**:
+//! a [`Replica`](crate::replication::Replica) starts life as
+//! `Snapshot::restore` of a primary's capture, then replays the primary's
+//! wave journal from the snapshot's epoch — determinism of both the restore
+//! and of `apply_wave` is what lets a re-captured replica snapshot come out
+//! byte-identical to the primary's (the `replication_vs_primary` suite pins
+//! this).
+//!
 //! ## Wire format
 //!
 //! ```text

@@ -23,6 +23,20 @@
 //! or route however they like — but never approximate. The
 //! `sharded_vs_single` and `service_vs_direct` differential suites enforce
 //! this contract bit for bit on unit-weight inputs.
+//!
+//! ## Determinism contract (report digests)
+//!
+//! [`SpannerOracle::apply_wave`] must additionally be a **deterministic
+//! function of the backend's state and the wave**: two backends at the same
+//! state applying the same wave under the same [`ChurnConfig`] must make
+//! identical repair decisions, summarized by an identical
+//! [`WaveReport::digest`]. This is what the replication tier
+//! ([`crate::replication`]) leans on — a replica replays the primary's
+//! wave journal and asserts each entry's digest, so any nondeterminism in a
+//! backend surfaces as a typed divergence error at the exact wave that
+//! introduced it (the `replication_vs_primary` suite enforces this across
+//! all three backends). Machine-local measurements (elapsed time) are
+//! excluded from the digest by construction.
 
 use ftspan::{FaultSet, SpannerParams};
 use ftspan_graph::{Graph, VertexId};
@@ -87,7 +101,9 @@ pub trait SpannerOracle: Send + Sync {
     /// Applies a permanent fault wave, repairs the spanner around it, and
     /// invalidates cached serving state. Returns the backend-agnostic
     /// [`WaveReport`]; backend-specific detail stays available through the
-    /// concrete types' inherent `apply_wave` methods.
+    /// concrete types' inherent `apply_wave` methods. Must be deterministic
+    /// — see the [module docs](crate::traits) determinism contract that
+    /// replication replays verify via [`WaveReport::digest`].
     fn apply_wave(&mut self, wave: &FaultSet, config: &ChurnConfig) -> WaveReport;
 
     /// A point-in-time [`ServiceMetrics`] view of the backend: queries, hit

@@ -14,6 +14,10 @@
 //! * **truncated reply** — `CloseAfter` on the server→client leg cuts a
 //!   reply frame short; the *client* must surface an explicit error
 //!   instead of waiting forever.
+//! * **bit rot in flight** — `CorruptAfter` keeps the connection up but
+//!   XOR-flips every byte past its budget; the frame checksum must catch
+//!   it and the receiver must answer with a typed error rather than
+//!   deserialize poisoned bytes.
 //!
 //! The proxy is deliberately dumb — no frame awareness, byte budgets
 //! only — because real network faults don't respect frame boundaries
@@ -45,13 +49,24 @@ pub enum ProxyFault {
         /// Bytes forwarded before the stall.
         bytes: usize,
     },
+    /// Forward exactly `bytes` bytes faithfully, then keep forwarding with
+    /// every subsequent byte XOR-flipped — a failing NIC / misbehaving
+    /// middlebox. The connection stays up and byte counts are preserved,
+    /// so only the frame checksum can catch it; the receiver must answer
+    /// with a typed error, never deserialize the poisoned bytes.
+    CorruptAfter {
+        /// Bytes forwarded faithfully before corruption starts.
+        bytes: usize,
+    },
 }
 
 impl ProxyFault {
     fn budget(self) -> usize {
         match self {
             ProxyFault::None => usize::MAX,
-            ProxyFault::CloseAfter { bytes } | ProxyFault::StallAfter { bytes } => bytes,
+            ProxyFault::CloseAfter { bytes }
+            | ProxyFault::StallAfter { bytes }
+            | ProxyFault::CorruptAfter { bytes } => bytes,
         }
     }
 }
@@ -221,7 +236,8 @@ fn proxy_accept_loop(
 
 /// Forwards bytes one way until the fault budget runs out, the peer
 /// closes, or the proxy shuts down. `CloseAfter` exits (closing both
-/// sides); `StallAfter` parks, keeping the sockets open, until shutdown.
+/// sides); `StallAfter` parks, keeping the sockets open, until shutdown;
+/// `CorruptAfter` keeps pumping but XOR-flips every byte past the budget.
 fn pump(mut from: TcpStream, mut to: TcpStream, fault: ProxyFault, shutdown: &AtomicBool) {
     let mut budget = fault.budget();
     let mut buf = [0u8; 1024];
@@ -234,6 +250,22 @@ fn pump(mut from: TcpStream, mut to: TcpStream, fault: ProxyFault, shutdown: &At
                 ProxyFault::StallAfter { .. } => {
                     // The slow-loris: stay open, forward nothing.
                     thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+                ProxyFault::CorruptAfter { .. } => {
+                    // Past the budget: forward everything, poisoned.
+                    let n = match from.read(&mut buf) {
+                        Ok(0) => break,
+                        Ok(n) => n,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => break,
+                    };
+                    for byte in &mut buf[..n] {
+                        *byte ^= 0x55;
+                    }
+                    if to.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
                     continue;
                 }
                 _ => break,
@@ -264,6 +296,7 @@ mod tests {
         assert_eq!(ProxyFault::None.budget(), usize::MAX);
         assert_eq!(ProxyFault::CloseAfter { bytes: 7 }.budget(), 7);
         assert_eq!(ProxyFault::StallAfter { bytes: 0 }.budget(), 0);
+        assert_eq!(ProxyFault::CorruptAfter { bytes: 3 }.budget(), 3);
         assert_eq!(ProxyPlan::passthrough().to_server, ProxyFault::None);
     }
 }

@@ -37,14 +37,26 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Returns an error when the connection drops or the server sends a
-    /// frame that does not decode as a reply.
+    /// Returns an error when the connection drops, a reply frame fails its
+    /// checksum (`InvalidData` — corrupt bytes are never deserialized), or
+    /// the server sends a frame that does not decode as a reply.
     pub fn call(&mut self, request: &Request) -> io::Result<Reply> {
         write_frame(&mut self.stream, &encode_request(request))?;
-        let body = read_frame(&mut self.stream)?.ok_or_else(|| {
+        self.read_reply()
+    }
+
+    /// Blocks for one reply frame without sending anything — the receive
+    /// half of [`Client::call`], also used to drain multi-frame replies
+    /// (snapshot chunks, journal streams).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn read_reply(&mut self) -> io::Result<Reply> {
+        let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
         })?;
-        decode_reply(&body)
+        decode_reply(&frame.into_intact()?)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad reply: {e}")))
     }
 
@@ -102,16 +114,103 @@ impl Client {
     }
 
     /// `SNAPSHOT` — a warm-restart snapshot of the serving oracle, ready
-    /// for [`Snapshot::restore`](ftspan_oracle::Snapshot::restore).
+    /// for [`Snapshot::restore`](ftspan_oracle::Snapshot::restore). The
+    /// server streams bounded [`Reply::SnapshotChunk`] frames; this
+    /// reassembles them, verifying offsets and the advertised total, so
+    /// the caller still sees one byte string.
     ///
     /// # Errors
     ///
-    /// I/O or protocol failure, or a non-`SNAPSHOT` reply.
+    /// I/O or protocol failure, a non-chunk reply, or a download whose
+    /// chunks do not line up with the advertised total.
     pub fn snapshot(&mut self) -> io::Result<Vec<u8>> {
-        match self.call(&Request::Snapshot)? {
-            Reply::Snapshot(bytes) => Ok(bytes),
+        let mut first = true;
+        let mut expected: u64 = 0;
+        let mut bytes = Vec::new();
+        loop {
+            match if first {
+                first = false;
+                self.call(&Request::Snapshot)?
+            } else {
+                self.read_reply()?
+            } {
+                Reply::SnapshotChunk {
+                    total,
+                    offset,
+                    data,
+                } => {
+                    if bytes.is_empty() {
+                        expected = total;
+                        bytes.reserve_exact(usize::try_from(total).unwrap_or(0));
+                    }
+                    if total != expected || offset != bytes.len() as u64 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "snapshot chunk out of order: offset {offset} (have {}), \
+                                 total {total} (expected {expected})",
+                                bytes.len()
+                            ),
+                        ));
+                    }
+                    bytes.extend_from_slice(&data);
+                    if bytes.len() as u64 >= expected {
+                        return Ok(bytes);
+                    }
+                }
+                other => return Err(unexpected(&other)),
+            }
+        }
+    }
+
+    /// `JOURNAL_SUBSCRIBE` — switches this connection into a journal
+    /// stream starting just past `from_epoch`. After an `Ok`, the only
+    /// valid operation is [`Client::read_reply`] in a loop: the server
+    /// sends [`Reply::JournalEntries`] frames (possibly empty heartbeats)
+    /// until it shuts down or the connection drops. The first frame is
+    /// read here so a rejection ([`Reply::Error`] — journaling disabled,
+    /// or `from_epoch` predating the journal) surfaces immediately.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure, or the server's typed rejection.
+    pub fn journal_subscribe(
+        &mut self,
+        from_epoch: u64,
+    ) -> io::Result<Vec<ftspan_oracle::JournalEntry>> {
+        match self.call(&Request::JournalSubscribe { from_epoch })? {
+            Reply::JournalEntries(entries) => Ok(entries),
+            Reply::Error(message) => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("subscription rejected: {message}"),
+            )),
             other => Err(unexpected(&other)),
         }
+    }
+
+    /// `PROMOTE` — turns a caught-up replica into a primary; returns the
+    /// epoch it now accepts waves at.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure, or the server's typed rejection (already a
+    /// primary).
+    pub fn promote(&mut self) -> io::Result<u64> {
+        match self.call(&Request::Promote)? {
+            Reply::Promoted { epoch } => Ok(epoch),
+            Reply::Error(message) => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("promotion rejected: {message}"),
+            )),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Consumes the client, returning the raw stream — the replica's
+    /// follower thread takes over a subscribed connection this way.
+    #[must_use]
+    pub fn into_stream(self) -> TcpStream {
+        self.stream
     }
 }
 

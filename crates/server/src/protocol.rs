@@ -1,11 +1,17 @@
-//! The `ftspan-server` wire protocol: length-prefixed binary frames over a
-//! byte stream.
+//! The `ftspan-server` wire protocol: checksummed, length-prefixed binary
+//! frames over a byte stream.
 //!
 //! Every message — request or reply — is one **frame**: a little-endian
-//! `u32` body length followed by the body. Request bodies start with an
-//! opcode byte, reply bodies with a reply tag byte; all payloads reuse the
-//! [`ftspan_graph::wire`] primitives and the [`ftspan::wire`] fault-set
-//! codec, so query payloads are encoded exactly like snapshot payloads.
+//! `u32` body length, a `u64` FNV-1a-64 checksum of the body, then the
+//! body. The checksum means a flipped bit anywhere in a body is *detected*
+//! instead of deserialized: [`read_frame`] still consumes the whole frame
+//! (framing stays aligned), but hands back [`Frame::Corrupt`] so a server
+//! can answer with a typed error and keep the connection — the
+//! `wire_chaos` suite drives this with a byte-corrupting proxy. Request
+//! bodies start with an opcode byte, reply bodies with a reply tag byte;
+//! all payloads reuse the [`ftspan_graph::wire`] primitives and the
+//! [`ftspan::wire`] fault-set codec, so query payloads are encoded exactly
+//! like snapshot payloads.
 //!
 //! | opcode | request | body |
 //! |--------|-----------|------|
@@ -15,11 +21,18 @@
 //! | `4` | `WAVE` | `fault_set` |
 //! | `5` | `METRICS` | empty |
 //! | `6` | `SNAPSHOT` | empty |
+//! | `7` | `JOURNAL_SUBSCRIBE` | `u64 from_epoch` |
+//! | `8` | `PROMOTE` | empty |
 //!
 //! Replies are self-describing: `0` answer, `1` batch, `2` wave summary,
-//! `3` metrics text, `4` snapshot bytes, `5` **shed** (explicit, with a
+//! `3` metrics text, `4` **snapshot chunk** (`u64 total · u64 offset ·
+//! bytes` — a snapshot download is a bounded sequence of these, so neither
+//! end ever materializes one giant frame), `5` **shed** (explicit, with a
 //! reason byte — a rate-limited client is told so, never silently
-//! dropped), `6` error (length-prefixed UTF-8 message).
+//! dropped), `6` error (length-prefixed UTF-8 message), `7` journal
+//! entries (`u64 count · count ×` checksummed
+//! [`JournalEntry`](ftspan_oracle::JournalEntry) — the replication feed),
+//! `8` promoted (`u64 epoch`).
 //!
 //! Answers carry the distance (presence byte + IEEE-754 bits, so the
 //! exactness contract survives the wire) and, for `PATH`, the vertex
@@ -30,9 +43,10 @@ use std::io::{self, Read, Write};
 
 use ftspan::wire::{decode_fault_set, encode_fault_set};
 use ftspan::FaultSet;
-use ftspan_graph::wire::{WireError, WireReader, WireWriter};
+use ftspan_graph::wire::{fnv1a64, WireError, WireReader, WireWriter};
 use ftspan_graph::{vid, VertexId};
-use ftspan_oracle::{Query, QueryKind};
+use ftspan_oracle::replication::{decode_journal_entry, encode_journal_entry};
+use ftspan_oracle::{JournalEntry, Query, QueryKind};
 
 /// Upper bound on one frame's body, rejecting corrupt length prefixes
 /// before they provoke a giant allocation. Large enough for a snapshot of
@@ -45,14 +59,18 @@ const OP_BATCH: u8 = 3;
 const OP_WAVE: u8 = 4;
 const OP_METRICS: u8 = 5;
 const OP_SNAPSHOT: u8 = 6;
+const OP_JOURNAL_SUBSCRIBE: u8 = 7;
+const OP_PROMOTE: u8 = 8;
 
 const REPLY_ANSWER: u8 = 0;
 const REPLY_BATCH: u8 = 1;
 const REPLY_WAVE: u8 = 2;
 const REPLY_METRICS: u8 = 3;
-const REPLY_SNAPSHOT: u8 = 4;
+const REPLY_SNAPSHOT_CHUNK: u8 = 4;
 const REPLY_SHED: u8 = 5;
 const REPLY_ERROR: u8 = 6;
+const REPLY_JOURNAL_ENTRIES: u8 = 7;
+const REPLY_PROMOTED: u8 = 8;
 
 /// One client request.
 #[derive(Clone, Debug, PartialEq)]
@@ -81,8 +99,19 @@ pub enum Request {
     Wave(FaultSet),
     /// `METRICS` — fetch the Prometheus exposition text.
     Metrics,
-    /// `SNAPSHOT` — download a warm-restart snapshot of the backend.
+    /// `SNAPSHOT` — download a warm-restart snapshot of the backend
+    /// (streamed back as [`Reply::SnapshotChunk`] frames).
     Snapshot,
+    /// `JOURNAL_SUBSCRIBE` — switch this connection into a journal stream:
+    /// the primary sends every entry past `from_epoch`, then keeps sending
+    /// entries as waves commit.
+    JournalSubscribe {
+        /// The subscriber's current epoch; streaming starts just past it.
+        from_epoch: u64,
+    },
+    /// `PROMOTE` — stop following and start accepting waves (replica role
+    /// only; a primary answers with an error).
+    Promote,
 }
 
 /// A distance/path answer on the wire.
@@ -142,12 +171,31 @@ pub enum Reply {
     Wave(WaveSummary),
     /// Prometheus exposition text from `METRICS`.
     Metrics(String),
-    /// Snapshot bytes from `SNAPSHOT`.
-    Snapshot(Vec<u8>),
+    /// One bounded chunk of a `SNAPSHOT` download. `total` is the full
+    /// snapshot length in bytes and `offset` this chunk's position;
+    /// chunks arrive in order and the download is complete when
+    /// `offset + data.len() == total`. An empty snapshot is one chunk
+    /// with `total == 0`.
+    SnapshotChunk {
+        /// Full snapshot length in bytes.
+        total: u64,
+        /// This chunk's byte offset into the snapshot.
+        offset: u64,
+        /// The chunk's bytes.
+        data: Vec<u8>,
+    },
     /// The request was shed — explicitly, with the reason.
     Shed(ShedReason),
     /// The request could not be served.
     Error(String),
+    /// A batch of journal entries on a `JOURNAL_SUBSCRIBE` stream, in
+    /// epoch order.
+    JournalEntries(Vec<JournalEntry>),
+    /// `PROMOTE` succeeded; the server now accepts waves at this epoch.
+    Promoted {
+        /// The promoted server's current epoch.
+        epoch: u64,
+    },
 }
 
 fn encode_query_parts(u: VertexId, v: VertexId, faults: &FaultSet, w: &mut WireWriter) {
@@ -193,6 +241,11 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         }
         Request::Metrics => w.put_u8(OP_METRICS),
         Request::Snapshot => w.put_u8(OP_SNAPSHOT),
+        Request::JournalSubscribe { from_epoch } => {
+            w.put_u8(OP_JOURNAL_SUBSCRIBE);
+            w.put_u64(*from_epoch);
+        }
+        Request::Promote => w.put_u8(OP_PROMOTE),
     }
     w.into_vec()
 }
@@ -229,6 +282,10 @@ pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
         OP_WAVE => Request::Wave(decode_fault_set(&mut r)?),
         OP_METRICS => Request::Metrics,
         OP_SNAPSHOT => Request::Snapshot,
+        OP_JOURNAL_SUBSCRIBE => Request::JournalSubscribe {
+            from_epoch: r.u64()?,
+        },
+        OP_PROMOTE => Request::Promote,
         op => return Err(WireError::malformed(format!("unknown opcode {op}"))),
     };
     r.finish()?;
@@ -280,10 +337,21 @@ fn decode_answer(r: &mut WireReader<'_>) -> Result<WireAnswer, WireError> {
 #[must_use]
 pub fn encode_reply(reply: &Reply) -> Vec<u8> {
     let mut w = WireWriter::new();
+    encode_reply_into(reply, &mut w);
+    w.into_vec()
+}
+
+/// Encodes a reply into a reusable [`WireWriter`], clearing it first. The
+/// server's per-connection reply loop calls this with one long-lived
+/// writer, so a reply costs zero allocations once the buffer has grown to
+/// the connection's working size — on the loopback batch path the
+/// allocation was a measurable share of the per-frame tax.
+pub fn encode_reply_into(reply: &Reply, w: &mut WireWriter) {
+    w.clear();
     match reply {
         Reply::Answer(answer) => {
             w.put_u8(REPLY_ANSWER);
-            encode_answer(answer, &mut w);
+            encode_answer(answer, w);
         }
         Reply::Batch(entries) => {
             w.put_u8(REPLY_BATCH);
@@ -292,7 +360,7 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
                 match entry {
                     BatchEntry::Answered(answer) => {
                         w.put_u8(0);
-                        encode_answer(answer, &mut w);
+                        encode_answer(answer, w);
                     }
                     BatchEntry::Shed => w.put_u8(1),
                 }
@@ -313,9 +381,15 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             w.put_u8(REPLY_METRICS);
             w.put_bytes(text.as_bytes());
         }
-        Reply::Snapshot(bytes) => {
-            w.put_u8(REPLY_SNAPSHOT);
-            w.put_bytes(bytes);
+        Reply::SnapshotChunk {
+            total,
+            offset,
+            data,
+        } => {
+            w.put_u8(REPLY_SNAPSHOT_CHUNK);
+            w.put_u64(*total);
+            w.put_u64(*offset);
+            w.put_bytes(data);
         }
         Reply::Shed(reason) => {
             w.put_u8(REPLY_SHED);
@@ -329,8 +403,18 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             w.put_u8(REPLY_ERROR);
             w.put_bytes(message.as_bytes());
         }
+        Reply::JournalEntries(entries) => {
+            w.put_u8(REPLY_JOURNAL_ENTRIES);
+            w.put_len(entries.len());
+            for entry in entries {
+                encode_journal_entry(entry, w);
+            }
+        }
+        Reply::Promoted { epoch } => {
+            w.put_u8(REPLY_PROMOTED);
+            w.put_u64(*epoch);
+        }
     }
-    w.into_vec()
 }
 
 /// Decodes a frame body into a reply.
@@ -372,7 +456,16 @@ pub fn decode_reply(body: &[u8]) -> Result<Reply, WireError> {
             String::from_utf8(r.bytes()?.to_vec())
                 .map_err(|_| WireError::malformed("metrics text is not UTF-8"))?,
         ),
-        REPLY_SNAPSHOT => Reply::Snapshot(r.bytes()?.to_vec()),
+        REPLY_SNAPSHOT_CHUNK => {
+            let total = r.u64()?;
+            let offset = r.u64()?;
+            let data = r.bytes()?.to_vec();
+            Reply::SnapshotChunk {
+                total,
+                offset,
+                data,
+            }
+        }
         REPLY_SHED => Reply::Shed(match r.u8()? {
             0 => ShedReason::RateLimited,
             1 => ShedReason::Admission,
@@ -383,32 +476,76 @@ pub fn decode_reply(body: &[u8]) -> Result<Reply, WireError> {
             String::from_utf8(r.bytes()?.to_vec())
                 .map_err(|_| WireError::malformed("error text is not UTF-8"))?,
         ),
+        REPLY_JOURNAL_ENTRIES => {
+            let count = r.len(25)?;
+            let mut entries = Vec::with_capacity(count);
+            for index in 0..count {
+                entries.push(
+                    decode_journal_entry(&mut r, index)
+                        .map_err(|e| WireError::malformed(e.to_string()))?,
+                );
+            }
+            Reply::JournalEntries(entries)
+        }
+        REPLY_PROMOTED => Reply::Promoted { epoch: r.u64()? },
         tag => return Err(WireError::malformed(format!("unknown reply tag {tag}"))),
     };
     r.finish()?;
     Ok(reply)
 }
 
-/// Writes one frame: `u32` body length, then the body.
+/// One frame as read off the stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// The body's checksum matched; these bytes are safe to decode.
+    Intact(Vec<u8>),
+    /// The body's checksum did not match. The frame was still consumed in
+    /// full — the stream stays aligned on the next frame boundary — but
+    /// the bytes must **not** be deserialized. A server answers with a
+    /// typed [`Reply::Error`]; a client surfaces an
+    /// [`InvalidData`](io::ErrorKind::InvalidData) error.
+    Corrupt,
+}
+
+impl Frame {
+    /// The intact body, or an `InvalidData` error for a corrupt frame —
+    /// the client-side default; servers match on the variant instead so
+    /// they can answer and keep the connection.
+    pub fn into_intact(self) -> io::Result<Vec<u8>> {
+        match self {
+            Self::Intact(body) => Ok(body),
+            Self::Corrupt => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame body failed its checksum",
+            )),
+        }
+    }
+}
+
+/// Writes one frame: `u32` body length, `u64` FNV-1a-64 body checksum,
+/// then the body.
 pub fn write_frame(stream: &mut impl Write, body: &[u8]) -> io::Result<()> {
     debug_assert!(body.len() <= MAX_FRAME_LEN);
     let len = u32::try_from(body.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame body too large"))?;
     stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(&fnv1a64(body).to_le_bytes())?;
     stream.write_all(body)?;
     stream.flush()
 }
 
-/// Reads one frame body. Returns `Ok(None)` on a clean end-of-stream at a
-/// frame boundary; mid-frame EOF and oversized lengths are errors.
+/// Reads one frame. Returns `Ok(None)` on a clean end-of-stream at a
+/// frame boundary; mid-frame EOF and oversized lengths are errors, and a
+/// checksum mismatch is [`Frame::Corrupt`] (fully consumed, never
+/// deserialized).
 /// [`ErrorKind::Interrupted`](io::ErrorKind::Interrupted) reads are
 /// retried at every position — including the very first header byte, so a
 /// signal landing between frames never kills a healthy connection.
-pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
-    let mut len_bytes = [0u8; 4];
+pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut header = [0u8; 12];
     let mut filled = 0usize;
-    while filled < 4 {
-        match stream.read(&mut len_bytes[filled..]) {
+    while filled < header.len() {
+        match stream.read(&mut header[filled..]) {
             Ok(0) if filled == 0 => return Ok(None),
             Ok(0) => {
                 return Err(io::Error::new(
@@ -421,7 +558,8 @@ pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
             Err(e) => return Err(e),
         }
     }
-    let len = u32::from_le_bytes(len_bytes) as usize;
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4-byte slice")) as usize;
+    let checksum = u64::from_le_bytes(header[4..].try_into().expect("8-byte slice"));
     if len > MAX_FRAME_LEN {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -430,7 +568,10 @@ pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     }
     let mut body = vec![0u8; len];
     stream.read_exact(&mut body)?;
-    Ok(Some(body))
+    if fnv1a64(&body) != checksum {
+        return Ok(Some(Frame::Corrupt));
+    }
+    Ok(Some(Frame::Intact(body)))
 }
 
 #[cfg(test)]
@@ -468,6 +609,8 @@ mod tests {
             Request::Wave(faults),
             Request::Metrics,
             Request::Snapshot,
+            Request::JournalSubscribe { from_epoch: 42 },
+            Request::Promote,
         ] {
             assert_eq!(round_trip_request(&request), request);
         }
@@ -499,14 +642,48 @@ mod tests {
                 rebuilt_lanes: vec![0, 2],
             }),
             Reply::Metrics("ftspan_queries_total 5\n".to_owned()),
-            Reply::Snapshot(vec![1, 2, 3]),
+            Reply::SnapshotChunk {
+                total: 10,
+                offset: 4,
+                data: vec![1, 2, 3],
+            },
             Reply::Shed(ShedReason::RateLimited),
             Reply::Shed(ShedReason::Admission),
             Reply::Shed(ShedReason::Timeout),
             Reply::Error("nope".to_owned()),
+            Reply::JournalEntries(vec![JournalEntry {
+                epoch: 7,
+                wave: FaultSet::vertices([vid(1), vid(5)]),
+                report_digest: 0xDEAD_BEEF,
+            }]),
+            Reply::Promoted { epoch: 12 },
         ] {
             assert_eq!(round_trip_reply(&reply), reply);
         }
+    }
+
+    #[test]
+    fn reply_encoding_reuses_the_connection_buffer() {
+        let mut w = WireWriter::new();
+        let reply = Reply::Shed(ShedReason::Admission);
+        encode_reply_into(&reply, &mut w);
+        let first = w.as_slice().to_vec();
+        // A second encode must clear, not append.
+        encode_reply_into(&reply, &mut w);
+        assert_eq!(w.as_slice(), &first[..]);
+        assert_eq!(first, encode_reply(&reply));
+    }
+
+    #[test]
+    fn corrupt_journal_entry_in_a_reply_is_rejected() {
+        let mut bytes = encode_reply(&Reply::JournalEntries(vec![JournalEntry {
+            epoch: 3,
+            wave: FaultSet::vertices([vid(2)]),
+            report_digest: 99,
+        }]));
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10; // damage the entry checksum itself
+        assert!(decode_reply(&bytes).is_err());
     }
 
     #[test]
@@ -538,15 +715,42 @@ mod tests {
         write_frame(&mut buf, b"hello").unwrap();
         write_frame(&mut buf, b"").unwrap();
         let mut cursor = io::Cursor::new(buf);
-        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
-        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().unwrap(),
+            Frame::Intact(b"hello".to_vec())
+        );
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().unwrap(),
+            Frame::Intact(Vec::new())
+        );
         assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_bodies_are_detected_and_the_stream_stays_aligned() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"poisoned").unwrap();
+        write_frame(&mut buf, b"fine").unwrap();
+        buf[15] ^= 0x55; // flip a byte inside the first frame's body
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), Frame::Corrupt);
+        // The corrupt frame was consumed in full: the next one is intact.
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().unwrap(),
+            Frame::Intact(b"fine".to_vec())
+        );
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+        assert_eq!(
+            Frame::Corrupt.into_intact().unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
     }
 
     #[test]
     fn oversized_frame_lengths_are_rejected() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // checksum field
         let mut cursor = io::Cursor::new(buf);
         assert!(read_frame(&mut cursor).is_err());
     }
@@ -579,8 +783,14 @@ mod tests {
             inner: io::Cursor::new(buf),
             interrupt_next: true, // the very first header read is interrupted
         };
-        assert_eq!(read_frame(&mut stream).unwrap().unwrap(), b"resilient");
-        assert_eq!(read_frame(&mut stream).unwrap().unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut stream).unwrap().unwrap(),
+            Frame::Intact(b"resilient".to_vec())
+        );
+        assert_eq!(
+            read_frame(&mut stream).unwrap().unwrap(),
+            Frame::Intact(Vec::new())
+        );
         assert!(read_frame(&mut stream).unwrap().is_none());
     }
 

@@ -57,11 +57,12 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use ftspan::FaultSet;
+use ftspan_graph::wire::WireWriter;
 use ftspan_oracle::{OracleService, Query, Snapshot, Snapshottable, SpannerOracle, TicketState};
 
 use crate::protocol::{
-    decode_request, encode_reply, read_frame, write_frame, BatchEntry, Reply, Request, ShedReason,
-    WaveSummary, WireAnswer,
+    decode_request, encode_reply_into, read_frame, write_frame, BatchEntry, Frame, Reply, Request,
+    ShedReason, WaveSummary, WireAnswer,
 };
 
 /// Configuration of a [`Server`].
@@ -100,6 +101,12 @@ pub struct ServerConfig {
     /// of churn unsnapshotted. `None` (the default) disables the timer;
     /// clients can still pull snapshots through the `SNAPSHOT` request.
     pub snapshot_interval: Option<Duration>,
+    /// Largest [`Reply::SnapshotChunk`] data payload in a `SNAPSHOT`
+    /// download (default 4 MiB). The capture is still one in-memory byte
+    /// string, but neither the wire nor the client ever materializes a
+    /// frame bigger than this — a 256 MiB snapshot streams as bounded
+    /// frames instead of one giant one.
+    pub snapshot_chunk_len: usize,
 }
 
 impl Default for ServerConfig {
@@ -113,6 +120,7 @@ impl Default for ServerConfig {
             snapshot_cost: 1,
             read_timeout: Some(Duration::from_secs(30)),
             snapshot_interval: None,
+            snapshot_chunk_len: 4 * 1024 * 1024,
         }
     }
 }
@@ -121,7 +129,11 @@ impl Default for ServerConfig {
 /// request shape — not even `BATCH []` — is free.
 fn request_cost(request: &Request, config: &ServerConfig) -> f64 {
     let raw = match request {
-        Request::Distance { .. } | Request::Path { .. } | Request::Wave(_) => 1.0,
+        Request::Distance { .. }
+        | Request::Path { .. }
+        | Request::Wave(_)
+        | Request::JournalSubscribe { .. }
+        | Request::Promote => 1.0,
         Request::Batch(queries) => queries.len() as f64,
         Request::Metrics => f64::from(config.metrics_cost),
         Request::Snapshot => f64::from(config.snapshot_cost),
@@ -185,6 +197,35 @@ fn snapshot_timer_loop<O: SpannerOracle + Snapshottable + 'static>(
     }
 }
 
+/// The replication link of a running replica: the follower thread applying
+/// the primary's journal stream, plus what `PROMOTE` (or shutdown) needs to
+/// stop it — shutting the stream down unblocks the thread's blocking read,
+/// and joining it guarantees every entry it received has been applied.
+#[derive(Debug)]
+pub(crate) struct FollowerControl {
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) stream: TcpStream,
+    pub(crate) handle: thread::JoinHandle<()>,
+}
+
+impl FollowerControl {
+    fn stop_and_join(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        let _ = self.handle.join();
+    }
+}
+
+/// Replication role of a running server, shared with every handler.
+#[derive(Debug)]
+struct RoleState {
+    /// `true` on a primary. A replica rejects `WAVE` with a typed error
+    /// until a `PROMOTE` flips this.
+    accepts_waves: AtomicBool,
+    /// The replica's follower link; `PROMOTE` (and shutdown) takes it.
+    follower: Mutex<Option<FollowerControl>>,
+}
+
 /// A running `ftspan` server. Dropping it shuts it down; prefer
 /// [`Server::shutdown`] to get the warm service back.
 #[derive(Debug)]
@@ -198,6 +239,7 @@ pub struct Server<O: SpannerOracle + 'static> {
     /// Wakes the snapshot timer early so shutdown never waits an interval.
     timer_signal: Arc<(Mutex<()>, std::sync::Condvar)>,
     snapshots: Arc<SnapshotStore>,
+    role: Arc<RoleState>,
     service: Option<Arc<OracleService<O>>>,
 }
 
@@ -206,10 +248,11 @@ where
     O: SpannerOracle + Snapshottable + 'static,
 {
     /// Binds `addr` (use port `0` for an ephemeral port) and starts serving
-    /// the given service. The service is shared with every connection
-    /// handler and comes back out of [`Server::shutdown`]. If it has no
-    /// worker threads yet, a small pool is spawned so handlers block on
-    /// [`OracleService::wait`] instead of pumping rounds inline.
+    /// the given service as a **primary** (waves accepted, wave journal
+    /// enabled so followers can subscribe). The service is shared with
+    /// every connection handler and comes back out of [`Server::shutdown`].
+    /// If it has no worker threads yet, a small pool is spawned so handlers
+    /// block on [`OracleService::wait`] instead of pumping rounds inline.
     ///
     /// # Errors
     ///
@@ -218,6 +261,18 @@ where
         service: OracleService<O>,
         addr: impl ToSocketAddrs,
         config: ServerConfig,
+    ) -> io::Result<Self> {
+        Self::start_with_role(service, addr, config, true)
+    }
+
+    /// [`Server::start`] with an explicit starting role;
+    /// `accepts_waves == false` is the replica mode
+    /// [`ReplicaServer`](crate::ReplicaServer) uses.
+    pub(crate) fn start_with_role(
+        service: OracleService<O>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        accepts_waves: bool,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -228,14 +283,24 @@ where
         if service.worker_count() == 0 {
             service.spawn_workers(default_worker_pool());
         }
+        // Every server journals its waves: a primary so followers can
+        // subscribe, a replica so *it* can serve followers (and fresh
+        // subscriptions) after promotion. Enabled before the listener
+        // serves anything, so no wave can precede the journal's base.
+        let _ = service.enable_journal();
         let vertex_count = service.oracle().graph().vertex_count();
         let service = Arc::new(service);
+        let role = Arc::new(RoleState {
+            accepts_waves: AtomicBool::new(accepts_waves),
+            follower: Mutex::new(None),
+        });
 
         let accept_thread = {
             let shutdown = Arc::clone(&shutdown);
             let conns = Arc::clone(&conns);
             let handlers = Arc::clone(&handlers);
             let service = Arc::clone(&service);
+            let role = Arc::clone(&role);
             let config = config.clone();
             thread::Builder::new()
                 .name("ftspan-accept".into())
@@ -248,6 +313,7 @@ where
                         &handlers,
                         &config,
                         vertex_count,
+                        &role,
                     );
                 })?
         };
@@ -280,8 +346,32 @@ where
             snapshot_thread,
             timer_signal,
             snapshots,
+            role,
             service: Some(service),
         })
+    }
+
+    /// A shared handle to the serving service, for the follower thread a
+    /// [`ReplicaServer`](crate::ReplicaServer) attaches.
+    pub(crate) fn service_arc(&self) -> Arc<OracleService<O>> {
+        Arc::clone(
+            self.service
+                .as_ref()
+                .expect("service present until shutdown"),
+        )
+    }
+
+    /// Installs the replica's follower link so `PROMOTE` and shutdown can
+    /// stop it.
+    pub(crate) fn install_follower(&self, control: FollowerControl) {
+        *self.role.follower.lock().expect("role state poisoned") = Some(control);
+    }
+
+    /// `true` when this server accepts `WAVE` requests (a primary, or a
+    /// promoted replica).
+    #[must_use]
+    pub fn accepts_waves(&self) -> bool {
+        self.role.accepts_waves.load(Ordering::SeqCst)
     }
 
     /// The most recent background snapshot, if the timer
@@ -328,6 +418,15 @@ where
     /// finish their in-flight request, and exit).
     fn begin_shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(follower) = self
+            .role
+            .follower
+            .lock()
+            .expect("role state poisoned")
+            .take()
+        {
+            follower.stop_and_join();
+        }
         self.timer_signal.1.notify_all();
         if let Some(timer) = self.snapshot_thread.take() {
             timer.join().expect("snapshot timer must not panic");
@@ -353,6 +452,15 @@ where
 impl<O: SpannerOracle + 'static> Drop for Server<O> {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(follower) = self
+            .role
+            .follower
+            .lock()
+            .expect("role state poisoned")
+            .take()
+        {
+            follower.stop_and_join();
+        }
         self.timer_signal.1.notify_all();
         if let Some(timer) = self.snapshot_thread.take() {
             let _ = timer.join();
@@ -387,6 +495,7 @@ fn accept_loop<O: SpannerOracle + Snapshottable + 'static>(
     handlers: &Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
     config: &ServerConfig,
     vertex_count: usize,
+    role: &Arc<RoleState>,
 ) {
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -397,10 +506,19 @@ fn accept_loop<O: SpannerOracle + Snapshottable + 'static>(
                 }
                 let service = Arc::clone(service);
                 let config = config.clone();
+                let role = Arc::clone(role);
+                let shutdown = Arc::clone(shutdown);
                 let spawned = thread::Builder::new()
                     .name("ftspan-conn".into())
                     .spawn(move || {
-                        handle_connection(stream, &service, &config, vertex_count);
+                        handle_connection(
+                            stream,
+                            &service,
+                            &config,
+                            vertex_count,
+                            &role,
+                            &shutdown,
+                        );
                     });
                 if let Ok(handle) = spawned {
                     handlers.lock().expect("handler list poisoned").push(handle);
@@ -451,21 +569,83 @@ fn handle_connection<O: SpannerOracle + Snapshottable + 'static>(
     service: &OracleService<O>,
     config: &ServerConfig,
     vertex_count: usize,
+    role: &RoleState,
+    shutdown: &AtomicBool,
 ) {
     let mut bucket = TokenBucket::new(config);
     if stream.set_read_timeout(config.read_timeout).is_err() {
         return;
     }
+    // One reply buffer per connection: every encode clears and reuses it,
+    // so steady-state replies (the loopback batch path in particular) cost
+    // zero allocations in the codec.
+    let mut reply_buf = WireWriter::new();
     loop {
         match read_frame(&mut stream) {
-            Ok(Some(body)) => {
-                let reply = match decode_request(&body) {
-                    Ok(request) => {
-                        serve_request(request, &mut bucket, service, config, vertex_count)
+            Ok(Some(Frame::Intact(body))) => match decode_request(&body) {
+                // Multi-frame replies are written by the handler itself;
+                // everything else goes through `serve_request`.
+                Ok(Request::Snapshot) => {
+                    let reply = admission(&Request::Snapshot, &mut bucket, config);
+                    let result = match reply {
+                        Some(reply) => {
+                            encode_reply_into(&reply, &mut reply_buf);
+                            write_frame(&mut stream, reply_buf.as_slice())
+                        }
+                        None => {
+                            let bytes = Snapshot::capture(&*service.oracle());
+                            write_snapshot_chunks(
+                                &mut stream,
+                                &mut reply_buf,
+                                &bytes,
+                                config.snapshot_chunk_len,
+                            )
+                        }
+                    };
+                    if result.is_err() {
+                        break;
                     }
-                    Err(e) => Reply::Error(format!("bad request: {e}")),
-                };
-                if write_frame(&mut stream, &encode_reply(&reply)).is_err() {
+                }
+                Ok(Request::JournalSubscribe { from_epoch }) => {
+                    stream_journal(
+                        &mut stream,
+                        &mut reply_buf,
+                        service,
+                        from_epoch,
+                        &mut bucket,
+                        config,
+                        shutdown,
+                    );
+                    // A subscription consumes the connection: when the
+                    // stream ends (shutdown, divergent subscriber, dead
+                    // peer), the connection is done.
+                    break;
+                }
+                Ok(request) => {
+                    let reply = admission(&request, &mut bucket, config).unwrap_or_else(|| {
+                        serve_request(request, service, config, vertex_count, role)
+                    });
+                    encode_reply_into(&reply, &mut reply_buf);
+                    if write_frame(&mut stream, reply_buf.as_slice()).is_err() {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    encode_reply_into(&Reply::Error(format!("bad request: {e}")), &mut reply_buf);
+                    if write_frame(&mut stream, reply_buf.as_slice()).is_err() {
+                        break;
+                    }
+                }
+            },
+            // The frame arrived whole but its checksum failed: answer with
+            // a typed error and keep the connection — framing is still
+            // aligned, and the next frame may be healthy.
+            Ok(Some(Frame::Corrupt)) => {
+                encode_reply_into(
+                    &Reply::Error("frame checksum mismatch: request dropped".to_owned()),
+                    &mut reply_buf,
+                );
+                if write_frame(&mut stream, reply_buf.as_slice()).is_err() {
                     break;
                 }
             }
@@ -480,10 +660,8 @@ fn handle_connection<O: SpannerOracle + Snapshottable + 'static>(
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
-                let _ = write_frame(
-                    &mut stream,
-                    &encode_reply(&Reply::Shed(ShedReason::Timeout)),
-                );
+                encode_reply_into(&Reply::Shed(ShedReason::Timeout), &mut reply_buf);
+                let _ = write_frame(&mut stream, reply_buf.as_slice());
                 break;
             }
             Err(_) => break,
@@ -497,18 +675,112 @@ fn handle_connection<O: SpannerOracle + Snapshottable + 'static>(
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
+/// Rate-limit + validity gate shared by all request shapes. `Some` is the
+/// rejection reply; `None` admits the request.
+fn admission(
+    request: &Request,
+    bucket: &mut Option<TokenBucket>,
+    config: &ServerConfig,
+) -> Option<Reply> {
+    if let Some(bucket) = bucket {
+        if !bucket.admit(request_cost(request, config)) {
+            return Some(Reply::Shed(ShedReason::RateLimited));
+        }
+    }
+    None
+}
+
+/// Streams a `SNAPSHOT` capture as bounded [`Reply::SnapshotChunk`]
+/// frames. An empty capture is still one (empty) chunk, so the client
+/// always gets at least one frame to complete on.
+fn write_snapshot_chunks(
+    stream: &mut TcpStream,
+    reply_buf: &mut WireWriter,
+    bytes: &[u8],
+    chunk_len: usize,
+) -> io::Result<()> {
+    let total = bytes.len() as u64;
+    let chunk_len = chunk_len.max(1);
+    let mut offset = 0usize;
+    loop {
+        let end = bytes.len().min(offset + chunk_len);
+        encode_reply_into(
+            &Reply::SnapshotChunk {
+                total,
+                offset: offset as u64,
+                data: bytes[offset..end].to_vec(),
+            },
+            reply_buf,
+        );
+        write_frame(stream, reply_buf.as_slice())?;
+        offset = end;
+        if offset >= bytes.len() {
+            return Ok(());
+        }
+    }
+}
+
+/// Turns the connection into a journal subscription: send the backlog past
+/// `from_epoch`, then keep sending entries as waves commit, with empty
+/// heartbeat frames on idle ticks so a dead subscriber is noticed. Runs
+/// until shutdown, a write failure (subscriber gone), or a rejection.
+fn stream_journal<O: SpannerOracle + 'static>(
+    stream: &mut TcpStream,
+    reply_buf: &mut WireWriter,
+    service: &OracleService<O>,
+    from_epoch: u64,
+    bucket: &mut Option<TokenBucket>,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+) {
+    let request = Request::JournalSubscribe { from_epoch };
+    if let Some(reply) = admission(&request, bucket, config) {
+        encode_reply_into(&reply, reply_buf);
+        let _ = write_frame(stream, reply_buf.as_slice());
+        return;
+    }
+    let Some(journal) = service.journal() else {
+        encode_reply_into(
+            &Reply::Error("journaling is not enabled on this server".to_owned()),
+            reply_buf,
+        );
+        let _ = write_frame(stream, reply_buf.as_slice());
+        return;
+    };
+    if from_epoch < journal.base_epoch() {
+        encode_reply_into(
+            &Reply::Error(format!(
+                "journal starts after epoch {}; epoch {from_epoch} predates it — \
+                 re-bootstrap from a fresh snapshot",
+                journal.base_epoch()
+            )),
+            reply_buf,
+        );
+        let _ = write_frame(stream, reply_buf.as_slice());
+        return;
+    }
+    let mut cursor = from_epoch;
+    while !shutdown.load(Ordering::SeqCst) {
+        let entries = journal.wait_past(cursor, Duration::from_millis(200));
+        if let Some(last) = entries.last() {
+            cursor = last.epoch;
+        }
+        // Empty == idle tick: still write, as a heartbeat — a vanished
+        // subscriber turns it into a write error and ends the stream.
+        encode_reply_into(&Reply::JournalEntries(entries), reply_buf);
+        if write_frame(stream, reply_buf.as_slice()).is_err() {
+            return;
+        }
+    }
+}
+
 fn serve_request<O: SpannerOracle + Snapshottable + 'static>(
     request: Request,
-    bucket: &mut Option<TokenBucket>,
     service: &OracleService<O>,
     config: &ServerConfig,
     vertex_count: usize,
+    role: &RoleState,
 ) -> Reply {
-    if let Some(bucket) = bucket {
-        if !bucket.admit(request_cost(&request, config)) {
-            return Reply::Shed(ShedReason::RateLimited);
-        }
-    }
     if let Some(message) = validate(&request, vertex_count) {
         return Reply::Error(message);
     }
@@ -538,6 +810,12 @@ fn serve_request<O: SpannerOracle + Snapshottable + 'static>(
             Reply::Batch(entries)
         }
         Request::Wave(wave) => {
+            if !role.accepts_waves.load(Ordering::SeqCst) {
+                return Reply::Error(
+                    "replica is read-only: WAVE rejected (send PROMOTE to make it a primary)"
+                        .to_owned(),
+                );
+            }
             let ticket = service.submit_wave(wave);
             match service.wait(ticket) {
                 TicketState::Waved(report) => Reply::Wave(WaveSummary {
@@ -550,9 +828,29 @@ fn serve_request<O: SpannerOracle + Snapshottable + 'static>(
                 state => Reply::Error(format!("wave unresolved: {state:?}")),
             }
         }
+        Request::Promote => {
+            if role.accepts_waves.load(Ordering::SeqCst) {
+                return Reply::Error("already a primary: PROMOTE rejected".to_owned());
+            }
+            // Stop the follower first: shutting its stream down unblocks
+            // its read, and joining it guarantees every journal entry it
+            // received has been applied before waves are accepted — the
+            // promoted epoch is exactly what the replica caught up to.
+            let follower = role.follower.lock().expect("role state poisoned").take();
+            if let Some(follower) = follower {
+                follower.stop_and_join();
+            }
+            role.accepts_waves.store(true, Ordering::SeqCst);
+            Reply::Promoted {
+                epoch: service.oracle().epoch(),
+            }
+        }
         // Reads answer against current shared state, off the query queue.
         Request::Metrics => Reply::Metrics(service.render_prometheus()),
-        Request::Snapshot => Reply::Snapshot(Snapshot::capture(&*service.oracle())),
+        // Multi-frame replies never reach this function.
+        Request::Snapshot | Request::JournalSubscribe { .. } => {
+            Reply::Error("internal: streaming request routed to serve_request".to_owned())
+        }
     }
 }
 
@@ -593,7 +891,10 @@ fn validate(request: &Request, vertex_count: usize) -> Option<String> {
                 .or_else(|| check_faults(&q.faults))
         }),
         Request::Wave(wave) => check_faults(wave),
-        Request::Metrics | Request::Snapshot => None,
+        Request::Metrics
+        | Request::Snapshot
+        | Request::JournalSubscribe { .. }
+        | Request::Promote => None,
     }
 }
 

@@ -6,7 +6,7 @@
 
 use ftspan::{FaultModel, FaultSet};
 use ftspan_graph::{eid, vid};
-use ftspan_oracle::Query;
+use ftspan_oracle::{JournalEntry, Query};
 use ftspan_server::protocol::{
     decode_reply, decode_request, encode_reply, encode_request, read_frame, write_frame,
 };
@@ -37,6 +37,8 @@ fn request_corpus() -> Vec<Request> {
         Request::Wave(vertex_faults),
         Request::Metrics,
         Request::Snapshot,
+        Request::JournalSubscribe { from_epoch: 12 },
+        Request::Promote,
     ]
 }
 
@@ -66,7 +68,17 @@ fn reply_corpus() -> Vec<Reply> {
             rebuilt_lanes: vec![0, 2],
         }),
         Reply::Metrics("ftspan_queries_total 5\n".to_owned()),
-        Reply::Snapshot(vec![1, 2, 3, 4]),
+        Reply::SnapshotChunk {
+            total: 4,
+            offset: 0,
+            data: vec![1, 2, 3, 4],
+        },
+        Reply::JournalEntries(vec![JournalEntry {
+            epoch: 9,
+            wave: FaultSet::vertices([vid(1)]),
+            report_digest: 0xDEAD_BEEF,
+        }]),
+        Reply::Promoted { epoch: 11 },
         Reply::Shed(ShedReason::RateLimited),
         Reply::Shed(ShedReason::Admission),
         Reply::Error("nope".to_owned()),
@@ -94,7 +106,7 @@ proptest! {
     /// error: the decoders never read past the buffer and never accept a
     /// partial message.
     #[test]
-    fn truncated_requests_are_rejected(which in 0usize..7, cut in 0.0f64..1.0) {
+    fn truncated_requests_are_rejected(which in 0usize..9, cut in 0.0f64..1.0) {
         let corpus = request_corpus();
         let bytes = encode_request(&corpus[which % corpus.len()]);
         prop_assume!(bytes.len() > 1);
@@ -104,7 +116,7 @@ proptest! {
 
     /// Same for replies.
     #[test]
-    fn truncated_replies_are_rejected(which in 0usize..9, cut in 0.0f64..1.0) {
+    fn truncated_replies_are_rejected(which in 0usize..12, cut in 0.0f64..1.0) {
         let corpus = reply_corpus();
         let bytes = encode_reply(&corpus[which % corpus.len()]);
         prop_assume!(bytes.len() > 1);
@@ -116,7 +128,7 @@ proptest! {
     /// decoder; whatever still decodes re-encodes without panicking too.
     #[test]
     fn bit_flipped_messages_never_panic(
-        which in 0usize..7,
+        which in 0usize..12,
         byte_seed in 0u64..1_000_000,
         bit in 0usize..8,
     ) {

@@ -352,7 +352,9 @@ fn stalled_connection_is_shed_with_a_typed_timeout_reply() {
         .expect("header written");
     let body = read_frame(&mut loris)
         .expect("a reply frame arrives before the stall can pin the handler")
-        .expect("a typed reply, not a silent close");
+        .expect("a typed reply, not a silent close")
+        .into_intact()
+        .expect("the reply frame passes its checksum");
     match decode_reply(&body).expect("reply decodes") {
         Reply::Shed(ShedReason::Timeout) => {}
         other => panic!("expected Shed(Timeout), got {other:?}"),

@@ -1,11 +1,12 @@
 //! Wire-level fault injection against a live `ftspan-server`, through the
 //! byte-mangling `ChaosProxy`: a client that disconnects mid-frame, a
-//! slow-loris that stalls inside a frame, and a reply truncated on its way
-//! back. In every drill the server must degrade *explicitly* — a typed
-//! shed or a clean connection error, never a hung handler — and keep
-//! serving healthy clients; each test ends in a prompt `shutdown()`,
-//! which joins every handler thread, so the test completing at all is the
-//! no-leaked-threads assertion.
+//! slow-loris that stalls inside a frame, a reply truncated on its way
+//! back, and in-flight bit rot that only the frame checksum can catch. In
+//! every drill the server must degrade *explicitly* — a typed shed or a
+//! clean connection error, never a hung handler and never a deserialized
+//! poisoned frame — and keep serving healthy clients; each test ends in a
+//! prompt `shutdown()`, which joins every handler thread, so the test
+//! completing at all is the no-leaked-threads assertion.
 
 use std::time::Duration;
 
@@ -143,6 +144,71 @@ fn slow_loris_is_shed_by_the_read_timeout() {
         Reply::Answer(answer) => assert_eq!(
             answer.distance.map(f64::to_bits),
             direct.distance(vid(1), vid(30), &empty()).map(f64::to_bits)
+        ),
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    proxy.shutdown();
+    let _ = server.shutdown();
+}
+
+/// Bit rot in flight: the proxy forwards the first request frame
+/// faithfully, then XOR-flips every byte starting one byte into the
+/// second frame's body. Byte counts are preserved, so only the checksum
+/// can notice — the server must consume the damaged frame whole (keeping
+/// the stream aligned), answer with a typed error, and never hand the
+/// poisoned bytes to the request decoder.
+#[test]
+fn corrupted_request_frame_gets_a_typed_error_not_a_decode() {
+    use ftspan_server::protocol::encode_request;
+    use ftspan_server::Request;
+
+    let (server, direct) = start_server(8805, ServerConfig::default());
+    let request = Request::Distance {
+        u: vid(4),
+        v: vid(28),
+        faults: empty(),
+    };
+    // Corrupt from the second body byte of the second identical frame on:
+    // one full frame (12-byte header + body) plus the next frame's header
+    // and first body byte pass faithfully.
+    let framed_len = encode_request(&request).len() + 12;
+    let proxy = ChaosProxy::start(
+        server.local_addr(),
+        ProxyPlan {
+            to_server: ProxyFault::CorruptAfter {
+                bytes: framed_len + 12 + 1,
+            },
+            to_client: ProxyFault::None,
+        },
+    )
+    .expect("proxy starts");
+
+    let mut victim = Client::connect(proxy.local_addr()).expect("victim connects");
+    match victim.call(&request).expect("first request served") {
+        Reply::Answer(answer) => assert_eq!(
+            answer.distance.map(f64::to_bits),
+            direct.distance(vid(4), vid(28), &empty()).map(f64::to_bits)
+        ),
+        other => panic!("unexpected reply: {other:?}"),
+    }
+    // The second, bit-rotted request: a typed checksum error comes back on
+    // the still-faithful return leg. Had the server deserialized the
+    // poisoned body, the XORed opcode would have been garbage — any reply
+    // other than the checksum error fails the drill.
+    match victim.call(&request).expect("a typed reply arrives") {
+        Reply::Error(message) => assert!(
+            message.contains("checksum"),
+            "expected a checksum error, got: {message}"
+        ),
+        other => panic!("expected a checksum error, got {other:?}"),
+    }
+
+    let mut healthy = Client::connect(server.local_addr()).expect("healthy client connects");
+    match healthy.distance(vid(4), vid(28), empty()).expect("served") {
+        Reply::Answer(answer) => assert_eq!(
+            answer.distance.map(f64::to_bits),
+            direct.distance(vid(4), vid(28), &empty()).map(f64::to_bits)
         ),
         other => panic!("unexpected reply: {other:?}"),
     }
